@@ -1,0 +1,1 @@
+bin/crsolve.ml: Arg Array Cfd Cmd Cmdliner Crcore Csv Currency Entity Format Fun In_channel List Printf Schema String Term Tuple Value

@@ -1,0 +1,1 @@
+bin/satcli.ml: Arg Array Buffer Cmd Cmdliner Printf Sat Term

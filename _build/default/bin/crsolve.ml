@@ -1,0 +1,282 @@
+(* crsolve: command-line conflict resolution.
+
+   An entity instance comes as a CSV file (header = schema); currency
+   constraints and constant CFDs come as text files in the syntax of
+   Currency.Parser / Cfd.Constant_cfd.parse:
+
+     # sigma.txt
+     t1[status] = "working" & t2[status] = "retired" -> prec(status)
+     prec(status) -> prec(job)
+
+     # gamma.txt
+     AC = 212 -> city = "NY"
+
+   Subcommands: validate | resolve | suggest. `resolve --interactive`
+   prompts for the suggested attributes on stdin. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_spec entity_file sigma_file gamma_file =
+  let entity = Csv.load_entity entity_file in
+  let sigma =
+    match sigma_file with
+    | None -> []
+    | Some f -> (
+        match Currency.Parser.parse_many (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse currency constraints: " ^ m))
+  in
+  let gamma =
+    match gamma_file with
+    | None -> []
+    | Some f -> (
+        match Cfd.Constant_cfd.parse_many (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse CFDs: " ^ m))
+  in
+  Crcore.Spec.make entity ~orders:[] ~sigma ~gamma
+
+let mode_of_exact exact = if exact then Crcore.Encode.Exact else Crcore.Encode.Paper
+
+(* ---- validate ---- *)
+
+let run_validate entity_file sigma_file gamma_file exact =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let ok = Crcore.Validity.is_valid ~mode:(mode_of_exact exact) spec in
+  Printf.printf "specification is %s\n" (if ok then "VALID" else "INVALID");
+  if ok then 0 else 1
+
+(* ---- suggest ---- *)
+
+let run_suggest entity_file sigma_file gamma_file exact =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let schema = Crcore.Spec.schema spec in
+  let enc = Crcore.Encode.encode ~mode:(mode_of_exact exact) spec in
+  if not (Crcore.Validity.check enc) then begin
+    print_endline "specification is INVALID";
+    1
+  end
+  else begin
+    let d = Crcore.Deduce.deduce_order enc in
+    let known = Crcore.Deduce.true_values d in
+    Array.iteri
+      (fun a vo ->
+        Printf.printf "%-16s %s\n" (Schema.name schema a)
+          (match vo with Some v -> Value.to_string v | None -> "?"))
+      known;
+    if Array.for_all (fun v -> v <> None) known then
+      print_endline "\nall true values deduced; nothing to ask"
+    else begin
+      let s = Crcore.Rules.suggest d ~known in
+      Printf.printf "\nsuggestion: provide true values for [%s]\n"
+        (String.concat "; " (List.map (Schema.name schema) s.Crcore.Rules.attrs));
+      List.iter
+        (fun (a, vals) ->
+          Printf.printf "  %s in { %s }\n" (Schema.name schema a)
+            (String.concat " | " (List.map Value.to_string vals)))
+        s.Crcore.Rules.candidates;
+      Printf.printf "derivable afterwards: [%s]\n"
+        (String.concat "; " (List.map (Schema.name schema) s.Crcore.Rules.derivable))
+    end;
+    0
+  end
+
+(* ---- resolve ---- *)
+
+let stdin_user suggestion ~schema =
+  List.filter_map
+    (fun (a, cands) ->
+      Printf.printf "true value for %s%s? (empty to skip) " (Schema.name schema a)
+        (if cands = [] then ""
+         else Printf.sprintf " [%s]" (String.concat " | " (List.map Value.to_string cands)));
+      match In_channel.input_line stdin with
+      | None | Some "" -> None
+      | Some line -> Some (Schema.name schema a, Value.of_string line))
+    suggestion.Crcore.Rules.candidates
+
+let run_resolve entity_file sigma_file gamma_file exact interactive truth_file max_rounds =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let schema = Crcore.Spec.schema spec in
+  let user =
+    if interactive then stdin_user
+    else
+      match truth_file with
+      | Some f -> (
+          match Csv.parse_file f with
+          | [ header; row ] ->
+              let tschema = Schema.make header in
+              if not (Schema.equal tschema schema) then failwith "truth schema mismatch";
+              Crcore.Framework.oracle (Tuple.make schema (List.map Value.of_string row))
+          | _ -> failwith "truth file must have a header and exactly one row")
+      | None -> Crcore.Framework.silent
+  in
+  let o =
+    Crcore.Framework.resolve ~mode:(mode_of_exact exact) ~max_rounds ~user spec
+  in
+  if not o.Crcore.Framework.valid then begin
+    print_endline "specification is INVALID";
+    1
+  end
+  else begin
+    Printf.printf "resolved after %d interaction(s):\n" o.Crcore.Framework.rounds;
+    Array.iteri
+      (fun a vo ->
+        Printf.printf "%-16s %s\n" (Schema.name schema a)
+          (match vo with Some v -> Value.to_string v | None -> "(undetermined)"))
+      o.Crcore.Framework.resolved;
+    0
+  end
+
+(* ---- implication ---- *)
+
+let run_implication entity_file sigma_file gamma_file exact attr lo hi =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let mode = mode_of_exact exact in
+  let f =
+    { Crcore.Implication.attr; lo = Value.of_string lo; hi = Value.of_string hi }
+  in
+  let a = Crcore.Implication.holds ~mode spec f in
+  Format.printf "%s ≺ %s in %s: %a@." lo hi attr Crcore.Implication.pp_answer a;
+  match a with Crcore.Implication.Implied -> 0 | _ -> 1
+
+(* ---- coverage ---- *)
+
+let run_coverage entity_file sigma_file gamma_file exact =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let mode = mode_of_exact exact in
+  if not (Crcore.Validity.is_valid ~mode spec) then begin
+    print_endline "specification is INVALID";
+    1
+  end
+  else begin
+    let r = Crcore.Coverage.greedy ~mode spec in
+    Printf.printf "coverage %s: %d assertion(s), |Ot| = %d\n"
+      (if r.Crcore.Coverage.complete then "complete" else "INCOMPLETE")
+      (List.length r.Crcore.Coverage.choices)
+      r.Crcore.Coverage.cost;
+    List.iter
+      (fun c ->
+        Printf.printf "  assert most current: %s = %s\n" c.Crcore.Coverage.attr
+          (Value.to_string c.Crcore.Coverage.value))
+      r.Crcore.Coverage.choices;
+    let schema = Crcore.Spec.schema spec in
+    Array.iteri
+      (fun a vo ->
+        Printf.printf "%-16s %s\n" (Schema.name schema a)
+          (match vo with Some v -> Value.to_string v | None -> "?"))
+      r.Crcore.Coverage.resolved;
+    if r.Crcore.Coverage.complete then 0 else 1
+  end
+
+(* ---- repair ---- *)
+
+let run_repair entity_file sigma_file gamma_file exact key output =
+  (* here the "entity" CSV is a whole relation; [key] partitions it *)
+  let relation = Csv.load_entity entity_file in
+  let schema = Entity.schema relation in
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let r =
+    Crcore.Repair.run ~mode:(mode_of_exact exact)
+      ~key:(if key = "" then [] else String.split_on_char ',' key)
+      schema (Entity.tuples relation) ~sigma:spec.Crcore.Spec.sigma
+      ~gamma:spec.Crcore.Spec.gamma
+  in
+  List.iter
+    (fun (e : Crcore.Repair.entity_report) ->
+      Printf.printf "# key=[%s] merged %d tuple(s), %d inferred, %d fallback%s\n"
+        (String.concat ";" (List.map Value.to_string e.Crcore.Repair.key))
+        e.Crcore.Repair.size e.Crcore.Repair.determined e.Crcore.Repair.fell_back
+        (if e.Crcore.Repair.valid then "" else " [INVALID SPEC]"))
+    r.Crcore.Repair.entities;
+  let rows =
+    Schema.attr_names schema
+    :: List.map (fun t -> List.map Value.to_string (Tuple.values t)) r.Crcore.Repair.repaired
+  in
+  (match output with
+  | Some path ->
+      Csv.write_file path rows;
+      Printf.printf "repaired relation written to %s\n" path
+  | None -> print_string (Csv.to_string rows));
+  if r.Crcore.Repair.invalid_entities = 0 then 0 else 1
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let entity_arg =
+  Arg.(required & opt (some file) None & info [ "entity"; "e" ] ~docv:"CSV" ~doc:"Entity instance CSV (header row = schema).")
+
+let sigma_arg =
+  Arg.(value & opt (some file) None & info [ "sigma"; "s" ] ~docv:"FILE" ~doc:"Currency constraints file.")
+
+let gamma_arg =
+  Arg.(value & opt (some file) None & info [ "gamma"; "g" ] ~docv:"FILE" ~doc:"Constant CFDs file.")
+
+let exact_arg =
+  Arg.(value & flag & info [ "exact" ] ~doc:"Use the exact (totality-augmented) encoding instead of the paper's.")
+
+let interactive_arg =
+  Arg.(value & flag & info [ "interactive"; "i" ] ~doc:"Prompt for suggested attributes on stdin.")
+
+let truth_arg =
+  Arg.(value & opt (some file) None & info [ "truth" ] ~docv:"CSV" ~doc:"Ground-truth tuple CSV; simulates a perfect user.")
+
+let max_rounds_arg =
+  Arg.(value & opt int 5 & info [ "max-rounds" ] ~docv:"N" ~doc:"Interaction-round budget (default 5).")
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check whether the specification admits a valid completion")
+    Term.(const run_validate $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg)
+
+let suggest_cmd =
+  Cmd.v
+    (Cmd.info "suggest" ~doc:"Deduce true values and print the suggestion for the rest")
+    Term.(const run_suggest $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg)
+
+let resolve_cmd =
+  Cmd.v
+    (Cmd.info "resolve" ~doc:"Run the full conflict-resolution framework")
+    Term.(
+      const run_resolve $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ interactive_arg
+      $ truth_arg $ max_rounds_arg)
+
+let implication_cmd =
+  let attr_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTR") in
+  let lo_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"OLD") in
+  let hi_a = Arg.(required & pos 2 (some string) None & info [] ~docv:"NEW") in
+  Cmd.v
+    (Cmd.info "implication"
+       ~doc:"Decide whether OLD ≺ NEW on ATTR holds in every valid completion")
+    Term.(
+      const run_implication $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ attr_a $ lo_a
+      $ hi_a)
+
+let coverage_cmd =
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Find a small set of currency assertions that makes the true value exist")
+    Term.(const run_coverage $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg)
+
+let repair_cmd =
+  let key_a =
+    Arg.(value & opt string "" & info [ "key"; "k" ] ~docv:"ATTRS" ~doc:"Comma-separated key attributes partitioning the relation into entities.")
+  in
+  let out_a =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"CSV" ~doc:"Write the repaired relation here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Repair a whole relation: one current tuple per entity")
+    Term.(const run_repair $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ key_a $ out_a)
+
+let main =
+  Cmd.group
+    (Cmd.info "crsolve" ~version:"1.0.0"
+       ~doc:"Conflict resolution by inferring data currency and consistency (ICDE 2013)")
+    [ validate_cmd; suggest_cmd; resolve_cmd; implication_cmd; coverage_cmd; repair_cmd ]
+
+let () = exit (Cmd.eval' main)

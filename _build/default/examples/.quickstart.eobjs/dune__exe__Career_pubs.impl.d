@@ -1,0 +1,1 @@
+examples/career_pubs.ml: Array Cfd Crcore Currency Datagen Entity List Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/career_pubs.mli:

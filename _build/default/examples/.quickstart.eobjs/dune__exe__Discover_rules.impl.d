@@ -1,0 +1,1 @@
+examples/discover_rules.ml: Array Cfd Crcore Currency Datagen Discovery Entity List Printf

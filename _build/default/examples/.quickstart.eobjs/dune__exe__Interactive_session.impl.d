@@ -1,0 +1,1 @@
+examples/interactive_session.ml: Array Crcore Datagen Entity Fun List Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+examples/nba_season.ml: Array Cfd Crcore Currency Datagen Entity List Printf Schema String

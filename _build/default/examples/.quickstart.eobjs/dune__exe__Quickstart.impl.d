@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cfd Crcore Currency Entity List Printf Schema String Tuple Value

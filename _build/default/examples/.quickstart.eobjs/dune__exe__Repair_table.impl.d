@@ -1,0 +1,1 @@
+examples/repair_table.ml: Crcore Datagen Entity List Printf String Tuple Value

@@ -1,0 +1,43 @@
+(* Relation repair: the paper's concluding future-work item. A customer
+   table holds several stale records per person (about half a customer
+   database goes stale within two years, per the paper's introduction);
+   partitioning on the linkage key and resolving each partition yields a
+   repaired table with one current tuple per customer.
+
+   Run with: dune exec examples/repair_table.exe *)
+
+let () =
+  let ds = Datagen.Person.quick ~seed:21 ~n_entities:6 ~size:5 () in
+  let schema = ds.Datagen.Types.schema in
+  let relation =
+    List.concat_map (fun (c : Datagen.Types.case) -> Entity.tuples c.entity)
+      ds.Datagen.Types.cases
+  in
+  Printf.printf "dirty relation: %d rows over %d customers\n\n" (List.length relation)
+    (List.length ds.Datagen.Types.cases);
+
+  let r =
+    Crcore.Repair.run ~key:[ "name" ] schema relation ~sigma:ds.Datagen.Types.sigma
+      ~gamma:ds.Datagen.Types.gamma
+  in
+  Printf.printf "%-10s %-6s %-9s %-9s repaired tuple\n" "key" "rows" "inferred" "fallback";
+  List.iter
+    (fun (e : Crcore.Repair.entity_report) ->
+      Printf.printf "%-10s %-6d %-9d %-9d (%s)\n"
+        (String.concat ";" (List.map Value.to_string e.key))
+        e.size e.determined e.fell_back
+        (String.concat ", " (List.map Value.to_string (Tuple.values e.tuple))))
+    r.Crcore.Repair.entities;
+
+  (* score against the generator's ground truth *)
+  let correct = ref 0 and total = ref 0 in
+  List.iter2
+    (fun (c : Datagen.Types.case) t ->
+      List.iteri
+        (fun a v ->
+          incr total;
+          if Value.equal v (Tuple.get c.truth a) then incr correct)
+        (Tuple.values t))
+    ds.Datagen.Types.cases r.Crcore.Repair.repaired;
+  Printf.printf "\nrepaired values matching ground truth: %d / %d (silent mode, Pick fallback)\n"
+    !correct !total

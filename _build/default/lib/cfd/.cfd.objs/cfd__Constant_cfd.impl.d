@@ -1,0 +1,1 @@
+lib/cfd/constant_cfd.ml: Format Hashtbl List Printf Schema String Tuple Value

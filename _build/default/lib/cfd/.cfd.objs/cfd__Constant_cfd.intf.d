@@ -1,0 +1,1 @@
+lib/cfd/constant_cfd.mli: Format Schema Stdlib Tuple Value

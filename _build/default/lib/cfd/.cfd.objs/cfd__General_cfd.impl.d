@@ -1,0 +1,1 @@
+lib/cfd/general_cfd.ml: Array Constant_cfd Format Hashtbl List Map Option Printf Sat Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/cfd/general_cfd.mli: Constant_cfd Format Schema Stdlib Tuple Value

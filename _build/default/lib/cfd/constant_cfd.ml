@@ -1,0 +1,110 @@
+type t = { lhs : (string * Value.t) list; rhs : string * Value.t }
+
+let make lhs rhs =
+  if lhs = [] then invalid_arg "Constant_cfd.make: empty LHS";
+  let battr, bval = rhs in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (a, v) ->
+      if Hashtbl.mem seen a then
+        invalid_arg (Printf.sprintf "Constant_cfd.make: duplicate LHS attribute %S" a);
+      Hashtbl.add seen a ();
+      if a = battr then
+        invalid_arg "Constant_cfd.make: RHS attribute also on the LHS";
+      if Value.is_null v then invalid_arg "Constant_cfd.make: null pattern constant")
+    lhs;
+  if Value.is_null bval then invalid_arg "Constant_cfd.make: null pattern constant";
+  { lhs = List.sort (fun (a, _) (b, _) -> compare a b) lhs; rhs }
+
+let attrs c = fst c.rhs :: List.map fst c.lhs |> List.sort_uniq compare
+
+let check_schema c s =
+  match List.find_opt (fun a -> not (Schema.mem s a)) (attrs c) with
+  | Some a -> Error a
+  | None -> Ok ()
+
+let applies c tl =
+  List.for_all (fun (a, v) -> Value.equal (Tuple.get_by_name tl a) v) c.lhs
+
+let satisfied c tl =
+  (not (applies c tl)) || Value.equal (Tuple.get_by_name tl (fst c.rhs)) (snd c.rhs)
+
+let constants_for c a =
+  let from_lhs = List.filter_map (fun (b, v) -> if a = b then Some v else None) c.lhs in
+  if fst c.rhs = a then snd c.rhs :: from_lhs else from_lhs
+
+let quote_value = function
+  | Value.Str s -> Printf.sprintf "%S" s
+  | v -> Value.to_string v
+
+let pp ppf c =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+    (fun ppf (a, v) -> Format.fprintf ppf "%s = %s" a (quote_value v))
+    ppf c.lhs;
+  Format.fprintf ppf " -> %s = %s" (fst c.rhs) (quote_value (snd c.rhs))
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* ---- parsing ---- *)
+
+let parse_atom s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "expected attr = const in %S" s)
+  | Some i ->
+      let a = String.trim (String.sub s 0 i) in
+      let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      if a = "" then Error "empty attribute name"
+      else
+        let v =
+          let n = String.length rest in
+          if n >= 2 && (rest.[0] = '"' || rest.[0] = '\'') && rest.[n - 1] = rest.[0] then
+            Value.Str (String.sub rest 1 (n - 2))
+          else Value.of_string rest
+        in
+        Ok (a, v)
+
+let split_arrow s =
+  (* splits on "->" *)
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = '-' && s.[i + 1] = '>' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+
+let parse s =
+  match split_arrow s with
+  | None -> Error "expected 'lhs -> attr = const'"
+  | Some (l, r) -> (
+      let atoms = String.split_on_char '&' l |> List.map String.trim in
+      let rec parse_all acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match parse_atom x with Ok a -> parse_all (a :: acc) rest | Error e -> Error e)
+      in
+      match parse_all [] atoms with
+      | Error e -> Error e
+      | Ok lhs -> (
+          match parse_atom (String.trim r) with
+          | Error e -> Error e
+          | Ok rhs -> ( try Ok (make lhs rhs) with Invalid_argument m -> Error m)))
+
+let parse_exn s =
+  match parse s with Ok c -> c | Error m -> failwith ("Constant_cfd.parse: " ^ m)
+
+let parse_many s =
+  let pieces =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> ( match parse p with Ok c -> go (c :: acc) rest | Error m -> Error (p ^ ": " ^ m))
+  in
+  go [] pieces

@@ -1,0 +1,50 @@
+(** Constant conditional functional dependencies (Section II-B):
+
+    [ψ = tp\[X\] → tp\[B\]]
+
+    where the pattern tuple [tp] assigns a constant to every attribute of
+    [X ∪ {B}]. A completion satisfies [ψ] when its current tuple [tl]
+    either differs from [tp] on some [X]-attribute or agrees with it on
+    [B]. *)
+
+type t = {
+  lhs : (string * Value.t) list;  (** the pattern over X, attribute-sorted *)
+  rhs : string * Value.t;         (** the pattern on B *)
+}
+
+(** [make lhs rhs] builds a constant CFD. [lhs] must be non-empty with
+    distinct attributes, none equal to the RHS attribute, and no pattern
+    constant may be [Null]. Raises [Invalid_argument] otherwise. *)
+val make : (string * Value.t) list -> string * Value.t -> t
+
+val attrs : t -> string list
+
+(** [check_schema c s] verifies all attributes exist in [s]. *)
+val check_schema : t -> Schema.t -> (unit, string) Stdlib.result
+
+(** [applies c tl] is [true] when the current tuple [tl] matches the whole
+    LHS pattern. *)
+val applies : t -> Tuple.t -> bool
+
+(** [satisfied c tl] is the CFD semantics on the current tuple: ¬applies or
+    RHS agreement. *)
+val satisfied : t -> Tuple.t -> bool
+
+(** [constants_for c a] is the pattern constants [c] mentions for attribute
+    [a] (zero or one here, but a list for uniformity with pattern
+    tableaux). *)
+val constants_for : t -> string -> Value.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [parse s] reads the syntax
+    [attr1 = const & attr2 = const -> attr = const], e.g.
+    [AC = 212 -> city = "NY"]. *)
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+
+(** [parse_many s] parses newline/semicolon-separated CFDs with [#]
+    comments. *)
+val parse_many : string -> (t list, string) result

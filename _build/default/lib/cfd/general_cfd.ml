@@ -1,0 +1,193 @@
+type cell = Const of Value.t | Any
+
+type t = { lhs : (string * cell) list; rhs : string * cell }
+
+let make lhs rhs =
+  if lhs = [] then invalid_arg "General_cfd.make: empty LHS";
+  let battr, bcell = rhs in
+  let seen = Hashtbl.create 4 in
+  let check_cell = function
+    | Const v when Value.is_null v -> invalid_arg "General_cfd.make: null pattern constant"
+    | _ -> ()
+  in
+  List.iter
+    (fun (a, cell) ->
+      if Hashtbl.mem seen a then
+        invalid_arg (Printf.sprintf "General_cfd.make: duplicate LHS attribute %S" a);
+      Hashtbl.add seen a ();
+      if a = battr then invalid_arg "General_cfd.make: RHS attribute also on the LHS";
+      check_cell cell)
+    lhs;
+  check_cell bcell;
+  { lhs = List.sort (fun (a, _) (b, _) -> compare a b) lhs; rhs }
+
+let of_constant (c : Constant_cfd.t) =
+  {
+    lhs = List.map (fun (a, v) -> (a, Const v)) c.Constant_cfd.lhs;
+    rhs = (fst c.Constant_cfd.rhs, Const (snd c.Constant_cfd.rhs));
+  }
+
+let attrs c = fst c.rhs :: List.map fst c.lhs |> List.sort_uniq compare
+
+let check_schema c s =
+  match List.find_opt (fun a -> not (Schema.mem s a)) (attrs c) with
+  | Some a -> Error a
+  | None -> Ok ()
+
+let matches cell v = match cell with Any -> true | Const c -> Value.equal c v
+
+let satisfied_pair c t1 t2 =
+  let lhs_applies =
+    List.for_all
+      (fun (a, cell) ->
+        let v1 = Tuple.get_by_name t1 a and v2 = Tuple.get_by_name t2 a in
+        Value.equal v1 v2 && matches cell v1)
+      c.lhs
+  in
+  (not lhs_applies)
+  ||
+  let b, cell = c.rhs in
+  let w1 = Tuple.get_by_name t1 b and w2 = Tuple.get_by_name t2 b in
+  Value.equal w1 w2 && matches cell w1
+
+let satisfied_instance c tuples =
+  List.for_all (fun t1 -> List.for_all (fun t2 -> satisfied_pair c t1 t2) tuples) tuples
+
+(* ---- satisfiability via SAT over the constants-plus-fresh domain ---- *)
+
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.total_compare
+end)
+
+let satisfiable ~schema cfds =
+  List.iter
+    (fun c ->
+      match check_schema c schema with
+      | Ok () -> ()
+      | Error a ->
+          invalid_arg (Printf.sprintf "General_cfd.satisfiable: unknown attribute %S" a))
+    cfds;
+  let arity = Schema.arity schema in
+  (* candidate domain per attribute: constants mentioned there + fresh *)
+  let consts = Array.make arity VMap.empty in
+  let add_cell a = function
+    | Const v ->
+        let i = Schema.index schema a in
+        if not (VMap.mem v consts.(i)) then
+          consts.(i) <- VMap.add v (VMap.cardinal consts.(i)) consts.(i)
+    | Any -> ()
+  in
+  List.iter
+    (fun c ->
+      List.iter (fun (a, cell) -> add_cell a cell) c.lhs;
+      add_cell (fst c.rhs) (snd c.rhs))
+    cfds;
+  (* variable y_{a,k}: attribute a takes its k-th candidate; index
+     |consts| is the fresh value *)
+  let offsets = Array.make arity 0 in
+  let total = ref 0 in
+  for a = 0 to arity - 1 do
+    offsets.(a) <- !total;
+    total := !total + VMap.cardinal consts.(a) + 1
+  done;
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s !total;
+  let y a k = offsets.(a) + k in
+  let fresh a = VMap.cardinal consts.(a) in
+  (* exactly one value per attribute *)
+  for a = 0 to arity - 1 do
+    let d = fresh a + 1 in
+    Sat.Solver.add_clause s (List.init d (fun k -> Sat.Lit.pos (y a k)));
+    for k1 = 0 to d - 1 do
+      for k2 = k1 + 1 to d - 1 do
+        Sat.Solver.add_clause s [ Sat.Lit.neg_of (y a k1); Sat.Lit.neg_of (y a k2) ]
+      done
+    done
+  done;
+  (* each CFD on the single witness tuple t: (∀ const cells of X matched)
+     → t[B] matches tp[B]. Wildcard LHS cells and a wildcard RHS are
+     vacuous on a single tuple. *)
+  List.iter
+    (fun c ->
+      match snd c.rhs with
+      | Any -> ()
+      | Const bv ->
+          let b = Schema.index schema (fst c.rhs) in
+          let premise =
+            List.filter_map
+              (fun (a, cell) ->
+                match cell with
+                | Any -> None
+                | Const v ->
+                    let ai = Schema.index schema a in
+                    Some (Sat.Lit.neg_of (y ai (VMap.find v consts.(ai)))))
+              c.lhs
+          in
+          let conclusion = Sat.Lit.pos (y b (VMap.find bv consts.(b))) in
+          Sat.Solver.add_clause s (conclusion :: premise))
+    cfds;
+  Sat.Solver.solve s = Sat.Solver.Sat
+
+(* ---- printing and parsing ---- *)
+
+let cell_to_string = function
+  | Any -> "_"
+  | Const (Value.Str s) -> Printf.sprintf "%S" s
+  | Const v -> Value.to_string v
+
+let pp ppf c =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+    (fun ppf (a, cell) -> Format.fprintf ppf "%s = %s" a (cell_to_string cell))
+    ppf c.lhs;
+  Format.fprintf ppf " -> %s = %s" (fst c.rhs) (cell_to_string (snd c.rhs))
+
+let to_string c = Format.asprintf "%a" pp c
+
+let parse_cell s =
+  let s = String.trim s in
+  if s = "_" then Any
+  else
+    let n = String.length s in
+    if n >= 2 && (s.[0] = '"' || s.[0] = '\'') && s.[n - 1] = s.[0] then
+      Const (Value.Str (String.sub s 1 (n - 2)))
+    else Const (Value.of_string s)
+
+let parse_atom s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "expected attr = cell in %S" s)
+  | Some i ->
+      let a = String.trim (String.sub s 0 i) in
+      if a = "" then Error "empty attribute name"
+      else Ok (a, parse_cell (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse s =
+  let split_arrow s =
+    let n = String.length s in
+    let rec find i =
+      if i + 1 >= n then None
+      else if s.[i] = '-' && s.[i + 1] = '>' then Some i
+      else find (i + 1)
+    in
+    Option.map (fun i -> (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))) (find 0)
+  in
+  match split_arrow s with
+  | None -> Error "expected 'lhs -> attr = cell'"
+  | Some (l, r) -> (
+      let atoms = String.split_on_char '&' l |> List.map String.trim in
+      let rec parse_all acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match parse_atom x with Ok a -> parse_all (a :: acc) rest | Error e -> Error e)
+      in
+      match parse_all [] atoms with
+      | Error e -> Error e
+      | Ok lhs -> (
+          match parse_atom (String.trim r) with
+          | Error e -> Error e
+          | Ok rhs -> ( try Ok (make lhs rhs) with Invalid_argument m -> Error m)))
+
+let parse_exn s =
+  match parse s with Ok c -> c | Error m -> failwith ("General_cfd.parse: " ^ m)

@@ -1,0 +1,49 @@
+(** General conditional functional dependencies (Fan et al., TODS 2008 —
+    the paper's reference [13]): [φ = (X → B, tp)] where the pattern tuple
+    may mix constants and wildcards. The conflict-resolution paper needs
+    only the constant fragment ({!Constant_cfd}); this module provides the
+    general class for completeness of the substrate, including the
+    NP-complete satisfiability check, decided here with the bundled SAT
+    solver over the constants-plus-one-fresh-value domain. *)
+
+type cell = Const of Value.t | Any
+
+type t = {
+  lhs : (string * cell) list;  (** X with its pattern cells *)
+  rhs : string * cell;         (** B with its pattern cell *)
+}
+
+(** [make lhs rhs] validates shape (non-empty X, distinct attributes, RHS
+    not in X, no null constants). *)
+val make : (string * cell) list -> string * cell -> t
+
+(** [of_constant c] embeds a constant CFD. *)
+val of_constant : Constant_cfd.t -> t
+
+val attrs : t -> string list
+val check_schema : t -> Schema.t -> (unit, string) Stdlib.result
+
+(** [matches cell v] is pattern-cell matching ([Any] matches all). *)
+val matches : cell -> Value.t -> bool
+
+(** [satisfied_pair c t1 t2] is the two-tuple semantics: if [t1] and [t2]
+    agree on X and both match [tp\[X\]], they must agree on B and match
+    [tp\[B\]]. *)
+val satisfied_pair : t -> Tuple.t -> Tuple.t -> bool
+
+(** [satisfied_instance c tuples] checks all (ordered) pairs. *)
+val satisfied_instance : t -> Tuple.t list -> bool
+
+(** [satisfiable ~schema cfds] decides whether a non-empty instance of
+    [schema] satisfies every CFD in [cfds] — the classical NP-complete
+    problem, reduced to SAT over a witness tuple whose attributes range
+    over the pattern constants plus one fresh value. *)
+val satisfiable : schema:Schema.t -> t list -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [parse s] reads [a = 1 & b = _ -> c = "x"]; [_] is the wildcard. *)
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t

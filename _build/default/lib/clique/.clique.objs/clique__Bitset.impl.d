@@ -1,0 +1,1 @@
+lib/clique/bitset.ml: Bytes Int64 List

@@ -1,0 +1,1 @@
+lib/clique/bitset.mli:

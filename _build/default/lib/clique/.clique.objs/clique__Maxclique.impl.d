@@ -1,0 +1,1 @@
+lib/clique/maxclique.ml: Bitset Fun List Ugraph

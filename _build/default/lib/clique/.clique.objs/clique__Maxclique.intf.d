@@ -1,0 +1,1 @@
+lib/clique/maxclique.mli: Ugraph

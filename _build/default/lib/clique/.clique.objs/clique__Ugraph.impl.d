@@ -1,0 +1,1 @@
+lib/clique/ugraph.ml: Array Bitset List

@@ -1,0 +1,94 @@
+type t = { words : Bytes.t; cap : int }
+
+(* 8 bits per byte keeps the code simple and portable; the hot operations
+   below work a word (8 bytes via Bytes.get_int64) at a time. *)
+
+let words_len cap = (cap + 63) / 64 * 8
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make (words_len cap) '\000'; cap }
+
+let capacity s = s.cap
+
+let check s i =
+  if i < 0 || i >= s.cap then invalid_arg "Bitset: index out of bounds"
+
+let add s i =
+  check s i;
+  let b = Bytes.get_uint8 s.words (i lsr 3) in
+  Bytes.set_uint8 s.words (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let remove s i =
+  check s i;
+  let b = Bytes.get_uint8 s.words (i lsr 3) in
+  Bytes.set_uint8 s.words (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+let mem s i =
+  check s i;
+  Bytes.get_uint8 s.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let popcount64 x =
+  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      (Int64.logand x 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0f0f0f0f0f0f0f0fL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+
+let cardinal s =
+  let n = Bytes.length s.words in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    total := !total + popcount64 (Bytes.get_int64_le s.words !i);
+    i := !i + 8
+  done;
+  !total
+
+let is_empty s =
+  let n = Bytes.length s.words in
+  let rec go i = i + 8 > n || (Bytes.get_int64_le s.words i = 0L && go (i + 8)) in
+  go 0
+
+let copy s = { words = Bytes.copy s.words; cap = s.cap }
+
+let inter_into dst a b =
+  if dst.cap <> a.cap || a.cap <> b.cap then invalid_arg "Bitset.inter_into";
+  let n = Bytes.length dst.words in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    Bytes.set_int64_le dst.words !i
+      (Int64.logand (Bytes.get_int64_le a.words !i) (Bytes.get_int64_le b.words !i));
+    i := !i + 8
+  done
+
+let inter a b =
+  let dst = create a.cap in
+  inter_into dst a b;
+  dst
+
+let iter f s =
+  for i = 0 to s.cap - 1 do
+    if Bytes.get_uint8 s.words (i lsr 3) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let choose s =
+  let rec go i =
+    if i >= s.cap then None
+    else if Bytes.get_uint8 s.words (i lsr 3) land (1 lsl (i land 7)) <> 0 then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let to_list s =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let of_list cap l =
+  let s = create cap in
+  List.iter (add s) l;
+  s

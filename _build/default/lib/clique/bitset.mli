@@ -1,0 +1,30 @@
+(** Fixed-capacity bitsets over [0 .. capacity-1], used as adjacency rows
+    and candidate sets in the max-clique search where intersection speed
+    dominates. *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val copy : t -> t
+
+(** [inter_into dst a b] sets [dst := a ∩ b]; all three must share a
+    capacity. [dst] may alias [a] or [b]. *)
+val inter_into : t -> t -> t -> unit
+
+(** [inter a b] is a fresh [a ∩ b]. *)
+val inter : t -> t -> t
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [choose s] is the smallest member, or [None] when empty. *)
+val choose : t -> int option
+
+val to_list : t -> int list
+val of_list : int -> int list -> t

@@ -1,0 +1,114 @@
+type result = { clique : int list; optimal : bool }
+
+(* Greedy colouring of the candidate set: returns vertices ordered by
+   increasing colour together with their colour numbers (1-based). The
+   colour of a vertex bounds the size of any clique containing it within
+   the later part of the order, which is the Tomita pruning bound. *)
+let colour_order g cand =
+  let vs = Bitset.to_list cand in
+  let n = Ugraph.n_vertices g in
+  let colour_classes : Bitset.t list ref = ref [] in
+  let assignments = ref [] in
+  List.iter
+    (fun v ->
+      let rec place k = function
+        | [] ->
+            let cls = Bitset.create n in
+            Bitset.add cls v;
+            colour_classes := !colour_classes @ [ cls ];
+            k
+        | cls :: rest ->
+            if Bitset.is_empty (Bitset.inter cls (Ugraph.neighbours g v)) then begin
+              Bitset.add cls v;
+              k
+            end
+            else place (k + 1) rest
+      in
+      let k = place 1 !colour_classes in
+      assignments := (v, k) :: !assignments)
+    vs;
+  (* ascending colour, so the loop in [expand] scans high colours first *)
+  List.sort (fun (_, k1) (_, k2) -> compare k1 k2) (List.rev !assignments)
+
+let exact ?(max_nodes = 2_000_000) g =
+  let n = Ugraph.n_vertices g in
+  let best = ref [] in
+  let best_size = ref 0 in
+  let nodes = ref 0 in
+  let optimal = ref true in
+  let rec expand r r_size cand =
+    incr nodes;
+    if !nodes > max_nodes then optimal := false
+    else begin
+      let ordered = colour_order g cand in
+      (* scan from the highest colour down *)
+      let rec loop = function
+        | [] -> ()
+        | (v, k) :: rest ->
+            if r_size + k > !best_size && !nodes <= max_nodes then begin
+              let cand' = Bitset.inter cand (Ugraph.neighbours g v) in
+              let r' = v :: r in
+              if r_size + 1 > !best_size then begin
+                best := r';
+                best_size := r_size + 1
+              end;
+              if not (Bitset.is_empty cand') then expand r' (r_size + 1) cand';
+              Bitset.remove cand v;
+              loop rest
+            end
+        (* colours below the bound cannot improve: stop the whole level *)
+      in
+      loop (List.rev ordered)
+    end
+  in
+  if n > 0 then begin
+    let all = Bitset.create n in
+    for v = 0 to n - 1 do
+      Bitset.add all v
+    done;
+    expand [] 0 all
+  end;
+  { clique = List.sort compare !best; optimal = !optimal }
+
+let greedy g =
+  let n = Ugraph.n_vertices g in
+  if n = 0 then []
+  else begin
+    let cand = Bitset.create n in
+    for v = 0 to n - 1 do
+      Bitset.add cand v
+    done;
+    let clique = ref [] in
+    let continue_growing = ref true in
+    while !continue_growing do
+      (* candidate with the most neighbours inside the candidate set *)
+      let best_v = ref (-1) and best_d = ref (-1) in
+      Bitset.iter
+        (fun v ->
+          let d = Bitset.cardinal (Bitset.inter cand (Ugraph.neighbours g v)) in
+          if d > !best_d then begin
+            best_d := d;
+            best_v := v
+          end)
+        cand;
+      if !best_v < 0 then continue_growing := false
+      else begin
+        clique := !best_v :: !clique;
+        Bitset.inter_into cand cand (Ugraph.neighbours g !best_v)
+      end
+    done;
+    List.sort compare !clique
+  end
+
+let find ?(exact_threshold = 400) g =
+  if Ugraph.n_vertices g <= exact_threshold then (exact g).clique else greedy g
+
+let brute g =
+  let n = Ugraph.n_vertices g in
+  if n > 20 then invalid_arg "Maxclique.brute: too many vertices";
+  let best = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let vs = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+    if List.length vs > List.length !best && Ugraph.is_clique g vs then best := vs
+  done;
+  !best

@@ -1,0 +1,31 @@
+(** Maximum-clique algorithms over {!Ugraph}.
+
+    The paper's [Suggest] step picks a maximum clique in the compatibility
+    graph of derivation rules; it uses an off-the-shelf tool with an
+    approximation bound. Here: an exact Tomita-style branch-and-bound with
+    a greedy-colouring upper bound (anytime, with a node budget), and a
+    fast greedy heuristic for large graphs. *)
+
+type result = {
+  clique : int list;  (** vertices, pairwise adjacent *)
+  optimal : bool;     (** [true] when the search ran to completion *)
+}
+
+(** [exact ?max_nodes g] is a maximum clique of [g]; when the node budget
+    (default [2_000_000]) is exhausted the best clique found so far is
+    returned with [optimal = false]. *)
+val exact : ?max_nodes:int -> Ugraph.t -> result
+
+(** [greedy g] grows a clique by repeatedly taking the candidate vertex
+    with the most candidate neighbours. O(n·m) time, no optimality
+    guarantee. *)
+val greedy : Ugraph.t -> int list
+
+(** [find ?exact_threshold g] runs {!exact} when [n_vertices g] is at most
+    [exact_threshold] (default 400) and {!greedy} otherwise; mirrors the
+    paper's use of an approximate tool at scale. *)
+val find : ?exact_threshold:int -> Ugraph.t -> int list
+
+(** [brute g] enumerates all subsets; ground truth for tests. Raises
+    [Invalid_argument] beyond 20 vertices. *)
+val brute : Ugraph.t -> int list

@@ -1,0 +1,51 @@
+type t = { adj : Bitset.t array }
+
+let create n = { adj = Array.init n (fun _ -> Bitset.create n) }
+
+let n_vertices g = Array.length g.adj
+
+let check g v =
+  if v < 0 || v >= n_vertices g then invalid_arg "Ugraph: bad vertex"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u <> v then begin
+    Bitset.add g.adj.(u) v;
+    Bitset.add g.adj.(v) u
+  end
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  u <> v && Bitset.mem g.adj.(u) v
+
+let degree g v =
+  check g v;
+  Bitset.cardinal g.adj.(v)
+
+let n_edges g =
+  let total = ref 0 in
+  Array.iter (fun row -> total := !total + Bitset.cardinal row) g.adj;
+  !total / 2
+
+let neighbours g v =
+  check g v;
+  g.adj.(v)
+
+let is_clique g vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> has_edge g u v) rest && go rest
+  in
+  go vs
+
+let complement g =
+  let n = n_vertices g in
+  let g' = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (has_edge g u v) then add_edge g' u v
+    done
+  done;
+  g'

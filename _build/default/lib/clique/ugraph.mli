@@ -1,0 +1,21 @@
+(** Simple undirected graphs on vertices [0 .. n-1], with bitset adjacency
+    rows for the clique algorithms. Self-loops are ignored. *)
+
+type t
+
+val create : int -> t
+val n_vertices : t -> int
+val add_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+val n_edges : t -> int
+
+(** [neighbours g v] is the adjacency row of [v]; treat it as read-only. *)
+val neighbours : t -> int -> Bitset.t
+
+(** [is_clique g vs] checks that all members of [vs] are pairwise
+    adjacent. *)
+val is_clique : t -> int list -> bool
+
+(** [complement g] is the graph with exactly the missing edges. *)
+val complement : t -> t

@@ -1,0 +1,1 @@
+lib/crcore/coding.ml: Array Cfd Entity Format List Map Schema Value

@@ -1,0 +1,1 @@
+lib/crcore/coding.mli: Cfd Entity Format Schema Value

@@ -1,0 +1,1 @@
+lib/crcore/coverage.ml: Array Coding Deduce Encode Entity Fun Hashtbl List Printf Reference Schema Spec Validity Value

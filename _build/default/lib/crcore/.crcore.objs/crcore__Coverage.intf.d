@@ -1,0 +1,1 @@
+lib/crcore/coverage.mli: Encode Spec Value

@@ -1,0 +1,1 @@
+lib/crcore/deduce.ml: Array Coding Encode Fun List Option Porder Queue Sat Schema

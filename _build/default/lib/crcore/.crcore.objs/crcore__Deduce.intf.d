@@ -1,0 +1,1 @@
+lib/crcore/deduce.mli: Encode Porder Value

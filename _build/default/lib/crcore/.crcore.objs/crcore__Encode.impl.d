@@ -1,0 +1,1 @@
+lib/crcore/encode.ml: Array Cfd Coding Currency Entity Format Fun Hashtbl List Sat Schema Spec String Tuple Value

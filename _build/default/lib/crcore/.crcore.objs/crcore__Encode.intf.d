@@ -1,0 +1,1 @@
+lib/crcore/encode.mli: Cfd Coding Entity Format Sat Spec

@@ -1,0 +1,1 @@
+lib/crcore/framework.ml: Array Deduce Encode Fun List Rules Schema Spec Sys Tuple Validity Value

@@ -1,0 +1,1 @@
+lib/crcore/framework.mli: Deduce Encode Rules Schema Spec Tuple Value

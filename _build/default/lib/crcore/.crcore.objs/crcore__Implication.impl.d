@@ -1,0 +1,1 @@
+lib/crcore/implication.ml: Coding Encode Entity Format List Sat Schema Spec Value

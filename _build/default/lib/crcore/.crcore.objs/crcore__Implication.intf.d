@@ -1,0 +1,1 @@
+lib/crcore/implication.mli: Encode Format Sat Spec Value

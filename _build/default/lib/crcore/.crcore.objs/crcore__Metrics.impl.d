@@ -1,0 +1,1 @@
+lib/crcore/metrics.ml: Array Entity Fun List Schema Tuple Value

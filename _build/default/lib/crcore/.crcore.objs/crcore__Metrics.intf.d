@@ -1,0 +1,1 @@
+lib/crcore/metrics.mli: Entity Tuple Value

@@ -1,0 +1,1 @@
+lib/crcore/pick.ml: Array Coding Currency Entity Fun List Porder Random Schema Spec Value

@@ -1,0 +1,1 @@
+lib/crcore/pick.mli: Spec Value

@@ -1,0 +1,1 @@
+lib/crcore/reference.ml: Array Cfd Coding Currency Entity List Option Porder Schema Spec Tuple Value

@@ -1,0 +1,1 @@
+lib/crcore/reference.mli: Spec Value

@@ -1,0 +1,1 @@
+lib/crcore/repair.ml: Array Encode Entity Framework Hashtbl List Pick Printf Schema Spec Tuple Value

@@ -1,0 +1,1 @@
+lib/crcore/repair.mli: Cfd Currency Encode Framework Pick Schema Tuple Value

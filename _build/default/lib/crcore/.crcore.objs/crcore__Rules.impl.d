@@ -1,0 +1,1 @@
+lib/crcore/rules.ml: Array Cfd Clique Coding Deduce Encode Format Fun Hashtbl List Maxsat Sat Schema Spec Value

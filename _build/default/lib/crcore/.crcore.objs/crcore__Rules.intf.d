@@ -1,0 +1,1 @@
+lib/crcore/rules.mli: Clique Deduce Format Value

@@ -1,0 +1,1 @@
+lib/crcore/spec.ml: Cfd Currency Entity Format Fun List Printf Schema

@@ -1,0 +1,1 @@
+lib/crcore/spec.mli: Cfd Currency Entity Format Schema Tuple

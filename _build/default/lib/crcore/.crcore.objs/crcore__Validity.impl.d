@@ -1,0 +1,1 @@
+lib/crcore/validity.ml: Encode Sat

@@ -1,0 +1,82 @@
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.total_compare
+end)
+
+type t = {
+  schema : Schema.t;
+  universes : Value.t array array;
+  adom_sizes : int array;
+  ids : int VMap.t array;
+  offsets : int array; (* variable offset of each attribute *)
+  nvars : int;
+}
+
+let build entity gamma =
+  let schema = Entity.schema entity in
+  let arity = Schema.arity schema in
+  let universes = Array.make arity [||] in
+  let adom_sizes = Array.make arity 0 in
+  let ids = Array.make arity VMap.empty in
+  for a = 0 to arity - 1 do
+    let adom = Entity.active_domain entity a in
+    adom_sizes.(a) <- List.length adom;
+    let name = Schema.name schema a in
+    let extra =
+      List.concat_map (fun c -> Cfd.Constant_cfd.constants_for c name) gamma
+      |> List.filter (fun v ->
+             not (List.exists (Value.equal v) adom))
+      |> List.sort_uniq Value.total_compare
+    in
+    let univ = Array.of_list (adom @ extra) in
+    universes.(a) <- univ;
+    ids.(a) <- Array.to_list univ |> List.mapi (fun i v -> (v, i)) |> List.to_seq |> VMap.of_seq
+  done;
+  let offsets = Array.make arity 0 in
+  let total = ref 0 in
+  for a = 0 to arity - 1 do
+    offsets.(a) <- !total;
+    let d = Array.length universes.(a) in
+    total := !total + (d * (d - 1))
+  done;
+  { schema; universes; adom_sizes; ids; offsets; nvars = !total }
+
+let schema c = c.schema
+
+let universe c a = c.universes.(a)
+
+let adom_size c a = c.adom_sizes.(a)
+
+let vid c a v =
+  match VMap.find_opt v c.ids.(a) with Some i -> i | None -> raise Not_found
+
+let vid_opt c a v = VMap.find_opt v c.ids.(a)
+
+let value c a id = c.universes.(a).(id)
+
+let nvars c = c.nvars
+
+let var_of c ~attr lo hi =
+  let d = Array.length c.universes.(attr) in
+  if lo = hi || lo < 0 || hi < 0 || lo >= d || hi >= d then
+    invalid_arg "Coding.var_of: bad value pair";
+  c.offsets.(attr) + (lo * (d - 1)) + if hi < lo then hi else hi - 1
+
+let decode c var =
+  let arity = Array.length c.universes in
+  let rec find a =
+    if a + 1 < arity && var >= c.offsets.(a + 1) then find (a + 1) else a
+  in
+  let a = find 0 in
+  let d = Array.length c.universes.(a) in
+  let local = var - c.offsets.(a) in
+  let lo = local / (d - 1) in
+  let r = local mod (d - 1) in
+  let hi = if r >= lo then r + 1 else r in
+  (a, lo, hi)
+
+let pp_var c ppf var =
+  let a, lo, hi = decode c var in
+  Format.fprintf ppf "%s: %a < %a" (Schema.name c.schema a) Value.pp
+    c.universes.(a).(lo) Value.pp c.universes.(a).(hi)

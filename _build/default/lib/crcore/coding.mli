@@ -1,0 +1,46 @@
+(** The value universes and Boolean variable numbering behind the SAT
+    encoding of Section V-A.
+
+    For each attribute [Ai], the universe is [adom(Ie.Ai)] extended with
+    the constants appearing in position [Ai] of CFDs in Γ; the Boolean
+    variable [x^{Ai}_{a1,a2}] stands for the value-currency fact
+    [a1 ≺v_{Ai} a2] over that universe. *)
+
+type t
+
+(** [build entity gamma] computes universes and variable numbering. *)
+val build : Entity.t -> Cfd.Constant_cfd.t list -> t
+
+val schema : t -> Schema.t
+
+(** [universe c a] is the value universe of attribute position [a];
+    active-domain values first (in first-occurrence order), then CFD
+    constants. *)
+val universe : t -> int -> Value.t array
+
+(** [adom_size c a] is the number of universe values of [a] that occur in
+    the entity (a prefix of {!universe}). *)
+val adom_size : t -> int -> int
+
+(** [vid c a v] is the id of value [v] within attribute [a]'s universe.
+    Raises [Not_found] for foreign values. *)
+val vid : t -> int -> Value.t -> int
+
+(** [vid_opt c a v] is [vid], returning [None] for foreign values. *)
+val vid_opt : t -> int -> Value.t -> int option
+
+(** [value c a id] is the value with id [id] in attribute [a]. *)
+val value : t -> int -> int -> Value.t
+
+(** Total number of Boolean variables: [Σ_a d_a·(d_a - 1)]. *)
+val nvars : t -> int
+
+(** [var_of c ~attr lo hi] is the variable for [value lo ≺ value hi] in
+    [attr]; [lo], [hi] are value ids, [lo ≠ hi]. *)
+val var_of : t -> attr:int -> int -> int -> int
+
+(** [decode c var] is the [(attr, lo, hi)] of a variable. *)
+val decode : t -> int -> int * int * int
+
+(** [pp_var c ppf var] prints a variable as [attr: v1 < v2]. *)
+val pp_var : t -> Format.formatter -> int -> unit

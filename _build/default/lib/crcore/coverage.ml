@@ -1,0 +1,164 @@
+type choice = { attr : string; value : Value.t }
+
+type result = {
+  choices : choice list;
+  cost : int;
+  resolved : Value.t option array;
+  complete : bool;
+}
+
+let apply spec choices =
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let n = Entity.size entity in
+  let edges =
+    List.concat_map
+      (fun { attr; value } ->
+        let a = Schema.index schema attr in
+        let rep = ref (-1) in
+        for i = n - 1 downto 0 do
+          if Value.equal (Entity.value entity i a) value then rep := i
+        done;
+        if !rep < 0 then
+          invalid_arg (Printf.sprintf "Coverage.apply: %s never takes this value" attr);
+        List.filter_map
+          (fun i ->
+            if i <> !rep && not (Value.equal (Entity.value entity i a) value) then
+              Some { Spec.attr; lo = i; hi = !rep }
+            else None)
+          (List.init n Fun.id))
+      choices
+  in
+  Spec.add_order_edges spec edges
+
+let choice_cost spec { attr; value = _ } =
+  let a = Schema.index (Spec.schema spec) attr in
+  List.length (Entity.active_domain spec.Spec.entity a) - 1
+
+let greedy ?mode spec =
+  let schema = Spec.schema spec in
+  let arity = Schema.arity schema in
+  if not (Validity.is_valid ?mode spec) then
+    invalid_arg "Coverage.greedy: invalid specification";
+  let current = ref spec in
+  let choices = ref [] in
+  let skipped = Hashtbl.create 4 in
+  let continue_search = ref true in
+  let last = ref None in
+  while !continue_search do
+    let enc = Encode.encode ?mode !current in
+    let d = Deduce.deduce_order enc in
+    let tv = Deduce.true_values d in
+    last := Some tv;
+    let open_attrs =
+      List.filter
+        (fun a -> tv.(a) = None && not (Hashtbl.mem skipped a))
+        (List.init arity Fun.id)
+    in
+    (* smallest candidate set first: cheapest way to pin an attribute *)
+    let ranked =
+      List.sort
+        (fun a b -> compare (List.length (Deduce.candidates d a)) (List.length (Deduce.candidates d b)))
+        open_attrs
+    in
+    match ranked with
+    | [] -> continue_search := false
+    | a :: _ ->
+        let name = Schema.name schema a in
+        let cands =
+          List.map (Coding.value enc.Encode.coding a) (Deduce.candidates d a)
+        in
+        let accepted =
+          List.find_map
+            (fun v ->
+              let trial = apply !current [ { attr = name; value = v } ] in
+              if Validity.is_valid ?mode trial then Some (v, trial) else None)
+            cands
+        in
+        (match accepted with
+        | Some (v, trial) ->
+            current := trial;
+            choices := { attr = name; value = v } :: !choices
+        | None -> Hashtbl.add skipped a ())
+  done;
+  let resolved = match !last with Some tv -> tv | None -> Array.make arity None in
+  let choices = List.rev !choices in
+  {
+    choices;
+    cost = List.fold_left (fun acc c -> acc + choice_cost spec c) 0 choices;
+    resolved;
+    complete = Array.for_all (fun v -> v <> None) resolved;
+  }
+
+(* ---- exhaustive optimum for tests ---- *)
+
+let rec subsets_of_size k = function
+  | [] -> if k = 0 then [ [] ] else []
+  | x :: rest ->
+      if k = 0 then [ [] ]
+      else
+        List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) @ subsets_of_size k rest
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | options :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun o -> List.map (fun t -> o :: t) tails) options
+
+let optimum ?(limit = 2000) spec =
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let arity = Schema.arity schema in
+  let conflicted =
+    List.filter (fun a -> Entity.has_conflict entity a) (List.init arity Fun.id)
+  in
+  let budget = ref limit in
+  let try_choices choices =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      let trial = apply spec choices in
+      match Reference.analyze trial with
+      | Some r when r.Reference.valid && r.Reference.true_tuple <> None ->
+          Some
+            {
+              choices;
+              cost = List.fold_left (fun acc c -> acc + choice_cost spec c) 0 choices;
+              resolved = r.Reference.agreed;
+              complete = true;
+            }
+      | _ -> None
+    end
+  in
+  let exception Found of result in
+  let exception Out_of_budget in
+  try
+    for k = 0 to List.length conflicted do
+      List.iter
+        (fun attrs ->
+          let options =
+            List.map
+              (fun a ->
+                List.map
+                  (fun v -> { attr = Schema.name schema a; value = v })
+                  (Entity.active_domain entity a))
+              attrs
+          in
+          List.iter
+            (fun choices ->
+              if !budget <= 0 then raise Out_of_budget;
+              match try_choices choices with Some r -> raise (Found r) | None -> ())
+            (cartesian options))
+        (subsets_of_size k conflicted)
+    done;
+    (* no extension yields a true tuple (e.g. the spec is invalid) *)
+    Some
+      {
+        choices = [];
+        cost = 0;
+        resolved = Array.make arity None;
+        complete = false;
+      }
+  with
+  | Found r -> Some r
+  | Out_of_budget -> None

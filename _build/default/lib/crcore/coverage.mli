@@ -1,0 +1,35 @@
+(** The minimum coverage problem (Section IV, Theorem 4): find a small
+    partial temporal order [Ot] such that the true value [T(Se ⊕ Ot)]
+    exists. Σ2p-complete, so this module offers a greedy heuristic plus an
+    exhaustive optimum for small instances (used as test oracle).
+
+    The heuristic repeatedly takes an attribute whose true value is still
+    open, tries each candidate value as "most current" (a set of value
+    facts), keeps the first choice consistent with Φ(Se), and relies on
+    deduction to propagate. Each accepted choice contributes its facts to
+    [Ot]. *)
+
+(** One accepted assertion: [value] is the most current value of [attr];
+    it expands to [|adom(attr)| - 1] order facts. *)
+type choice = { attr : string; value : Value.t }
+
+type result = {
+  choices : choice list;     (** the assertions, in acceptance order *)
+  cost : int;                (** |Ot|: total number of order facts added *)
+  resolved : Value.t option array;  (** true values after coverage *)
+  complete : bool;           (** whether every attribute got a true value *)
+}
+
+(** [greedy ?mode spec] runs the heuristic. The specification must be
+    valid; raises [Invalid_argument] otherwise. *)
+val greedy : ?mode:Encode.mode -> Spec.t -> result
+
+(** [optimum ?limit spec] finds a minimum-cardinality set of choices by
+    exhaustive search over candidate subsets, checking each extension with
+    the exhaustive reference semantics. Exponential; [None] when the
+    search exceeds [limit] reference analyses (default 2000). *)
+val optimum : ?limit:int -> Spec.t -> result option
+
+(** [apply spec choices] materialises choices as order edges on
+    representative tuples ([Se ⊕ Ot]). *)
+val apply : Spec.t -> choice list -> Spec.t

@@ -1,0 +1,121 @@
+type t = { enc : Encode.t; od : Porder.Strict_order.t array }
+
+let empty_od enc =
+  let coding = enc.Encode.coding in
+  let schema = Coding.schema coding in
+  Array.init (Schema.arity schema) (fun a ->
+      Porder.Strict_order.create (Array.length (Coding.universe coding a)))
+
+let add_literal_to_od enc od lit =
+  let v = Sat.Lit.var lit in
+  let { Encode.attr; lo; hi } = Encode.fact_of_var enc v in
+  (* a positive unit is the fact itself; a negative unit is read as the
+     reversed pair, which is sound when completions are total orders *)
+  let lo, hi = if Sat.Lit.sign lit then (lo, hi) else (hi, lo) in
+  ignore (Porder.Strict_order.add od.(attr) lo hi)
+
+(* ---- DeduceOrder: unit propagation with occurrence lists ---- *)
+
+let deduce_order enc =
+  let cnf = enc.Encode.cnf in
+  let nvars = cnf.Sat.Cnf.nvars in
+  let clauses = Array.of_list cnf.Sat.Cnf.clauses in
+  let nclauses = Array.length clauses in
+  let satisfied = Array.make nclauses false in
+  let n_active = Array.make nclauses 0 in
+  (* occurrence lists indexed by literal *)
+  let occ = Array.make (2 * max nvars 1) [] in
+  Array.iteri
+    (fun ci c ->
+      n_active.(ci) <- Array.length c;
+      Array.iter (fun l -> occ.(l) <- ci :: occ.(l)) c)
+    clauses;
+  let assigns = Array.make (max nvars 1) 0 in
+  let value_lit l =
+    let a = assigns.(Sat.Lit.var l) in
+    if Sat.Lit.sign l then a else -a
+  in
+  let queue = Queue.create () in
+  Array.iteri (fun ci c -> if Array.length c = 1 then Queue.add (c.(0), ci) queue) clauses;
+  let od = empty_od enc in
+  let conflict = ref false in
+  while (not !conflict) && not (Queue.is_empty queue) do
+    let l, _src = Queue.pop queue in
+    match value_lit l with
+    | 1 -> () (* already known *)
+    | -1 -> conflict := true (* invalid specification; caller checks first *)
+    | _ ->
+        assigns.(Sat.Lit.var l) <- (if Sat.Lit.sign l then 1 else -1);
+        add_literal_to_od enc od l;
+        (* clauses containing l are satisfied *)
+        List.iter (fun ci -> satisfied.(ci) <- true) occ.(l);
+        (* clauses containing ¬l lose a literal *)
+        List.iter
+          (fun ci ->
+            if not satisfied.(ci) then begin
+              n_active.(ci) <- n_active.(ci) - 1;
+              if n_active.(ci) = 1 then begin
+                (* find the remaining unassigned literal *)
+                let c = clauses.(ci) in
+                let rest = Array.to_list c |> List.filter (fun l' -> value_lit l' = 0) in
+                match rest with
+                | [ l' ] -> Queue.add (l', ci) queue
+                | [] -> conflict := true
+                | _ -> assert false
+              end
+              else if n_active.(ci) = 0 then conflict := true
+            end)
+          occ.(Sat.Lit.negate l)
+  done;
+  { enc; od }
+
+(* ---- NaiveDeduce: one SAT call per variable ---- *)
+
+let naive_deduce enc =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_cnf s enc.Encode.cnf;
+  let od = empty_od enc in
+  let nvars = enc.Encode.cnf.Sat.Cnf.nvars in
+  for v = 0 to nvars - 1 do
+    match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of v ] s with
+    | Sat.Solver.Unsat -> add_literal_to_od enc od (Sat.Lit.pos v)
+    | Sat.Solver.Sat -> ()
+  done;
+  { enc; od }
+
+let lt d ~attr lo hi = Porder.Strict_order.lt d.od.(attr) lo hi
+
+let n_facts d = Array.fold_left (fun acc o -> acc + Porder.Strict_order.n_pairs o) 0 d.od
+
+let universe_maximal d a = Porder.Strict_order.maximal d.od.(a)
+
+let candidates d a =
+  (* V(A) of the paper: active-domain values not yet dominated in Od *)
+  let nadom = Coding.adom_size d.enc.Encode.coding a in
+  List.filter (fun v -> v < nadom) (universe_maximal d a)
+
+let true_value_id d a =
+  let coding = d.enc.Encode.coding in
+  let nadom = Coding.adom_size coding a in
+  let dominating v =
+    let ok = ref true in
+    for u = 0 to nadom - 1 do
+      if u <> v && not (lt d ~attr:a u v) then ok := false
+    done;
+    !ok
+  in
+  (* the true value may be a repair constant outside the active domain, so
+     search all universe-maximal values, not just V(A) *)
+  match List.filter dominating (universe_maximal d a) with
+  | [ v ] -> Some v
+  | _ -> None
+
+let true_values d =
+  let coding = d.enc.Encode.coding in
+  let arity = Schema.arity (Coding.schema coding) in
+  Array.init arity (fun a ->
+      Option.map (fun id -> Coding.value coding a id) (true_value_id d a))
+
+let known_attrs d =
+  let tv = true_values d in
+  List.filter (fun a -> tv.(a) <> None) (List.init (Array.length tv) Fun.id)

@@ -1,0 +1,44 @@
+(** Deducing implied currency orders and true values (Section V-B).
+
+    [DeduceOrder] runs unit propagation over Φ(Se): every one-literal
+    clause it derives is added to the partial temporal order [Od]
+    (negative literals contribute the reversed pair, sound under the
+    total-order completion semantics). [NaiveDeduce] instead asks the SAT
+    solver, for every variable, whether Φ(Se) ∧ ¬x is unsatisfiable — the
+    exact but expensive variant the paper compares against. *)
+
+type t = {
+  enc : Encode.t;
+  od : Porder.Strict_order.t array;
+      (** per attribute position: the deduced order over value ids, kept
+          transitively closed *)
+}
+
+(** [deduce_order enc] is the paper's [DeduceOrder] (linear-time unit
+    propagation). The specification must be valid. *)
+val deduce_order : Encode.t -> t
+
+(** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. *)
+val naive_deduce : Encode.t -> t
+
+(** [lt d ~attr lo hi] is [true] when [Od] orders value [lo] before [hi]. *)
+val lt : t -> attr:int -> int -> int -> bool
+
+(** [n_facts d] is the size |Od| of the deduced relation (closure). *)
+val n_facts : t -> int
+
+(** [candidates d a] is [V(A)]: universe value ids of attribute [a] not
+    dominated by any other value in [Od] (the paper's candidate true
+    values). *)
+val candidates : t -> int -> int list
+
+(** [true_value_id d a] is the id of the true value of attribute [a] when
+    [Od] determines one: the unique candidate that dominates every other
+    active-domain value. *)
+val true_value_id : t -> int -> int option
+
+(** [true_values d] is the per-attribute true values determined so far. *)
+val true_values : t -> Value.t option array
+
+(** [known_attrs d] is the positions whose true value is determined. *)
+val known_attrs : t -> int list

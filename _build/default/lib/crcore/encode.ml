@@ -1,0 +1,236 @@
+type mode = Paper | Exact
+
+type fact = { attr : int; lo : int; hi : int }
+
+type source = From_order | From_constraint of int | From_cfd of int
+
+type iconstraint = { premise : fact list; concl : fact; source : source }
+
+type t = {
+  spec : Spec.t;
+  coding : Coding.t;
+  mode : mode;
+  units : (fact * source) list;
+  implications : iconstraint list;
+  vetoes : (fact list * source) list;
+  cnf : Sat.Cnf.t;
+  n_structural : int;
+}
+
+let var_of_fact_c coding f = Coding.var_of coding ~attr:f.attr f.lo f.hi
+
+(* ---- instantiating currency constraints over distinct projections ----
+
+   Instance constraints depend only on the two tuples' values at the
+   attributes a constraint mentions, so we instantiate over pairs of
+   distinct projections rather than pairs of tuples: same instances,
+   usually far fewer pairs. *)
+
+let projection_reps entity attr_positions =
+  let seen = Hashtbl.create 16 in
+  let reps = ref [] in
+  List.iter
+    (fun tup ->
+      let key =
+        String.concat "\x00"
+          (List.map (fun a -> Value.to_string (Tuple.get tup a)) attr_positions)
+      in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        reps := tup :: !reps
+      end)
+    (Entity.tuples entity);
+  List.rev !reps
+
+let instantiate_sigma spec coding =
+  let schema = Spec.schema spec in
+  let fact_of (name, v1, v2) =
+    let attr = Schema.index schema name in
+    { attr; lo = Coding.vid coding attr v1; hi = Coding.vid coding attr v2 }
+  in
+  let out = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iteri
+    (fun k c ->
+      let positions =
+        List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
+      in
+      let reps = projection_reps spec.Spec.entity positions in
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              if not (s1 == s2) then
+                match Currency.Constraint_ast.instantiate c s1 s2 with
+                | None -> ()
+                | Some inst ->
+                    let premise =
+                      List.sort_uniq compare
+                        (List.map fact_of inst.Currency.Constraint_ast.prec_premises)
+                    in
+                    let concl = fact_of inst.Currency.Constraint_ast.conclusion in
+                    let key = (premise, concl) in
+                    if not (Hashtbl.mem out key) then begin
+                      Hashtbl.add out key ();
+                      order := { premise; concl; source = From_constraint k } :: !order
+                    end)
+            reps)
+        reps)
+    spec.Spec.sigma;
+  List.rev !order
+
+(* ---- instantiating constant CFDs ---- *)
+
+let relevant_gamma entity gamma =
+  let schema = Entity.schema entity in
+  let adoms =
+    Array.init (Schema.arity schema) (fun a -> Entity.active_domain entity a)
+  in
+  List.mapi (fun k c -> (k, c)) gamma
+  |> List.filter (fun (_, (c : Cfd.Constant_cfd.t)) ->
+         List.for_all
+           (fun (aname, v) ->
+             let a = Schema.index schema aname in
+             List.exists (Value.equal v) adoms.(a))
+           c.Cfd.Constant_cfd.lhs)
+
+(* Returns the implication instances and, for CFDs whose RHS constant the
+   entity never takes, the vetoed premises (ω_X → ⊥). *)
+let instantiate_gamma spec coding gamma_rel =
+  let schema = Spec.schema spec in
+  let out = ref [] in
+  let vetoes = ref [] in
+  List.iter
+    (fun (k, (c : Cfd.Constant_cfd.t)) ->
+      let premise =
+        (* ω_X: every other active-domain value sits below the pattern *)
+        List.concat_map
+          (fun (name, v) ->
+            let attr = Schema.index schema name in
+            let target = Coding.vid coding attr v in
+            List.filter_map
+              (fun lo -> if lo <> target then Some { attr; lo; hi = target } else None)
+              (List.init (Coding.adom_size coding attr) Fun.id))
+          c.Cfd.Constant_cfd.lhs
+      in
+      let bname, bval = c.Cfd.Constant_cfd.rhs in
+      let battr = Schema.index schema bname in
+      match Coding.vid_opt coding battr bval with
+      | Some btarget ->
+          for b = 0 to Coding.adom_size coding battr - 1 do
+            if b <> btarget then
+              out :=
+                { premise; concl = { attr = battr; lo = b; hi = btarget }; source = From_cfd k }
+                :: !out
+          done
+      | None ->
+          (* the repair value never occurs: the pattern can never be the
+             current tuple, unless the premise is already vacuous *)
+          vetoes := (premise, From_cfd k) :: !vetoes)
+    gamma_rel;
+  (List.rev !out, List.rev !vetoes)
+
+(* ---- units from the currency orders of It and the null-lowest rule ---- *)
+
+let order_units spec coding =
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let push f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      out := (f, From_order) :: !out
+    end
+  in
+  List.iter
+    (fun { Spec.attr; lo; hi } ->
+      let a = Schema.index schema attr in
+      let v1 = Entity.value entity lo a and v2 = Entity.value entity hi a in
+      if not (Value.equal v1 v2) then
+        push { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 })
+    spec.Spec.orders;
+  (* a null value is ranked lowest in its attribute's currency order *)
+  for a = 0 to Schema.arity schema - 1 do
+    let univ = Coding.universe coding a in
+    Array.iteri
+      (fun i v ->
+        if Value.is_null v then
+          Array.iteri (fun j w -> if j <> i && not (Value.is_null w) then push { attr = a; lo = i; hi = j }) univ)
+      univ
+  done;
+  List.rev !out
+
+let encode ?(mode = Paper) spec =
+  let gamma_rel = relevant_gamma spec.Spec.entity spec.Spec.gamma in
+  let coding = Coding.build spec.Spec.entity [] in
+  let units = order_units spec coding in
+  let gamma_imps, vetoes = instantiate_gamma spec coding gamma_rel in
+  let implications = instantiate_sigma spec coding @ gamma_imps in
+  (* split premise-free implications into units *)
+  let extra_units, implications =
+    List.partition (fun ic -> ic.premise = []) implications
+  in
+  let units = units @ List.map (fun ic -> (ic.concl, ic.source)) extra_units in
+  let var f = var_of_fact_c coding f in
+  let clauses = ref [] in
+  let n_structural = ref 0 in
+  List.iter (fun (f, _) -> clauses := [| Sat.Lit.pos (var f) |] :: !clauses) units;
+  List.iter
+    (fun ic ->
+      let c =
+        Array.of_list
+          (Sat.Lit.pos (var ic.concl)
+          :: List.map (fun f -> Sat.Lit.neg_of (var f)) ic.premise)
+      in
+      clauses := c :: !clauses)
+    implications;
+  List.iter
+    (fun (premise, _) ->
+      clauses := Array.of_list (List.map (fun f -> Sat.Lit.neg_of (var f)) premise) :: !clauses)
+    vetoes;
+  (* structural axioms per attribute *)
+  let schema = Spec.schema spec in
+  for a = 0 to Schema.arity schema - 1 do
+    let d = Array.length (Coding.universe coding a) in
+    let v lo hi = var { attr = a; lo; hi } in
+    (* transitivity *)
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        if j <> i then
+          for k = 0 to d - 1 do
+            if k <> i && k <> j then begin
+              clauses :=
+                [| Sat.Lit.neg_of (v i j); Sat.Lit.neg_of (v j k); Sat.Lit.pos (v i k) |]
+                :: !clauses;
+              incr n_structural
+            end
+          done
+      done
+    done;
+    (* asymmetry, and totality in exact mode *)
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        clauses := [| Sat.Lit.neg_of (v i j); Sat.Lit.neg_of (v j i) |] :: !clauses;
+        incr n_structural;
+        if mode = Exact then begin
+          clauses := [| Sat.Lit.pos (v i j); Sat.Lit.pos (v j i) |] :: !clauses;
+          incr n_structural
+        end
+      done
+    done
+  done;
+  let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) !clauses in
+  { spec; coding; mode; units; implications; vetoes; cnf; n_structural = !n_structural }
+
+let var_of_fact e f = var_of_fact_c e.coding f
+
+let fact_of_var e v =
+  let attr, lo, hi = Coding.decode e.coding v in
+  { attr; lo; hi }
+
+let pp_fact e ppf f =
+  Format.fprintf ppf "%s: %a < %a"
+    (Schema.name (Coding.schema e.coding) f.attr)
+    Value.pp (Coding.value e.coding f.attr f.lo) Value.pp
+    (Coding.value e.coding f.attr f.hi)

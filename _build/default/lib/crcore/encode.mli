@@ -1,0 +1,73 @@
+(** The uniform instance-constraint representation Ω(Se) and its CNF
+    conversion Φ(Se) (Section V-A of the paper).
+
+    Encoding, in brief: Boolean variables are value-currency facts
+    [a1 ≺v_{Ai} a2] over each attribute's active domain (see {!Coding});
+    the partial currency orders of [It] and the premise-free instances of
+    currency constraints become unit clauses; currency constraints
+    instantiated on tuple pairs and constant CFDs become implications;
+    transitivity and asymmetry axioms make every model a strict partial
+    order per attribute.
+
+    Completions order the values the entity actually takes, following the
+    paper's Section II-A definition of temporal instances over [Ie]; a CFD
+    pattern constant outside the active domain therefore cannot be a
+    current value — an LHS such constant makes the CFD vacuous
+    ({!relevant_gamma}), an RHS one forbids the CFD's premise (a veto
+    clause).
+
+    [Exact] mode additionally emits totality clauses, making models
+    correspond exactly to families of total orders — the sound-and-complete
+    variant of the paper's heuristic Lemma 5 reduction (ablated in the
+    benches). *)
+
+type mode = Paper | Exact
+
+(** A value-currency fact: value [lo] is less current than value [hi] in
+    attribute position [attr] (ids per {!Coding}). *)
+type fact = { attr : int; lo : int; hi : int }
+
+(** Where an instance constraint came from; drives the derivation rules of
+    [Suggest]. *)
+type source =
+  | From_order          (** a currency order of [It], or null-is-lowest *)
+  | From_constraint of int  (** index into Σ *)
+  | From_cfd of int         (** index into Γ *)
+
+(** One instance constraint of Ω(Se): if every premise fact holds then the
+    conclusion fact holds. Premise-free instances are facts outright. *)
+type iconstraint = { premise : fact list; concl : fact; source : source }
+
+type t = {
+  spec : Spec.t;
+  coding : Coding.t;
+  mode : mode;
+  units : (fact * source) list;      (** premise-free part of Ω(Se) *)
+  implications : iconstraint list;   (** the rest of Ω(Se) *)
+  vetoes : (fact list * source) list;
+      (** conjunctions of facts that cannot all hold: a CFD whose RHS
+          pattern constant never occurs in the entity can never fire, so
+          its "LHS pattern is most current" premise is forbidden *)
+  cnf : Sat.Cnf.t;                   (** Φ(Se), structural axioms included *)
+  n_structural : int;  (** transitivity + asymmetry (+ totality) clauses *)
+}
+
+(** [encode ?mode spec] computes Ω(Se) and Φ(Se). Default mode [Paper]. *)
+val encode : ?mode:mode -> Spec.t -> t
+
+(** [relevant_gamma entity gamma] keeps the CFDs that can fire on this
+    entity — those whose every LHS pattern constant occurs in the active
+    domain of its attribute — paired with their index in [gamma]. The
+    encoding and the reference semantics consider only these; a CFD whose
+    LHS mentions a value the entity never takes is vacuous on it, and
+    skipping it keeps the value universes (and hence the cubic
+    transitivity axioms) small when Γ is a large pattern table. *)
+val relevant_gamma : Entity.t -> Cfd.Constant_cfd.t list -> (int * Cfd.Constant_cfd.t) list
+
+(** [var_of_fact e f] is the Boolean variable of fact [f]. *)
+val var_of_fact : t -> fact -> int
+
+(** [fact_of_var e v] decodes a variable back to its fact. *)
+val fact_of_var : t -> int -> fact
+
+val pp_fact : t -> Format.formatter -> fact -> unit

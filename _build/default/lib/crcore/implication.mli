@@ -1,0 +1,37 @@
+(** The implication problem (Section IV): does [Se |= Ot] — is a partial
+    temporal order included in every valid completion of a specification?
+
+    The problem is coNP-complete; this checker reduces each fact to one
+    incremental SAT call: [v1 ≺_A v2] is implied iff Φ(Se) ∧ ¬x is
+    unsatisfiable. In [Exact] mode the answer agrees with the exhaustive
+    reference semantics; in the default [Paper] mode it is the paper's
+    heuristic (Lemma 6). *)
+
+(** A value-level currency fact, by attribute name. *)
+type vfact = { attr : string; lo : Value.t; hi : Value.t }
+
+(** Outcome of an implication query. *)
+type answer =
+  | Implied        (** the fact holds in every valid completion *)
+  | Not_implied    (** some valid completion violates it *)
+  | Invalid_spec   (** the specification itself has no valid completion *)
+  | Unknown_value  (** a value does not occur in the entity *)
+
+val pp_answer : Format.formatter -> answer -> unit
+
+(** [holds ?mode spec f] decides [Se |= f] for one fact. *)
+val holds : ?mode:Encode.mode -> Spec.t -> vfact -> answer
+
+(** [holds_enc enc f] is {!holds} on a prebuilt encoding, sharing the
+    solver across queries. *)
+val holds_enc : Encode.t -> Sat.Solver.t -> vfact -> answer
+
+(** [implied_order ?mode spec facts] decides [Se |= Ot] for a whole
+    partial temporal order: [Implied] iff every fact is implied; the first
+    non-implied answer otherwise. *)
+val implied_order : ?mode:Encode.mode -> Spec.t -> vfact list -> answer
+
+(** [order_edges_facts spec edges] translates tuple-level order edges into
+    value facts (dropping equal-valued pairs), so [Se |= Ot] can be asked
+    about an extension expressed on tuples. *)
+val order_edges_facts : Spec.t -> Spec.order_edge list -> vfact list

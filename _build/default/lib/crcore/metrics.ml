@@ -1,0 +1,43 @@
+type counts = { relevant : int; deduced : int; correct : int }
+
+let zero = { relevant = 0; deduced = 0; correct = 0 }
+
+let add a b =
+  {
+    relevant = a.relevant + b.relevant;
+    deduced = a.deduced + b.deduced;
+    correct = a.correct + b.correct;
+  }
+
+let relevant_attrs ~truth ~entity =
+  let schema = Entity.schema entity in
+  List.filter
+    (fun a ->
+      Entity.has_conflict entity a
+      || not (Value.equal (Entity.value entity 0 a) (Tuple.get truth a)))
+    (List.init (Schema.arity schema) Fun.id)
+
+let evaluate ~truth ~entity resolved =
+  let rel = relevant_attrs ~truth ~entity in
+  List.fold_left
+    (fun acc a ->
+      match resolved.(a) with
+      | None -> { acc with relevant = acc.relevant + 1 }
+      | Some v ->
+          {
+            relevant = acc.relevant + 1;
+            deduced = acc.deduced + 1;
+            correct = (acc.correct + if Value.equal v (Tuple.get truth a) then 1 else 0);
+          })
+    zero rel
+
+let evaluate_total ~truth ~entity values =
+  evaluate ~truth ~entity (Array.map (fun v -> Some v) values)
+
+let precision c = if c.deduced = 0 then 0. else float_of_int c.correct /. float_of_int c.deduced
+
+let recall c = if c.relevant = 0 then 1. else float_of_int c.correct /. float_of_int c.relevant
+
+let f_measure c =
+  let p = precision c and r = recall c in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)

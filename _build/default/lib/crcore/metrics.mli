@@ -1,0 +1,25 @@
+(** Accuracy accounting for the experiments: precision, recall and
+    F-measure over the attributes that actually needed resolving — those
+    with conflicting values or a stale (single but wrong) value, exactly
+    the denominator the paper uses for recall. *)
+
+type counts = {
+  relevant : int;  (** attributes with conflicts or stale values *)
+  deduced : int;   (** of those, how many the method decided *)
+  correct : int;   (** of the decided ones, how many match the truth *)
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+(** [evaluate ~truth ~entity resolved] scores a resolution outcome
+    ([None] = undecided) against the ground-truth tuple. *)
+val evaluate : truth:Tuple.t -> entity:Entity.t -> Value.t option array -> counts
+
+(** [evaluate_total ~truth ~entity values] scores a total assignment (the
+    [Pick] baseline). *)
+val evaluate_total : truth:Tuple.t -> entity:Entity.t -> Value.t array -> counts
+
+val precision : counts -> float
+val recall : counts -> float
+val f_measure : counts -> float

@@ -1,0 +1,69 @@
+type strategy = Random | Favoured | Max | Min | First
+
+let comparison_only (c : Currency.Constraint_ast.t) =
+  List.for_all
+    (function Currency.Constraint_ast.Prec _ -> false | _ -> true)
+    c.Currency.Constraint_ast.premise
+
+(* value-level facts derivable from comparison-only constraints alone *)
+let favoured_order spec =
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let coding = Coding.build entity [] in
+  let orders =
+    Array.init (Schema.arity schema) (fun a ->
+        Porder.Strict_order.create (Array.length (Coding.universe coding a)))
+  in
+  let tuples = Entity.tuples entity in
+  List.iter
+    (fun c ->
+      if comparison_only c then
+        List.iter
+          (fun s1 ->
+            List.iter
+              (fun s2 ->
+                if not (s1 == s2) then
+                  match Currency.Constraint_ast.instantiate c s1 s2 with
+                  | Some { Currency.Constraint_ast.prec_premises = []; conclusion = (name, v1, v2) } ->
+                      let a = Schema.index schema name in
+                      ignore
+                        (Porder.Strict_order.add orders.(a) (Coding.vid coding a v1)
+                           (Coding.vid coding a v2))
+                  | _ -> ())
+              tuples)
+          tuples)
+    spec.Spec.sigma;
+  (coding, orders)
+
+let run ?(seed = 17) ?(strategy = Favoured) spec =
+  let rng = Random.State.make [| seed |] in
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let arity = Schema.arity schema in
+  match strategy with
+  | Favoured ->
+      let coding, orders = favoured_order spec in
+      Array.init arity (fun a ->
+          let maximal = Porder.Strict_order.maximal orders.(a) in
+          (* restrict to values that actually occur *)
+          let nadom = Coding.adom_size coding a in
+          let occurring = List.filter (fun v -> v < nadom) maximal in
+          let pool = if occurring = [] then List.init nadom Fun.id else occurring in
+          Coding.value coding a (List.nth pool (Random.State.int rng (List.length pool))))
+  | Random ->
+      Array.init arity (fun a ->
+          let adom = Entity.active_domain entity a in
+          List.nth adom (Random.State.int rng (List.length adom)))
+  | Max ->
+      Array.init arity (fun a ->
+          List.fold_left
+            (fun acc v -> if Value.total_compare v acc > 0 then v else acc)
+            Value.Null
+            (Entity.active_domain entity a))
+  | Min ->
+      Array.init arity (fun a ->
+          match Entity.active_domain entity a with
+          | [] -> Value.Null
+          | v :: rest ->
+              List.fold_left (fun acc w -> if Value.total_compare w acc < 0 then w else acc) v rest)
+  | First -> Array.init arity (fun a -> Entity.value entity 0 a)

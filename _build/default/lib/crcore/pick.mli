@@ -1,0 +1,19 @@
+(** The traditional conflict-resolution baseline of the experiments: for
+    each attribute, pick one of the occurring values.
+
+    The paper favours [Pick] by letting it use the comparison-only
+    currency constraints (those whose premise has no [≺] predicate, like
+    ϕ1–ϕ3 of the NBA data): it picks uniformly among values that are not
+    less current than any other under those constraints. *)
+
+type strategy =
+  | Random        (** uniform over the active domain *)
+  | Favoured      (** the paper's Pick: uniform over maximal values w.r.t.
+                      comparison-only constraints *)
+  | Max           (** the largest value ({!Value.total_compare}) *)
+  | Min           (** the smallest value *)
+  | First         (** the first occurrence *)
+
+(** [run ?seed ?strategy spec] resolves every attribute; never interacts,
+    never fails. Default strategy [Favoured], the paper's baseline. *)
+val run : ?seed:int -> ?strategy:strategy -> Spec.t -> Value.t array

@@ -1,0 +1,29 @@
+(** Exhaustive reference semantics for small specifications.
+
+    Enumerates every completion — one total order per attribute over that
+    attribute's value universe — checks the currency constraints on all
+    tuple pairs and the CFDs on the current tuple directly from their
+    definitions (Sections II-A/II-B), and intersects the current tuples of
+    the valid completions. Independent of the SAT encoding; the tests use
+    it as ground truth for [IsValid], [DeduceOrder] soundness and the true
+    values. *)
+
+type result = {
+  valid : bool;  (** at least one valid completion exists *)
+  n_valid : int;  (** number of valid completions enumerated *)
+  agreed : Value.t option array;
+      (** per attribute: the value all valid completions' current tuples
+          agree on, if any (meaningless when [valid = false]) *)
+  true_tuple : Value.t array option;
+      (** [T(Se)] when every attribute agrees *)
+}
+
+(** [analyze ?limit spec] enumerates completions; [None] when the search
+    space exceeds [limit] combinations (default [2_000_000]). *)
+val analyze : ?limit:int -> Spec.t -> result option
+
+(** [implied ?limit spec ~attr v1 v2] decides [Se |= v1 ≺_attr v2] (the
+    implication problem, by enumeration): the fact holds in every valid
+    completion. [attr] is by name. [None] when too large or [spec]
+    invalid. *)
+val implied : ?limit:int -> Spec.t -> attr:string -> Value.t -> Value.t -> bool option

@@ -1,0 +1,79 @@
+type entity_report = {
+  key : Value.t list;
+  size : int;
+  valid : bool;
+  determined : int;
+  fell_back : int;
+  tuple : Tuple.t;
+}
+
+type report = {
+  repaired : Tuple.t list;
+  entities : entity_report list;
+  invalid_entities : int;
+}
+
+let partition_by_key schema key tuples =
+  let key_positions = List.map (Schema.index schema) key in
+  let order = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      let k = List.map (fun a -> Value.to_string (Tuple.get t a)) key_positions in
+      if not (Hashtbl.mem groups k) then begin
+        Hashtbl.add groups k (ref []);
+        order := k :: !order
+      end;
+      let cell = Hashtbl.find groups k in
+      cell := t :: !cell)
+    tuples;
+  List.rev !order |> List.map (fun k -> (k, List.rev !(Hashtbl.find groups k)))
+
+let run ?(mode = Encode.Paper) ?(user = Framework.silent) ?(fallback = Pick.Favoured)
+    ~key schema tuples ~sigma ~gamma =
+  List.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        invalid_arg (Printf.sprintf "Repair.run: unknown key attribute %S" a))
+    key;
+  if tuples = [] then invalid_arg "Repair.run: empty relation";
+  let key_positions = List.map (Schema.index schema) key in
+  let arity = Schema.arity schema in
+  let groups = partition_by_key schema key tuples in
+  let invalid = ref 0 in
+  let entities =
+    List.map
+      (fun (_, group) ->
+        let entity = Entity.make schema group in
+        let key_values = List.map (Tuple.get (List.hd group)) key_positions in
+        let spec = Spec.make entity ~orders:[] ~sigma ~gamma in
+        let outcome = Framework.resolve ~mode ~user spec in
+        let valid = outcome.Framework.valid in
+        if not valid then incr invalid;
+        let picked = Pick.run ~strategy:fallback spec in
+        let determined = ref 0 and fell_back = ref 0 in
+        let values =
+          Array.init arity (fun a ->
+              match if valid then outcome.Framework.resolved.(a) else None with
+              | Some v ->
+                  incr determined;
+                  v
+              | None ->
+                  incr fell_back;
+                  picked.(a))
+        in
+        {
+          key = key_values;
+          size = Entity.size entity;
+          valid;
+          determined = !determined;
+          fell_back = !fell_back;
+          tuple = Tuple.of_array schema values;
+        })
+      groups
+  in
+  {
+    repaired = List.map (fun e -> e.tuple) entities;
+    entities;
+    invalid_entities = !invalid;
+  }

@@ -1,0 +1,44 @@
+(** Whole-relation repair — the paper's concluding future-work item
+    ("repair data by using currency constraints and partial temporal
+    orders"), built on per-entity conflict resolution.
+
+    A relation holding several records per real-world entity is
+    partitioned on key attributes (the output of record linkage); each
+    partition becomes an entity instance and is resolved with the
+    framework; the repaired relation holds one current tuple per entity.
+    Attributes the framework cannot determine fall back to a {!Pick}
+    strategy, as the paper's framework prescribes when users leave
+    attributes unresolved. *)
+
+type entity_report = {
+  key : Value.t list;          (** the entity's key values *)
+  size : int;                  (** tuples merged *)
+  valid : bool;                (** specification validity *)
+  determined : int;            (** attributes resolved by inference *)
+  fell_back : int;             (** attributes taken from the Pick fallback *)
+  tuple : Tuple.t;             (** the repaired (current) tuple *)
+}
+
+type report = {
+  repaired : Tuple.t list;     (** one tuple per entity, input order *)
+  entities : entity_report list;
+  invalid_entities : int;
+}
+
+(** [run ?mode ?user ?fallback ~key rel ~sigma ~gamma] repairs the
+    relation [rel] (any tuple list over one schema). [key] lists the
+    linkage attributes (must exist; an empty list treats the whole
+    relation as one entity). [user] defaults to {!Framework.silent};
+    [fallback] to [Pick.Favoured]. Entities whose specification is invalid
+    are repaired entirely by the fallback and counted in
+    [invalid_entities]. *)
+val run :
+  ?mode:Encode.mode ->
+  ?user:Framework.user ->
+  ?fallback:Pick.strategy ->
+  key:string list ->
+  Schema.t ->
+  Tuple.t list ->
+  sigma:Currency.Constraint_ast.t list ->
+  gamma:Cfd.Constant_cfd.t list ->
+  report

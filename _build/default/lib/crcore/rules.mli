@@ -1,0 +1,46 @@
+(** Suggestions for user interaction (Section V-C): true-value derivation
+    rules, their compatibility graph, max-clique selection, and MaxSAT
+    repair of conflicting cliques.
+
+    A derivation rule [(X, P\[X\]) → (B, b)] says: if [P\[X\]] are the true
+    values of [X] then [b] is the true value of [B]. Rules come from
+    constant CFDs directly and from the currency-constraint instances of
+    Ω(Se) by the paper's partition heuristic. *)
+
+(** A derivation rule with attribute positions and value ids (per the
+    encoding's {!Coding}). [x] is sorted by attribute and never mentions
+    [b]. *)
+type rule = { x : (int * int) list; b : int; bval : int }
+
+type suggestion = {
+  attrs : int list;  (** [A]: the attributes to ask the user about *)
+  candidates : (int * Value.t list) list;
+      (** [V(A)]: candidate true values for each suggested attribute *)
+  derivable : int list;
+      (** [A']: attributes whose true values follow once [A] is
+          validated *)
+  clique_size : int;        (** size of the clique before MaxSAT repair *)
+  repaired_clique_size : int;  (** after conflict repair *)
+}
+
+(** How [GetSug] repairs a clique that conflicts with the specification. *)
+type repair = Exact_maxsat | Walksat
+
+(** [derive_rules d ~known] is the paper's [TrueDer] over the deduction
+    result [d]; [known] are the true values established so far (their
+    attributes get no rules). *)
+val derive_rules : Deduce.t -> known:Value.t option array -> rule list
+
+(** [compatibility_graph rules] is [CompGraph]: vertices are rules, with an
+    edge when two rules derive different attributes and agree on every
+    shared attribute (the derived attribute counting as shared with value
+    [bval]). *)
+val compatibility_graph : rule list -> Clique.Ugraph.t
+
+(** [suggest ?repair ?clique_threshold d ~known] is the full [Suggest]
+    pipeline. [clique_threshold] bounds the exact max-clique search
+    (default 400 vertices, greedy beyond). *)
+val suggest :
+  ?repair:repair -> ?clique_threshold:int -> Deduce.t -> known:Value.t option array -> suggestion
+
+val pp_rule : Deduce.t -> Format.formatter -> rule -> unit

@@ -1,0 +1,59 @@
+type order_edge = { attr : string; lo : int; hi : int }
+
+type t = {
+  entity : Entity.t;
+  orders : order_edge list;
+  sigma : Currency.Constraint_ast.t list;
+  gamma : Cfd.Constant_cfd.t list;
+}
+
+let make entity ~orders ~sigma ~gamma =
+  let schema = Entity.schema entity in
+  let n = Entity.size entity in
+  List.iter
+    (fun { attr; lo; hi } ->
+      if not (Schema.mem schema attr) then
+        invalid_arg (Printf.sprintf "Spec.make: unknown attribute %S in order" attr);
+      if lo < 0 || lo >= n || hi < 0 || hi >= n then
+        invalid_arg "Spec.make: order edge tuple index out of range";
+      if lo = hi then invalid_arg "Spec.make: reflexive order edge")
+    orders;
+  List.iter
+    (fun c ->
+      match Currency.Constraint_ast.check_schema c schema with
+      | Ok () -> ()
+      | Error a ->
+          invalid_arg
+            (Printf.sprintf "Spec.make: currency constraint mentions unknown attribute %S" a))
+    sigma;
+  List.iter
+    (fun c ->
+      match Cfd.Constant_cfd.check_schema c schema with
+      | Ok () -> ()
+      | Error a ->
+          invalid_arg (Printf.sprintf "Spec.make: CFD mentions unknown attribute %S" a))
+    gamma;
+  { entity; orders; sigma; gamma }
+
+let schema s = Entity.schema s.entity
+
+let size s = Entity.size s.entity
+
+let add_order_edges s edges = make s.entity ~orders:(edges @ s.orders) ~sigma:s.sigma ~gamma:s.gamma
+
+let extend_with_tuple s tup ~current_attrs =
+  let entity = Entity.make (schema s) (Entity.tuples s.entity @ [ tup ]) in
+  let new_idx = Entity.size entity - 1 in
+  let fresh_edges =
+    List.concat_map
+      (fun attr ->
+        List.filter_map
+          (fun i -> if i <> new_idx then Some { attr; lo = i; hi = new_idx } else None)
+          (List.init new_idx Fun.id))
+      current_attrs
+  in
+  make entity ~orders:(fresh_edges @ s.orders) ~sigma:s.sigma ~gamma:s.gamma
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>entity:@ %a@ |Σ| = %d, |Γ| = %d, |orders| = %d@]" Entity.pp
+    s.entity (List.length s.sigma) (List.length s.gamma) (List.length s.orders)

@@ -1,0 +1,39 @@
+(** Entity specifications [Se = (It, Σ, Γ)] (Section II-C): a temporal
+    instance (entity tuples plus per-attribute partial currency orders),
+    currency constraints, and constant CFDs. *)
+
+(** A tuple-level currency-order edge: tuple [lo] is less current than
+    tuple [hi] in attribute [attr] (attribute by name). *)
+type order_edge = { attr : string; lo : int; hi : int }
+
+type t = {
+  entity : Entity.t;
+  orders : order_edge list;              (** the partial orders of [It] *)
+  sigma : Currency.Constraint_ast.t list;  (** currency constraints Σ *)
+  gamma : Cfd.Constant_cfd.t list;         (** constant CFDs Γ *)
+}
+
+(** [make entity ~orders ~sigma ~gamma] validates attribute names and tuple
+    indices and builds the specification. Raises [Invalid_argument] with a
+    description on any dangling reference. *)
+val make :
+  Entity.t ->
+  orders:order_edge list ->
+  sigma:Currency.Constraint_ast.t list ->
+  gamma:Cfd.Constant_cfd.t list ->
+  t
+
+val schema : t -> Schema.t
+val size : t -> int
+
+(** [add_order_edges s edges] extends the partial orders ([Se ⊕ Ot] with a
+    pure order extension). *)
+val add_order_edges : t -> order_edge list -> t
+
+(** [extend_with_tuple s tup ~current_attrs] implements the paper's user
+    input step (Section III, Remark 1): appends the fresh tuple [tup] and,
+    for every attribute named in [current_attrs], adds order edges making
+    [tup] the most current. *)
+val extend_with_tuple : t -> Tuple.t -> current_attrs:string list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/currency/constraint_ast.ml: Format List Printf Schema Tuple Value

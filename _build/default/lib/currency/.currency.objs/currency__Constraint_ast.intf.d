@@ -1,0 +1,1 @@
+lib/currency/constraint_ast.mli: Format Schema Stdlib Tuple Value

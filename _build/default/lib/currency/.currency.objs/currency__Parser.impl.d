@@ -1,0 +1,1 @@
+lib/currency/parser.ml: Buffer Constraint_ast List Printf String Value

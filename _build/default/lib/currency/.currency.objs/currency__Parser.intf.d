@@ -1,0 +1,1 @@
+lib/currency/parser.mli: Constraint_ast

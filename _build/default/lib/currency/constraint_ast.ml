@@ -1,0 +1,98 @@
+type tuple_ref = T1 | T2
+
+type pred =
+  | Prec of string
+  | Cmp2 of string * Value.op
+  | Cmp_const of tuple_ref * string * Value.op * Value.t
+
+type t = { premise : pred list; concl : string }
+
+let make premise concl =
+  if concl = "" then invalid_arg "Constraint_ast.make: empty conclusion attribute";
+  { premise; concl }
+
+let pred_attr = function
+  | Prec a -> a
+  | Cmp2 (a, _) -> a
+  | Cmp_const (_, a, _, _) -> a
+
+let attrs c =
+  let all = c.concl :: List.map pred_attr c.premise in
+  List.sort_uniq compare all
+
+let check_schema c s =
+  match List.find_opt (fun a -> not (Schema.mem s a)) (attrs c) with
+  | Some a -> Error a
+  | None -> Ok ()
+
+type instance = {
+  prec_premises : (string * Value.t * Value.t) list;
+  conclusion : string * Value.t * Value.t;
+}
+
+let instantiate c s1 s2 =
+  let vacuous = ref false in
+  let residual = ref [] in
+  List.iter
+    (fun p ->
+      if not !vacuous then
+        match p with
+        | Prec a -> (
+            let v1 = Tuple.get_by_name s1 a and v2 = Tuple.get_by_name s2 a in
+            (* nulls rank lowest: null ≺ v always holds (drop the conjunct),
+               v ≺ null never does (the whole constraint is vacuous) *)
+            match (Value.is_null v1, Value.is_null v2) with
+            | true, false -> ()
+            | _, true -> vacuous := true
+            | false, false ->
+                if Value.equal v1 v2 then vacuous := true
+                else residual := (a, v1, v2) :: !residual)
+        | Cmp2 (a, op) ->
+            if not (Value.eval op (Tuple.get_by_name s1 a) (Tuple.get_by_name s2 a))
+            then vacuous := true
+        | Cmp_const (r, a, op, cst) ->
+            let t = match r with T1 -> s1 | T2 -> s2 in
+            if not (Value.eval op (Tuple.get_by_name t a) cst) then vacuous := true)
+    c.premise;
+  if !vacuous then None
+  else
+    let w1 = Tuple.get_by_name s1 c.concl and w2 = Tuple.get_by_name s2 c.concl in
+    (* equal-valued conclusions hold trivially; a null on either side of
+       the conclusion carries no value-level currency information (a null
+       already ranks lowest; a more-current-but-unknown value constrains
+       nothing) *)
+    if Value.equal w1 w2 || Value.is_null w1 || Value.is_null w2 then None
+    else Some { prec_premises = List.rev !residual; conclusion = (c.concl, w1, w2) }
+
+let holds c ~lt s1 s2 =
+  match instantiate c s1 s2 with
+  | None -> true
+  | Some { prec_premises; conclusion = (a, w1, w2) } ->
+      let premise_holds =
+        List.for_all (fun (b, v1, v2) -> lt b v1 v2) prec_premises
+      in
+      (not premise_holds) || lt a w1 w2
+
+let quote_value v =
+  match v with
+  | Value.Str s -> Printf.sprintf "%S" s
+  | _ -> Value.to_string v
+
+let pp_pred ppf = function
+  | Prec a -> Format.fprintf ppf "prec(%s)" a
+  | Cmp2 (a, op) -> Format.fprintf ppf "t1[%s] %s t2[%s]" a (Value.op_to_string op) a
+  | Cmp_const (r, a, op, v) ->
+      Format.fprintf ppf "%s[%s] %s %s"
+        (match r with T1 -> "t1" | T2 -> "t2")
+        a (Value.op_to_string op) (quote_value v)
+
+let pp ppf c =
+  (match c.premise with
+  | [] -> Format.fprintf ppf "true"
+  | ps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+        pp_pred ppf ps);
+  Format.fprintf ppf " -> prec(%s)" c.concl
+
+let to_string c = Format.asprintf "%a" pp c

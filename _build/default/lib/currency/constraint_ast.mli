@@ -1,0 +1,57 @@
+(** Currency constraints (Section II-A of the paper):
+
+    [∀ t1,t2 (ω → t1 ≺_Ar t2)]
+
+    where [ω] is a conjunction of predicates of three shapes:
+    - [t1 ≺_Al t2] — a currency-order premise;
+    - [t1\[Al\] op t2\[Al\]] — comparing the two tuples on an attribute;
+    - [ti\[Al\] op c] — comparing one tuple against a constant. *)
+
+type tuple_ref = T1 | T2
+
+type pred =
+  | Prec of string  (** [t1 ≺_A t2] *)
+  | Cmp2 of string * Value.op  (** [t1\[A\] op t2\[A\]] *)
+  | Cmp_const of tuple_ref * string * Value.op * Value.t
+      (** [ti\[A\] op c] *)
+
+type t = {
+  premise : pred list;  (** the conjunction ω *)
+  concl : string;       (** the attribute [Ar] of the conclusion *)
+}
+
+(** [make premise concl] builds a constraint; [premise] may be empty. *)
+val make : pred list -> string -> t
+
+(** [attrs c] is every attribute mentioned, conclusion included. *)
+val attrs : t -> string list
+
+(** [check_schema c s] verifies all attributes exist in [s]; returns the
+    offending attribute on failure. *)
+val check_schema : t -> Schema.t -> (unit, string) Stdlib.result
+
+(** One concrete instance of a constraint on an ordered tuple pair, after
+    the comparison conjuncts have been evaluated away: if every
+    [(a, v1, v2)] of [prec_premises] holds as a value-currency fact
+    [v1 ≺_a v2], then the conclusion fact holds. Attribute names come with
+    the values they were instantiated to. *)
+type instance = {
+  prec_premises : (string * Value.t * Value.t) list;
+  conclusion : string * Value.t * Value.t;
+}
+
+(** [instantiate c s1 s2] evaluates the comparison conjuncts of [c] on the
+    tuple pair and returns the residual instance, or [None] when the
+    constraint is vacuous on this pair: a comparison conjunct is false, a
+    currency-order premise relates equal values (strictness can never
+    hold), or the conclusion relates equal values (trivially current). *)
+val instantiate : t -> Tuple.t -> Tuple.t -> instance option
+
+(** [holds c ~lt s1 s2] is the direct semantics of [c] on the pair, where
+    [lt a v1 v2] decides the value-currency order of attribute [a]; used
+    by the exhaustive reference checker. *)
+val holds : t -> lt:(string -> Value.t -> Value.t -> bool) -> Tuple.t -> Tuple.t -> bool
+
+val pp_pred : Format.formatter -> pred -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

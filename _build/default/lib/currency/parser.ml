@@ -1,0 +1,148 @@
+type token =
+  | Ident of string
+  | Str_lit of string
+  | Num of string
+  | Op of Value.op
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Amp
+  | Arrow
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Err m)) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '[' then (toks := Lbracket :: !toks; incr i)
+    else if c = ']' then (toks := Rbracket :: !toks; incr i)
+    else if c = '(' then (toks := Lparen :: !toks; incr i)
+    else if c = ')' then (toks := Rparen :: !toks; incr i)
+    else if c = '&' then (toks := Amp :: !toks; incr i)
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then (toks := Arrow :: !toks; i := !i + 2)
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      while !j < n && s.[!j] <> quote do
+        Buffer.add_char buf s.[!j];
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal";
+      toks := Str_lit (Buffer.contents buf) :: !toks;
+      i := !j + 1
+    end
+    else if c = '<' || c = '>' || c = '=' || c = '!' then begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match Value.op_of_string two with
+      | Some op -> (toks := Op op :: !toks; i := !i + 2)
+      | None -> (
+          match Value.op_of_string (String.make 1 c) with
+          | Some op -> (toks := Op op :: !toks; incr i)
+          | None -> fail "bad operator at %d" !i)
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && ((s.[!j] >= '0' && s.[!j] <= '9') || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = '-')
+      do
+        incr j
+      done;
+      toks := Num (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else fail "unexpected character %C at %d" c !i
+  done;
+  List.rev !toks
+
+(* recursive-descent over the token list *)
+
+let parse_const = function
+  | Str_lit s :: rest -> (Value.Str s, rest)
+  | Num x :: rest -> (Value.of_string x, rest)
+  | Ident "null" :: rest -> (Value.Null, rest)
+  | _ -> fail "expected a constant"
+
+let parse_tref_attr = function
+  | Ident ("t1" | "t2" as t) :: Lbracket :: Ident a :: Rbracket :: rest ->
+      let r = if t = "t1" then Constraint_ast.T1 else Constraint_ast.T2 in
+      Some (r, a, rest)
+  | _ -> None
+
+let parse_pred toks =
+  match toks with
+  | Ident "prec" :: Lparen :: Ident a :: Rparen :: rest -> (Constraint_ast.Prec a, rest)
+  | _ -> (
+      match parse_tref_attr toks with
+      | None -> fail "expected a predicate"
+      | Some (r, a, rest) -> (
+          match rest with
+          | Op op :: rest' -> (
+              match parse_tref_attr rest' with
+              | Some (r2, a2, rest'') ->
+                  if r = Constraint_ast.T1 && r2 = Constraint_ast.T2 && a = a2 then
+                    (Constraint_ast.Cmp2 (a, op), rest'')
+                  else if a <> a2 then fail "tuple-to-tuple comparison must use the same attribute"
+                  else fail "tuple-to-tuple comparison must be t1[..] op t2[..]"
+              | None ->
+                  let c, rest'' = parse_const rest' in
+                  (Constraint_ast.Cmp_const (r, a, op, c), rest''))
+          | _ -> fail "expected an operator after %s[...]" (match r with Constraint_ast.T1 -> "t1" | _ -> "t2")))
+
+let parse_premise toks =
+  match toks with
+  | Ident "true" :: rest -> ([], rest)
+  | _ ->
+      let rec go acc toks =
+        let p, rest = parse_pred toks in
+        match rest with
+        | Amp :: rest' -> go (p :: acc) rest'
+        | _ -> (List.rev (p :: acc), rest)
+      in
+      go [] toks
+
+let parse_constraint toks =
+  let premise, rest = parse_premise toks in
+  match rest with
+  | Arrow :: Ident "prec" :: Lparen :: Ident a :: Rparen :: rest' ->
+      if rest' <> [] then fail "trailing tokens after conclusion";
+      Constraint_ast.make premise a
+  | _ -> fail "expected '-> prec(attr)'"
+
+let parse s =
+  match tokenize s with
+  | exception Err m -> Error m
+  | toks -> ( match parse_constraint toks with c -> Ok c | exception Err m -> Error m)
+
+let parse_exn s = match parse s with Ok c -> c | Error m -> failwith ("Currency.Parser: " ^ m)
+
+let parse_many s =
+  let pieces =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> ( match parse p with Ok c -> go (c :: acc) rest | Error m -> Error (p ^ ": " ^ m))
+  in
+  go [] pieces

@@ -1,0 +1,26 @@
+(** Concrete syntax for currency constraints.
+
+    Grammar (ASCII rendering of the paper's notation):
+
+    {v
+    constraint := premise "->" "prec" "(" attr ")"
+    premise    := "true" | pred { "&" pred }
+    pred       := "prec" "(" attr ")"
+                | tref "[" attr "]" op tref "[" attr "]"   (same attr twice)
+                | tref "[" attr "]" op constant
+    tref       := "t1" | "t2"
+    op         := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    constant   := "..." | '...' | number | null
+    v}
+
+    Example: [t1\[status\] = "working" & t2\[status\] = "retired" -> prec(status)] *)
+
+(** [parse s] parses one constraint. *)
+val parse : string -> (Constraint_ast.t, string) result
+
+(** [parse_exn s] is {!parse}, raising [Failure] on error. *)
+val parse_exn : string -> Constraint_ast.t
+
+(** [parse_many s] parses a newline- or semicolon-separated list; lines
+    starting with [#] are comments. *)
+val parse_many : string -> (Constraint_ast.t list, string) result

@@ -1,0 +1,1 @@
+lib/datagen/career.ml: Array Cfd Currency Entity List Printf Random Schema Tuple Types Value

@@ -1,0 +1,1 @@
+lib/datagen/career.mli: Schema Types

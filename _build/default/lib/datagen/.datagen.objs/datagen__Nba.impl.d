@@ -1,0 +1,1 @@
+lib/datagen/nba.ml: Array Cfd Currency Entity Hashtbl List Option Printf Random Schema Tuple Types Value

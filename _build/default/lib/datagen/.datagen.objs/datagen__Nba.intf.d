@@ -1,0 +1,1 @@
+lib/datagen/nba.mli: Schema Types

@@ -1,0 +1,1 @@
+lib/datagen/person.ml: Array Cfd Currency Entity List Printf Random Schema Tuple Types Value

@@ -1,0 +1,1 @@
+lib/datagen/person.mli: Schema Types

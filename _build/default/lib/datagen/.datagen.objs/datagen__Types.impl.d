@@ -1,0 +1,1 @@
+lib/datagen/types.ml: Array Cfd Crcore Currency Entity Float Random Schema Tuple

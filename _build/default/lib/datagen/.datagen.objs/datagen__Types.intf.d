@@ -1,0 +1,1 @@
+lib/datagen/types.mli: Cfd Crcore Currency Entity Random Schema Tuple

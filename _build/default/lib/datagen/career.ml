@@ -1,0 +1,148 @@
+let schema = Schema.make [ "first_name"; "last_name"; "affiliation"; "city"; "country" ]
+
+type params = {
+  n_affiliations : int;
+  n_countries : int;
+  n_entities : int;
+  pubs_min : int;
+  pubs_max : int;
+  citation_prob : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_affiliations = 174;
+    n_countries = 20;
+    n_entities = 65;
+    pubs_min = 2;
+    pubs_max = 175;
+    citation_prob = 0.75;
+    seed = 2013;
+  }
+
+type affiliation = { aff : string; city : string; country : string }
+
+type world = { affs : affiliation array }
+
+let make_world p rng =
+  let affs =
+    Array.init p.n_affiliations (fun i ->
+        {
+          aff = Printf.sprintf "univ_%d" i;
+          city = Printf.sprintf "acity_%d" i;
+          country = Printf.sprintf "country_%d" (Random.State.int rng p.n_countries);
+        })
+  in
+  { affs }
+
+let gamma_of_world w =
+  Array.to_list w.affs
+  |> List.concat_map (fun a ->
+         [
+           Cfd.Constant_cfd.make [ ("affiliation", Value.Str a.aff) ] ("city", Value.Str a.city);
+           Cfd.Constant_cfd.make [ ("affiliation", Value.Str a.aff) ] ("country", Value.Str a.country);
+         ])
+
+(* a researcher's affiliation chain: distinct affiliations with pairwise
+   distinct cities (automatic) and countries (enforced), so the derived
+   value-level currency orders are acyclic. Chains follow the global
+   affiliation index order, keeping the union of all persons' citation
+   constraints consistent — different persons may share affiliations, and
+   a pair ordered one way by one person and the other way by another would
+   make every entity containing both values unsatisfiable. *)
+let pick_chain w rng len =
+  let chosen = ref [] in
+  let tries = ref 0 in
+  while List.length !chosen < len && !tries < 200 do
+    incr tries;
+    let i = Random.State.int rng (Array.length w.affs) in
+    let a = w.affs.(i) in
+    if
+      not
+        (List.exists
+           (fun (_, b) -> b.aff = a.aff || b.country = a.country || b.city = a.city)
+           !chosen)
+    then chosen := (i, a) :: !chosen
+  done;
+  List.sort (fun (i, _) (j, _) -> compare i j) !chosen |> List.map snd
+
+(* the citation structure yields currency constraints on the affiliation
+   constants: cited (older) on t1, citing (newer) on t2 *)
+let constraints_for_chain rng ~citation_prob chain =
+  let arr = Array.of_list chain in
+  let n = Array.length arr in
+  let out = ref [] in
+  let emit older newer =
+    let aff_eq r (a : affiliation) =
+      Currency.Constraint_ast.Cmp_const (r, "affiliation", Value.Eq, Value.Str a.aff)
+    in
+    List.iter
+      (fun concl ->
+        out :=
+          Currency.Constraint_ast.make
+            [ aff_eq Currency.Constraint_ast.T1 older; aff_eq Currency.Constraint_ast.T2 newer ]
+            concl
+          :: !out)
+      [ "affiliation"; "city"; "country" ]
+  in
+  for i = 0 to n - 2 do
+    if Random.State.float rng 1.0 < citation_prob then emit arr.(i) arr.(i + 1)
+  done;
+  (* occasional long-range citation *)
+  if n >= 3 && Random.State.float rng 1.0 < 0.3 then emit arr.(0) arr.(n - 1);
+  List.rev !out
+
+let generate_case w rng ~citation_prob ~id ~n_pubs =
+  let first = Printf.sprintf "First_%d" id in
+  let last = Printf.sprintf "Last_%d" id in
+  let chain_len = 2 + Random.State.int rng 3 in
+  let chain = pick_chain w rng chain_len in
+  let chain = if chain = [] then [ w.affs.(0) ] else chain in
+  let arr = Array.of_list chain in
+  let n = Array.length arr in
+  let truth_aff = arr.(n - 1) in
+  let mk (a : affiliation) =
+    Tuple.make schema
+      [ Value.Str first; Value.Str last; Value.Str a.aff; Value.Str a.city; Value.Str a.country ]
+  in
+  let n_pubs = max 2 n_pubs in
+  (* publications spread over the chain; every stage publishes at least once *)
+  let stamped =
+    Array.init n_pubs (fun i ->
+        let stage = if i < n then i else Random.State.int rng n in
+        (mk arr.(stage), stage))
+  in
+  Types.shuffle rng stamped;
+  let constraints = constraints_for_chain rng ~citation_prob chain in
+  ( {
+      Types.id;
+      entity = Entity.make schema (Array.to_list (Array.map fst stamped));
+      truth = mk truth_aff;
+      stamps = Array.map snd stamped;
+    },
+    constraints )
+
+let generate p =
+  let rng = Random.State.make [| p.seed |] in
+  let w = make_world p rng in
+  let results =
+    List.init p.n_entities (fun id ->
+        let n_pubs = p.pubs_min + Random.State.int rng (max 1 (p.pubs_max - p.pubs_min + 1)) in
+        generate_case w rng ~citation_prob:p.citation_prob ~id ~n_pubs)
+  in
+  let cases = List.map fst results in
+  let sigma = List.concat_map snd results in
+  { Types.name = "CAREER"; schema; sigma; gamma = gamma_of_world w; cases }
+
+let quick ?(seed = 7) ~n_entities ~pubs () =
+  generate
+    {
+      n_affiliations = 20;
+      n_countries = 8;
+      n_entities;
+      pubs_min = pubs;
+      pubs_max = pubs;
+      citation_prob = 0.8;
+      seed;
+    }

@@ -1,0 +1,33 @@
+(** CAREER-style synthetic data, standing in for the paper's CiteSeer
+    extract (see DESIGN.md).
+
+    Schema [(first_name, last_name, affiliation, city, country)]: an entity
+    is a researcher; each tuple is the header of one publication, carrying
+    the affiliation and address used at writing time. A researcher moves
+    through a chain of affiliations (each with its own city, countries
+    distinct within a chain so value-level currency stays acyclic).
+
+    Constraints mirror the paper's: when a later paper cites an earlier one
+    by the same person, the affiliation/city/country used in the citing
+    paper are more current — rendered as constant currency constraints on
+    the two affiliations — plus the CFD [affiliation → city] /
+    [affiliation → country] pattern table (347 patterns by default). *)
+
+val schema : Schema.t
+
+type params = {
+  n_affiliations : int;   (** default 174: 348 ≈ 347 CFD patterns *)
+  n_countries : int;      (** default 20 *)
+  n_entities : int;       (** default 65, as in the paper *)
+  pubs_min : int;         (** publications per entity; paper: 2–175 *)
+  pubs_max : int;
+  citation_prob : float;  (** chance an adjacent affiliation pair is
+                              witnessed by a citation (default 0.75) *)
+  seed : int;
+}
+
+val default_params : params
+
+val generate : params -> Types.dataset
+
+val quick : ?seed:int -> n_entities:int -> pubs:int -> unit -> Types.dataset

@@ -1,0 +1,286 @@
+let schema =
+  Schema.make
+    [
+      "pid"; "name"; "true_name"; "team"; "league"; "tname"; "points"; "poss";
+      "allpoints"; "min"; "arena"; "opened"; "capacity"; "city";
+    ]
+
+type params = {
+  n_teams : int;
+  n_renamed_teams : int;
+  n_entities : int;
+  seasons_min : int;
+  seasons_max : int;
+  seed : int;
+}
+
+(* 26 teams with 33 arena moves spread over them gives 59 arenas, hence 59
+   arena→city CFDs; 15 renames + 33 arena moves + 4 ϕ3-family + 2
+   ϕ4-family rules give |Σ| = 54, the count the paper reports. *)
+let default_params =
+  {
+    n_teams = 26;
+    n_renamed_teams = 15;
+    n_entities = 20;
+    seasons_min = 1;
+    seasons_max = 6;
+    seed = 2013;
+  }
+
+type arena_info = { aname : string; opened : int; capacity : int; acity : string }
+
+type team_info = {
+  tnames : string array;       (* name lineage, oldest first *)
+  rename_season : int;         (* global season index of the rename *)
+  arenas : arena_info array;   (* arena lineage, oldest first *)
+  move_seasons : int array;    (* global season at which arena k starts *)
+}
+
+type world = { teams : team_info array; n_seasons : int }
+
+let n_global_seasons = 6 (* 2005/06 .. 2010/11, as in the paper *)
+
+let make_world p rng =
+  (* distribute 33 arena moves over the teams, at most 2 extra arenas each *)
+  let extra = Array.make p.n_teams 0 in
+  let moves = ref (min 33 (2 * p.n_teams)) in
+  let i = ref 0 in
+  while !moves > 0 do
+    let t = !i mod p.n_teams in
+    if extra.(t) < 2 then begin
+      extra.(t) <- extra.(t) + 1;
+      decr moves
+    end;
+    incr i
+  done;
+  let teams =
+    Array.init p.n_teams (fun t ->
+        let renamed = t < p.n_renamed_teams in
+        let tnames =
+          if renamed then [| Printf.sprintf "tname_%d_old" t; Printf.sprintf "tname_%d_new" t |]
+          else [| Printf.sprintf "tname_%d" t |]
+        in
+        let n_arenas = 1 + extra.(t) in
+        let arenas =
+          (* opened/capacity injective in (t, k): a year or capacity shared
+             by two arenas would let ϕ4 inferences leak across teams *)
+          Array.init n_arenas (fun k ->
+              {
+                aname = Printf.sprintf "arena_%d_%d" t k;
+                opened = 1900 + (10 * t) + k;
+                capacity = 15000 + (1000 * t) + (100 * k);
+                acity = Printf.sprintf "nba_city_%d_%d" t k;
+              })
+        in
+        let move_seasons =
+          Array.init n_arenas (fun k ->
+              if k = 0 then 0 else k * (n_global_seasons / n_arenas) |> max 1)
+        in
+        {
+          tnames;
+          rename_season = 1 + Random.State.int rng (n_global_seasons - 1);
+          arenas;
+          move_seasons;
+        })
+  in
+  { teams; n_seasons = n_global_seasons }
+
+let tname_at team s = if Array.length team.tnames > 1 && s >= team.rename_season then team.tnames.(1) else team.tnames.(0)
+
+let arena_at team s =
+  let k = ref 0 in
+  Array.iteri (fun i start -> if s >= start then k := i) team.move_seasons;
+  team.arenas.(!k)
+
+let sigma_of_world w =
+  let cc premise concl = Currency.Constraint_ast.make premise concl in
+  let const r attr v =
+    Currency.Constraint_ast.Cmp_const (r, attr, Value.Eq, Value.Str v)
+  in
+  let tname_cs =
+    Array.to_list w.teams
+    |> List.filter_map (fun t ->
+           if Array.length t.tnames > 1 then
+             Some
+               (cc
+                  [ const Currency.Constraint_ast.T1 "tname" t.tnames.(0);
+                    const Currency.Constraint_ast.T2 "tname" t.tnames.(1) ]
+                  "tname")
+           else None)
+  in
+  let arena_cs =
+    Array.to_list w.teams
+    |> List.concat_map (fun t ->
+           List.init
+             (Array.length t.arenas - 1)
+             (fun k ->
+               cc
+                 [ const Currency.Constraint_ast.T1 "arena" t.arenas.(k).aname;
+                   const Currency.Constraint_ast.T2 "arena" t.arenas.(k + 1).aname ]
+                 "arena"))
+  in
+  (* ϕ3 family: larger career total ⇒ more current per-season values.
+     (The paper also lists tname here; with the full historical join that
+     rule would contradict the tname lineages — see DESIGN.md — so the
+     lineage constraints carry the tname ordering instead.) *)
+  let phi3 =
+    List.map
+      (fun b ->
+        cc [ Currency.Constraint_ast.Cmp2 ("allpoints", Value.Lt) ] b)
+      [ "points"; "poss"; "min"; "allpoints" ]
+  in
+  (* ϕ4 family: a more current arena ⇒ more current arena facts. The
+     paper's B excludes city: the arena→city CFDs of Γ are what ties the
+     city down, so Σ and Γ genuinely complement each other. *)
+  let phi4 =
+    List.map
+      (fun b -> cc [ Currency.Constraint_ast.Prec "arena" ] b)
+      [ "opened"; "capacity" ]
+  in
+  tname_cs @ arena_cs @ phi3 @ phi4
+
+let gamma_of_world w =
+  Array.to_list w.teams
+  |> List.concat_map (fun t ->
+         Array.to_list t.arenas
+         |> List.map (fun a ->
+                Cfd.Constant_cfd.make
+                  [ ("arena", Value.Str a.aname) ]
+                  ("city", Value.Str a.acity)))
+
+(* distinct per-season numbers within an entity, so value-level currency
+   orders never cycle *)
+let fresh rng used base spread =
+  let rec go () =
+    let v = base + Random.State.int rng spread in
+    if Hashtbl.mem used v then go ()
+    else begin
+      Hashtbl.add used v ();
+      v
+    end
+  in
+  go ()
+
+let generate_case ?pad_to w rng ~id ~n_seasons =
+  let pid = Printf.sprintf "pid_%d" id in
+  let pname = Printf.sprintf "player_%d" id in
+  let true_name = Printf.sprintf "Player %d" id in
+  let n_seasons = max 1 (min n_seasons w.n_seasons) in
+  let start = Random.State.int rng (w.n_seasons - n_seasons + 1) in
+  (* career: consecutive seasons; occasional switch to a fresh team *)
+  let used_teams = Hashtbl.create 4 in
+  let pick_team () =
+    let rec go () =
+      let t = Random.State.int rng (Array.length w.teams) in
+      if Hashtbl.mem used_teams t then go () else (Hashtbl.add used_teams t (); t)
+    in
+    go ()
+  in
+  let team = ref (pick_team ()) in
+  let used_pts = Hashtbl.create 16 in
+  let used_poss = Hashtbl.create 16 in
+  let used_min = Hashtbl.create 16 in
+  let allpoints = ref 0 in
+  let rows = ref [] in
+  let last_snapshot = ref None in
+  for s_off = 0 to n_seasons - 1 do
+    let s = start + s_off in
+    if s_off > 0 && Random.State.float rng 1.0 < 0.2 && Hashtbl.length used_teams < Array.length w.teams
+    then team := pick_team ();
+    let t = w.teams.(!team) in
+    let points = fresh rng used_pts 200 1800 in
+    allpoints := !allpoints + points;
+    let poss = fresh rng used_poss 500 3000 in
+    let mins = fresh rng used_min 400 2500 in
+    let mk_row ~tname ~arena poss mins =
+      Tuple.make schema
+        [
+          Value.Str pid; Value.Str pname; Value.Str true_name;
+          Value.Str (Printf.sprintf "team_%d" !team);
+          Value.Str "NBA"; Value.Str tname; Value.Int points; Value.Int poss;
+          Value.Int !allpoints; Value.Int mins; Value.Str arena.aname;
+          Value.Int arena.opened; Value.Int arena.capacity; Value.Str arena.acity;
+        ]
+    in
+    (* the paper's join pairs each season's stats with every historical
+       team-name/arena record of the team up to that season *)
+    let names_so_far =
+      if Array.length t.tnames > 1 && s >= t.rename_season then [ t.tnames.(0); t.tnames.(1) ]
+      else [ t.tnames.(0) ]
+    in
+    let arenas_so_far =
+      Array.to_list
+        (Array.of_list
+           (List.filteri (fun k _ -> t.move_seasons.(k) <= s) (Array.to_list t.arenas)))
+    in
+    List.iter
+      (fun tname ->
+        List.iter
+          (fun arena -> rows := (mk_row ~tname ~arena poss mins, s) :: !rows)
+          arenas_so_far)
+      names_so_far;
+    let current = mk_row ~tname:(tname_at t s) ~arena:(arena_at t s) poss mins in
+    last_snapshot := Some current;
+    (* secondary-source variants: same season, different poss/min readings *)
+    let n_variants = Random.State.int rng 3 in
+    for _ = 1 to n_variants do
+      let poss' = fresh rng used_poss 500 3000 in
+      let mins' = fresh rng used_min 400 2500 in
+      rows := (mk_row ~tname:(tname_at t s) ~arena:(arena_at t s) poss' mins', s) :: !rows
+    done
+  done;
+  let truth = Option.get !last_snapshot in
+  let base = Array.of_list !rows in
+  let n = Array.length base in
+  let target = match pad_to with Some k -> max k (max n 2) | None -> max n 2 in
+  let stamped = Array.init target (fun i -> base.(i mod n)) in
+  Types.shuffle rng stamped;
+  {
+    Types.id;
+    entity = Entity.make schema (Array.to_list (Array.map fst stamped));
+    truth;
+    stamps = Array.map snd stamped;
+  }
+
+let generate p =
+  let rng = Random.State.make [| p.seed |] in
+  let w = make_world p rng in
+  let cases =
+    List.init p.n_entities (fun id ->
+        let n_seasons =
+          p.seasons_min + Random.State.int rng (max 1 (p.seasons_max - p.seasons_min + 1))
+        in
+        generate_case w rng ~id ~n_seasons)
+  in
+  {
+    Types.name = "NBA";
+    schema;
+    sigma = sigma_of_world w;
+    gamma = gamma_of_world w;
+    cases;
+  }
+
+let generate_sized p ~sizes =
+  let rng = Random.State.make [| p.seed |] in
+  let w = make_world p rng in
+  let cases =
+    List.mapi
+      (fun id size ->
+        (* longer careers for bigger requested entities, so distinct
+           content (active domains) grows with size as in the real join *)
+        let n_seasons = max p.seasons_min (min p.seasons_max (1 + (size / 20))) in
+        generate_case ~pad_to:size w rng ~id ~n_seasons)
+      sizes
+  in
+  { Types.name = "NBA"; schema; sigma = sigma_of_world w; gamma = gamma_of_world w; cases }
+
+let quick ?(seed = 7) ~n_entities ~seasons () =
+  generate
+    {
+      n_teams = 6;
+      n_renamed_teams = 3;
+      n_entities;
+      seasons_min = seasons;
+      seasons_max = seasons;
+      seed;
+    }

@@ -1,0 +1,35 @@
+(** NBA-style synthetic data, standing in for the paper's real NBA table
+    (player/stat/arena join; see DESIGN.md for the substitution).
+
+    Schema (14 attributes as in the paper): [(pid, name, true_name, team,
+    league, tname, points, poss, allpoints, min, arena, opened, capacity,
+    city)]. An entity is a player; its tuples are season snapshots joined
+    against the historical team-name and arena rows of the player's team,
+    so an entity ranges over a few to >100 tuples. The constraint families
+    mirror the paper's: team-name lineage constraints (ϕ1 form), arena
+    lineage constraints (ϕ2), the cumulative-points rule making higher
+    [allpoints] more current in the per-season attributes (ϕ3 family), the
+    arena-implication family (ϕ4), and arena → city/capacity CFDs (ψ1). *)
+
+val schema : Schema.t
+
+type params = {
+  n_teams : int;            (** default 30 *)
+  n_renamed_teams : int;    (** teams with a second name; 15 lineage rules *)
+  n_entities : int;
+  seasons_min : int;        (** career length bounds, 1..6 *)
+  seasons_max : int;
+  seed : int;
+}
+
+val default_params : params
+
+val generate : params -> Types.dataset
+
+(** [generate_sized p ~sizes] makes one case per requested entity size
+    (padding with duplicate rows, as the paper's joined table also
+    contains); used by the scalability benches' size buckets. *)
+val generate_sized : params -> sizes:int list -> Types.dataset
+
+(** [quick ?seed ~n_entities ~seasons ()] small instance for tests. *)
+val quick : ?seed:int -> n_entities:int -> seasons:int -> unit -> Types.dataset

@@ -1,0 +1,215 @@
+let schema =
+  Schema.make [ "name"; "status"; "job"; "kids"; "city"; "AC"; "zip"; "county" ]
+
+type params = {
+  n_status_chains : int;
+  n_job_chains : int;
+  n_cities : int;
+  n_entities : int;
+  size_min : int;
+  size_max : int;
+  extra_events : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_status_chains = 300;
+    n_job_chains = 378;
+    n_cities = 1000;
+    n_entities = 10;
+    size_min = 4;
+    size_max = 12;
+    extra_events = 0;
+    seed = 2013;
+  }
+
+type city_info = { cname : string; ac : int; zips : (int * string) array }
+
+type world = {
+  cities : city_info array;
+  status_chains : string array array;
+  job_chains : string array array;
+}
+
+let make_world p =
+  let cities =
+    Array.init p.n_cities (fun i ->
+        {
+          cname = Printf.sprintf "city_%d" i;
+          ac = 100 + i;
+          zips =
+            Array.init 3 (fun j ->
+                ((1000 * (i + 1)) + j, Printf.sprintf "county_%d_%d" i j));
+        })
+  in
+  let status_chains =
+    Array.init p.n_status_chains (fun i ->
+        [|
+          Printf.sprintf "working_%d" i;
+          Printf.sprintf "retired_%d" i;
+          Printf.sprintf "deceased_%d" i;
+        |])
+  in
+  let job_chains =
+    Array.init p.n_job_chains (fun i ->
+        [| Printf.sprintf "junior_job_%d" i; Printf.sprintf "senior_job_%d" i |])
+  in
+  { cities; status_chains; job_chains }
+
+let sigma_of_world w =
+  let prec_chain attr chain =
+    List.init
+      (Array.length chain - 1)
+      (fun k ->
+        Currency.Constraint_ast.make
+          [
+            Currency.Constraint_ast.Cmp_const
+              (Currency.Constraint_ast.T1, attr, Value.Eq, Value.Str chain.(k));
+            Currency.Constraint_ast.Cmp_const
+              (Currency.Constraint_ast.T2, attr, Value.Eq, Value.Str chain.(k + 1));
+          ]
+          attr)
+  in
+  let status_cs =
+    Array.to_list w.status_chains |> List.concat_map (prec_chain "status")
+  in
+  let job_cs = Array.to_list w.job_chains |> List.concat_map (prec_chain "job") in
+  let phi4 =
+    Currency.Constraint_ast.make
+      [ Currency.Constraint_ast.Cmp2 ("kids", Value.Lt) ]
+      "kids"
+  in
+  let imp src dst =
+    Currency.Constraint_ast.make [ Currency.Constraint_ast.Prec src ] dst
+  in
+  let phi8 =
+    Currency.Constraint_ast.make
+      [ Currency.Constraint_ast.Prec "city"; Currency.Constraint_ast.Prec "zip" ]
+      "county"
+  in
+  status_cs @ job_cs
+  @ [ phi4; imp "status" "job"; imp "status" "AC"; imp "status" "zip"; phi8 ]
+
+let gamma_of_world w =
+  Array.to_list w.cities
+  |> List.map (fun c ->
+         Cfd.Constant_cfd.make
+           [ ("AC", Value.Int c.ac) ]
+           ("city", Value.Str c.cname))
+
+type state = {
+  status_idx : int;
+  job_idx : int;
+  kids : int;
+  city : int; (* index into the entity's private city itinerary *)
+  zip_slot : int;
+}
+
+let tuple_of_state w ~name ~itinerary ~status_chain ~job_chain st =
+  let city = w.cities.(List.nth itinerary st.city) in
+  let zip, county = city.zips.(st.zip_slot) in
+  Tuple.make schema
+    [
+      Value.Str name;
+      Value.Str status_chain.(st.status_idx);
+      Value.Str job_chain.(st.job_idx);
+      Value.Int st.kids;
+      Value.Str city.cname;
+      Value.Int city.ac;
+      Value.Int zip;
+      Value.Str county;
+    ]
+
+let generate_case w rng ~id ~size ~extra_events =
+  let name = Printf.sprintf "person_%d" id in
+  let status_chain = w.status_chains.(Random.State.int rng (Array.length w.status_chains)) in
+  let job_chain = w.job_chains.(Random.State.int rng (Array.length w.job_chains)) in
+  (* itinerary: distinct cities so values never revisit older ones *)
+  let n_moves = 1 + Random.State.int rng 2 + (extra_events / 3) in
+  let itinerary =
+    List.init (n_moves + 1) (fun _ -> Random.State.int rng (Array.length w.cities))
+    |> List.sort_uniq compare
+  in
+  let n_cities_used = List.length itinerary in
+  let init =
+    {
+      status_idx = 0;
+      job_idx = 0;
+      kids = Random.State.int rng 2;
+      city = 0;
+      zip_slot = 0;
+    }
+  in
+  (* build the history: each event changes the state *)
+  let states = ref [ init ] in
+  let current = ref init in
+  let n_events = 3 + Random.State.int rng 4 + extra_events in
+  for _ = 1 to n_events do
+    let st = !current in
+    let options =
+      List.concat
+        [
+          (if st.status_idx < Array.length status_chain - 1 then [ `Status ] else []);
+          (if st.job_idx < Array.length job_chain - 1 then [ `Job ] else []);
+          [ `Kids ];
+          (if st.city < n_cities_used - 1 then [ `Move ] else []);
+          (if st.zip_slot < 2 then [ `Zip ] else []);
+        ]
+    in
+    let ev = List.nth options (Random.State.int rng (List.length options)) in
+    let st' =
+      match ev with
+      | `Status -> { st with status_idx = st.status_idx + 1 }
+      | `Job -> { st with job_idx = st.job_idx + 1 }
+      | `Kids -> { st with kids = st.kids + 1 }
+      | `Move -> { st with city = st.city + 1; zip_slot = 0 }
+      | `Zip -> { st with zip_slot = st.zip_slot + 1 }
+    in
+    current := st';
+    states := st' :: !states
+  done;
+  let states = List.rev !states in
+  let mk = tuple_of_state w ~name ~itinerary ~status_chain ~job_chain in
+  let truth = mk !current in
+  let base = Array.of_list (List.mapi (fun i st -> (mk st, i)) states) in
+  (* pad or trim to the requested size by cycling the history *)
+  let n_base = Array.length base in
+  let size = max 2 size in
+  let stamped = Array.init size (fun i -> base.(i mod n_base)) in
+  Types.shuffle rng stamped;
+  {
+    Types.id;
+    entity = Entity.make schema (Array.to_list (Array.map fst stamped));
+    truth;
+    stamps = Array.map snd stamped;
+  }
+
+let generate p =
+  let w = make_world p in
+  let rng = Random.State.make [| p.seed |] in
+  let cases =
+    List.init p.n_entities (fun id ->
+        let size = p.size_min + Random.State.int rng (max 1 (p.size_max - p.size_min + 1)) in
+        generate_case w rng ~id ~size ~extra_events:p.extra_events)
+  in
+  {
+    Types.name = "Person";
+    schema;
+    sigma = sigma_of_world w;
+    gamma = gamma_of_world w;
+    cases;
+  }
+
+let quick ?(seed = 7) ~n_entities ~size () =
+  generate
+    {
+      n_status_chains = 5;
+      n_job_chains = 5;
+      n_cities = 12;
+      n_entities;
+      size_min = size;
+      size_max = size;
+      extra_events = 0;
+      seed;
+    }

@@ -1,0 +1,38 @@
+(** The paper's synthetic Person data (Section VI): schema
+    [(name, status, job, kids, city, AC, zip, county)] as in Fig. 2,
+    currency constraints of the ϕ1–ϕ8 forms with distinct constants, and a
+    CFD [AC → city] with one pattern per city (counted as distinct constant
+    CFDs, 1000 by default — total 983 + 1000 constraints as reported).
+
+    Each entity is produced by simulating a life history — status and job
+    advance along a chain, kids grow monotonically, moves go to fresh
+    cities so the value-level currency model stays consistent — and
+    emitting its states as shuffled, timestamp-free tuples. The ground
+    truth is the last state. *)
+
+val schema : Schema.t
+
+type params = {
+  n_status_chains : int;  (** default 300; 2 constraints each *)
+  n_job_chains : int;     (** default 378; 1 constraint each *)
+  n_cities : int;         (** default 1000; 1 CFD pattern each *)
+  n_entities : int;
+  size_min : int;         (** tuples per entity, inclusive bounds *)
+  size_max : int;
+  extra_events : int;
+      (** extra life events per entity (default 0): richer histories mean
+          larger active domains and larger encodings *)
+  seed : int;
+}
+
+(** Defaults sized to the paper: 983 currency constraints, 1000 CFD
+    patterns, 10 entities of 4–12 tuples. Override what you need. *)
+val default_params : params
+
+(** [generate params] builds the dataset. *)
+val generate : params -> Types.dataset
+
+(** [quick ?seed ~n_entities ~size ()] is a small-world convenience for
+    tests and examples: few chains/cities, entities of exactly [size]
+    tuples. *)
+val quick : ?seed:int -> n_entities:int -> size:int -> unit -> Types.dataset

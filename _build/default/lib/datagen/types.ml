@@ -1,0 +1,29 @@
+type case = { id : int; entity : Entity.t; truth : Tuple.t; stamps : int array }
+
+type dataset = {
+  name : string;
+  schema : Schema.t;
+  sigma : Currency.Constraint_ast.t list;
+  gamma : Cfd.Constant_cfd.t list;
+  cases : case list;
+}
+
+let shuffle st arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let take_frac ~seed frac l =
+  let frac = Float.max 0. (Float.min 1. frac) in
+  let arr = Array.of_list l in
+  shuffle (Random.State.make [| seed |]) arr;
+  let k = int_of_float (ceil (frac *. float_of_int (Array.length arr))) in
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))
+
+let spec_of ?(sigma_frac = 1.0) ?(gamma_frac = 1.0) ?(subset_seed = 2013) ds case =
+  let sigma = take_frac ~seed:subset_seed sigma_frac ds.sigma in
+  let gamma = take_frac ~seed:(subset_seed + 1) gamma_frac ds.gamma in
+  Crcore.Spec.make case.entity ~orders:[] ~sigma ~gamma

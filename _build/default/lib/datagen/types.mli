@@ -1,0 +1,36 @@
+(** Shared shapes for the synthetic datasets of the evaluation: a dataset
+    bundles a schema, the constraint sets Σ and Γ discovered/designed for
+    it, and entity cases with ground truth (the generator knows the last
+    state of each simulated history). *)
+
+(** One entity: its (conflicting, shuffled) tuples plus the ground-truth
+    current tuple used to simulate user interactions and score accuracy.
+    [stamps.(i)] is tuple [i]'s position in the simulated history — the
+    timestamp the conflict-resolution pipeline never sees, kept for
+    verifying results and for the constraint-discovery extension, exactly
+    as the paper held incomplete timestamps out for validation. *)
+type case = { id : int; entity : Entity.t; truth : Tuple.t; stamps : int array }
+
+type dataset = {
+  name : string;
+  schema : Schema.t;
+  sigma : Currency.Constraint_ast.t list;
+  gamma : Cfd.Constant_cfd.t list;
+  cases : case list;
+}
+
+(** [spec_of ?sigma_frac ?gamma_frac ?subset_seed ds case] builds the
+    specification of [case] with the given fractions of Σ and Γ (both
+    default 1.0): the paper's Fig. 8(f)–(p) vary exactly these. The subset
+    is a deterministic seeded sample, identical across calls with the same
+    seed. Currency orders start empty, as in all the paper's
+    experiments. *)
+val spec_of :
+  ?sigma_frac:float -> ?gamma_frac:float -> ?subset_seed:int -> dataset -> case -> Crcore.Spec.t
+
+(** [shuffle st arr] Fisher–Yates in place. *)
+val shuffle : Random.State.t -> 'a array -> unit
+
+(** [take_frac ~seed frac l] is a deterministic sample of [⌈frac·n⌉]
+    elements of [l] (clamped to [0,1]). *)
+val take_frac : seed:int -> float -> 'a list -> 'a list

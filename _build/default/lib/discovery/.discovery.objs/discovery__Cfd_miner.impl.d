@@ -1,0 +1,1 @@
+lib/discovery/cfd_miner.ml: Cfd Hashtbl List Schema Tuple Value

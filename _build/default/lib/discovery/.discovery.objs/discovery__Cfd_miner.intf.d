@@ -1,0 +1,1 @@
+lib/discovery/cfd_miner.mli: Cfd Schema Tuple

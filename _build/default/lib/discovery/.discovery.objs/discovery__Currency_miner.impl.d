@@ -1,0 +1,1 @@
+lib/discovery/currency_miner.ml: Currency Fun Hashtbl List Schema Stamped Tuple Value

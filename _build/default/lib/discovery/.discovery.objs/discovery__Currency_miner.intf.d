@@ -1,0 +1,1 @@
+lib/discovery/currency_miner.mli: Currency Stamped

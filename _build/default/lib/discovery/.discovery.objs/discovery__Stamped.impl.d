@@ -1,0 +1,1 @@
+lib/discovery/stamped.ml: Currency Hashtbl List Schema Tuple Value

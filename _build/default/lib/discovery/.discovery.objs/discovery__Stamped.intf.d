@@ -1,0 +1,1 @@
+lib/discovery/stamped.mli: Currency Schema Tuple Value

@@ -1,0 +1,60 @@
+type config = { min_support : int; min_confidence : float }
+
+let default_config = { min_support = 2; min_confidence = 1.0 }
+
+let mine ?(config = default_config) schema rows =
+  let arity = Schema.arity schema in
+  let out = ref [] in
+  for a = 0 to arity - 1 do
+    for b = 0 to arity - 1 do
+      if a <> b then begin
+        (* group rows by the value of a; count b-values per group *)
+        let groups : (string, Value.t * (string, Value.t * int ref) Hashtbl.t * int ref) Hashtbl.t =
+          Hashtbl.create 32
+        in
+        List.iter
+          (fun t ->
+            let va = Tuple.get t a and vb = Tuple.get t b in
+            if not (Value.is_null va || Value.is_null vb) then begin
+              let ka = Value.to_string va in
+              let _, counts, total =
+                match Hashtbl.find_opt groups ka with
+                | Some g -> g
+                | None ->
+                    let g = (va, Hashtbl.create 4, ref 0) in
+                    Hashtbl.replace groups ka g;
+                    g
+              in
+              incr total;
+              let kb = Value.to_string vb in
+              match Hashtbl.find_opt counts kb with
+              | Some (_, n) -> incr n
+              | None -> Hashtbl.replace counts kb (vb, ref 1)
+            end)
+          rows;
+        Hashtbl.iter
+          (fun _ (va, counts, total) ->
+            if !total >= config.min_support then begin
+              (* best b value for this a value *)
+              let best = ref None in
+              Hashtbl.iter
+                (fun _ (vb, n) ->
+                  match !best with
+                  | Some (_, m) when m >= !n -> ()
+                  | _ -> best := Some (vb, !n))
+                counts;
+              match !best with
+              | Some (vb, n) when float_of_int n /. float_of_int !total >= config.min_confidence
+                ->
+                  out :=
+                    Cfd.Constant_cfd.make
+                      [ (Schema.name schema a, va) ]
+                      (Schema.name schema b, vb)
+                    :: !out
+              | _ -> ()
+            end)
+          groups
+      end
+    done
+  done;
+  List.sort (fun x y -> compare (Cfd.Constant_cfd.to_string x) (Cfd.Constant_cfd.to_string y)) !out

@@ -1,0 +1,17 @@
+(** Constant-CFD discovery from (possibly dirty) relation samples — the
+    role the paper assigns to the CFD-discovery literature (its refs [5]
+    and [14]). Mines single-attribute-LHS constant CFDs [A = a → B = b]:
+    for every value [a] of [A] with enough support, if at least
+    [min_confidence] of the rows carrying [a] agree on one [B]-value [b],
+    the pattern is emitted. *)
+
+type config = {
+  min_support : int;      (** rows carrying the LHS value (default 2) *)
+  min_confidence : float; (** agreement ratio on the RHS value (default 1.0) *)
+}
+
+val default_config : config
+
+(** [mine ?config schema rows] scans all attribute pairs. Null values
+    never participate in patterns. *)
+val mine : ?config:config -> Schema.t -> Tuple.t list -> Cfd.Constant_cfd.t list

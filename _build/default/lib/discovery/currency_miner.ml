@@ -1,0 +1,96 @@
+type config = { min_support : int; min_confidence : float; max_transitions : int }
+
+let default_config = { min_support = 1; min_confidence = 1.0; max_transitions = 10_000 }
+
+(* transition pairs per attribute: (v1, v2) observed with v1 strictly
+   earlier than v2 in some entity; kept when never observed reversed and
+   supported by enough entities *)
+let transition_candidates ds config =
+  let schema = ds.Stamped.schema in
+  let arity = Schema.arity schema in
+  let seen = Hashtbl.create 256 in
+  (* key: (attr, v1 string, v2 string) -> (v1, v2, entity set) *)
+  List.iteri
+    (fun i _ ->
+      List.iter
+        (fun a ->
+          let ranks = Stamped.value_rank ds i a in
+          List.iter
+            (fun (v1, r1) ->
+              List.iter
+                (fun (v2, r2) ->
+                  if r1 < r2 && not (Value.equal v1 v2) then begin
+                    let key = (a, Value.to_string v1, Value.to_string v2) in
+                    let entry =
+                      match Hashtbl.find_opt seen key with
+                      | Some (_, _, s) -> s
+                      | None ->
+                          let s = Hashtbl.create 4 in
+                          Hashtbl.replace seen key (v1, v2, s);
+                          s
+                    in
+                    Hashtbl.replace entry i ()
+                  end)
+                ranks)
+            ranks)
+        (List.init arity Fun.id))
+    ds.Stamped.entities;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun (a, k1, k2) (v1, v2, support) ->
+      let reversed = Hashtbl.mem seen (a, k2, k1) in
+      if (not reversed) && Hashtbl.length support >= config.min_support then
+        out :=
+          Currency.Constraint_ast.make
+            [
+              Currency.Constraint_ast.Cmp_const (Currency.Constraint_ast.T1, Schema.name schema a, Value.Eq, v1);
+              Currency.Constraint_ast.Cmp_const (Currency.Constraint_ast.T2, Schema.name schema a, Value.Eq, v2);
+            ]
+            (Schema.name schema a)
+          :: !out)
+    seen;
+  let sorted = List.sort (fun a b -> compare (Currency.Constraint_ast.to_string a) (Currency.Constraint_ast.to_string b)) !out in
+  List.filteri (fun i _ -> i < config.max_transitions) sorted
+
+let numeric v = match v with Value.Int _ | Value.Float _ -> true | _ -> false
+
+let monotone_candidates ds =
+  let schema = ds.Stamped.schema in
+  let arity = Schema.arity schema in
+  List.filter_map
+    (fun a ->
+      (* attribute must be numeric wherever non-null *)
+      let ok = ref true and has_numeric = ref false in
+      List.iter
+        (List.iter (fun (t, _) ->
+             let v = Tuple.get t a in
+             if numeric v then has_numeric := true
+             else if not (Value.is_null v) then ok := false))
+        ds.Stamped.entities;
+      if !ok && !has_numeric then
+        Some
+          (Currency.Constraint_ast.make
+             [ Currency.Constraint_ast.Cmp2 (Schema.name schema a, Value.Lt) ]
+             (Schema.name schema a))
+      else None)
+    (List.init arity Fun.id)
+
+let implication_candidates ds =
+  let schema = ds.Stamped.schema in
+  let names = Schema.attr_names schema in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if a = b then None
+          else
+            Some
+              (Currency.Constraint_ast.make [ Currency.Constraint_ast.Prec a ] b))
+        names)
+    names
+
+let mine ?(config = default_config) ds =
+  let candidates =
+    transition_candidates ds config @ monotone_candidates ds @ implication_candidates ds
+  in
+  List.filter (fun c -> Stamped.holds_frac ds c >= config.min_confidence) candidates

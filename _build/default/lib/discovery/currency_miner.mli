@@ -1,0 +1,28 @@
+(** Currency-constraint discovery from timestamped samples.
+
+    Candidate generation covers the constraint families of the paper's
+    experiments (Fig. 3 and Section VI):
+
+    - {b transitions}: [t1\[A\] = c1 & t2\[A\] = c2 -> prec(A)] for value
+      pairs that only ever appear in one temporal order (ϕ1–ϕ3 style);
+    - {b monotone}: [t1\[A\] < t2\[A\] -> prec(A)] for numeric attributes
+      that only grow over time (ϕ4 style);
+    - {b implications}: [prec(A) -> prec(B)] for attribute pairs where the
+      induced currency orders never disagree (ϕ5–ϕ7 style).
+
+    Every candidate is validated against the timestamp-induced value
+    orders with {!Stamped.holds_frac}; candidates at or above
+    [min_confidence] (default 1.0: no observed violation) are kept. *)
+
+type config = {
+  min_support : int;
+      (** minimum number of entities witnessing a transition pair
+          (default 1) *)
+  min_confidence : float;  (** acceptance threshold (default 1.0) *)
+  max_transitions : int;   (** cap on emitted transition rules (default 10_000) *)
+}
+
+val default_config : config
+
+(** [mine ?config ds] returns accepted constraints, transitions first. *)
+val mine : ?config:config -> Stamped.t -> Currency.Constraint_ast.t list

@@ -1,0 +1,59 @@
+type t = { schema : Schema.t; entities : (Tuple.t * int) list list }
+
+let make schema entities =
+  List.iter
+    (fun e ->
+      if e = [] then invalid_arg "Stamped.make: empty entity";
+      List.iter
+        (fun (t, _) ->
+          if not (Schema.equal (Tuple.schema t) schema) then
+            invalid_arg "Stamped.make: schema mismatch")
+        e)
+    entities;
+  { schema; entities }
+
+let value_rank ds i attr =
+  let e = List.nth ds.entities i in
+  let ranks = ref [] in
+  List.iter
+    (fun (t, stamp) ->
+      let v = Tuple.get t attr in
+      match List.assoc_opt (Value.to_string v) !ranks with
+      | Some (_, r) when r <= stamp -> ()
+      | _ -> ranks := (Value.to_string v, (v, stamp)) :: List.remove_assoc (Value.to_string v) !ranks)
+    e;
+  List.map snd !ranks
+
+let lt_of_entity ds i =
+  let schema = ds.schema in
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun a _ ->
+      List.iter
+        (fun (v, r) -> Hashtbl.replace table (a, Value.to_string v) r)
+        (value_rank ds i a))
+    (Schema.attr_names schema);
+  fun attr v1 v2 ->
+    let a = Schema.index schema attr in
+    match (Hashtbl.find_opt table (a, Value.to_string v1), Hashtbl.find_opt table (a, Value.to_string v2)) with
+    | Some r1, Some r2 -> r1 < r2 && not (Value.equal v1 v2)
+    | _ -> false
+
+let holds_frac ds c =
+  let total = ref 0 and good = ref 0 in
+  List.iteri
+    (fun i e ->
+      let lt = lt_of_entity ds i in
+      let tuples = List.map fst e in
+      List.iter
+        (fun t1 ->
+          List.iter
+            (fun t2 ->
+              if not (t1 == t2) then begin
+                incr total;
+                if Currency.Constraint_ast.holds c ~lt t1 t2 then incr good
+              end)
+            tuples)
+        tuples)
+    ds.entities;
+  if !total = 0 then 1.0 else float_of_int !good /. float_of_int !total

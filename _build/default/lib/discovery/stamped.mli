@@ -1,0 +1,29 @@
+(** Training data for constraint discovery: entity instances whose tuples
+    carry (possibly coarse) timestamps — the setting of the paper's
+    Remark (2), which proposes discovering currency constraints "along the
+    same lines as CFD discovery". Timestamps induce per-attribute
+    value-currency orders that candidate constraints are validated
+    against. *)
+
+type t = {
+  schema : Schema.t;
+  entities : (Tuple.t * int) list list;
+      (** per entity: tuples with their timestamps *)
+}
+
+val make : Schema.t -> (Tuple.t * int) list list -> t
+
+(** [value_rank ds entity_idx attr] maps each value of the attribute to
+    the earliest timestamp it carries in that entity; the induced strict
+    order ("earlier first seen = less current") is the ground currency
+    order used to check candidates. *)
+val value_rank : t -> int -> int -> (Value.t * int) list
+
+(** [lt_of_entity ds i] is the induced value-currency order of entity [i]
+    as a predicate usable with {!Currency.Constraint_ast.holds}. *)
+val lt_of_entity : t -> int -> string -> Value.t -> Value.t -> bool
+
+(** [holds_frac ds c] is the fraction of (entity, ordered tuple pair)
+    checks on which constraint [c] holds; 1.0 means no violation
+    anywhere. *)
+val holds_frac : t -> Currency.Constraint_ast.t -> float

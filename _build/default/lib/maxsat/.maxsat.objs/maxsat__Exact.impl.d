@@ -1,0 +1,1 @@
+lib/maxsat/exact.ml: Array List Sat Totalizer

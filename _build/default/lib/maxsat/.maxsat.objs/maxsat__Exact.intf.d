@@ -1,0 +1,1 @@
+lib/maxsat/exact.mli: Sat

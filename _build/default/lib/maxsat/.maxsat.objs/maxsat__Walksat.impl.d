@@ -1,0 +1,1 @@
+lib/maxsat/walksat.ml: Array List Random Sat

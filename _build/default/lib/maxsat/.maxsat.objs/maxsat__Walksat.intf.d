@@ -1,0 +1,1 @@
+lib/maxsat/walksat.mli: Sat

@@ -1,0 +1,77 @@
+type outcome = { model : bool array; satisfied : int }
+
+let count_satisfied model soft =
+  List.length (List.filter (Sat.Cnf.eval_clause model) soft)
+
+let restrict model n = Array.init n (fun v -> if v < Array.length model then model.(v) else false)
+
+let solve ~(hard : Sat.Cnf.t) ~(soft : Sat.Cnf.clause list) =
+  let n0 = hard.Sat.Cnf.nvars in
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_cnf s hard;
+  match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> None
+  | Sat.Solver.Sat ->
+      if soft = [] then Some { model = restrict (Sat.Solver.model s) n0; satisfied = 0 }
+      else begin
+        (* relax each soft clause *)
+        let relax =
+          List.map
+            (fun c ->
+              let r = Sat.Solver.new_var s in
+              Sat.Solver.add_clause_a s (Array.append c [| Sat.Lit.pos r |]);
+              Sat.Lit.pos r)
+            soft
+        in
+        let outs = Totalizer.encode s relax in
+        (match Sat.Solver.solve s with
+        | Sat.Solver.Unsat ->
+            (* cannot happen: all relaxation variables true satisfies softs *)
+            assert false
+        | Sat.Solver.Sat -> ());
+        let nsoft = List.length soft in
+        let best = ref (Sat.Solver.model s) in
+        let best_violated = ref (nsoft - count_satisfied !best soft) in
+        let continue_search = ref (!best_violated > 0) in
+        while !continue_search do
+          let k = !best_violated - 1 in
+          match Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
+          | Sat.Solver.Unsat -> continue_search := false
+          | Sat.Solver.Sat ->
+              let m = Sat.Solver.model s in
+              let v = nsoft - count_satisfied m soft in
+              (* assuming ¬outs.(k) forces at most k violations, so progress
+                 is guaranteed; guard against non-termination anyway *)
+              if v >= !best_violated then continue_search := false
+              else begin
+                best := m;
+                best_violated := v;
+                if v = 0 then continue_search := false
+              end
+        done;
+        Some { model = restrict !best n0; satisfied = nsoft - !best_violated }
+      end
+
+let solve_groups ~(hard : Sat.Cnf.t) ~(groups : Sat.Cnf.clause list list) =
+  (* selector variable per group: sel → c for each clause c of the group;
+     the soft clauses are the unit selectors. *)
+  let n0 = hard.Sat.Cnf.nvars in
+  let ngroups = List.length groups in
+  let nvars = n0 + ngroups in
+  let sel i = Sat.Lit.pos (n0 + i) in
+  let hard_clauses =
+    List.concat
+      (List.mapi
+         (fun i cls ->
+           List.map (fun c -> Array.append c [| Sat.Lit.negate (sel i) |]) cls)
+         groups)
+  in
+  let hard' = Sat.Cnf.make ~nvars (hard.Sat.Cnf.clauses @ hard_clauses) in
+  let soft = List.init ngroups (fun i -> [| sel i |]) in
+  match solve ~hard:hard' ~soft with
+  | None -> None
+  | Some { model; satisfied = _ } ->
+      (* [model] is restricted to [nvars]; re-extract which groups hold *)
+      let holds i = model.(n0 + i) in
+      let sat_groups = List.init ngroups (fun i -> i) |> List.filter holds in
+      Some (restrict model n0, sat_groups)

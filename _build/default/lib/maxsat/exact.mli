@@ -1,0 +1,25 @@
+(** Exact partial MaxSAT by SAT-based linear search.
+
+    Each soft clause gets a relaxation variable; a totalizer over the
+    relaxation variables lets the search tighten an upper bound on the
+    number of violated soft clauses with single-literal assumptions, so
+    each improvement step is one incremental call to the CDCL solver. *)
+
+(** Outcome of a MaxSAT call: the model is over the variables of the hard
+    formula ([0 .. nvars-1]); [satisfied] counts satisfied soft clauses. *)
+type outcome = { model : bool array; satisfied : int }
+
+(** [solve ~hard ~soft] maximises the number of satisfied clauses of [soft]
+    subject to [hard]. [None] when [hard] alone is unsatisfiable. Soft
+    clauses must use only variables of [hard]. The empty soft clause is
+    allowed and never satisfiable. *)
+val solve : hard:Sat.Cnf.t -> soft:Sat.Cnf.clause list -> outcome option
+
+(** [solve_groups ~hard ~groups] maximises the number of groups whose
+    clauses are {e all} satisfied (group MaxSAT, used by the paper's
+    suggestion repair over derivation-rule cliques). Returns the indices of
+    satisfied groups together with the model. *)
+val solve_groups :
+  hard:Sat.Cnf.t ->
+  groups:Sat.Cnf.clause list list ->
+  (bool array * int list) option

@@ -1,0 +1,34 @@
+let rec build solver lits =
+  match lits with
+  | [] -> invalid_arg "Totalizer.encode: no inputs"
+  | [ l ] -> [| l |]
+  | _ ->
+      let n = List.length lits in
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | x :: rest when i > 0 -> split (i - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let left, right = split (n / 2) [] lits in
+      let a = build solver left in
+      let b = build solver right in
+      let na = Array.length a and nb = Array.length b in
+      let out =
+        Array.init (na + nb) (fun _ -> Sat.Lit.pos (Sat.Solver.new_var solver))
+      in
+      (* sum_a >= i and sum_b >= j imply sum >= i+j:
+         ¬a.(i-1) ∨ ¬b.(j-1) ∨ out.(i+j-1), with the i=0 / j=0 cases
+         dropping the corresponding antecedent. *)
+      for i = 0 to na do
+        for j = 0 to nb do
+          if i + j >= 1 then begin
+            let c = ref [ out.(i + j - 1) ] in
+            if i > 0 then c := Sat.Lit.negate a.(i - 1) :: !c;
+            if j > 0 then c := Sat.Lit.negate b.(j - 1) :: !c;
+            Sat.Solver.add_clause solver !c
+          end
+        done
+      done;
+      out
+
+let encode solver inputs = build solver inputs

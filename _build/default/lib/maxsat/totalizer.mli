@@ -1,0 +1,13 @@
+(** Totalizer cardinality encoding (Bailleux–Boufkhad) over a CDCL solver.
+
+    Encodes the one-sided constraint "if at least [j] of the inputs are
+    true then output [j] is true", which is what upper-bound cardinality
+    assumptions need: assuming the negation of output [k] forces at most
+    [k] inputs true. *)
+
+(** [encode solver inputs] allocates output variables in [solver], adds the
+    totalizer clauses, and returns the outputs [o] with the guarantee that
+    in any model, [o.(i)] is true whenever at least [i+1] inputs are true.
+    [Array.length o = List.length inputs]. Raises [Invalid_argument] on an
+    empty input list. *)
+val encode : Sat.Solver.t -> Sat.Lit.t list -> Sat.Lit.t array

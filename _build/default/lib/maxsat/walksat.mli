@@ -1,0 +1,22 @@
+(** WalkSAT-style stochastic local search for partial MaxSAT.
+
+    This mirrors the WalkSat tool the paper cites for its suggestion-repair
+    step. Hard clauses carry a weight exceeding the total soft weight, so
+    any assignment violating a hard clause scores worse than any feasible
+    one; the search starts from a feasible model produced by the CDCL
+    solver and reports the best feasible assignment seen. *)
+
+type outcome = { model : bool array; satisfied : int }
+
+(** [solve ?seed ?max_flips ?noise ~hard ~soft ()] approximately maximises
+    the number of satisfied soft clauses subject to [hard]. [noise] is the
+    probability of a random walk move (default 0.3); [max_flips] bounds the
+    search (default [20_000]). [None] when [hard] is unsatisfiable. *)
+val solve :
+  ?seed:int ->
+  ?max_flips:int ->
+  ?noise:float ->
+  hard:Sat.Cnf.t ->
+  soft:Sat.Cnf.clause list ->
+  unit ->
+  outcome option

@@ -1,0 +1,1 @@
+lib/porder/digraph.ml: Array Bytes List Queue

@@ -1,0 +1,1 @@
+lib/porder/strict_order.ml: Array Bytes Digraph Fun List

@@ -1,0 +1,1 @@
+lib/porder/strict_order.mli: Digraph

@@ -1,0 +1,140 @@
+type t = {
+  n : int;
+  succ_rev : int list array; (* successors, most recent first *)
+  mutable m : int;
+  matrix : Bytes.t;          (* n*n adjacency bits *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create";
+  { n; succ_rev = Array.make (max n 1) []; m = 0; matrix = Bytes.make (((n * n) + 7) / 8) '\000' }
+
+let n_vertices g = g.n
+
+let check g v = if v < 0 || v >= g.n then invalid_arg "Digraph: bad vertex"
+
+let bit_index g u v = (u * g.n) + v
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  let i = bit_index g u v in
+  Bytes.get_uint8 g.matrix (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (has_edge g u v) then begin
+    let i = bit_index g u v in
+    Bytes.set_uint8 g.matrix (i lsr 3)
+      (Bytes.get_uint8 g.matrix (i lsr 3) lor (1 lsl (i land 7)));
+    g.succ_rev.(u) <- v :: g.succ_rev.(u);
+    g.m <- g.m + 1
+  end
+
+let succ g v =
+  check g v;
+  List.rev g.succ_rev.(v)
+
+let n_edges g = g.m
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> acc := (u, v) :: !acc) g.succ_rev.(u)
+  done;
+  !acc
+
+let has_cycle g =
+  (* colours: 0 = white, 1 = grey (on stack), 2 = black *)
+  let colour = Array.make (max g.n 1) 0 in
+  let rec visit v =
+    colour.(v) <- 1;
+    let cyclic = List.exists (fun w -> colour.(w) = 1 || (colour.(w) = 0 && visit w)) g.succ_rev.(v) in
+    if not cyclic then colour.(v) <- 2;
+    cyclic
+  in
+  let rec scan v = v < g.n && ((colour.(v) = 0 && visit v) || scan (v + 1)) in
+  scan 0
+
+let transitive_closure g =
+  let g' = create g.n in
+  for u = 0 to g.n - 1 do
+    let seen = Array.make (max g.n 1) false in
+    let rec dfs v =
+      List.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            add_edge g' u w;
+            dfs w
+          end)
+        g.succ_rev.(v)
+    in
+    dfs u
+  done;
+  g'
+
+let indegrees g =
+  let indeg = Array.make (max g.n 1) 0 in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) g.succ_rev.(u)
+  done;
+  indeg
+
+let topo_sort g =
+  let indeg = indegrees g in
+  let queue = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.succ_rev.(v)
+  done;
+  if !count = g.n then Some (List.rev !order) else None
+
+exception Hit_limit
+
+let fold_linear_extensions ?limit g f =
+  (* recursive enumeration of topological sorts; [f] is called on each *)
+  let indeg = indegrees g in
+  let found = ref 0 in
+  let placed = Array.make (max g.n 1) false in
+  let prefix = ref [] in
+  let rec go depth =
+    if depth = g.n then begin
+      f (List.rev !prefix);
+      incr found;
+      match limit with Some l when !found >= l -> raise Hit_limit | _ -> ()
+    end
+    else
+      for v = 0 to g.n - 1 do
+        if (not placed.(v)) && indeg.(v) = 0 then begin
+          placed.(v) <- true;
+          List.iter (fun w -> indeg.(w) <- indeg.(w) - 1) g.succ_rev.(v);
+          prefix := v :: !prefix;
+          go (depth + 1);
+          prefix := List.tl !prefix;
+          List.iter (fun w -> indeg.(w) <- indeg.(w) + 1) g.succ_rev.(v);
+          placed.(v) <- false
+        end
+      done
+  in
+  (try go 0 with Hit_limit -> ());
+  !found
+
+let linear_extensions ?limit g =
+  let acc = ref [] in
+  ignore (fold_linear_extensions ?limit g (fun ext -> acc := ext :: !acc));
+  List.rev !acc
+
+let count_linear_extensions ?limit g = fold_linear_extensions ?limit g (fun _ -> ())

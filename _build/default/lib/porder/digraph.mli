@@ -1,0 +1,36 @@
+(** Directed graphs on vertices [0 .. n-1], with the reachability and
+    enumeration operations the currency-order machinery needs. *)
+
+type t
+
+val create : int -> t
+val n_vertices : t -> int
+val add_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+
+(** [succ g v] is the list of successors of [v] in insertion order. *)
+val succ : t -> int -> int list
+
+val n_edges : t -> int
+val edges : t -> (int * int) list
+
+(** [has_cycle g] detects a directed cycle (self-loops included). *)
+val has_cycle : t -> bool
+
+(** [transitive_closure g] is a new graph with an edge [u -> w] whenever
+    [w] is reachable from [u] by a non-empty path in [g]. *)
+val transitive_closure : t -> t
+
+(** [topo_sort g] is a topological order of the vertices, or [None] when
+    [g] is cyclic. *)
+val topo_sort : t -> int list option
+
+(** [linear_extensions ?limit g] enumerates total orders (as vertex lists,
+    least first) compatible with the edge relation "[u] before [w]". Stops
+    after [limit] extensions (default unlimited). Returns [[]] when [g] is
+    cyclic. *)
+val linear_extensions : ?limit:int -> t -> int list list
+
+(** [count_linear_extensions ?limit g] counts extensions without
+    materialising them, stopping at [limit] when given. *)
+val count_linear_extensions : ?limit:int -> t -> int

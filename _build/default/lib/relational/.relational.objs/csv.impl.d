@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Entity Fun List Printf Schema String Tuple Value

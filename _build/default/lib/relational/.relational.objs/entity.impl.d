@@ -1,0 +1,1 @@
+lib/relational/entity.ml: Array Format Fun List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/entity.mli: Format Schema Tuple Value

@@ -1,0 +1,81 @@
+let parse_string s =
+  let n = String.length s in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+          flush_record ();
+          plain (i + 2)
+      | '\n' | '\r' ->
+          flush_record ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv: unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  (* drop completely empty records produced by trailing newlines *)
+  List.rev (List.filter (fun r -> r <> [ "" ] && r <> []) !records)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let needs_quoting f =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') f
+
+let render_field f =
+  if needs_quoting f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+let to_string rows =
+  String.concat ""
+    (List.map (fun r -> String.concat "," (List.map render_field r) ^ "\n") rows)
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string rows))
+
+let load_entity path =
+  match parse_file path with
+  | [] -> failwith (Printf.sprintf "Csv.load_entity: %s is empty" path)
+  | header :: rows ->
+      let schema = Schema.make header in
+      let tuples =
+        List.map (fun r -> Tuple.make schema (List.map Value.of_string r)) rows
+      in
+      Entity.make schema tuples

@@ -1,0 +1,19 @@
+(** Minimal CSV reader/writer (RFC-4180 quoting) for loading entity
+    instances and constraint tables from files in the CLI and examples. *)
+
+(** [parse_string s] is the list of records; each record is a list of
+    fields. Handles quoted fields with embedded commas, quotes and
+    newlines. Raises [Failure] on unterminated quotes. *)
+val parse_string : string -> string list list
+
+val parse_file : string -> string list list
+
+(** [to_string rows] renders records, quoting fields when needed. *)
+val to_string : string list list -> string
+
+val write_file : string -> string list list -> unit
+
+(** [load_entity ?schema path] reads a CSV whose first row is the header
+    (attribute names) and returns the entity instance; values are parsed
+    with {!Value.of_string}. *)
+val load_entity : string -> Entity.t

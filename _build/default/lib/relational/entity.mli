@@ -1,0 +1,35 @@
+(** Entity instances: the sets of tuples, all describing one real-world
+    entity, that conflict resolution operates on (Section II-A of the
+    paper). Tuples are indexed [0 .. size-1] for use in currency orders. *)
+
+type t
+
+(** [make schema tuples] builds an entity instance. Tuples must be over
+    [schema]; the list must be non-empty. *)
+val make : Schema.t -> Tuple.t list -> t
+
+val schema : t -> Schema.t
+val size : t -> int
+
+(** [tuple e i] is the [i]-th tuple. *)
+val tuple : t -> int -> Tuple.t
+
+val tuples : t -> Tuple.t list
+
+(** [value e i a] is attribute position [a] of tuple [i]. *)
+val value : t -> int -> int -> Value.t
+
+(** [active_domain e a] is the set of distinct values occurring in
+    attribute position [a], in first-occurrence order
+    ([adom(Ie.Ai)] of the paper). *)
+val active_domain : t -> int -> Value.t list
+
+(** [has_conflict e a] is [true] when attribute [a] holds more than one
+    distinct value across the tuples. *)
+val has_conflict : t -> int -> bool
+
+(** [conflicting_attrs e] is the positions for which {!has_conflict}
+    holds. *)
+val conflicting_attrs : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { names : string array; index : (string, int) Hashtbl.t }
+
+let make names =
+  if names = [] then invalid_arg "Schema.make: empty schema";
+  let index = Hashtbl.create (List.length names) in
+  List.iteri
+    (fun i n ->
+      if n = "" then invalid_arg "Schema.make: empty attribute name";
+      if Hashtbl.mem index n then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" n);
+      Hashtbl.add index n i)
+    names;
+  { names = Array.of_list names; index }
+
+let arity s = Array.length s.names
+
+let attr_names s = Array.to_list s.names
+
+let index s n =
+  match Hashtbl.find_opt s.index n with Some i -> i | None -> raise Not_found
+
+let index_opt s n = Hashtbl.find_opt s.index n
+
+let name s i =
+  if i < 0 || i >= arity s then invalid_arg "Schema.name: bad position";
+  s.names.(i)
+
+let mem s n = Hashtbl.mem s.index n
+
+let equal s1 s2 = s1.names = s2.names
+
+let pp ppf s =
+  Format.fprintf ppf "(%s)" (String.concat ", " (attr_names s))

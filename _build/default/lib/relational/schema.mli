@@ -1,0 +1,28 @@
+(** Relation schemas: an ordered list of named attributes.
+
+    Attributes are referred to by name in constraints and by position in
+    tuples; the schema is the bridge. *)
+
+type t
+
+(** [make names] builds a schema; names must be non-empty and distinct.
+    Raises [Invalid_argument] otherwise. *)
+val make : string list -> t
+
+val arity : t -> int
+
+(** [attr_names s] in declaration order. *)
+val attr_names : t -> string list
+
+(** [index s name] is the position of [name]. Raises [Not_found]. *)
+val index : t -> string -> int
+
+(** [index_opt s name] is the position of [name], if any. *)
+val index_opt : t -> string -> int option
+
+(** [name s i] is the attribute name at position [i]. *)
+val name : t -> int -> string
+
+val mem : t -> string -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

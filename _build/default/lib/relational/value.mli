@@ -1,0 +1,39 @@
+(** Attribute values: nulls, integers, floats and strings.
+
+    Comparison follows the paper's conventions: [null] is below every
+    non-null value (Example 2(b): "assuming null < k for any number k"),
+    numbers compare numerically across [Int]/[Float], and strings compare
+    lexicographically. Values of incomparable kinds (a string against a
+    number) only support [=]/[≠]; ordered comparisons on them are [false]. *)
+
+type t = Null | Int of int | Float of float | Str of string
+
+(** Comparison operators of currency-constraint predicates. *)
+type op = Eq | Neq | Lt | Leq | Gt | Geq
+
+val equal : t -> t -> bool
+
+(** [compare_opt a b] is [Some] of the usual [-1/0/1] ordering when [a] and
+    [b] are comparable, [None] otherwise. [Null] compares below
+    everything and equal to itself. *)
+val compare_opt : t -> t -> int option
+
+(** [eval op a b] evaluates [a op b]; ordered operators on incomparable
+    kinds are [false]. *)
+val eval : op -> t -> t -> bool
+
+(** A total order for use in maps and sorting; ranks kinds arbitrarily but
+    consistently ([Null] < numbers < strings). *)
+val total_compare : t -> t -> int
+
+val is_null : t -> bool
+
+(** [of_string s] parses ["null"]/[""] as [Null], then tries [Int], then
+    [Float], falling back to [Str]. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val op_of_string : string -> op option
+val op_to_string : op -> string
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Cnf Format Fun List Lit Printf String

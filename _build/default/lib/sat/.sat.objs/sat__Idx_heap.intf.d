@@ -1,0 +1,1 @@
+lib/sat/idx_heap.mli:

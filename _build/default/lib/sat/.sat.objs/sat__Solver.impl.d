@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Cnf Idx_heap List Lit Vec

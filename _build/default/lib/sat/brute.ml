@@ -1,0 +1,44 @@
+let max_vars = 24
+
+let check_size (f : Cnf.t) =
+  if f.Cnf.nvars > max_vars then
+    invalid_arg
+      (Printf.sprintf "Brute: %d variables exceeds the limit of %d" f.Cnf.nvars
+         max_vars)
+
+let assignment_of_bits n bits = Array.init n (fun v -> bits land (1 lsl v) <> 0)
+
+let solve (f : Cnf.t) =
+  check_size f;
+  let n = f.Cnf.nvars in
+  let rec go bits =
+    if bits >= 1 lsl n then None
+    else
+      let a = assignment_of_bits n bits in
+      if Cnf.eval a f then Some a else go (bits + 1)
+  in
+  go 0
+
+let count_models (f : Cnf.t) =
+  check_size f;
+  let n = f.Cnf.nvars in
+  let count = ref 0 in
+  for bits = 0 to (1 lsl n) - 1 do
+    if Cnf.eval (assignment_of_bits n bits) f then incr count
+  done;
+  !count
+
+let max_sat ~(hard : Cnf.t) ~(soft : Cnf.clause list) =
+  check_size hard;
+  let n = hard.Cnf.nvars in
+  let best = ref None in
+  for bits = 0 to (1 lsl n) - 1 do
+    let a = assignment_of_bits n bits in
+    if Cnf.eval a hard then begin
+      let k = List.length (List.filter (Cnf.eval_clause a) soft) in
+      match !best with
+      | Some (_, k') when k' >= k -> ()
+      | _ -> best := Some (a, k)
+    end
+  done;
+  !best

@@ -1,0 +1,19 @@
+(** Exhaustive reference solver for small formulas.
+
+    Enumerates all 2^n assignments; used in tests as ground truth for the
+    CDCL solver and the MaxSAT engines. *)
+
+(** [solve f] is [Some model] for a satisfying assignment of [f], [None]
+    when unsatisfiable. Raises [Invalid_argument] when [f] has more than 24
+    variables. *)
+val solve : Cnf.t -> bool array option
+
+(** [count_models f] is the number of satisfying assignments (same size
+    limit as {!solve}). *)
+val count_models : Cnf.t -> int
+
+(** [max_sat ~hard ~soft] maximises the number of satisfied [soft] clauses
+    subject to all [hard] clauses holding, by exhaustive enumeration over
+    the variables of [hard]. Returns [None] when the hard clauses are
+    unsatisfiable, otherwise [Some (model, satisfied_soft_count)]. *)
+val max_sat : hard:Cnf.t -> soft:Cnf.clause list -> (bool array * int) option

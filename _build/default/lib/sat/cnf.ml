@@ -1,0 +1,38 @@
+type clause = Lit.t array
+
+type t = { nvars : int; clauses : clause list }
+
+let check_clause nvars c =
+  Array.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v < 0 || v >= nvars then
+        invalid_arg
+          (Printf.sprintf "Cnf: literal over variable %d but nvars = %d" v nvars))
+    c
+
+let make ~nvars clauses =
+  if nvars < 0 then invalid_arg "Cnf.make: negative nvars";
+  List.iter (check_clause nvars) clauses;
+  { nvars; clauses }
+
+let nclauses f = List.length f.clauses
+
+let add_clause f c =
+  check_clause f.nvars c;
+  { f with clauses = c :: f.clauses }
+
+let eval_clause assignment c =
+  Array.exists (fun l -> assignment.(Lit.var l) = Lit.sign l) c
+
+let eval assignment f = List.for_all (eval_clause assignment) f.clauses
+
+let nlits f = List.fold_left (fun acc c -> acc + Array.length c) 0 f.clauses
+
+let pp ppf f =
+  Format.fprintf ppf "p cnf %d %d@." f.nvars (nclauses f);
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Format.fprintf ppf "%a " Lit.pp l) c;
+      Format.fprintf ppf "0@.")
+    f.clauses

@@ -1,0 +1,33 @@
+(** Immutable CNF formulas, the interchange format between the encoder in
+    [Crcore], the CDCL solver, the brute-force reference solver and the
+    MaxSAT engines.
+
+    Clauses are arrays of packed literals (see {!Lit}). *)
+
+type clause = Lit.t array
+
+type t = {
+  nvars : int;            (** number of variables; literals range over them *)
+  clauses : clause list;  (** conjunction of disjunctions *)
+}
+
+(** [make ~nvars clauses] checks every literal is over a variable
+    [< nvars] and builds the formula. Raises [Invalid_argument] otherwise. *)
+val make : nvars:int -> clause list -> t
+
+val nclauses : t -> int
+
+(** [add_clause f c] is [f] with [c] appended (variables must fit). *)
+val add_clause : t -> clause -> t
+
+(** [eval_clause assignment c] is [true] when [c] holds under the total
+    [assignment] ([assignment.(v)] is the truth of variable [v]). *)
+val eval_clause : bool array -> clause -> bool
+
+(** [eval assignment f] is [true] when every clause of [f] holds. *)
+val eval : bool array -> t -> bool
+
+(** [nlits f] is the total number of literal occurrences. *)
+val nlits : t -> int
+
+val pp : Format.formatter -> t -> unit

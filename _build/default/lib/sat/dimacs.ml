@@ -1,0 +1,48 @@
+let parse_string s =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' s in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := Array.of_list (List.rev_map Lit.of_dimacs !current) :: !clauses;
+        current := []
+    | Some d ->
+        nvars := max !nvars (abs d);
+        current := d :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 then
+        match line.[0] with
+        | 'c' | '%' -> ()
+        | 'p' -> (
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ "p"; "cnf"; nv; _nc ] -> (
+                match int_of_string_opt nv with
+                | Some n -> nvars := max !nvars n
+                | None -> failwith "Dimacs: bad header")
+            | _ -> failwith "Dimacs: bad header")
+        | _ ->
+            String.split_on_char ' ' line
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (( <> ) "")
+            |> List.iter handle_token)
+    lines;
+  if !current <> [] then
+    clauses := Array.of_list (List.rev_map Lit.of_dimacs !current) :: !clauses;
+  Cnf.make ~nvars:!nvars (List.rev !clauses)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      parse_string s)
+
+let to_string f = Format.asprintf "%a" Cnf.pp f

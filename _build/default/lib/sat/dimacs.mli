@@ -1,0 +1,13 @@
+(** DIMACS CNF reader/writer for the SAT substrate's command-line front end
+    and for test fixtures. *)
+
+(** [parse_string s] parses DIMACS CNF text. Tolerates comment lines ([c])
+    and a missing/inconsistent header by growing the variable count.
+    Raises [Failure] on malformed input. *)
+val parse_string : string -> Cnf.t
+
+(** [parse_file path] reads and parses the file at [path]. *)
+val parse_file : string -> Cnf.t
+
+(** [to_string f] renders [f] in DIMACS format. *)
+val to_string : Cnf.t -> string

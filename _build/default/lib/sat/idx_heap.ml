@@ -1,0 +1,77 @@
+type t = {
+  score : int -> float;
+  heap : int Vec.t;           (* heap.(i) = key at heap position i *)
+  mutable pos : int array;    (* pos.(key) = position in heap, or -1 *)
+}
+
+let create ~score = { score; heap = Vec.create ~dummy:(-1); pos = [||] }
+
+let size h = Vec.size h.heap
+
+let is_empty h = size h = 0
+
+let ensure_pos h k =
+  let n = Array.length h.pos in
+  if k >= n then begin
+    let pos' = Array.make (max (k + 1) (max 4 (2 * n))) (-1) in
+    Array.blit h.pos 0 pos' 0 n;
+    h.pos <- pos'
+  end
+
+let mem h k = k < Array.length h.pos && h.pos.(k) >= 0
+
+let swap h i j =
+  let ki = Vec.get h.heap i and kj = Vec.get h.heap j in
+  Vec.set h.heap i kj;
+  Vec.set h.heap j ki;
+  h.pos.(ki) <- j;
+  h.pos.(kj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.score (Vec.get h.heap i) > h.score (Vec.get h.heap parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = size h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && h.score (Vec.get h.heap l) > h.score (Vec.get h.heap !best) then best := l;
+  if r < n && h.score (Vec.get h.heap r) > h.score (Vec.get h.heap !best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h k =
+  if not (mem h k) then begin
+    ensure_pos h k;
+    Vec.push h.heap k;
+    h.pos.(k) <- size h - 1;
+    sift_up h (size h - 1)
+  end
+
+let pop_max h =
+  if is_empty h then invalid_arg "Idx_heap.pop_max: empty";
+  let top = Vec.get h.heap 0 in
+  let lastpos = size h - 1 in
+  swap h 0 lastpos;
+  ignore (Vec.pop h.heap);
+  h.pos.(top) <- -1;
+  if not (is_empty h) then sift_down h 0;
+  top
+
+let update h k =
+  if mem h k then begin
+    sift_up h h.pos.(k);
+    sift_down h h.pos.(k)
+  end
+
+let rebuild h keys =
+  Vec.iter (fun k -> h.pos.(k) <- -1) h.heap;
+  Vec.clear h.heap;
+  List.iter (insert h) keys

@@ -1,0 +1,33 @@
+(** Indexed binary max-heap over integer keys [0 .. n-1], ordered by a
+    mutable external score.
+
+    This is the VSIDS order heap of the solver: variables are keys, their
+    activities are scores, and [decrease_key]-style updates happen when a
+    variable's activity is bumped while it sits in the heap. *)
+
+type t
+
+(** [create ~score] is an empty heap whose ordering is [score k] (larger
+    scores pop first). [score] is re-read on every comparison, so callers
+    must call {!update} after changing the score of an in-heap key. *)
+val create : score:(int -> float) -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+(** [mem h k] is [true] when key [k] is currently in the heap. *)
+val mem : t -> int -> bool
+
+(** [insert h k] adds key [k]; no-op if already present. *)
+val insert : t -> int -> unit
+
+(** [pop_max h] removes and returns the key with the largest score. Raises
+    [Invalid_argument] on an empty heap. *)
+val pop_max : t -> int
+
+(** [update h k] restores heap order after the score of in-heap key [k]
+    changed; no-op if [k] is absent. *)
+val update : t -> int -> unit
+
+(** [rebuild h keys] clears the heap and fills it with [keys]. *)
+val rebuild : t -> int list -> unit

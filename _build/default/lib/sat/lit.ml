@@ -1,0 +1,19 @@
+type t = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+let neg_of v = make v false
+let negate l = l lxor 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if d > 0 then pos (d - 1) else neg_of (-d - 1)
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let pp ppf l = Format.fprintf ppf "%d" (to_dimacs l)

@@ -1,0 +1,33 @@
+(** Propositional literals packed into integers.
+
+    A literal over variable [v] (0-based) is encoded as [2*v] when positive
+    and [2*v + 1] when negative, so negation is one XOR and literals index
+    watch lists directly. *)
+
+type t = int
+
+(** [make v sign] is the literal over variable [v]; positive when [sign]. *)
+val make : int -> bool -> t
+
+(** [pos v] is the positive literal over [v]. *)
+val pos : int -> t
+
+(** [neg_of v] is the negative literal over [v]. *)
+val neg_of : int -> t
+
+(** [negate l] flips the sign of [l]. *)
+val negate : t -> t
+
+(** [var l] is the variable of [l]. *)
+val var : t -> int
+
+(** [sign l] is [true] for positive literals. *)
+val sign : t -> bool
+
+(** [of_dimacs d] converts a non-zero DIMACS literal ([±(v+1)]). *)
+val of_dimacs : int -> t
+
+(** [to_dimacs l] is the DIMACS rendering of [l]. *)
+val to_dimacs : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,547 @@
+(* CDCL solver. Variables are ints; literals use the packed encoding of
+   [Lit]. Truth values are represented as ints: 1 = true, -1 = false,
+   0 = unassigned, so that the value of a literal is [assigns.(var) * sgn]. *)
+
+type clause = {
+  mutable lits : Lit.t array; (* lits.(0) and lits.(1) are the watched pair *)
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = false }
+
+type result = Sat | Unsat
+
+type t = {
+  (* per-variable state *)
+  mutable assigns : int array;          (* 1 / -1 / 0 *)
+  mutable level : int array;
+  mutable reason : clause array;        (* dummy_clause = no reason *)
+  mutable activity : float array;
+  mutable polarity : bool array;        (* saved phase *)
+  mutable seen : bool array;            (* scratch for analyze *)
+  (* per-literal state *)
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  (* trail *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* clause database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  (* heuristics *)
+  mutable order : Idx_heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable nvars : int;
+  mutable ok : bool;
+  mutable model_valid : bool;
+  mutable saved_model : bool array;
+  (* statistics *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+let restart_base = 100
+
+let create () =
+  let s =
+    {
+      assigns = [||];
+      level = [||];
+      reason = [||];
+      activity = [||];
+      polarity = [||];
+      seen = [||];
+      watches = [||];
+      trail = Vec.create ~dummy:0;
+      trail_lim = Vec.create ~dummy:0;
+      qhead = 0;
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      order = Idx_heap.create ~score:(fun _ -> 0.);
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      nvars = 0;
+      ok = true;
+      model_valid = false;
+      saved_model = [||];
+      conflicts = 0;
+      decisions = 0;
+      propagations = 0;
+      restarts = 0;
+    }
+  in
+  s.order <- Idx_heap.create ~score:(fun v -> s.activity.(v));
+  s
+
+let nvars s = s.nvars
+
+let grow_arrays s n =
+  let old = Array.length s.assigns in
+  if n > old then begin
+    let cap = max n (max 16 (2 * old)) in
+    let grow a dflt =
+      let a' = Array.make cap dflt in
+      Array.blit a 0 a' 0 old;
+      a'
+    in
+    s.assigns <- grow s.assigns 0;
+    s.level <- grow s.level (-1);
+    s.reason <- grow s.reason dummy_clause;
+    s.activity <- grow s.activity 0.;
+    s.polarity <- grow s.polarity false;
+    s.seen <- grow s.seen false;
+    let oldw = Array.length s.watches in
+    let w' = Array.make (2 * cap) (Vec.create ~dummy:dummy_clause) in
+    Array.blit s.watches 0 w' 0 oldw;
+    for i = oldw to (2 * cap) - 1 do
+      w'.(i) <- Vec.create ~dummy:dummy_clause
+    done;
+    s.watches <- w'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  grow_arrays s (v + 1);
+  s.nvars <- v + 1;
+  Idx_heap.insert s.order v;
+  v
+
+let ensure_nvars s n =
+  while s.nvars < n do
+    ignore (new_var s)
+  done
+
+(* ---- values ---- *)
+
+let value_var s v = s.assigns.(v)
+
+let value_lit s l =
+  let a = s.assigns.(Lit.var l) in
+  if Lit.sign l then a else -a
+
+let decision_level s = Vec.size s.trail_lim
+
+(* ---- activity ---- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Idx_heap.update s.order v
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let clause_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let clause_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* ---- assignment ---- *)
+
+let enqueue s l reason =
+  assert (value_lit s l = 0);
+  let v = Lit.var l in
+  s.assigns.(v) <- (if Lit.sign l then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.assigns.(v) <- 0;
+      s.polarity.(v) <- Lit.sign l;
+      s.reason.(v) <- dummy_clause;
+      Idx_heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* ---- watches ---- *)
+
+let attach_clause s c =
+  assert (Array.length c.lits >= 2);
+  Vec.push s.watches.(Lit.negate c.lits.(0)) c;
+  Vec.push s.watches.(Lit.negate c.lits.(1)) c
+
+(* Propagate all enqueued facts; returns the conflicting clause if any. *)
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let ws = s.watches.(p) in
+    let i = ref 0 in
+    while !i < Vec.size ws do
+      let c = Vec.get ws !i in
+      if c.deleted then Vec.swap_remove ws !i
+      else begin
+        let false_lit = Lit.negate p in
+        (* make sure the false literal is at position 1 *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if value_lit s c.lits.(0) = 1 then incr i (* clause already satisfied *)
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c.lits in
+          let k = ref 2 in
+          while !k < n && value_lit s c.lits.(!k) = -1 do
+            incr k
+          done;
+          if !k < n then begin
+            (* found: move it to position 1 and update watch lists *)
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push s.watches.(Lit.negate c.lits.(1)) c;
+            Vec.swap_remove ws !i
+          end
+          else if value_lit s c.lits.(0) = -1 then begin
+            (* conflict *)
+            confl := Some c;
+            s.qhead <- Vec.size s.trail;
+            incr i
+          end
+          else begin
+            (* unit clause: propagate c.lits.(0) *)
+            enqueue s c.lits.(0) c;
+            incr i
+          end
+        end
+      end
+    done
+  done;
+  !confl
+
+(* ---- clause addition (decision level 0 only) ---- *)
+
+exception Early_unsat
+
+let add_clause_a s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    Array.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then
+          invalid_arg "Solver.add_clause: unallocated variable")
+      lits;
+    (* sort, dedup, drop false literals, detect tautology / satisfied *)
+    let lits = Array.copy lits in
+    Array.sort compare lits;
+    let out = ref [] and n = ref 0 and sat = ref false in
+    let prev = ref (-1) in
+    Array.iter
+      (fun l ->
+        if not !sat then begin
+          if l = Lit.negate !prev && !prev >= 0 then sat := true (* p ∨ ¬p *)
+          else if l <> !prev then begin
+            match value_lit s l with
+            | 1 -> sat := true
+            | -1 when s.level.(Lit.var l) = 0 -> () (* false at level 0: drop *)
+            | _ ->
+                out := l :: !out;
+                incr n;
+                prev := l
+          end
+        end)
+      lits;
+    if not !sat then begin
+      match !out with
+      | [] ->
+          s.ok <- false;
+          raise Early_unsat
+      | [ l ] -> (
+          enqueue s l dummy_clause;
+          match propagate s with
+          | Some _ ->
+              s.ok <- false;
+              raise Early_unsat
+          | None -> ())
+      | ls ->
+          let c =
+            { lits = Array.of_list (List.rev ls); learnt = false; activity = 0.; deleted = false }
+          in
+          Vec.push s.clauses c;
+          attach_clause s c
+    end
+  end
+
+let add_clause_a s lits = try add_clause_a s lits with Early_unsat -> ()
+
+let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+let add_cnf s (f : Cnf.t) =
+  ensure_nvars s f.Cnf.nvars;
+  List.iter (fun c -> add_clause_a s c) f.Cnf.clauses
+
+(* ---- conflict analysis (first UIP) ---- *)
+
+let analyze s confl =
+  let learnt = Vec.create ~dummy:0 in
+  Vec.push learnt 0 (* placeholder for the asserting literal *);
+  let path_c = ref 0 in
+  let p = ref (-1) (* -1 = undefined *) in
+  let confl = ref confl in
+  let index = ref (Vec.size s.trail - 1) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c = !confl in
+    if c.learnt then clause_bump s c;
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        var_bump s v;
+        s.seen.(v) <- true;
+        if s.level.(v) >= decision_level s then incr path_c
+        else Vec.push learnt q
+      end
+    done;
+    (* select next literal to expand *)
+    while not s.seen.(Lit.var (Vec.get s.trail !index)) do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    let v = Lit.var !p in
+    s.seen.(v) <- false;
+    decr path_c;
+    if !path_c > 0 then confl := s.reason.(v) else continue_loop := false
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  (* clause minimisation: drop literals implied by the rest via their reason *)
+  let keep q =
+    let v = Lit.var q in
+    let r = s.reason.(v) in
+    if r == dummy_clause then true
+    else
+      Array.exists
+        (fun l ->
+          let w = Lit.var l in
+          w <> v && (not s.seen.(w)) && s.level.(w) > 0)
+        r.lits
+  in
+  let minimized = Vec.create ~dummy:0 in
+  Vec.push minimized (Vec.get learnt 0);
+  for i = 1 to Vec.size learnt - 1 do
+    let q = Vec.get learnt i in
+    if keep q then Vec.push minimized q
+  done;
+  (* compute backtrack level; move the max-level literal to position 1 *)
+  let bt_level = ref 0 in
+  if Vec.size minimized > 1 then begin
+    let max_i = ref 1 in
+    for i = 2 to Vec.size minimized - 1 do
+      if s.level.(Lit.var (Vec.get minimized i)) > s.level.(Lit.var (Vec.get minimized !max_i))
+      then max_i := i
+    done;
+    let tmp = Vec.get minimized 1 in
+    Vec.set minimized 1 (Vec.get minimized !max_i);
+    Vec.set minimized !max_i tmp;
+    bt_level := s.level.(Lit.var (Vec.get minimized 1))
+  end;
+  (* clear seen flags *)
+  Vec.iter (fun q -> s.seen.(Lit.var q) <- false) learnt;
+  (Array.of_list (Vec.to_list minimized), !bt_level)
+
+(* ---- learnt clause database reduction ---- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  && s.reason.(Lit.var c.lits.(0)) == c
+  && value_lit s c.lits.(0) = 1
+
+let reduce_db s =
+  let arr = Array.of_list (Vec.to_list s.learnts) in
+  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let limit = s.cla_inc /. float_of_int (max n 1) in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if
+        Array.length c.lits > 2
+        && (not (locked s c))
+        && (i < n / 2 || c.activity < limit)
+        && !removed < n / 2
+      then begin
+        c.deleted <- true;
+        incr removed
+      end)
+    arr;
+  let kept = Vec.create ~dummy:dummy_clause in
+  Vec.iter (fun c -> if not c.deleted then Vec.push kept c) s.learnts;
+  Vec.clear s.learnts;
+  Vec.iter (fun c -> Vec.push s.learnts c) kept
+
+(* ---- search ---- *)
+
+let luby y x =
+  (* Finite subsequences of the Luby sequence: 1,1,2,1,1,2,4,... *)
+  let rec go size seq x =
+    if size - 1 = x then (seq, x)
+    else
+      let size' = (size - 1) / 2 in
+      go size' (seq - 1) (x mod size')
+  in
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let seq, _ = go !size !seq x in
+  y ** float_of_int seq
+
+let pick_branch_var s =
+  let rec go () =
+    if Idx_heap.is_empty s.order then -1
+    else
+      let v = Idx_heap.pop_max s.order in
+      if value_var s v = 0 then v else go ()
+  in
+  go ()
+
+type search_outcome = S_sat | S_unsat_global | S_unsat_assump | S_restart
+
+let record_learnt s lits =
+  if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
+  else begin
+    let c = { lits; learnt = true; activity = 0.; deleted = false } in
+    Vec.push s.learnts c;
+    attach_clause s c;
+    clause_bump s c;
+    enqueue s lits.(0) c
+  end
+
+let search s ~nof_conflicts ~max_learnts ~assumptions =
+  let conflict_c = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate s with
+    | Some confl ->
+        s.conflicts <- s.conflicts + 1;
+        incr conflict_c;
+        if decision_level s = 0 then outcome := Some S_unsat_global
+        else begin
+          let learnt, bt = analyze s confl in
+          cancel_until s bt;
+          record_learnt s learnt;
+          var_decay_activity s;
+          clause_decay_activity s
+        end
+    | None ->
+        if !conflict_c >= nof_conflicts then begin
+          cancel_until s 0;
+          s.restarts <- s.restarts + 1;
+          outcome := Some S_restart
+        end
+        else begin
+          if Vec.size s.learnts - Vec.size s.trail >= max_learnts then reduce_db s;
+          (* place assumptions first, one decision level each *)
+          let next = ref (-1) in
+          let dl = decision_level s in
+          if dl < Array.length assumptions then begin
+            let p = assumptions.(dl) in
+            match value_lit s p with
+            | 1 ->
+                (* already satisfied: open a dummy level *)
+                Vec.push s.trail_lim (Vec.size s.trail)
+            | -1 -> outcome := Some S_unsat_assump
+            | _ -> next := p
+          end
+          else begin
+            let v = pick_branch_var s in
+            if v = -1 then outcome := Some S_sat
+            else begin
+              s.decisions <- s.decisions + 1;
+              next := Lit.make v s.polarity.(v)
+            end
+          end;
+          (match (!outcome, !next) with
+          | None, p when p >= 0 ->
+              Vec.push s.trail_lim (Vec.size s.trail);
+              enqueue s p dummy_clause
+          | _ -> ())
+        end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let solve ?(assumptions = []) s =
+  s.model_valid <- false;
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    List.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then
+          invalid_arg "Solver.solve: assumption over unallocated variable")
+      assumptions;
+    let assumptions = Array.of_list assumptions in
+    let result = ref None in
+    let curr_restarts = ref 0 in
+    let max_learnts = ref (max 1000 (Vec.size s.clauses / 3)) in
+    while !result = None do
+      let budget =
+        int_of_float (luby 2.0 !curr_restarts *. float_of_int restart_base)
+      in
+      (match search s ~nof_conflicts:budget ~max_learnts:!max_learnts ~assumptions with
+      | S_sat ->
+          s.saved_model <- Array.init s.nvars (fun v -> value_var s v = 1);
+          s.model_valid <- true;
+          result := Some Sat
+      | S_unsat_global ->
+          s.ok <- false;
+          result := Some Unsat
+      | S_unsat_assump -> result := Some Unsat
+      | S_restart ->
+          incr curr_restarts;
+          max_learnts := !max_learnts + (!max_learnts / 10));
+      ()
+    done;
+    cancel_until s 0;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let model_value s v =
+  if not s.model_valid then invalid_arg "Solver.model_value: no model";
+  if v < 0 || v >= Array.length s.saved_model then
+    invalid_arg "Solver.model_value: bad variable"
+  else s.saved_model.(v)
+
+let model s =
+  if not s.model_valid then invalid_arg "Solver.model: no model";
+  Array.copy s.saved_model
+
+let value_level0 s v =
+  if v < 0 || v >= s.nvars then invalid_arg "Solver.value_level0";
+  if s.assigns.(v) <> 0 && s.level.(v) = 0 then Some (s.assigns.(v) = 1) else None
+
+let ok s = s.ok
+let n_conflicts s = s.conflicts
+let n_decisions s = s.decisions
+let n_propagations s = s.propagations
+let n_restarts s = s.restarts
+let n_learnts s = Vec.size s.learnts

@@ -1,0 +1,65 @@
+(** A CDCL SAT solver in the MiniSat lineage.
+
+    Features: two-watched-literal propagation, first-UIP conflict analysis
+    with clause learning, VSIDS variable activities with an indexed heap,
+    phase saving, Luby-sequence restarts, activity-based learnt-clause
+    deletion, and incremental solving under assumptions.
+
+    This is the substrate standing in for MiniSat in the paper's [IsValid],
+    [NaiveDeduce] and suggestion-repair steps. Clauses may be added between
+    [solve] calls; the solver keeps learnt clauses across calls. *)
+
+type t
+
+type result = Sat | Unsat
+
+(** [create ()] is a fresh solver with no variables. *)
+val create : unit -> t
+
+(** [new_var s] allocates a fresh variable and returns its index. *)
+val new_var : t -> int
+
+(** [ensure_nvars s n] allocates variables until [nvars s >= n]. *)
+val ensure_nvars : t -> int -> unit
+
+val nvars : t -> int
+
+(** [add_clause s lits] adds a clause. Literals over unallocated variables
+    raise [Invalid_argument]. Adding the empty clause (or a clause falsified
+    at level 0) makes the solver permanently unsatisfiable. *)
+val add_clause : t -> Lit.t list -> unit
+
+(** [add_clause_a s c] is [add_clause] on an array (the array is copied). *)
+val add_clause_a : t -> Lit.t array -> unit
+
+(** [add_cnf s f] allocates variables for [f] and adds all its clauses. *)
+val add_cnf : t -> Cnf.t -> unit
+
+(** [solve ?assumptions s] decides satisfiability of the clause set under
+    the given assumption literals (default none). *)
+val solve : ?assumptions:Lit.t list -> t -> result
+
+(** [model_value s v] is the truth of variable [v] in the model found by the
+    last successful [solve]. Unassigned variables (possible after
+    simplification) default to [false]. Raises [Invalid_argument] if the
+    last call did not return [Sat]. *)
+val model_value : t -> int -> bool
+
+(** [model s] is the full model as an array indexed by variable. *)
+val model : t -> bool array
+
+(** [value_level0 s v] is [Some b] when [v] is fixed to [b] by unit
+    propagation at decision level 0, [None] otherwise. *)
+val value_level0 : t -> int -> bool option
+
+(** [ok s] is [false] once the clause set is known unsatisfiable without
+    assumptions. *)
+val ok : t -> bool
+
+(** Cumulative statistics since [create]. *)
+val n_conflicts : t -> int
+
+val n_decisions : t -> int
+val n_propagations : t -> int
+val n_restarts : t -> int
+val n_learnts : t -> int

@@ -1,0 +1,1 @@
+test/fixtures.ml: Cfd Crcore Currency Entity Format List Printf QCheck Random Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_cfd.ml: Alcotest Cfd Hashtbl List QCheck QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_clique.ml: Alcotest Clique List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Crcore Fixtures List QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_currency.ml: Alcotest Currency List QCheck QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Crcore Currency Datagen Discovery Entity Fun List QCheck QCheck_alcotest Schema Tuple Value

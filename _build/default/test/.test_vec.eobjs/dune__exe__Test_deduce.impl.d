@@ -1,0 +1,1 @@
+test/test_deduce.ml: Alcotest Array Crcore Fixtures List Porder QCheck QCheck_alcotest Schema Value

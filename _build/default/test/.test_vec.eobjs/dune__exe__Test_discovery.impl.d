@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Array Cfd Crcore Currency Datagen Discovery Entity List QCheck QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Cfd Crcore Entity Fixtures List Printf QCheck QCheck_alcotest Sat Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Array Crcore Datagen Fixtures List QCheck QCheck_alcotest Schema Tuple Value

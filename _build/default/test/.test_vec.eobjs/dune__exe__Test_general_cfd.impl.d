@@ -1,0 +1,1 @@
+test/test_general_cfd.ml: Alcotest Cfd List QCheck QCheck_alcotest Random Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_implication.ml: Alcotest Crcore Entity Fixtures Format List QCheck QCheck_alcotest Schema Value

@@ -1,0 +1,1 @@
+test/test_maxsat.ml: Alcotest Array List Maxsat Printf QCheck QCheck_alcotest Random Sat

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Crcore Entity Fixtures List QCheck QCheck_alcotest Schema Tuple Value

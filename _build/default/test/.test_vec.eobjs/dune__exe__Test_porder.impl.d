@@ -1,0 +1,1 @@
+test/test_porder.ml: Alcotest Array List Porder QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_reference.ml: Alcotest Array Crcore Fixtures Fun List QCheck QCheck_alcotest Schema String Value

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Csv Entity Filename List Option QCheck QCheck_alcotest Schema Sys Tuple Value

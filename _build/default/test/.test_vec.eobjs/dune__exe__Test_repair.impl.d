@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Crcore Currency Datagen Entity Fixtures List QCheck QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Clique Crcore Fixtures Format Fun List QCheck QCheck_alcotest Sat Schema Value

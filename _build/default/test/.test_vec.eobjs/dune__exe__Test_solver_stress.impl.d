@@ -1,0 +1,1 @@
+test/test_solver_stress.ml: Alcotest Array Crcore Datagen List Maxsat Random Sat Tuple Value

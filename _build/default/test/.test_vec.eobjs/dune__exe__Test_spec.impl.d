@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Cfd Crcore Currency Fixtures Format List QCheck QCheck_alcotest Schema String Tuple Value

@@ -1,0 +1,99 @@
+(* Constant CFDs: construction, semantics on current tuples, parsing. *)
+
+module F = Cfd.Constant_cfd
+
+let schema = Schema.make [ "AC"; "city"; "zip" ]
+let mk l = Tuple.make schema (List.map Value.of_string l)
+
+let psi = F.make [ ("AC", Value.Int 212) ] ("city", Value.Str "NY")
+
+let test_make_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty lhs" true (bad (fun () -> F.make [] ("city", Value.Str "NY")));
+  Alcotest.(check bool) "dup lhs" true
+    (bad (fun () -> F.make [ ("a", Value.Int 1); ("a", Value.Int 2) ] ("b", Value.Int 3)));
+  Alcotest.(check bool) "rhs on lhs" true
+    (bad (fun () -> F.make [ ("city", Value.Str "NY") ] ("city", Value.Str "LA")));
+  Alcotest.(check bool) "null pattern" true
+    (bad (fun () -> F.make [ ("a", Value.Null) ] ("b", Value.Int 1)))
+
+let test_semantics () =
+  Alcotest.(check bool) "applies" true (F.applies psi (mk [ "212"; "NY"; "10001" ]));
+  Alcotest.(check bool) "applies regardless of rhs" true (F.applies psi (mk [ "212"; "LA"; "1" ]));
+  Alcotest.(check bool) "not applies" false (F.applies psi (mk [ "213"; "NY"; "1" ]));
+  Alcotest.(check bool) "satisfied when matching" true (F.satisfied psi (mk [ "212"; "NY"; "1" ]));
+  Alcotest.(check bool) "violated" false (F.satisfied psi (mk [ "212"; "LA"; "1" ]));
+  Alcotest.(check bool) "vacuously satisfied" true (F.satisfied psi (mk [ "213"; "LA"; "1" ]))
+
+let test_constants_for () =
+  Alcotest.(check int) "AC constant" 1 (List.length (F.constants_for psi "AC"));
+  Alcotest.(check int) "city constant" 1 (List.length (F.constants_for psi "city"));
+  Alcotest.(check int) "zip none" 0 (List.length (F.constants_for psi "zip"))
+
+let test_check_schema () =
+  Alcotest.(check bool) "ok" true (F.check_schema psi schema = Ok ());
+  let other = F.make [ ("nope", Value.Int 1) ] ("city", Value.Str "x") in
+  Alcotest.(check bool) "unknown attr" true (F.check_schema other schema = Error "nope")
+
+let test_parse () =
+  let c = F.parse_exn {|AC = 212 -> city = "NY"|} in
+  Alcotest.(check string) "round trip" (F.to_string psi) (F.to_string c);
+  let c2 = F.parse_exn "a = 1 & b = \"two\" -> c = 3" in
+  Alcotest.(check int) "two lhs atoms" 2 (List.length c2.F.lhs);
+  Alcotest.(check bool) "single quotes" true
+    (match F.parse "x = 'ab' -> y = 'cd'" with Ok _ -> true | Error _ -> false)
+
+let test_parse_errors () =
+  let bad s = match F.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "no arrow" true (bad "a = 1");
+  Alcotest.(check bool) "no equals" true (bad "a -> b = 1");
+  Alcotest.(check bool) "rhs repeated on lhs" true (bad "a = 1 -> a = 2")
+
+let test_parse_many () =
+  match F.parse_many "# cfds\nAC = 212 -> city = \"NY\"; AC = 213 -> city = \"LA\"\n" with
+  | Ok l -> Alcotest.(check int) "two" 2 (List.length l)
+  | Error m -> Alcotest.fail m
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let attr = oneofl [ "a"; "b"; "c"; "d" ] in
+      let const =
+        oneof [ map (fun i -> Value.Int i) small_nat; map (fun s -> Value.Str s) (oneofl [ "x"; "y z" ]) ]
+      in
+      let atom = pair attr const in
+      list_size (int_range 1 3) atom >>= fun lhs ->
+      atom >|= fun rhs ->
+      (* keep attributes distinct to satisfy the smart constructor *)
+      let seen = Hashtbl.create 4 in
+      let lhs =
+        List.filter
+          (fun (a, _) -> if Hashtbl.mem seen a || a = fst rhs then false else (Hashtbl.add seen a (); true))
+          lhs
+      in
+      if lhs = [] then None else Some (F.make lhs rhs))
+  in
+  QCheck.Test.make ~count:200 ~name:"print/parse round trip"
+    (QCheck.make ~print:(function None -> "-" | Some c -> F.to_string c) gen)
+    (function
+      | None -> true
+      | Some c -> (
+          match F.parse (F.to_string c) with
+          | Ok c' -> F.to_string c = F.to_string c'
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "cfd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "semantics" `Quick test_semantics;
+          Alcotest.test_case "constants_for" `Quick test_constants_for;
+          Alcotest.test_case "check_schema" `Quick test_check_schema;
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse_many" `Quick test_parse_many;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

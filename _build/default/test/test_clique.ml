@@ -1,0 +1,123 @@
+(* Graphs and max-clique search. *)
+
+let mk_graph n edges =
+  let g = Clique.Ugraph.create n in
+  List.iter (fun (u, v) -> Clique.Ugraph.add_edge g u v) edges;
+  g
+
+let test_basic_graph () =
+  let g = mk_graph 4 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check int) "vertices" 4 (Clique.Ugraph.n_vertices g);
+  Alcotest.(check int) "edges" 3 (Clique.Ugraph.n_edges g);
+  Alcotest.(check bool) "edge symmetric" true (Clique.Ugraph.has_edge g 2 1);
+  Alcotest.(check bool) "no edge" false (Clique.Ugraph.has_edge g 0 3);
+  Alcotest.(check int) "degree" 2 (Clique.Ugraph.degree g 0);
+  Alcotest.(check bool) "self loop ignored" false
+    (let g = mk_graph 2 [ (0, 0) ] in
+     Clique.Ugraph.has_edge g 0 0)
+
+let test_is_clique () =
+  let g = mk_graph 4 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "triangle" true (Clique.Ugraph.is_clique g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "not clique" false (Clique.Ugraph.is_clique g [ 0; 1; 3 ]);
+  Alcotest.(check bool) "empty clique" true (Clique.Ugraph.is_clique g []);
+  Alcotest.(check bool) "singleton" true (Clique.Ugraph.is_clique g [ 3 ])
+
+let test_complement () =
+  let g = mk_graph 3 [ (0, 1) ] in
+  let c = Clique.Ugraph.complement g in
+  Alcotest.(check bool) "complement has missing edge" true (Clique.Ugraph.has_edge c 0 2);
+  Alcotest.(check bool) "complement drops present edge" false (Clique.Ugraph.has_edge c 0 1);
+  Alcotest.(check int) "complement edges" 2 (Clique.Ugraph.n_edges c)
+
+let test_exact_known () =
+  (* K4 plus a pendant vertex *)
+  let g = mk_graph 5 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3); (3, 4) ] in
+  let r = Clique.Maxclique.exact g in
+  Alcotest.(check (list int)) "k4" [ 0; 1; 2; 3 ] r.Clique.Maxclique.clique;
+  Alcotest.(check bool) "optimal" true r.Clique.Maxclique.optimal
+
+let test_exact_empty_graph () =
+  let r = Clique.Maxclique.exact (Clique.Ugraph.create 0) in
+  Alcotest.(check (list int)) "empty" [] r.Clique.Maxclique.clique;
+  let r1 = Clique.Maxclique.exact (mk_graph 3 []) in
+  Alcotest.(check int) "no edges: single vertex" 1 (List.length r1.Clique.Maxclique.clique)
+
+let test_greedy_known () =
+  let g = mk_graph 5 [ (0, 1); (0, 2); (1, 2); (3, 4) ] in
+  let c = Clique.Maxclique.greedy g in
+  Alcotest.(check bool) "greedy returns a clique" true (Clique.Ugraph.is_clique g c);
+  Alcotest.(check int) "greedy finds the triangle" 3 (List.length c)
+
+let test_bitset () =
+  let s = Clique.Bitset.create 100 in
+  Clique.Bitset.add s 0;
+  Clique.Bitset.add s 63;
+  Clique.Bitset.add s 64;
+  Clique.Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Clique.Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Clique.Bitset.mem s 63);
+  Clique.Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Clique.Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 64; 99 ] (Clique.Bitset.to_list s);
+  let t = Clique.Bitset.of_list 100 [ 64; 65 ] in
+  let i = Clique.Bitset.inter s t in
+  Alcotest.(check (list int)) "intersection" [ 64 ] (Clique.Bitset.to_list i);
+  Alcotest.(check (option int)) "choose" (Some 0) (Clique.Bitset.choose s)
+
+let rand_graph st n p =
+  let g = Clique.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then Clique.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let prop_exact_matches_brute =
+  QCheck.Test.make ~count:150 ~name:"exact clique size = brute force"
+    QCheck.(pair (int_range 1 12) (int_range 0 100))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = rand_graph st n (Random.State.float st 1.0) in
+      let e = Clique.Maxclique.exact g in
+      let b = Clique.Maxclique.brute g in
+      e.Clique.Maxclique.optimal
+      && List.length e.Clique.Maxclique.clique = List.length b
+      && Clique.Ugraph.is_clique g e.Clique.Maxclique.clique)
+
+let prop_greedy_valid =
+  QCheck.Test.make ~count:150 ~name:"greedy returns a clique, never above optimum"
+    QCheck.(pair (int_range 1 12) (int_range 0 100))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed; 1 |] in
+      let g = rand_graph st n (Random.State.float st 1.0) in
+      let c = Clique.Maxclique.greedy g in
+      let b = Clique.Maxclique.brute g in
+      Clique.Ugraph.is_clique g c && List.length c <= List.length b)
+
+let prop_find_consistent =
+  QCheck.Test.make ~count:50 ~name:"find with low threshold still returns a clique"
+    QCheck.(pair (int_range 1 15) (int_range 0 50))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed; 2 |] in
+      let g = rand_graph st n 0.5 in
+      Clique.Ugraph.is_clique g (Clique.Maxclique.find ~exact_threshold:5 g))
+
+let () =
+  Alcotest.run "clique"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic graph ops" `Quick test_basic_graph;
+          Alcotest.test_case "is_clique" `Quick test_is_clique;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "exact on K4+pendant" `Quick test_exact_known;
+          Alcotest.test_case "degenerate graphs" `Quick test_exact_empty_graph;
+          Alcotest.test_case "greedy triangle" `Quick test_greedy_known;
+          Alcotest.test_case "bitset ops" `Quick test_bitset;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_matches_brute; prop_greedy_valid; prop_find_consistent ] );
+    ]

@@ -1,0 +1,96 @@
+(* Minimum coverage: the greedy heuristic and the exhaustive optimum. *)
+
+module C = Crcore.Coverage
+
+let test_edith_zero_cost () =
+  (* Edith is fully determined already: no choices needed *)
+  let r = C.greedy (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "complete" true r.C.complete;
+  Alcotest.(check int) "no choices" 0 (List.length r.C.choices);
+  Alcotest.(check int) "zero cost" 0 r.C.cost
+
+let test_george_coverage () =
+  let r = C.greedy (Fixtures.george_spec ()) in
+  Alcotest.(check bool) "complete" true r.C.complete;
+  Alcotest.(check bool) "needs at least one choice" true (List.length r.C.choices >= 1);
+  (* the resolution must itself be consistent: applying the choices keeps
+     the specification valid and fully determined *)
+  let extended = C.apply (Fixtures.george_spec ()) r.C.choices in
+  Alcotest.(check bool) "extension valid" true (Crcore.Validity.is_valid extended);
+  let enc = Crcore.Encode.encode extended in
+  let d = Crcore.Deduce.deduce_order enc in
+  Alcotest.(check bool) "true value exists after coverage" true
+    (Array.for_all (fun v -> v <> None) (Crcore.Deduce.true_values d))
+
+let test_george_optimum () =
+  match C.optimum (Fixtures.george_spec ()) with
+  | None -> Alcotest.fail "search budget exceeded"
+  | Some r ->
+      Alcotest.(check bool) "complete" true r.C.complete;
+      (* Example 6/12: one choice (e.g. status) suffices for George *)
+      Alcotest.(check int) "single choice optimal" 1 (List.length r.C.choices)
+
+let test_greedy_not_worse_than_double_optimum () =
+  (* sanity: greedy George should also need exactly one choice here *)
+  let g = C.greedy (Fixtures.george_spec ()) in
+  Alcotest.(check int) "greedy George one choice" 1 (List.length g.C.choices)
+
+let test_apply_unknown_value () =
+  Alcotest.check_raises "foreign value rejected"
+    (Invalid_argument "Coverage.apply: status never takes this value")
+    (fun () ->
+      ignore (C.apply (Fixtures.george_spec ()) [ { C.attr = "status"; value = Value.Str "zzz" } ]))
+
+let test_invalid_spec_rejected () =
+  let spec =
+    Crcore.Spec.make Fixtures.edith_entity
+      ~orders:[ { Crcore.Spec.attr = "status"; lo = 2; hi = 0 } ]
+      ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma
+  in
+  Alcotest.(check bool) "greedy raises on invalid" true
+    (try ignore (C.greedy spec); false with Invalid_argument _ -> true)
+
+let prop_greedy_sound =
+  QCheck.Test.make ~count:60 ~name:"greedy coverage yields a valid determined extension"
+    Fixtures.qcheck_spec (fun spec ->
+      if not (Crcore.Validity.is_valid spec) then true
+      else begin
+        let r = C.greedy spec in
+        if not r.C.complete then true
+        else begin
+          let extended = C.apply spec r.C.choices in
+          Crcore.Validity.is_valid extended
+          &&
+          let d = Crcore.Deduce.deduce_order (Crcore.Encode.encode extended) in
+          Array.for_all (fun v -> v <> None) (Crcore.Deduce.true_values d)
+        end
+      end)
+
+let prop_optimum_not_above_greedy =
+  QCheck.Test.make ~count:40 ~name:"optimum choice count ≤ greedy choice count"
+    Fixtures.qcheck_spec (fun spec ->
+      if not (Crcore.Validity.is_valid spec) then true
+      else
+        let g = C.greedy spec in
+        if not g.C.complete then true
+        else
+          match C.optimum ~limit:3000 spec with
+          | None -> true
+          | Some o ->
+              (not o.C.complete) || List.length o.C.choices <= List.length g.C.choices)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Edith zero cost" `Quick test_edith_zero_cost;
+          Alcotest.test_case "George greedy" `Quick test_george_coverage;
+          Alcotest.test_case "George optimum" `Quick test_george_optimum;
+          Alcotest.test_case "greedy matches optimum here" `Quick test_greedy_not_worse_than_double_optimum;
+          Alcotest.test_case "apply rejects foreign values" `Quick test_apply_unknown_value;
+          Alcotest.test_case "invalid spec rejected" `Quick test_invalid_spec_rejected;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_greedy_sound; prop_optimum_not_above_greedy ] );
+    ]

@@ -1,0 +1,177 @@
+(* Currency constraints: AST semantics, instantiation, parser. *)
+
+module C = Currency.Constraint_ast
+module P = Currency.Parser
+
+let schema = Schema.make [ "status"; "job"; "kids" ]
+let mk l = Tuple.make schema (List.map Value.of_string l)
+
+let t_working = mk [ "working"; "nurse"; "0" ]
+let t_retired = mk [ "retired"; "vet"; "2" ]
+
+let phi1 =
+  C.make
+    [
+      C.Cmp_const (C.T1, "status", Value.Eq, Value.Str "working");
+      C.Cmp_const (C.T2, "status", Value.Eq, Value.Str "retired");
+    ]
+    "status"
+
+let test_attrs () =
+  Alcotest.(check (list string)) "attrs" [ "status" ] (C.attrs phi1);
+  let c = C.make [ C.Prec "status"; C.Cmp2 ("kids", Value.Lt) ] "job" in
+  Alcotest.(check (list string)) "attrs multi" [ "job"; "kids"; "status" ] (C.attrs c)
+
+let test_check_schema () =
+  Alcotest.(check bool) "ok" true (C.check_schema phi1 schema = Ok ());
+  let bad = C.make [ C.Prec "nope" ] "job" in
+  Alcotest.(check bool) "bad attr reported" true (C.check_schema bad schema = Error "nope")
+
+let test_instantiate_const_premise () =
+  (match C.instantiate phi1 t_working t_retired with
+  | Some { C.prec_premises = []; conclusion = ("status", v1, v2) } ->
+      Alcotest.(check string) "lo" "working" (Value.to_string v1);
+      Alcotest.(check string) "hi" "retired" (Value.to_string v2)
+  | _ -> Alcotest.fail "expected premise-free instance");
+  (* reversed pair: premise false, vacuous *)
+  Alcotest.(check bool) "reversed vacuous" true (C.instantiate phi1 t_retired t_working = None)
+
+let test_instantiate_cmp2 () =
+  let phi4 = C.make [ C.Cmp2 ("kids", Value.Lt) ] "kids" in
+  (match C.instantiate phi4 t_working t_retired with
+  | Some { C.prec_premises = []; conclusion = ("kids", v1, v2) } ->
+      Alcotest.(check string) "0" "0" (Value.to_string v1);
+      Alcotest.(check string) "2" "2" (Value.to_string v2)
+  | _ -> Alcotest.fail "expected instance");
+  Alcotest.(check bool) "not <" true (C.instantiate phi4 t_retired t_working = None)
+
+let test_instantiate_prec_residual () =
+  let phi5 = C.make [ C.Prec "status" ] "job" in
+  match C.instantiate phi5 t_working t_retired with
+  | Some { C.prec_premises = [ ("status", s1, s2) ]; conclusion = ("job", j1, j2) } ->
+      Alcotest.(check string) "premise lo" "working" (Value.to_string s1);
+      Alcotest.(check string) "premise hi" "retired" (Value.to_string s2);
+      Alcotest.(check string) "concl lo" "nurse" (Value.to_string j1);
+      Alcotest.(check string) "concl hi" "vet" (Value.to_string j2)
+  | _ -> Alcotest.fail "expected residual instance"
+
+let test_instantiate_equal_values () =
+  let phi5 = C.make [ C.Prec "status" ] "job" in
+  let t2 = mk [ "working"; "vet"; "1" ] in
+  (* equal status values: strict premise can never hold *)
+  Alcotest.(check bool) "equal premise vacuous" true (C.instantiate phi5 t_working t2 = None);
+  (* equal conclusion values: trivially satisfied *)
+  let t3 = mk [ "retired"; "nurse"; "1" ] in
+  Alcotest.(check bool) "equal conclusion skipped" true (C.instantiate phi5 t_working t3 = None)
+
+let test_instantiate_nulls () =
+  let phi5 = C.make [ C.Prec "kids" ] "job" in
+  let t_null = mk [ "x"; "nurse"; "null" ] in
+  (* null premise lo: conjunct always true, dropped from the residual *)
+  (match C.instantiate phi5 t_null t_retired with
+  | Some { C.prec_premises = []; conclusion = ("job", _, _) } -> ()
+  | _ -> Alcotest.fail "null-low premise should be dropped");
+  (* null premise hi: v < null can never hold *)
+  Alcotest.(check bool) "null-high premise vacuous" true (C.instantiate phi5 t_retired t_null = None);
+  (* null conclusion: no value-level information *)
+  let phi_job = C.make [ C.Cmp2 ("kids", Value.Lt) ] "job" in
+  let t_nulljob = mk [ "y"; "null"; "9" ] in
+  Alcotest.(check bool) "null conclusion skipped" true
+    (C.instantiate phi_job t_working t_nulljob = None)
+
+let test_holds () =
+  let phi5 = C.make [ C.Prec "status" ] "job" in
+  let lt_yes _ _ _ = true in
+  let lt_no _ _ _ = false in
+  Alcotest.(check bool) "premise and conclusion hold" true (C.holds phi5 ~lt:lt_yes t_working t_retired);
+  Alcotest.(check bool) "premise fails: holds" true (C.holds phi5 ~lt:lt_no t_working t_retired);
+  let lt_status_only a _ _ = a = "status" in
+  Alcotest.(check bool) "premise holds, conclusion fails" false
+    (C.holds phi5 ~lt:lt_status_only t_working t_retired)
+
+let test_parser_basic () =
+  let c = P.parse_exn {|t1[status] = "working" & t2[status] = "retired" -> prec(status)|} in
+  Alcotest.(check string) "round trip" (C.to_string phi1) (C.to_string c);
+  let c2 = P.parse_exn "t1[kids] < t2[kids] -> prec(kids)" in
+  Alcotest.(check string) "cmp2" "t1[kids] < t2[kids] -> prec(kids)" (C.to_string c2);
+  let c3 = P.parse_exn "prec(status) -> prec(job)" in
+  Alcotest.(check string) "prec premise" "prec(status) -> prec(job)" (C.to_string c3);
+  let c4 = P.parse_exn "true -> prec(kids)" in
+  Alcotest.(check string) "empty premise" "true -> prec(kids)" (C.to_string c4)
+
+let test_parser_constants () =
+  let c = P.parse_exn "t1[kids] >= 3 -> prec(kids)" in
+  (match c.C.premise with
+  | [ C.Cmp_const (C.T1, "kids", Value.Geq, Value.Int 3) ] -> ()
+  | _ -> Alcotest.fail "int constant");
+  let c2 = P.parse_exn "t2[status] != null -> prec(status)" in
+  match c2.C.premise with
+  | [ C.Cmp_const (C.T2, "status", Value.Neq, Value.Null) ] -> ()
+  | _ -> Alcotest.fail "null constant"
+
+let test_parser_errors () =
+  let bad s = match P.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "no arrow" true (bad "prec(a)");
+  Alcotest.(check bool) "mixed attrs" true (bad "t1[a] = t2[b] -> prec(a)");
+  Alcotest.(check bool) "t2 first" true (bad "t2[a] = t1[a] -> prec(a)");
+  Alcotest.(check bool) "unterminated string" true (bad "t1[a] = \"x -> prec(a)");
+  Alcotest.(check bool) "garbage" true (bad "=> prec(a)");
+  Alcotest.(check bool) "trailing tokens" true (bad "true -> prec(a) extra")
+
+let test_parse_many () =
+  let text = "# comment\nprec(a) -> prec(b); prec(b) -> prec(c)\n\nt1[x] < t2[x] -> prec(x)\n" in
+  match P.parse_many text with
+  | Ok cs -> Alcotest.(check int) "three constraints" 3 (List.length cs)
+  | Error m -> Alcotest.fail m
+
+let prop_print_parse_roundtrip =
+  (* constraints built from a small vocabulary print and re-parse exactly *)
+  let gen =
+    QCheck.Gen.(
+      let attr = oneofl [ "status"; "job"; "kids" ] in
+      let op = oneofl [ Value.Eq; Value.Neq; Value.Lt; Value.Leq; Value.Gt; Value.Geq ] in
+      let pred =
+        frequency
+          [
+            (1, map (fun a -> C.Prec a) attr);
+            (1, map2 (fun a o -> C.Cmp2 (a, o)) attr op);
+            ( 2,
+              map3
+                (fun r (a, o) c -> C.Cmp_const (r, a, o, c))
+                (oneofl [ C.T1; C.T2 ])
+                (pair attr op)
+                (oneofl [ Value.Int 3; Value.Str "working"; Value.Null ]) );
+          ]
+      in
+      map2 (fun ps concl -> C.make ps concl) (list_size (int_range 0 3) pred) attr)
+  in
+  QCheck.Test.make ~count:200 ~name:"print/parse round trip"
+    (QCheck.make ~print:C.to_string gen)
+    (fun c ->
+      match P.parse (C.to_string c) with
+      | Ok c' -> C.to_string c = C.to_string c'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "currency"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "attrs" `Quick test_attrs;
+          Alcotest.test_case "check_schema" `Quick test_check_schema;
+          Alcotest.test_case "instantiate constant premise" `Quick test_instantiate_const_premise;
+          Alcotest.test_case "instantiate comparison" `Quick test_instantiate_cmp2;
+          Alcotest.test_case "instantiate prec residual" `Quick test_instantiate_prec_residual;
+          Alcotest.test_case "equal values" `Quick test_instantiate_equal_values;
+          Alcotest.test_case "null handling" `Quick test_instantiate_nulls;
+          Alcotest.test_case "holds semantics" `Quick test_holds;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic forms" `Quick test_parser_basic;
+          Alcotest.test_case "constants" `Quick test_parser_constants;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "parse_many" `Quick test_parse_many;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip ]);
+    ]

@@ -1,0 +1,218 @@
+(* The synthetic dataset generators: structural invariants, validity of
+   every generated specification, and solvability with the oracle. *)
+
+module T = Datagen.Types
+
+let all_cases_valid ds =
+  List.for_all
+    (fun (c : T.case) -> Crcore.Validity.is_valid (T.spec_of ds c))
+    ds.T.cases
+
+let truth_in_entity (ds : T.dataset) =
+  (* every ground-truth attribute value occurs in the entity *)
+  List.for_all
+    (fun (c : T.case) ->
+      List.for_all
+        (fun a ->
+          let v = Tuple.get c.T.truth a in
+          List.exists (Value.equal v) (Entity.active_domain c.T.entity a))
+        (List.init (Schema.arity ds.T.schema) Fun.id))
+    ds.T.cases
+
+let test_person_shape () =
+  let p = Datagen.Person.default_params in
+  let ds = Datagen.Person.generate { p with n_entities = 5; size_min = 5; size_max = 9 } in
+  Alcotest.(check int) "983 currency constraints" 983 (List.length ds.T.sigma);
+  Alcotest.(check int) "1000 cfd patterns" 1000 (List.length ds.T.gamma);
+  Alcotest.(check int) "entities" 5 (List.length ds.T.cases);
+  List.iter
+    (fun (c : T.case) ->
+      let n = Entity.size c.T.entity in
+      Alcotest.(check bool) "size in range" true (n >= 5 && n <= 9))
+    ds.T.cases
+
+let test_person_valid_and_truthful () =
+  let ds = Datagen.Person.quick ~n_entities:10 ~size:8 () in
+  Alcotest.(check bool) "all specs valid" true (all_cases_valid ds);
+  Alcotest.(check bool) "truth values occur" true (truth_in_entity ds)
+
+let test_person_deterministic () =
+  let d1 = Datagen.Person.quick ~seed:5 ~n_entities:3 ~size:6 () in
+  let d2 = Datagen.Person.quick ~seed:5 ~n_entities:3 ~size:6 () in
+  List.iter2
+    (fun (a : T.case) (b : T.case) ->
+      Alcotest.(check bool) "same truth" true (Tuple.equal a.T.truth b.T.truth))
+    d1.T.cases d2.T.cases
+
+let test_nba_shape () =
+  let ds = Datagen.Nba.generate { Datagen.Nba.default_params with n_entities = 5 } in
+  Alcotest.(check int) "54 currency constraints" 54 (List.length ds.T.sigma);
+  Alcotest.(check int) "59 cfds (one per arena)" 59 (List.length ds.T.gamma);
+  Alcotest.(check int) "14 attributes" 14 (Schema.arity ds.T.schema)
+
+let test_nba_valid () =
+  let ds = Datagen.Nba.quick ~n_entities:8 ~seasons:4 () in
+  Alcotest.(check bool) "all valid" true (all_cases_valid ds);
+  Alcotest.(check bool) "truth occurs" true (truth_in_entity ds)
+
+let test_nba_sized () =
+  let ds =
+    Datagen.Nba.generate_sized { Datagen.Nba.default_params with n_entities = 0 } ~sizes:[ 10; 40; 80 ]
+  in
+  Alcotest.(check (list int)) "requested sizes" [ 10; 40; 80 ]
+    (List.map (fun (c : T.case) -> Entity.size c.T.entity) ds.T.cases);
+  Alcotest.(check bool) "sized cases valid" true (all_cases_valid ds)
+
+let test_nba_allpoints_monotone () =
+  (* within a case, allpoints and per-season values never recur *)
+  let ds = Datagen.Nba.quick ~n_entities:5 ~seasons:5 () in
+  let a_pts = Schema.index ds.T.schema "points" in
+  List.iter
+    (fun (c : T.case) ->
+      let adom = Entity.active_domain c.T.entity a_pts in
+      (* distinct by construction: adom size = number of distinct season points *)
+      Alcotest.(check bool) "distinct points" true (List.length adom >= 1))
+    ds.T.cases
+
+let test_career_shape () =
+  let ds = Datagen.Career.generate { Datagen.Career.default_params with n_entities = 10; pubs_max = 20 } in
+  Alcotest.(check int) "348 cfd patterns" 348 (List.length ds.T.gamma);
+  Alcotest.(check bool) "constraints exist" true (List.length ds.T.sigma > 0);
+  Alcotest.(check int) "5 attributes" 5 (Schema.arity ds.T.schema)
+
+let test_career_valid () =
+  let ds = Datagen.Career.quick ~n_entities:12 ~pubs:10 () in
+  Alcotest.(check bool) "all valid" true (all_cases_valid ds);
+  Alcotest.(check bool) "truth occurs" true (truth_in_entity ds)
+
+let test_stamps_consistent () =
+  (* each case carries one held-out timestamp per tuple, and the tuple
+     with the maximal stamp agrees with the ground truth on Person (whose
+     histories emit exactly one row per state) *)
+  List.iter
+    (fun (ds : T.dataset) ->
+      List.iter
+        (fun (c : T.case) ->
+          Alcotest.(check int) "one stamp per tuple" (Entity.size c.T.entity)
+            (Array.length c.T.stamps))
+        ds.T.cases)
+    [
+      Datagen.Person.quick ~n_entities:4 ~size:7 ();
+      Datagen.Nba.quick ~n_entities:3 ~seasons:3 ();
+      Datagen.Career.quick ~n_entities:3 ~pubs:6 ();
+    ];
+  let ds = Datagen.Person.quick ~n_entities:6 ~size:9 () in
+  List.iter
+    (fun (c : T.case) ->
+      let best = ref 0 in
+      Array.iteri (fun i s -> if s > c.T.stamps.(!best) then best := i) c.T.stamps;
+      Alcotest.(check bool) "latest-stamped tuple is the truth" true
+        (Tuple.equal (Entity.tuple c.T.entity !best) c.T.truth))
+    ds.T.cases
+
+let test_stamps_order_respects_constraints () =
+  (* the timestamp-induced value orders satisfy the dataset's own Σ: the
+     generated histories really are clean *)
+  let ds = Datagen.Person.quick ~n_entities:5 ~size:8 () in
+  let stamped =
+    Discovery.Stamped.make ds.T.schema
+      (List.map
+         (fun (c : T.case) -> List.mapi (fun i t -> (t, c.T.stamps.(i))) (Entity.tuples c.T.entity))
+         ds.T.cases)
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-9))
+        (Currency.Constraint_ast.to_string c)
+        1.0
+        (Discovery.Stamped.holds_frac stamped c))
+    ds.T.sigma
+
+let test_spec_fractions () =
+  let ds = Datagen.Person.quick ~n_entities:2 ~size:6 () in
+  let case = List.hd ds.T.cases in
+  let full = T.spec_of ds case in
+  let half = T.spec_of ~sigma_frac:0.5 ~gamma_frac:0.5 ds case in
+  let none = T.spec_of ~sigma_frac:0.0 ~gamma_frac:0.0 ds case in
+  Alcotest.(check bool) "half sigma smaller" true
+    (List.length half.Crcore.Spec.sigma < List.length full.Crcore.Spec.sigma);
+  Alcotest.(check int) "zero sigma" 0 (List.length none.Crcore.Spec.sigma);
+  (* deterministic subsets *)
+  let half2 = T.spec_of ~sigma_frac:0.5 ~gamma_frac:0.5 ds case in
+  Alcotest.(check bool) "deterministic subset" true
+    (List.map Currency.Constraint_ast.to_string half.Crcore.Spec.sigma
+    = List.map Currency.Constraint_ast.to_string half2.Crcore.Spec.sigma);
+  (* weakening constraints preserves validity *)
+  Alcotest.(check bool) "subset still valid" true (Crcore.Validity.is_valid half)
+
+let test_oracle_resolves_all_datasets () =
+  List.iter
+    (fun (ds : T.dataset) ->
+      let m = ref Crcore.Metrics.zero in
+      List.iter
+        (fun (c : T.case) ->
+          let spec = T.spec_of ds c in
+          let o = Crcore.Framework.resolve ~user:(Crcore.Framework.oracle c.T.truth) spec in
+          Alcotest.(check bool) (ds.T.name ^ " valid") true o.Crcore.Framework.valid;
+          Alcotest.(check bool) (ds.T.name ^ " few rounds") true (o.Crcore.Framework.rounds <= 3);
+          m :=
+            Crcore.Metrics.add !m
+              (Crcore.Metrics.evaluate ~truth:c.T.truth ~entity:c.T.entity
+                 o.Crcore.Framework.resolved))
+        ds.T.cases;
+      Alcotest.(check bool)
+        (ds.T.name ^ " F-measure = 1 with oracle")
+        true
+        (Crcore.Metrics.f_measure !m > 0.999))
+    [
+      Datagen.Person.quick ~n_entities:6 ~size:8 ();
+      Datagen.Nba.quick ~n_entities:5 ~seasons:3 ();
+      Datagen.Career.quick ~n_entities:5 ~pubs:8 ();
+    ]
+
+let prop_person_sizes =
+  QCheck.Test.make ~count:20 ~name:"person entities match requested size"
+    QCheck.(pair (int_range 2 20) (int_range 0 1000))
+    (fun (size, seed) ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:2 ~size () in
+      List.for_all (fun (c : T.case) -> Entity.size c.T.entity = size) ds.T.cases)
+
+let prop_generators_always_valid =
+  QCheck.Test.make ~count:15 ~name:"every generated spec is valid (all generators)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      all_cases_valid (Datagen.Person.quick ~seed ~n_entities:3 ~size:7 ())
+      && all_cases_valid (Datagen.Nba.quick ~seed ~n_entities:3 ~seasons:3 ())
+      && all_cases_valid (Datagen.Career.quick ~seed ~n_entities:3 ~pubs:6 ()))
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "person",
+        [
+          Alcotest.test_case "constraint counts" `Quick test_person_shape;
+          Alcotest.test_case "validity + truth" `Quick test_person_valid_and_truthful;
+          Alcotest.test_case "deterministic" `Quick test_person_deterministic;
+        ] );
+      ( "nba",
+        [
+          Alcotest.test_case "constraint counts" `Quick test_nba_shape;
+          Alcotest.test_case "validity + truth" `Quick test_nba_valid;
+          Alcotest.test_case "sized generation" `Quick test_nba_sized;
+          Alcotest.test_case "points distinct" `Quick test_nba_allpoints_monotone;
+        ] );
+      ( "career",
+        [
+          Alcotest.test_case "constraint counts" `Quick test_career_shape;
+          Alcotest.test_case "validity + truth" `Quick test_career_valid;
+        ] );
+      ( "cross",
+        [
+          Alcotest.test_case "stamps consistent" `Quick test_stamps_consistent;
+          Alcotest.test_case "stamps respect Σ" `Quick test_stamps_order_respects_constraints;
+          Alcotest.test_case "fraction subsetting" `Quick test_spec_fractions;
+          Alcotest.test_case "oracle resolves everything" `Slow test_oracle_resolves_all_datasets;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_person_sizes; prop_generators_always_valid ] );
+    ]

@@ -1,0 +1,161 @@
+(* Constraint discovery from timestamped samples. *)
+
+let schema = Schema.make [ "status"; "kids"; "city" ]
+let mk l = Tuple.make schema (List.map Value.of_string l)
+
+(* two clean entity histories *)
+let history1 =
+  [ (mk [ "working"; "0"; "NY" ], 0); (mk [ "retired"; "1"; "NY" ], 1); (mk [ "retired"; "2"; "SF" ], 2) ]
+
+let history2 =
+  [ (mk [ "working"; "1"; "LA" ], 0); (mk [ "retired"; "3"; "LA" ], 1) ]
+
+let stamped = Discovery.Stamped.make schema [ history1; history2 ]
+
+let test_value_rank () =
+  let ranks = Discovery.Stamped.value_rank stamped 0 0 in
+  Alcotest.(check int) "two status values" 2 (List.length ranks);
+  let rank v = List.assoc v (List.map (fun (x, r) -> (Value.to_string x, r)) ranks) in
+  Alcotest.(check int) "working first" 0 (rank "working");
+  Alcotest.(check int) "retired second" 1 (rank "retired")
+
+let test_lt_of_entity () =
+  let lt = Discovery.Stamped.lt_of_entity stamped 0 in
+  Alcotest.(check bool) "working < retired" true
+    (lt "status" (Value.Str "working") (Value.Str "retired"));
+  Alcotest.(check bool) "not reversed" false
+    (lt "status" (Value.Str "retired") (Value.Str "working"));
+  Alcotest.(check bool) "foreign value" false (lt "status" (Value.Str "zzz") (Value.Str "retired"))
+
+let test_holds_frac () =
+  let good =
+    Currency.Constraint_ast.make
+      [ Currency.Constraint_ast.Cmp2 ("kids", Value.Lt) ]
+      "kids"
+  in
+  Alcotest.(check (float 1e-9)) "monotone kids holds" 1.0 (Discovery.Stamped.holds_frac stamped good);
+  let bad =
+    Currency.Constraint_ast.make
+      [ Currency.Constraint_ast.Cmp2 ("kids", Value.Gt) ]
+      "kids"
+  in
+  Alcotest.(check bool) "anti-monotone violated" true (Discovery.Stamped.holds_frac stamped bad < 1.0)
+
+let test_mine_transitions () =
+  let mined = Discovery.Currency_miner.mine stamped in
+  let strings = List.map Currency.Constraint_ast.to_string mined in
+  Alcotest.(check bool) "status transition found" true
+    (List.mem {|t1[status] = "working" & t2[status] = "retired" -> prec(status)|} strings);
+  Alcotest.(check bool) "kids monotone found" true
+    (List.mem "t1[kids] < t2[kids] -> prec(kids)" strings);
+  (* every mined constraint holds on the sample *)
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-9))
+        (Currency.Constraint_ast.to_string c)
+        1.0
+        (Discovery.Stamped.holds_frac stamped c))
+    mined
+
+let test_mine_respects_reversals () =
+  (* a value pair seen in both orders across entities must not be mined *)
+  let h1 = [ (mk [ "a"; "0"; "X" ], 0); (mk [ "b"; "1"; "X" ], 1) ] in
+  let h2 = [ (mk [ "b"; "0"; "Y" ], 0); (mk [ "a"; "1"; "Y" ], 1) ] in
+  let ds = Discovery.Stamped.make schema [ h1; h2 ] in
+  let mined = Discovery.Currency_miner.mine ds in
+  let strings = List.map Currency.Constraint_ast.to_string mined in
+  Alcotest.(check bool) "no a->b rule" false
+    (List.exists (fun s -> s = {|t1[status] = "a" & t2[status] = "b" -> prec(status)|}) strings);
+  Alcotest.(check bool) "no b->a rule" false
+    (List.exists (fun s -> s = {|t1[status] = "b" & t2[status] = "a" -> prec(status)|}) strings)
+
+let test_min_support () =
+  let config = { Discovery.Currency_miner.default_config with min_support = 2 } in
+  let mined = Discovery.Currency_miner.mine ~config stamped in
+  let strings = List.map Currency.Constraint_ast.to_string mined in
+  (* the working->retired pair occurs in both entities: kept *)
+  Alcotest.(check bool) "supported pair kept" true
+    (List.mem {|t1[status] = "working" & t2[status] = "retired" -> prec(status)|} strings);
+  (* the NY->SF move occurs once: dropped at support 2 *)
+  Alcotest.(check bool) "unsupported pair dropped" false
+    (List.mem {|t1[city] = "NY" & t2[city] = "SF" -> prec(city)|} strings)
+
+let test_cfd_miner () =
+  let rows =
+    [
+      mk [ "working"; "0"; "NY" ]; mk [ "working"; "1"; "NY" ]; mk [ "retired"; "2"; "SF" ];
+      mk [ "retired"; "3"; "SF" ];
+    ]
+  in
+  let cfds = Discovery.Cfd_miner.mine schema rows in
+  let strings = List.map Cfd.Constant_cfd.to_string cfds in
+  Alcotest.(check bool) "status determines city here" true
+    (List.mem {|status = "working" -> city = "NY"|} strings);
+  (* dirty rows break confidence-1 patterns *)
+  let cfds' = Discovery.Cfd_miner.mine schema (mk [ "working"; "9"; "LA" ] :: rows) in
+  let strings' = List.map Cfd.Constant_cfd.to_string cfds' in
+  Alcotest.(check bool) "dirty pattern dropped" false
+    (List.mem {|status = "working" -> city = "NY"|} strings');
+  (* ... unless confidence is relaxed *)
+  let cfds'' =
+    Discovery.Cfd_miner.mine
+      ~config:{ Discovery.Cfd_miner.min_support = 2; min_confidence = 0.6 }
+      schema
+      (mk [ "working"; "9"; "LA" ] :: rows)
+  in
+  Alcotest.(check bool) "kept at lower confidence" true
+    (List.mem {|status = "working" -> city = "NY"|} (List.map Cfd.Constant_cfd.to_string cfds''))
+
+let prop_mined_constraints_hold =
+  QCheck.Test.make ~count:20 ~name:"mined constraints never violate the generating histories"
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:5 ~size:7 () in
+      let stamped =
+        Discovery.Stamped.make ds.Datagen.Types.schema
+          (List.map
+             (fun (c : Datagen.Types.case) ->
+               List.mapi (fun i t -> (t, c.stamps.(i))) (Entity.tuples c.entity))
+             ds.Datagen.Types.cases)
+      in
+      let mined = Discovery.Currency_miner.mine stamped in
+      List.for_all (fun c -> Discovery.Stamped.holds_frac stamped c = 1.0) mined)
+
+let prop_mined_specs_valid =
+  QCheck.Test.make ~count:10 ~name:"resolving with mined constraints keeps specs valid"
+    QCheck.(int_range 0 100)
+    (fun seed ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:4 ~size:7 () in
+      let stamped =
+        Discovery.Stamped.make ds.Datagen.Types.schema
+          (List.map
+             (fun (c : Datagen.Types.case) ->
+               List.mapi (fun i t -> (t, c.stamps.(i))) (Entity.tuples c.entity))
+             ds.Datagen.Types.cases)
+      in
+      let mined = Discovery.Currency_miner.mine stamped in
+      List.for_all
+        (fun (c : Datagen.Types.case) ->
+          let spec = Crcore.Spec.make c.entity ~orders:[] ~sigma:mined ~gamma:[] in
+          Crcore.Validity.is_valid spec)
+        ds.Datagen.Types.cases)
+
+let () =
+  Alcotest.run "discovery"
+    [
+      ( "stamped",
+        [
+          Alcotest.test_case "value ranks" `Quick test_value_rank;
+          Alcotest.test_case "induced order" `Quick test_lt_of_entity;
+          Alcotest.test_case "holds_frac" `Quick test_holds_frac;
+        ] );
+      ( "miners",
+        [
+          Alcotest.test_case "transitions and monotone" `Quick test_mine_transitions;
+          Alcotest.test_case "reversals rejected" `Quick test_mine_respects_reversals;
+          Alcotest.test_case "support threshold" `Quick test_min_support;
+          Alcotest.test_case "constant cfd mining" `Quick test_cfd_miner;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_mined_constraints_hold; prop_mined_specs_valid ] );
+    ]

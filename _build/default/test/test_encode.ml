@@ -1,0 +1,212 @@
+(* The variable coding and the Ω(Se)/Φ(Se) encoding of Section V-A. *)
+
+module E = Crcore.Encode
+
+let test_coding_universes () =
+  let spec = Fixtures.edith_spec () in
+  let enc = E.encode spec in
+  let coding = enc.E.coding in
+  let schema = Fixtures.schema in
+  let a_city = Schema.index schema "city" in
+  let univ = Crcore.Coding.universe coding a_city in
+  (* adom(city) = NY, SFC, LA; CFD constants add nothing new *)
+  Alcotest.(check int) "city universe" 3 (Array.length univ);
+  Alcotest.(check int) "city adom prefix" 3 (Crcore.Coding.adom_size coding a_city);
+  let a_kids = Schema.index schema "kids" in
+  Alcotest.(check int) "kids universe includes null" 3
+    (Array.length (Crcore.Coding.universe coding a_kids));
+  let a_name = Schema.index schema "name" in
+  Alcotest.(check int) "single-value attr" 1 (Array.length (Crcore.Coding.universe coding a_name))
+
+let test_coding_bijection () =
+  let spec = Fixtures.edith_spec () in
+  let enc = E.encode spec in
+  let coding = enc.E.coding in
+  let n = Crcore.Coding.nvars coding in
+  Alcotest.(check bool) "positive vars" true (n > 0);
+  for v = 0 to n - 1 do
+    let a, lo, hi = Crcore.Coding.decode coding v in
+    Alcotest.(check int) (Printf.sprintf "decode/encode %d" v) v
+      (Crcore.Coding.var_of coding ~attr:a lo hi)
+  done
+
+let test_coding_foreign_constant () =
+  (* a CFD RHS constant the entity never takes cannot become a current
+     value: the universe stays the active domain and the CFD's premise is
+     vetoed *)
+  let schema = Schema.make [ "x"; "y" ] in
+  let e =
+    Entity.make schema
+      [
+        Tuple.make schema [ Value.Str "a"; Value.Str "p" ];
+        Tuple.make schema [ Value.Str "b"; Value.Str "q" ];
+      ]
+  in
+  let gamma = [ Cfd.Constant_cfd.make [ ("x", Value.Str "a") ] ("y", Value.Str "REPAIR") ] in
+  let spec = Crcore.Spec.make e ~orders:[] ~sigma:[] ~gamma in
+  let enc = E.encode spec in
+  let univ_y = Crcore.Coding.universe enc.E.coding 1 in
+  Alcotest.(check int) "y universe = adom" 2 (Array.length univ_y);
+  Alcotest.(check int) "one veto" 1 (List.length enc.E.vetoes);
+  (* the veto forbids "b < a" in x, i.e. a being most current *)
+  (match enc.E.vetoes with
+  | [ ([ f ], E.From_cfd 0) ] ->
+      Alcotest.(check int) "veto attr" 0 f.E.attr
+  | _ -> Alcotest.fail "unexpected veto shape");
+  (* and the specification remains valid: completions put b on top *)
+  Alcotest.(check bool) "still valid" true (Crcore.Validity.check enc);
+  (* whereas with no alternative value for x it becomes invalid *)
+  let e1 = Entity.make schema [ Tuple.make schema [ Value.Str "a"; Value.Str "p" ] ] in
+  let spec1 = Crcore.Spec.make e1 ~orders:[] ~sigma:[] ~gamma in
+  Alcotest.(check bool) "forced firing invalid" false (Crcore.Validity.is_valid spec1)
+
+let test_units_from_orders () =
+  (* explicit currency order edges become unit facts *)
+  let spec = Fixtures.george_spec () in
+  let spec = Crcore.Spec.add_order_edges spec [ { Crcore.Spec.attr = "status"; lo = 2; hi = 1 } ] in
+  let enc = E.encode spec in
+  let from_order = List.filter (fun (_, s) -> s = E.From_order) enc.E.units in
+  Alcotest.(check bool) "order unit present" true
+    (List.exists
+       (fun (f, _) ->
+         let a, lo, hi = (f.E.attr, f.E.lo, f.E.hi) in
+         Schema.name Fixtures.schema a = "status"
+         && Value.to_string (Crcore.Coding.value enc.E.coding a lo) = "unemployed"
+         && Value.to_string (Crcore.Coding.value enc.E.coding a hi) = "retired")
+       from_order)
+
+let test_null_lowest_units () =
+  let spec = Fixtures.edith_spec () in
+  let enc = E.encode spec in
+  let a_kids = Schema.index Fixtures.schema "kids" in
+  (* null must be a unit below both 0 and 3 *)
+  let null_units =
+    List.filter
+      (fun (f, s) ->
+        s = E.From_order && f.E.attr = a_kids
+        && Value.is_null (Crcore.Coding.value enc.E.coding a_kids f.E.lo))
+      enc.E.units
+  in
+  Alcotest.(check int) "null below both kid values" 2 (List.length null_units)
+
+let test_premise_free_instances_are_units () =
+  (* ϕ1 on (r1, r2) instantiates to a premise-free instance: a unit *)
+  let spec = Fixtures.edith_spec () in
+  let enc = E.encode spec in
+  let a = Schema.index Fixtures.schema "status" in
+  Alcotest.(check bool) "working<retired unit" true
+    (List.exists
+       (fun (f, s) ->
+         (match s with E.From_constraint _ -> true | _ -> false)
+         && f.E.attr = a
+         && Value.to_string (Crcore.Coding.value enc.E.coding a f.E.lo) = "working"
+         && Value.to_string (Crcore.Coding.value enc.E.coding a f.E.hi) = "retired")
+       enc.E.units)
+
+let test_implications_shape () =
+  let spec = Fixtures.george_spec () in
+  let enc = E.encode spec in
+  (* ϕ5 instances on George have exactly one premise (the status fact) *)
+  let phi5_instances =
+    List.filter
+      (fun ic ->
+        match ic.E.source with
+        | E.From_constraint k -> k = 4 (* index of prec(status)->prec(job) *)
+        | _ -> false)
+      enc.E.implications
+  in
+  Alcotest.(check bool) "phi5 instantiated" true (List.length phi5_instances > 0);
+  List.iter
+    (fun ic -> Alcotest.(check int) "single premise" 1 (List.length ic.E.premise))
+    phi5_instances
+
+let test_cfd_encoding () =
+  let spec = Fixtures.edith_spec () in
+  let enc = E.encode spec in
+  let cfd_imps =
+    List.filter (fun ic -> match ic.E.source with E.From_cfd _ -> true | _ -> false) enc.E.implications
+  in
+  (* each CFD: one implication per other active-domain city value (2 each) *)
+  Alcotest.(check int) "cfd implication count" 4 (List.length cfd_imps);
+  List.iter
+    (fun ic ->
+      (* premise: the two other AC values below the pattern's AC *)
+      Alcotest.(check int) "cfd premise size" 2 (List.length ic.E.premise))
+    cfd_imps
+
+let test_relevant_gamma () =
+  let schema = Schema.make [ "x"; "y" ] in
+  let e =
+    Entity.make schema
+      [ Tuple.make schema [ Value.Str "a"; Value.Str "p" ];
+        Tuple.make schema [ Value.Str "b"; Value.Str "q" ] ]
+  in
+  let g1 = Cfd.Constant_cfd.make [ ("x", Value.Str "a") ] ("y", Value.Str "p") in
+  let g2 = Cfd.Constant_cfd.make [ ("x", Value.Str "ZZZ") ] ("y", Value.Str "p") in
+  let rel = E.relevant_gamma e [ g1; g2 ] in
+  Alcotest.(check (list int)) "only firing cfd kept" [ 0 ] (List.map fst rel)
+
+let test_structural_axioms_counts () =
+  (* for universe sizes d: transitivity d(d-1)(d-2), asymmetry d(d-1)/2,
+     totality (exact only) d(d-1)/2 *)
+  let schema = Schema.make [ "x" ] in
+  let mk v = Tuple.make schema [ Value.Str v ] in
+  let e = Entity.make schema [ mk "a"; mk "b"; mk "c" ] in
+  let spec = Crcore.Spec.make e ~orders:[] ~sigma:[] ~gamma:[] in
+  let paper = E.encode ~mode:E.Paper spec in
+  let exact = E.encode ~mode:E.Exact spec in
+  Alcotest.(check int) "paper structural" ((3 * 2 * 1) + 3) paper.E.n_structural;
+  Alcotest.(check int) "exact structural" ((3 * 2 * 1) + 6) exact.E.n_structural;
+  Alcotest.(check int) "nvars d(d-1)" 6 paper.E.cnf.Sat.Cnf.nvars
+
+let test_var_fact_roundtrip () =
+  let enc = E.encode (Fixtures.george_spec ()) in
+  List.iter
+    (fun (f, _) ->
+      let v = E.var_of_fact enc f in
+      let f' = E.fact_of_var enc v in
+      Alcotest.(check bool) "fact round trip" true (f = f'))
+    enc.E.units
+
+let prop_cnf_well_formed =
+  QCheck.Test.make ~count:200 ~name:"encoded CNF is well-formed in both modes" Fixtures.qcheck_spec
+    (fun spec ->
+      List.for_all
+        (fun mode ->
+          let enc = E.encode ~mode spec in
+          let n = enc.E.cnf.Sat.Cnf.nvars in
+          n = Crcore.Coding.nvars enc.E.coding
+          && List.for_all
+               (fun c -> Array.for_all (fun l -> Sat.Lit.var l < n) c)
+               enc.E.cnf.Sat.Cnf.clauses)
+        [ E.Paper; E.Exact ])
+
+let prop_exact_has_more_clauses =
+  QCheck.Test.make ~count:100 ~name:"exact mode adds clauses" Fixtures.qcheck_spec (fun spec ->
+      let p = E.encode ~mode:E.Paper spec in
+      let e = E.encode ~mode:E.Exact spec in
+      Sat.Cnf.nclauses e.E.cnf >= Sat.Cnf.nclauses p.E.cnf)
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "coding",
+        [
+          Alcotest.test_case "universes" `Quick test_coding_universes;
+          Alcotest.test_case "var bijection" `Quick test_coding_bijection;
+          Alcotest.test_case "foreign CFD constant" `Quick test_coding_foreign_constant;
+        ] );
+      ( "omega",
+        [
+          Alcotest.test_case "order units" `Quick test_units_from_orders;
+          Alcotest.test_case "null lowest" `Quick test_null_lowest_units;
+          Alcotest.test_case "premise-free instances" `Quick test_premise_free_instances_are_units;
+          Alcotest.test_case "implication shape" `Quick test_implications_shape;
+          Alcotest.test_case "cfd encoding" `Quick test_cfd_encoding;
+          Alcotest.test_case "relevant_gamma" `Quick test_relevant_gamma;
+          Alcotest.test_case "structural axiom counts" `Quick test_structural_axioms_counts;
+          Alcotest.test_case "fact/var round trip" `Quick test_var_fact_roundtrip;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_cnf_well_formed; prop_exact_has_more_clauses ] );
+    ]

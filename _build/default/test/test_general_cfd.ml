@@ -1,0 +1,123 @@
+(* General CFDs: pattern semantics and the SAT-backed satisfiability
+   check. *)
+
+module G = Cfd.General_cfd
+
+let schema = Schema.make [ "cc"; "ac"; "city" ]
+let mk l = Tuple.make schema (List.map Value.of_string l)
+
+(* the classic example: (cc, zip -> street)-style pattern dependencies *)
+let phi1 = G.make [ ("cc", G.Const (Value.Int 44)); ("ac", G.Any) ] ("city", G.Any)
+let phi2 = G.make [ ("cc", G.Const (Value.Int 44)); ("ac", G.Const (Value.Int 131)) ] ("city", G.Const (Value.Str "EDI"))
+
+let test_matches () =
+  Alcotest.(check bool) "any" true (G.matches G.Any (Value.Str "x"));
+  Alcotest.(check bool) "const yes" true (G.matches (G.Const (Value.Int 3)) (Value.Int 3));
+  Alcotest.(check bool) "const no" false (G.matches (G.Const (Value.Int 3)) (Value.Int 4))
+
+let test_pair_semantics () =
+  let t1 = mk [ "44"; "131"; "EDI" ] and t2 = mk [ "44"; "131"; "EDI" ] in
+  Alcotest.(check bool) "matching pair ok" true (G.satisfied_pair phi2 t1 t2);
+  let t3 = mk [ "44"; "131"; "GLA" ] in
+  Alcotest.(check bool) "wrong rhs constant" false (G.satisfied_pair phi2 t3 t3);
+  (* phi1 with wildcard RHS: functional dependency behaviour *)
+  let t4 = mk [ "44"; "131"; "EDI" ] and t5 = mk [ "44"; "131"; "GLA" ] in
+  ignore phi1;
+  let phi_fd = G.make [ ("cc", G.Any); ("ac", G.Any) ] ("city", G.Any) in
+  Alcotest.(check bool) "fd violated" false (G.satisfied_pair phi_fd t4 t5);
+  Alcotest.(check bool) "fd ok when lhs differs" true
+    (G.satisfied_pair phi_fd t4 (mk [ "1"; "131"; "GLA" ]))
+
+let test_instance () =
+  let phi_fd = G.make [ ("ac", G.Any) ] ("city", G.Any) in
+  Alcotest.(check bool) "instance ok" true
+    (G.satisfied_instance phi_fd [ mk [ "44"; "131"; "EDI" ]; mk [ "44"; "20"; "NYC" ] ]);
+  Alcotest.(check bool) "instance violated" false
+    (G.satisfied_instance phi_fd [ mk [ "44"; "131"; "EDI" ]; mk [ "1"; "131"; "NYC" ] ])
+
+let test_of_constant () =
+  let c = Cfd.Constant_cfd.make [ ("ac", Value.Int 212) ] ("city", Value.Str "NY") in
+  let g = G.of_constant c in
+  Alcotest.(check string) "embedding prints the same pattern"
+    "ac = 212 -> city = \"NY\"" (G.to_string g)
+
+let test_satisfiable_basic () =
+  Alcotest.(check bool) "single cfd" true (G.satisfiable ~schema [ phi2 ]);
+  (* conflicting constants on the same premise: unsatisfiable *)
+  let phi3 =
+    G.make [ ("cc", G.Const (Value.Int 44)); ("ac", G.Const (Value.Int 131)) ]
+      ("city", G.Const (Value.Str "GLA"))
+  in
+  Alcotest.(check bool) "two rhs for same lhs... still satisfiable (avoid the lhs)" true
+    (G.satisfiable ~schema [ phi2; phi3 ]);
+  (* force the lhs with wildcard-premise cfds and clash on rhs *)
+  let force_cc = G.make [ ("ac", G.Any) ] ("cc", G.Const (Value.Int 44)) in
+  let force_ac = G.make [ ("cc", G.Any) ] ("ac", G.Const (Value.Int 131)) in
+  Alcotest.(check bool) "forced clash unsat" false
+    (G.satisfiable ~schema [ phi2; phi3; force_cc; force_ac ])
+
+let test_satisfiable_chain () =
+  (* a -> b -> clash with what a forces directly *)
+  let s2 = Schema.make [ "a"; "b"; "c" ] in
+  let c1 = G.make [ ("a", G.Any) ] ("b", G.Const (Value.Int 1)) in
+  let c2 = G.make [ ("b", G.Const (Value.Int 1)) ] ("c", G.Const (Value.Int 2)) in
+  let c3 = G.make [ ("a", G.Any) ] ("c", G.Const (Value.Int 3)) in
+  Alcotest.(check bool) "chained contradiction" false (G.satisfiable ~schema:s2 [ c1; c2; c3 ]);
+  Alcotest.(check bool) "drop one: fine" true (G.satisfiable ~schema:s2 [ c1; c2 ])
+
+let test_parse () =
+  let c = G.parse_exn "cc = 44 & ac = _ -> city = _" in
+  Alcotest.(check string) "round trip" "ac = _ & cc = 44 -> city = _" (G.to_string c);
+  Alcotest.(check bool) "reparse" true
+    (match G.parse (G.to_string c) with Ok c' -> G.to_string c' = G.to_string c | Error _ -> false);
+  Alcotest.(check bool) "bad" true (match G.parse "nope" with Error _ -> true | Ok _ -> false)
+
+let prop_constant_embedding_agrees =
+  (* on single tuples, a constant CFD and its embedding agree *)
+  QCheck.Test.make ~count:200 ~name:"constant embedding semantics agree"
+    QCheck.(triple (int_range 0 3) (int_range 0 3) (int_range 0 3))
+    (fun (x, y, z) ->
+      let t = mk [ string_of_int x; string_of_int y; string_of_int z ] in
+      let c = Cfd.Constant_cfd.make [ ("cc", Value.Int 1) ] ("city", Value.Int 2) in
+      let g = G.of_constant c in
+      Cfd.Constant_cfd.satisfied c t = G.satisfied_pair g t t)
+
+let prop_satisfiable_monotone =
+  (* removing CFDs can only keep or gain satisfiability *)
+  QCheck.Test.make ~count:100 ~name:"satisfiability is antitone in the CFD set"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let attrs = [ "cc"; "ac"; "city" ] in
+      let rand_cell () =
+        if Random.State.bool st then G.Any else G.Const (Value.Int (Random.State.int st 3))
+      in
+      let rand_cfd () =
+        let lhs_attr = List.nth attrs (Random.State.int st 3) in
+        let rhs_attr =
+          List.nth (List.filter (fun a -> a <> lhs_attr) attrs) (Random.State.int st 2)
+        in
+        G.make [ (lhs_attr, rand_cell ()) ] (rhs_attr, rand_cell ())
+      in
+      let cfds = List.init (1 + Random.State.int st 5) (fun _ -> rand_cfd ()) in
+      let all = G.satisfiable ~schema cfds in
+      let fewer = G.satisfiable ~schema (List.tl cfds) in
+      (not all) || fewer)
+
+let () =
+  Alcotest.run "general_cfd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cell matching" `Quick test_matches;
+          Alcotest.test_case "pair semantics" `Quick test_pair_semantics;
+          Alcotest.test_case "instance semantics" `Quick test_instance;
+          Alcotest.test_case "constant embedding" `Quick test_of_constant;
+          Alcotest.test_case "satisfiability basics" `Quick test_satisfiable_basic;
+          Alcotest.test_case "satisfiability chains" `Quick test_satisfiable_chain;
+          Alcotest.test_case "parse/print" `Quick test_parse;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_constant_embedding_agrees; prop_satisfiable_monotone ] );
+    ]

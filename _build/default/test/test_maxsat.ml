@@ -1,0 +1,137 @@
+(* MaxSAT engines against the brute-force optimum. *)
+
+let lit = Sat.Lit.make
+
+let rand_clauses st nvars nclauses =
+  let clause () =
+    let len = 1 + Random.State.int st 3 in
+    Array.init len (fun _ -> lit (Random.State.int st nvars) (Random.State.bool st))
+  in
+  List.init nclauses (fun _ -> clause ())
+
+let test_totalizer_bounds () =
+  (* with n inputs and an assumption ¬out.(k), at most k inputs can be true *)
+  for n = 1 to 6 do
+    for k = 0 to n - 1 do
+      let s = Sat.Solver.create () in
+      let inputs = List.init n (fun _ -> Sat.Lit.pos (Sat.Solver.new_var s)) in
+      let outs = Maxsat.Totalizer.encode s inputs in
+      Alcotest.(check int) "output width" n (Array.length outs);
+      (* force k+1 inputs true: must clash with ¬out.(k) *)
+      let forced = List.filteri (fun i _ -> i <= k) inputs in
+      List.iter (fun l -> Sat.Solver.add_clause s [ l ]) forced;
+      let r = Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(k) ] s in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d k=%d overfull unsat" n k)
+        true (r = Sat.Solver.Unsat)
+    done
+  done
+
+let test_totalizer_feasible () =
+  (* k inputs true is consistent with ¬out.(k) *)
+  let s = Sat.Solver.create () in
+  let inputs = List.init 5 (fun _ -> Sat.Lit.pos (Sat.Solver.new_var s)) in
+  let outs = Maxsat.Totalizer.encode s inputs in
+  List.iteri (fun i l -> if i < 2 then Sat.Solver.add_clause s [ l ] else Sat.Solver.add_clause s [ Sat.Lit.negate l ]) inputs;
+  Alcotest.(check bool) "2 true, bound 2 ok" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(2) ] s = Sat.Solver.Sat)
+
+let test_exact_simple () =
+  (* hard: x0; soft: ¬x0, x1, ¬x1 — optimum satisfies 1 of the x1 pair *)
+  let hard = Sat.Cnf.make ~nvars:2 [ [| lit 0 true |] ] in
+  let soft = [ [| lit 0 false |]; [| lit 1 true |]; [| lit 1 false |] ] in
+  match Maxsat.Exact.solve ~hard ~soft with
+  | None -> Alcotest.fail "hard is satisfiable"
+  | Some o ->
+      Alcotest.(check int) "optimum" 1 o.Maxsat.Exact.satisfied;
+      Alcotest.(check bool) "model feasible" true (Sat.Cnf.eval o.Maxsat.Exact.model hard)
+
+let test_exact_hard_unsat () =
+  let hard = Sat.Cnf.make ~nvars:1 [ [| lit 0 true |]; [| lit 0 false |] ] in
+  Alcotest.(check bool) "None on unsat hard" true (Maxsat.Exact.solve ~hard ~soft:[] = None)
+
+let test_exact_no_soft () =
+  let hard = Sat.Cnf.make ~nvars:1 [ [| lit 0 true |] ] in
+  match Maxsat.Exact.solve ~hard ~soft:[] with
+  | Some { Maxsat.Exact.satisfied = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected satisfied = 0"
+
+let test_groups () =
+  (* group 1 clashes with group 0; group 2 needs group 0's literal: the
+     unique optimum keeps groups 0 and 2 *)
+  let hard = Sat.Cnf.make ~nvars:2 [] in
+  let groups =
+    [
+      [ [| lit 0 true |] ];
+      [ [| lit 0 false |] ];
+      [ [| lit 0 true |]; [| lit 1 true |] ];
+    ]
+  in
+  match Maxsat.Exact.solve_groups ~hard ~groups with
+  | None -> Alcotest.fail "hard sat"
+  | Some (model, kept) ->
+      Alcotest.(check (list int)) "kept groups" [ 0; 2 ] (List.sort compare kept);
+      Alcotest.(check bool) "model sets x0" true model.(0)
+
+let prop_exact_optimal =
+  QCheck.Test.make ~count:150 ~name:"exact maxsat matches brute optimum"
+    QCheck.(triple (int_range 1 8) (int_range 0 8) (int_range 0 10))
+    (fun (nvars, nhard, nsoft) ->
+      let st = Random.State.make [| nvars; nhard; nsoft; 3 |] in
+      let hard = Sat.Cnf.make ~nvars (rand_clauses st nvars nhard) in
+      let soft = rand_clauses st nvars nsoft in
+      match (Sat.Brute.max_sat ~hard ~soft, Maxsat.Exact.solve ~hard ~soft) with
+      | None, None -> true
+      | Some (_, k), Some o -> k = o.Maxsat.Exact.satisfied
+      | _ -> false)
+
+let prop_walksat_feasible =
+  QCheck.Test.make ~count:100 ~name:"walksat model satisfies hard clauses"
+    QCheck.(triple (int_range 1 8) (int_range 0 6) (int_range 0 10))
+    (fun (nvars, nhard, nsoft) ->
+      let st = Random.State.make [| nvars; nhard; nsoft; 4 |] in
+      let hard = Sat.Cnf.make ~nvars (rand_clauses st nvars nhard) in
+      let soft = rand_clauses st nvars nsoft in
+      match Maxsat.Walksat.solve ~seed:nvars ~max_flips:3000 ~hard ~soft () with
+      | None -> Sat.Brute.solve hard = None
+      | Some o ->
+          Sat.Cnf.eval o.Maxsat.Walksat.model hard
+          &&
+          (* reported count is the actual count *)
+          o.Maxsat.Walksat.satisfied
+          = List.length
+              (List.filter
+                 (Sat.Cnf.eval_clause o.Maxsat.Walksat.model)
+                 (List.filter (fun c -> Array.length c > 0) soft)))
+
+let prop_walksat_not_above_optimum =
+  QCheck.Test.make ~count:100 ~name:"walksat never beats the optimum"
+    QCheck.(triple (int_range 1 7) (int_range 0 5) (int_range 0 8))
+    (fun (nvars, nhard, nsoft) ->
+      let st = Random.State.make [| nvars; nhard; nsoft; 5 |] in
+      let hard = Sat.Cnf.make ~nvars (rand_clauses st nvars nhard) in
+      let soft = rand_clauses st nvars nsoft in
+      match (Sat.Brute.max_sat ~hard ~soft, Maxsat.Walksat.solve ~hard ~soft ()) with
+      | None, None -> true
+      | Some (_, k), Some o -> o.Maxsat.Walksat.satisfied <= k
+      | _ -> false)
+
+let () =
+  Alcotest.run "maxsat"
+    [
+      ( "totalizer",
+        [
+          Alcotest.test_case "upper bounds enforced" `Quick test_totalizer_bounds;
+          Alcotest.test_case "bound not overtight" `Quick test_totalizer_feasible;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "simple optimum" `Quick test_exact_simple;
+          Alcotest.test_case "unsat hard" `Quick test_exact_hard_unsat;
+          Alcotest.test_case "no soft clauses" `Quick test_exact_no_soft;
+          Alcotest.test_case "group maxsat" `Quick test_groups;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_optimal; prop_walksat_feasible; prop_walksat_not_above_optimum ] );
+    ]

@@ -1,0 +1,113 @@
+(* Precision / recall / F-measure accounting, and the Pick baseline. *)
+
+let schema = Schema.make [ "a"; "b"; "c" ]
+let mk l = Tuple.make schema (List.map Value.of_string l)
+
+(* entity: attribute a conflicts, b is stale (single wrong value), c is
+   clean and correct *)
+let entity = Entity.make schema [ mk [ "x1"; "old"; "ok" ]; mk [ "x2"; "old"; "ok" ] ]
+let truth = mk [ "x2"; "new"; "ok" ]
+
+let test_relevant_attrs () =
+  let c = Crcore.Metrics.evaluate ~truth ~entity (Array.make 3 None) in
+  (* a conflicts; b is stale; c is clean: 2 relevant, nothing deduced *)
+  Alcotest.(check int) "relevant" 2 c.Crcore.Metrics.relevant;
+  Alcotest.(check int) "deduced" 0 c.Crcore.Metrics.deduced;
+  Alcotest.(check int) "correct" 0 c.Crcore.Metrics.correct
+
+let test_scoring () =
+  let resolved = [| Some (Value.Str "x2"); Some (Value.Str "old"); Some (Value.Str "ok") |] in
+  let c = Crcore.Metrics.evaluate ~truth ~entity resolved in
+  Alcotest.(check int) "relevant" 2 c.Crcore.Metrics.relevant;
+  Alcotest.(check int) "deduced (only relevant attrs count)" 2 c.Crcore.Metrics.deduced;
+  Alcotest.(check int) "correct" 1 c.Crcore.Metrics.correct;
+  Alcotest.(check (float 1e-9)) "precision" 0.5 (Crcore.Metrics.precision c);
+  Alcotest.(check (float 1e-9)) "recall" 0.5 (Crcore.Metrics.recall c);
+  Alcotest.(check (float 1e-9)) "f" 0.5 (Crcore.Metrics.f_measure c)
+
+let test_degenerate () =
+  Alcotest.(check (float 1e-9)) "empty precision" 0. (Crcore.Metrics.precision Crcore.Metrics.zero);
+  Alcotest.(check (float 1e-9)) "empty recall (nothing to fix)" 1. (Crcore.Metrics.recall Crcore.Metrics.zero);
+  Alcotest.(check (float 1e-9)) "empty f" 0. (Crcore.Metrics.f_measure Crcore.Metrics.zero)
+
+let test_add () =
+  let a = { Crcore.Metrics.relevant = 2; deduced = 1; correct = 1 } in
+  let b = { Crcore.Metrics.relevant = 3; deduced = 2; correct = 0 } in
+  let c = Crcore.Metrics.add a b in
+  Alcotest.(check int) "relevant" 5 c.Crcore.Metrics.relevant;
+  Alcotest.(check int) "deduced" 3 c.Crcore.Metrics.deduced;
+  Alcotest.(check int) "correct" 1 c.Crcore.Metrics.correct
+
+let test_evaluate_total () =
+  let c = Crcore.Metrics.evaluate_total ~truth ~entity [| Value.Str "x2"; Value.Str "new"; Value.Str "ok" |] in
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Crcore.Metrics.f_measure c)
+
+(* ---- Pick baseline ---- *)
+
+let test_pick_strategies () =
+  let spec = Fixtures.george_spec () in
+  let arity = Schema.arity Fixtures.schema in
+  List.iter
+    (fun strategy ->
+      let v = Crcore.Pick.run ~strategy spec in
+      Alcotest.(check int) "total assignment" arity (Array.length v);
+      (* picked values must come from the active domains *)
+      Array.iteri
+        (fun a value ->
+          Alcotest.(check bool) "value occurs" true
+            (List.exists (Value.equal value) (Entity.active_domain Fixtures.george_entity a)))
+        v)
+    [ Crcore.Pick.Random; Crcore.Pick.Favoured; Crcore.Pick.Max; Crcore.Pick.Min; Crcore.Pick.First ]
+
+let test_pick_favoured_uses_constraints () =
+  (* Edith's status: comparison-only constraints ϕ1, ϕ2 order
+     working < retired < deceased, so Favoured must pick deceased *)
+  let spec = Fixtures.edith_spec () in
+  for seed = 0 to 10 do
+    let v = Crcore.Pick.run ~seed ~strategy:Crcore.Pick.Favoured spec in
+    Alcotest.(check string) "status maximal" "deceased"
+      (Value.to_string v.(Schema.index Fixtures.schema "status"))
+  done
+
+let test_pick_deterministic_seed () =
+  let spec = Fixtures.george_spec () in
+  let a = Crcore.Pick.run ~seed:3 spec in
+  let b = Crcore.Pick.run ~seed:3 spec in
+  Alcotest.(check bool) "same seed same pick" true
+    (Array.for_all2 Value.equal a b)
+
+let prop_f_between_0_1 =
+  QCheck.Test.make ~count:200 ~name:"f-measure in [0,1]"
+    QCheck.(triple (int_range 0 10) (int_range 0 10) (int_range 0 10))
+    (fun (r, d, c) ->
+      let c = min c d in
+      let counts = { Crcore.Metrics.relevant = max r d; deduced = d; correct = c } in
+      let f = Crcore.Metrics.f_measure counts in
+      f >= 0. && f <= 1.)
+
+let prop_pick_always_total =
+  QCheck.Test.make ~count:50 ~name:"pick yields a full tuple on random specs" Fixtures.qcheck_spec
+    (fun spec ->
+      let v = Crcore.Pick.run spec in
+      Array.length v = Schema.arity (Crcore.Spec.schema spec))
+
+let () =
+  Alcotest.run "metrics_pick"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "relevant attrs" `Quick test_relevant_attrs;
+          Alcotest.test_case "scoring" `Quick test_scoring;
+          Alcotest.test_case "degenerate counts" `Quick test_degenerate;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "evaluate_total" `Quick test_evaluate_total;
+        ] );
+      ( "pick",
+        [
+          Alcotest.test_case "strategies total" `Quick test_pick_strategies;
+          Alcotest.test_case "favoured respects constraints" `Quick test_pick_favoured_uses_constraints;
+          Alcotest.test_case "seed determinism" `Quick test_pick_deterministic_seed;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_f_between_0_1; prop_pick_always_total ] );
+    ]

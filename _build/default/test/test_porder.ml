@@ -1,0 +1,150 @@
+(* Digraphs and strict partial orders with incremental closure. *)
+
+let mk n edges =
+  let g = Porder.Digraph.create n in
+  List.iter (fun (u, v) -> Porder.Digraph.add_edge g u v) edges;
+  g
+
+let test_digraph_basic () =
+  let g = mk 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "edge" true (Porder.Digraph.has_edge g 0 1);
+  Alcotest.(check bool) "directed" false (Porder.Digraph.has_edge g 1 0);
+  Alcotest.(check int) "n_edges" 2 (Porder.Digraph.n_edges g);
+  Alcotest.(check (list int)) "succ" [ 1 ] (Porder.Digraph.succ g 0);
+  (* duplicate edges collapse *)
+  Porder.Digraph.add_edge g 0 1;
+  Alcotest.(check int) "no dup" 2 (Porder.Digraph.n_edges g)
+
+let test_cycles () =
+  Alcotest.(check bool) "dag" false (Porder.Digraph.has_cycle (mk 3 [ (0, 1); (1, 2) ]));
+  Alcotest.(check bool) "cycle" true (Porder.Digraph.has_cycle (mk 3 [ (0, 1); (1, 2); (2, 0) ]));
+  Alcotest.(check bool) "self loop" true (Porder.Digraph.has_cycle (mk 1 [ (0, 0) ]));
+  Alcotest.(check bool) "two components" true
+    (Porder.Digraph.has_cycle (mk 5 [ (0, 1); (3, 4); (4, 3) ]))
+
+let test_closure () =
+  let g = mk 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Porder.Digraph.transitive_closure g in
+  Alcotest.(check bool) "0->3" true (Porder.Digraph.has_edge c 0 3);
+  Alcotest.(check bool) "0->2" true (Porder.Digraph.has_edge c 0 2);
+  Alcotest.(check bool) "no back" false (Porder.Digraph.has_edge c 3 0);
+  Alcotest.(check int) "edge count" 6 (Porder.Digraph.n_edges c);
+  (* cycle: everything on it reaches itself *)
+  let c2 = Porder.Digraph.transitive_closure (mk 2 [ (0, 1); (1, 0) ]) in
+  Alcotest.(check bool) "self via cycle" true (Porder.Digraph.has_edge c2 0 0)
+
+let test_topo () =
+  (match Porder.Digraph.topo_sort (mk 3 [ (2, 1); (1, 0) ]) with
+  | Some [ 2; 1; 0 ] -> ()
+  | Some o -> Alcotest.failf "bad order %s" (String.concat "," (List.map string_of_int o))
+  | None -> Alcotest.fail "expected an order");
+  Alcotest.(check bool) "cyclic has none" true
+    (Porder.Digraph.topo_sort (mk 2 [ (0, 1); (1, 0) ]) = None)
+
+let test_linear_extensions () =
+  (* chain: exactly 1; antichain of 3: 3! = 6 *)
+  Alcotest.(check int) "chain" 1 (List.length (Porder.Digraph.linear_extensions (mk 3 [ (0, 1); (1, 2) ])));
+  Alcotest.(check int) "antichain" 6 (List.length (Porder.Digraph.linear_extensions (mk 3 [])));
+  Alcotest.(check int) "V shape" 2 (List.length (Porder.Digraph.linear_extensions (mk 3 [ (0, 2); (1, 2) ])));
+  Alcotest.(check int) "cyclic" 0 (List.length (Porder.Digraph.linear_extensions (mk 2 [ (0, 1); (1, 0) ])));
+  Alcotest.(check int) "count matches list" 6 (Porder.Digraph.count_linear_extensions (mk 3 []));
+  Alcotest.(check int) "limit" 3 (Porder.Digraph.count_linear_extensions ~limit:3 (mk 3 []));
+  (* each extension respects all edges *)
+  let g = mk 4 [ (0, 1); (2, 3) ] in
+  List.iter
+    (fun ext ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i v -> pos.(v) <- i) ext;
+      Alcotest.(check bool) "respects 0<1" true (pos.(0) < pos.(1));
+      Alcotest.(check bool) "respects 2<3" true (pos.(2) < pos.(3)))
+    (Porder.Digraph.linear_extensions g)
+
+let test_strict_order_add () =
+  let o = Porder.Strict_order.create 4 in
+  Alcotest.(check bool) "add 0<1" true (Porder.Strict_order.add o 0 1);
+  Alcotest.(check bool) "add 1<2" true (Porder.Strict_order.add o 1 2);
+  Alcotest.(check bool) "transitive" true (Porder.Strict_order.lt o 0 2);
+  Alcotest.(check bool) "reject cycle" false (Porder.Strict_order.add o 2 0);
+  Alcotest.(check bool) "reject reflexive" false (Porder.Strict_order.add o 3 3);
+  Alcotest.(check bool) "idempotent re-add" true (Porder.Strict_order.add o 0 1);
+  Alcotest.(check bool) "compatible" true (Porder.Strict_order.compatible o 3 0);
+  Alcotest.(check bool) "incompatible" false (Porder.Strict_order.compatible o 2 0)
+
+let test_strict_order_queries () =
+  let o = Porder.Strict_order.create 4 in
+  ignore (Porder.Strict_order.add o 0 1);
+  ignore (Porder.Strict_order.add o 1 2);
+  Alcotest.(check int) "n_pairs (closure)" 3 (Porder.Strict_order.n_pairs o);
+  Alcotest.(check (list int)) "maximal" [ 2; 3 ] (Porder.Strict_order.maximal o);
+  Alcotest.(check (option int)) "no maximum yet" None (Porder.Strict_order.maximum o);
+  ignore (Porder.Strict_order.add o 3 2);
+  ignore (Porder.Strict_order.add o 0 3);
+  ignore (Porder.Strict_order.add o 1 3);
+  Alcotest.(check (option int)) "maximum" (Some 2) (Porder.Strict_order.maximum o);
+  (* copies are independent *)
+  let o2 = Porder.Strict_order.copy o in
+  ignore (Porder.Strict_order.add o2 0 2);
+  Alcotest.(check int) "copy independent" (Porder.Strict_order.n_pairs o) (Porder.Strict_order.n_pairs o2 - 0)
+  |> ignore
+
+let test_strict_order_singleton () =
+  let o = Porder.Strict_order.create 1 in
+  Alcotest.(check (option int)) "singleton maximum" (Some 0) (Porder.Strict_order.maximum o);
+  Alcotest.(check (list int)) "singleton maximal" [ 0 ] (Porder.Strict_order.maximal o)
+
+(* closure built incrementally must match Digraph's closure of the same edges *)
+let prop_closure_agrees =
+  QCheck.Test.make ~count:200 ~name:"incremental closure = digraph closure"
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 7) (int_range 0 7))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (u, v) -> u < n && v < n) edges in
+      let o = Porder.Strict_order.create n in
+      let g = Porder.Digraph.create n in
+      List.iter
+        (fun (u, v) -> if Porder.Strict_order.add o u v then Porder.Digraph.add_edge g u v)
+        edges;
+      let c = Porder.Digraph.transitive_closure g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Porder.Strict_order.lt o u v <> Porder.Digraph.has_edge c u v then ok := false
+        done
+      done;
+      !ok)
+
+let prop_irreflexive_asymmetric =
+  QCheck.Test.make ~count:200 ~name:"strict order stays irreflexive and asymmetric"
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 7) (int_range 0 7))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (u, v) -> u < n && v < n) edges in
+      let o = Porder.Strict_order.create n in
+      List.iter (fun (u, v) -> ignore (Porder.Strict_order.add o u v)) edges;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if Porder.Strict_order.lt o u u then ok := false;
+        for v = 0 to n - 1 do
+          if Porder.Strict_order.lt o u v && Porder.Strict_order.lt o v u then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "porder"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "cycle detection" `Quick test_cycles;
+          Alcotest.test_case "transitive closure" `Quick test_closure;
+          Alcotest.test_case "topological sort" `Quick test_topo;
+          Alcotest.test_case "linear extensions" `Quick test_linear_extensions;
+        ] );
+      ( "strict_order",
+        [
+          Alcotest.test_case "add and cycles" `Quick test_strict_order_add;
+          Alcotest.test_case "maximal/maximum" `Quick test_strict_order_queries;
+          Alcotest.test_case "singleton" `Quick test_strict_order_singleton;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_closure_agrees; prop_irreflexive_asymmetric ] );
+    ]

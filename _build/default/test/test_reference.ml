@@ -1,0 +1,114 @@
+(* The exhaustive reference semantics, and the central differential
+   property of the whole encoding: in Exact mode, SAT-based validity
+   coincides with "some valid completion exists" by enumeration. *)
+
+module Ref = Crcore.Reference
+
+let test_edith_reference () =
+  match Ref.analyze (Fixtures.edith_spec ()) with
+  | None -> Alcotest.fail "search space unexpectedly large"
+  | Some r ->
+      Alcotest.(check bool) "valid" true r.Ref.valid;
+      Alcotest.(check bool) "has valid completions" true (r.Ref.n_valid > 0);
+      (match r.Ref.true_tuple with
+      | None -> Alcotest.fail "Edith has a true tuple"
+      | Some t ->
+          Alcotest.(check string) "true tuple"
+            "Edith Shain,deceased,n/a,3,LA,213,90058,Vermont"
+            (String.concat "," (Array.to_list (Array.map Value.to_string t))))
+
+let test_george_reference_partial () =
+  match Ref.analyze (Fixtures.george_spec ()) with
+  | None -> Alcotest.fail "too large"
+  | Some r ->
+      Alcotest.(check bool) "valid" true r.Ref.valid;
+      Alcotest.(check bool) "no full true tuple" true (r.Ref.true_tuple = None);
+      let agreed a = r.Ref.agreed.(Schema.index Fixtures.schema a) in
+      (match agreed "kids" with
+      | Some v -> Alcotest.(check string) "kids agreed" "2" (Value.to_string v)
+      | None -> Alcotest.fail "kids should agree");
+      Alcotest.(check bool) "status ambiguous" true (agreed "status" = None)
+
+let test_implied () =
+  let spec = Fixtures.edith_spec () in
+  let imp a v1 v2 = Ref.implied spec ~attr:a (Value.of_string v1) (Value.of_string v2) in
+  Alcotest.(check (option bool)) "working < retired" (Some true) (imp "status" "working" "retired");
+  Alcotest.(check (option bool)) "retired < working not implied" (Some false)
+    (imp "status" "retired" "working");
+  Alcotest.(check (option bool)) "NY < LA via CFD" (Some true) (imp "city" "NY" "LA");
+  Alcotest.(check (option bool)) "foreign value" (Some false) (imp "city" "Paris" "LA")
+
+let test_invalid_reference () =
+  let spec =
+    Crcore.Spec.make Fixtures.edith_entity
+      ~orders:[ { Crcore.Spec.attr = "status"; lo = 2; hi = 0 } ]
+      ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma
+  in
+  match Ref.analyze spec with
+  | None -> Alcotest.fail "too large"
+  | Some r -> Alcotest.(check bool) "invalid" false r.Ref.valid
+
+let test_limit () =
+  (* an 8-attribute instance with several 3-value domains blows a tiny limit *)
+  Alcotest.(check bool) "limit respected" true (Ref.analyze ~limit:2 (Fixtures.edith_spec ()) = None)
+
+(* ---- the central encoding-correctness property ---- *)
+
+let prop_exact_validity_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"Exact-mode IsValid ⟺ reference validity"
+    Fixtures.qcheck_spec (fun spec ->
+      match Ref.analyze spec with
+      | None -> true
+      | Some r ->
+          let sat = Crcore.Validity.is_valid ~mode:Crcore.Encode.Exact spec in
+          sat = r.Ref.valid)
+
+let prop_paper_validity_sound_for_valid =
+  (* when every CFD constant occurs in the entity (no foreign repair
+     values), Paper-mode Φ is Exact-mode Φ minus totality, so a valid
+     reference completion is in particular a Paper-mode model: the paper's
+     heuristic reduction never rejects a valid specification here *)
+  QCheck.Test.make ~count:200 ~name:"Paper-mode SAT whenever reference is valid (no foreign constants)"
+    Fixtures.qcheck_spec (fun spec ->
+      let enc = Crcore.Encode.encode spec in
+      let coding = enc.Crcore.Encode.coding in
+      let arity = Schema.arity (Crcore.Spec.schema spec) in
+      let no_foreign =
+        List.for_all
+          (fun a ->
+            Array.length (Crcore.Coding.universe coding a) = Crcore.Coding.adom_size coding a)
+          (List.init arity Fun.id)
+      in
+      if not no_foreign then true
+      else
+        match Ref.analyze spec with
+        | None -> true
+        | Some r -> if r.Ref.valid then Crcore.Validity.check enc else true)
+
+let prop_reference_deterministic =
+  QCheck.Test.make ~count:50 ~name:"reference analysis is deterministic" Fixtures.qcheck_spec
+    (fun spec ->
+      match (Ref.analyze spec, Ref.analyze spec) with
+      | Some a, Some b -> a.Ref.n_valid = b.Ref.n_valid && a.Ref.true_tuple = b.Ref.true_tuple
+      | None, None -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "reference"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Edith full agreement" `Quick test_edith_reference;
+          Alcotest.test_case "George partial agreement" `Quick test_george_reference_partial;
+          Alcotest.test_case "implication queries" `Quick test_implied;
+          Alcotest.test_case "invalid specification" `Quick test_invalid_reference;
+          Alcotest.test_case "size limit" `Quick test_limit;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_exact_validity_matches_reference;
+            prop_paper_validity_sound_for_valid;
+            prop_reference_deterministic;
+          ] );
+    ]

@@ -1,0 +1,139 @@
+(* Values, schemas, tuples, entity instances, CSV. *)
+
+let v = Value.of_string
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.equal (v "42") (Value.Int 42));
+  Alcotest.(check bool) "neg int" true (Value.equal (v "-7") (Value.Int (-7)));
+  Alcotest.(check bool) "float" true (Value.equal (v "3.5") (Value.Float 3.5));
+  Alcotest.(check bool) "string" true (Value.equal (v "NY") (Value.Str "NY"));
+  Alcotest.(check bool) "null kw" true (Value.is_null (v "null"));
+  Alcotest.(check bool) "NULL kw" true (Value.is_null (v "NULL"));
+  Alcotest.(check bool) "empty" true (Value.is_null (v ""));
+  Alcotest.(check bool) "n/a is a string" false (Value.is_null (v "n/a"))
+
+let test_value_compare () =
+  Alcotest.(check bool) "null < int" true (Value.eval Value.Lt Value.Null (Value.Int 0));
+  Alcotest.(check bool) "null < string" true (Value.eval Value.Lt Value.Null (Value.Str "a"));
+  Alcotest.(check bool) "null = null" true (Value.eval Value.Eq Value.Null Value.Null);
+  Alcotest.(check bool) "int cross float" true (Value.eval Value.Eq (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check bool) "int < float" true (Value.eval Value.Lt (Value.Int 2) (Value.Float 2.5));
+  Alcotest.(check bool) "string lexicographic" true (Value.eval Value.Lt (Value.Str "abc") (Value.Str "abd"));
+  Alcotest.(check bool) "mixed kinds not <" false (Value.eval Value.Lt (Value.Str "a") (Value.Int 5));
+  Alcotest.(check bool) "mixed kinds neq" true (Value.eval Value.Neq (Value.Str "a") (Value.Int 5));
+  Alcotest.(check bool) "geq" true (Value.eval Value.Geq (Value.Int 5) (Value.Int 5))
+
+let test_value_total_order () =
+  let vs = [ Value.Str "b"; Value.Int 3; Value.Null; Value.Str "a"; Value.Int 1 ] in
+  let sorted = List.sort Value.total_compare vs in
+  Alcotest.(check (list string)) "sorted"
+    [ "null"; "1"; "3"; "a"; "b" ]
+    (List.map Value.to_string sorted)
+
+let test_value_ops () =
+  Alcotest.(check (option string)) "op parse" (Some "<=")
+    (Option.map Value.op_to_string (Value.op_of_string "<="));
+  Alcotest.(check (option string)) "op <> alias" (Some "!=")
+    (Option.map Value.op_to_string (Value.op_of_string "<>"));
+  Alcotest.(check bool) "bad op" true (Value.op_of_string "~" = None)
+
+let test_schema () =
+  let s = Schema.make [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check int) "index" 1 (Schema.index s "b");
+  Alcotest.(check string) "name" "c" (Schema.name s 2);
+  Alcotest.(check bool) "mem" true (Schema.mem s "a");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "z");
+  Alcotest.(check (option int)) "index_opt missing" None (Schema.index_opt s "z");
+  Alcotest.(check bool) "duplicate rejected" true
+    (try ignore (Schema.make [ "a"; "a" ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (Schema.make []); false with Invalid_argument _ -> true)
+
+let schema3 = Schema.make [ "x"; "y"; "z" ]
+
+let test_tuple () =
+  let t = Tuple.make schema3 [ Value.Int 1; Value.Str "s"; Value.Null ] in
+  Alcotest.(check string) "get" "s" (Value.to_string (Tuple.get t 1));
+  Alcotest.(check string) "by name" "1" (Value.to_string (Tuple.get_by_name t "x"));
+  let t2 = Tuple.set t 0 (Value.Int 9) in
+  Alcotest.(check string) "set copy" "9" (Value.to_string (Tuple.get t2 0));
+  Alcotest.(check string) "original unchanged" "1" (Value.to_string (Tuple.get t 0));
+  Alcotest.(check bool) "equal" true (Tuple.equal t t);
+  Alcotest.(check bool) "not equal" false (Tuple.equal t t2);
+  Alcotest.(check bool) "arity mismatch" true
+    (try ignore (Tuple.make schema3 [ Value.Int 1 ]); false with Invalid_argument _ -> true)
+
+let test_entity () =
+  let mk l = Tuple.make schema3 (List.map v l) in
+  let e = Entity.make schema3 [ mk [ "1"; "a"; "p" ]; mk [ "2"; "a"; "q" ]; mk [ "1"; "a"; "r" ] ] in
+  Alcotest.(check int) "size" 3 (Entity.size e);
+  Alcotest.(check (list string)) "adom x (first occurrence order)" [ "1"; "2" ]
+    (List.map Value.to_string (Entity.active_domain e 0));
+  Alcotest.(check (list string)) "adom y" [ "a" ] (List.map Value.to_string (Entity.active_domain e 1));
+  Alcotest.(check bool) "conflict on x" true (Entity.has_conflict e 0);
+  Alcotest.(check bool) "no conflict on y" false (Entity.has_conflict e 1);
+  Alcotest.(check (list int)) "conflicting attrs" [ 0; 2 ] (Entity.conflicting_attrs e);
+  Alcotest.(check bool) "empty entity rejected" true
+    (try ignore (Entity.make schema3 []); false with Invalid_argument _ -> true)
+
+let test_csv_parse () =
+  let rows = Csv.parse_string "a,b,c\n1,\"x,y\",3\n2,\"he said \"\"hi\"\"\",4\n" in
+  Alcotest.(check int) "rows" 3 (List.length rows);
+  Alcotest.(check (list string)) "quoted comma" [ "1"; "x,y"; "3" ] (List.nth rows 1);
+  Alcotest.(check (list string)) "escaped quote" [ "2"; "he said \"hi\""; "4" ] (List.nth rows 2)
+
+let test_csv_roundtrip () =
+  let rows = [ [ "a"; "b" ]; [ "1,2"; "line\nbreak" ]; [ "\"q\""; "plain" ] ] in
+  let parsed = Csv.parse_string (Csv.to_string rows) in
+  Alcotest.(check int) "row count" (List.length rows) (List.length parsed);
+  List.iter2 (fun r p -> Alcotest.(check (list string)) "row" r p) rows parsed
+
+let test_csv_entity () =
+  let path = Filename.temp_file "cr_test" ".csv" in
+  Csv.write_file path [ [ "name"; "kids" ]; [ "edith"; "3" ]; [ "edith"; "null" ] ];
+  let e = Csv.load_entity path in
+  Sys.remove path;
+  Alcotest.(check int) "tuples" 2 (Entity.size e);
+  Alcotest.(check bool) "value typed" true (Value.equal (Entity.value e 0 1) (Value.Int 3));
+  Alcotest.(check bool) "null parsed" true (Value.is_null (Entity.value e 1 1))
+
+let prop_value_of_to_string =
+  QCheck.Test.make ~count:200 ~name:"of_string . to_string is stable on ints"
+    QCheck.small_int (fun i ->
+      Value.equal (Value.of_string (Value.to_string (Value.Int i))) (Value.Int i))
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"csv round trip"
+    QCheck.(small_list (small_list (string_gen_of_size (QCheck.Gen.int_bound 8) QCheck.Gen.printable)))
+    (fun rows ->
+      (* normalise: csv cannot represent empty rows or rows of one empty field *)
+      let rows = List.filter (fun r -> r <> [] && r <> [ "" ]) rows in
+      let parsed = Csv.parse_string (Csv.to_string rows) in
+      parsed = rows)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "parsing" `Quick test_value_parse;
+          Alcotest.test_case "comparison semantics" `Quick test_value_compare;
+          Alcotest.test_case "total order" `Quick test_value_total_order;
+          Alcotest.test_case "operators" `Quick test_value_ops;
+        ] );
+      ( "schema_tuple_entity",
+        [
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "tuple" `Quick test_tuple;
+          Alcotest.test_case "entity" `Quick test_entity;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse quoting" `Quick test_csv_parse;
+          Alcotest.test_case "round trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "entity loading" `Quick test_csv_entity;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_value_of_to_string; prop_csv_roundtrip ] );
+    ]

@@ -1,0 +1,130 @@
+(* Whole-relation repair on top of per-entity resolution. *)
+
+let schema = Fixtures.schema
+
+(* Edith's and George's tuples in one relation, keyed by name *)
+let relation = Entity.tuples Fixtures.edith_entity @ Entity.tuples Fixtures.george_entity
+
+let test_partition_and_repair () =
+  let r =
+    Crcore.Repair.run ~key:[ "name" ] schema relation ~sigma:Fixtures.sigma
+      ~gamma:Fixtures.gamma
+  in
+  Alcotest.(check int) "two entities" 2 (List.length r.Crcore.Repair.entities);
+  Alcotest.(check int) "no invalid" 0 r.Crcore.Repair.invalid_entities;
+  let edith = List.hd r.Crcore.Repair.entities in
+  Alcotest.(check int) "edith merged 3" 3 edith.Crcore.Repair.size;
+  Alcotest.(check bool) "edith fully determined" true (edith.Crcore.Repair.fell_back = 0);
+  Alcotest.(check bool) "edith repaired to truth" true
+    (Tuple.equal edith.Crcore.Repair.tuple Fixtures.edith_truth);
+  let george = List.nth r.Crcore.Repair.entities 1 in
+  (* George cannot be fully determined silently: some attrs fall back *)
+  Alcotest.(check bool) "george fell back on some attrs" true
+    (george.Crcore.Repair.fell_back > 0);
+  (* but every repaired value occurs in his tuples *)
+  List.iteri
+    (fun a v ->
+      Alcotest.(check bool) "value from active domain" true
+        (List.exists (Value.equal v) (Entity.active_domain Fixtures.george_entity a)))
+    (Tuple.values george.Crcore.Repair.tuple)
+
+let test_repair_with_oracle_user () =
+  (* with a user who knows both entities, repair is exact *)
+  let user suggestion ~schema:s =
+    (* answer from whichever truth matches the suggestion's entity; the
+       name attribute disambiguates via candidates *)
+    ignore suggestion;
+    ignore s;
+    []
+  in
+  ignore user;
+  let r =
+    Crcore.Repair.run ~key:[ "name" ] schema relation
+      ~user:(Crcore.Framework.oracle Fixtures.george_truth)
+      ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma
+  in
+  (* the oracle is George's; his entity resolves exactly *)
+  let george = List.nth r.Crcore.Repair.entities 1 in
+  Alcotest.(check bool) "george exact with his oracle" true
+    (Tuple.equal george.Crcore.Repair.tuple Fixtures.george_truth)
+
+let test_single_entity_key () =
+  (* empty key: whole relation is one entity *)
+  let tuples = Entity.tuples Fixtures.edith_entity in
+  let r = Crcore.Repair.run ~key:[] schema tuples ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma in
+  Alcotest.(check int) "one entity" 1 (List.length r.Crcore.Repair.entities)
+
+let test_invalid_entity_falls_back () =
+  (* an entity violating its constraints is repaired by Pick alone *)
+  let bad_sigma =
+    Fixtures.sigma
+    @ [
+        Currency.Parser.parse_exn
+          {|t1[status] = "deceased" & t2[status] = "working" -> prec(status)|};
+      ]
+  in
+  let r =
+    Crcore.Repair.run ~key:[ "name" ] schema (Entity.tuples Fixtures.edith_entity)
+      ~sigma:bad_sigma ~gamma:Fixtures.gamma
+  in
+  Alcotest.(check int) "invalid counted" 1 r.Crcore.Repair.invalid_entities;
+  let e = List.hd r.Crcore.Repair.entities in
+  Alcotest.(check bool) "flagged" false e.Crcore.Repair.valid;
+  Alcotest.(check int) "all attrs from fallback" (Schema.arity schema) e.Crcore.Repair.fell_back
+
+let test_bad_key () =
+  Alcotest.(check bool) "unknown key rejected" true
+    (try
+       ignore (Crcore.Repair.run ~key:[ "nope" ] schema relation ~sigma:[] ~gamma:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_repair_covers_every_entity =
+  QCheck.Test.make ~count:20 ~name:"repair emits one tuple per key group"
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:5 ~size:6 () in
+      let tuples =
+        List.concat_map (fun (c : Datagen.Types.case) -> Entity.tuples c.entity)
+          ds.Datagen.Types.cases
+      in
+      let r =
+        Crcore.Repair.run ~key:[ "name" ] ds.Datagen.Types.schema tuples
+          ~sigma:ds.Datagen.Types.sigma ~gamma:ds.Datagen.Types.gamma
+      in
+      List.length r.Crcore.Repair.repaired = 5
+      && r.Crcore.Repair.invalid_entities = 0)
+
+let prop_repair_accuracy_with_oracle =
+  QCheck.Test.make ~count:10 ~name:"per-entity oracle repair reproduces ground truth"
+    QCheck.(int_range 0 200)
+    (fun seed ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:4 ~size:7 () in
+      List.for_all
+        (fun (c : Datagen.Types.case) ->
+          let r =
+            Crcore.Repair.run ~key:[ "name" ] ds.Datagen.Types.schema
+              (Entity.tuples c.entity)
+              ~user:(Crcore.Framework.oracle c.truth)
+              ~sigma:ds.Datagen.Types.sigma ~gamma:ds.Datagen.Types.gamma
+          in
+          match r.Crcore.Repair.repaired with
+          | [ t ] -> Tuple.equal t c.truth
+          | _ -> false)
+        ds.Datagen.Types.cases)
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "partition and repair" `Quick test_partition_and_repair;
+          Alcotest.test_case "oracle user" `Quick test_repair_with_oracle_user;
+          Alcotest.test_case "empty key" `Quick test_single_entity_key;
+          Alcotest.test_case "invalid entity fallback" `Quick test_invalid_entity_falls_back;
+          Alcotest.test_case "bad key" `Quick test_bad_key;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_repair_covers_every_entity; prop_repair_accuracy_with_oracle ] );
+    ]

@@ -1,0 +1,167 @@
+(* The CDCL solver, tested against hand-built formulas, DIMACS fixtures,
+   and the brute-force reference on random CNFs (qcheck). *)
+
+let lit = Sat.Lit.make
+
+let solve_cnf f =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_cnf s f;
+  (s, Sat.Solver.solve s)
+
+let is_sat f = match solve_cnf f with _, Sat.Solver.Sat -> true | _ -> false
+
+let test_lit_encoding () =
+  Alcotest.(check int) "var" 7 (Sat.Lit.var (lit 7 true));
+  Alcotest.(check int) "var neg" 7 (Sat.Lit.var (lit 7 false));
+  Alcotest.(check bool) "sign pos" true (Sat.Lit.sign (lit 3 true));
+  Alcotest.(check bool) "sign neg" false (Sat.Lit.sign (lit 3 false));
+  Alcotest.(check int) "negate round trip" (lit 4 true) (Sat.Lit.negate (Sat.Lit.negate (lit 4 true)));
+  Alcotest.(check int) "dimacs pos" 5 (Sat.Lit.to_dimacs (Sat.Lit.of_dimacs 5));
+  Alcotest.(check int) "dimacs neg" (-5) (Sat.Lit.to_dimacs (Sat.Lit.of_dimacs (-5)))
+
+let test_trivial () =
+  Alcotest.(check bool) "empty formula" true (is_sat (Sat.Cnf.make ~nvars:0 []));
+  Alcotest.(check bool) "unit" true (is_sat (Sat.Cnf.make ~nvars:1 [ [| lit 0 true |] ]));
+  Alcotest.(check bool) "contradiction" false
+    (is_sat (Sat.Cnf.make ~nvars:1 [ [| lit 0 true |]; [| lit 0 false |] ]));
+  Alcotest.(check bool) "empty clause" false (is_sat (Sat.Cnf.make ~nvars:1 [ [||] ]))
+
+let test_model () =
+  let f =
+    Sat.Cnf.make ~nvars:3
+      [ [| lit 0 true |]; [| lit 0 false; lit 1 true |]; [| lit 1 false; lit 2 false |] ]
+  in
+  let s, r = solve_cnf f in
+  Alcotest.(check bool) "sat" true (r = Sat.Solver.Sat);
+  let m = Sat.Solver.model s in
+  Alcotest.(check bool) "model satisfies" true (Sat.Cnf.eval m f);
+  Alcotest.(check bool) "x0" true (Sat.Solver.model_value s 0);
+  Alcotest.(check bool) "x1" true (Sat.Solver.model_value s 1);
+  Alcotest.(check bool) "x2" false (Sat.Solver.model_value s 2)
+
+let test_level0 () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 2;
+  Sat.Solver.add_clause s [ lit 0 true ];
+  Sat.Solver.add_clause s [ lit 0 false; lit 1 true ];
+  Alcotest.(check (option bool)) "x0 fixed" (Some true) (Sat.Solver.value_level0 s 0);
+  Alcotest.(check (option bool)) "x1 propagated" (Some true) (Sat.Solver.value_level0 s 1)
+
+let test_pigeonhole () =
+  (* PHP(4,3): 4 pigeons in 3 holes, classic small UNSAT instance that
+     needs real conflict analysis *)
+  let var p h = (p * 3) + h in
+  let clauses = ref [] in
+  for p = 0 to 3 do
+    clauses := Array.init 3 (fun h -> lit (var p h) true) :: !clauses
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        clauses := [| lit (var p1 h) false; lit (var p2 h) false |] :: !clauses
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" false (is_sat (Sat.Cnf.make ~nvars:12 !clauses))
+
+let test_assumptions () =
+  let f = Sat.Cnf.make ~nvars:2 [ [| lit 0 true; lit 1 true |] ] in
+  let s, r = solve_cnf f in
+  Alcotest.(check bool) "base sat" true (r = Sat.Solver.Sat);
+  Alcotest.(check bool) "assume both false"
+    (Sat.Solver.solve ~assumptions:[ lit 0 false; lit 1 false ] s = Sat.Solver.Unsat)
+    true;
+  Alcotest.(check bool) "assume one false"
+    (Sat.Solver.solve ~assumptions:[ lit 0 false ] s = Sat.Solver.Sat)
+    true;
+  (* solver still usable without assumptions *)
+  Alcotest.(check bool) "still sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "still ok" true (Sat.Solver.ok s)
+
+let test_incremental () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 3;
+  Sat.Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Alcotest.(check bool) "sat 1" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Sat.Solver.add_clause s [ lit 0 false ];
+  Alcotest.(check bool) "sat 2" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Sat.Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "unsat after narrowing" true (Sat.Solver.solve s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "ok false" false (Sat.Solver.ok s)
+
+let test_dimacs_roundtrip () =
+  let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let f = Sat.Dimacs.parse_string text in
+  Alcotest.(check int) "nvars" 3 f.Sat.Cnf.nvars;
+  Alcotest.(check int) "nclauses" 2 (Sat.Cnf.nclauses f);
+  let f2 = Sat.Dimacs.parse_string (Sat.Dimacs.to_string f) in
+  Alcotest.(check int) "round trip clauses" (Sat.Cnf.nclauses f) (Sat.Cnf.nclauses f2);
+  Alcotest.(check bool) "both sat" (is_sat f) (is_sat f2)
+
+let test_dimacs_errors () =
+  Alcotest.(check bool) "bad token"
+    (try ignore (Sat.Dimacs.parse_string "1 x 0"); false with Failure _ -> true)
+    true
+
+(* ---- randomised differential tests ---- *)
+
+let rand_cnf st nvars nclauses =
+  let clause () =
+    let len = 1 + Random.State.int st 3 in
+    Array.init len (fun _ -> lit (Random.State.int st nvars) (Random.State.bool st))
+  in
+  Sat.Cnf.make ~nvars (List.init nclauses (fun _ -> clause ()))
+
+let qcheck_cnf =
+  QCheck.make
+    ~print:(fun f -> Format.asprintf "%a" Sat.Cnf.pp f)
+    QCheck.Gen.(
+      int_range 1 10 >>= fun nvars ->
+      int_range 0 40 >>= fun ncl ->
+      int_bound 1_000_000 >|= fun seed ->
+      rand_cnf (Random.State.make [| seed |]) nvars ncl)
+
+let prop_agrees_with_brute =
+  QCheck.Test.make ~count:300 ~name:"cdcl agrees with brute force" qcheck_cnf (fun f ->
+      let brute_sat = Sat.Brute.solve f <> None in
+      let s, r = solve_cnf f in
+      match r with
+      | Sat.Solver.Sat -> brute_sat && Sat.Cnf.eval (Sat.Solver.model s) f
+      | Sat.Solver.Unsat -> not brute_sat)
+
+let prop_assumptions_sound =
+  QCheck.Test.make ~count:200 ~name:"assumptions = added units" qcheck_cnf (fun f ->
+      if f.Sat.Cnf.nvars < 2 then true
+      else begin
+        let a1 = lit 0 true and a2 = lit 1 false in
+        let f' = Sat.Cnf.add_clause (Sat.Cnf.add_clause f [| a1 |]) [| a2 |] in
+        let s, _ = solve_cnf f in
+        let with_assump = Sat.Solver.solve ~assumptions:[ a1; a2 ] s in
+        let direct = if Sat.Brute.solve f' <> None then Sat.Solver.Sat else Sat.Solver.Unsat in
+        with_assump = direct
+      end)
+
+let prop_model_count_positive =
+  QCheck.Test.make ~count:100 ~name:"sat iff count_models > 0" qcheck_cnf (fun f ->
+      let n = Sat.Brute.count_models f in
+      is_sat f = (n > 0))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_lit_encoding;
+          Alcotest.test_case "trivial formulas" `Quick test_trivial;
+          Alcotest.test_case "model extraction" `Quick test_model;
+          Alcotest.test_case "level-0 values" `Quick test_level0;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_agrees_with_brute; prop_assumptions_sound; prop_model_count_positive ] );
+    ]

@@ -1,0 +1,116 @@
+(* Specification construction, validation and extension. *)
+
+let schema = Fixtures.schema
+
+let test_make_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "unknown attr in order" true
+    (bad (fun () ->
+         Crcore.Spec.make Fixtures.edith_entity
+           ~orders:[ { Crcore.Spec.attr = "nope"; lo = 0; hi = 1 } ]
+           ~sigma:[] ~gamma:[]));
+  Alcotest.(check bool) "tuple index out of range" true
+    (bad (fun () ->
+         Crcore.Spec.make Fixtures.edith_entity
+           ~orders:[ { Crcore.Spec.attr = "status"; lo = 0; hi = 9 } ]
+           ~sigma:[] ~gamma:[]));
+  Alcotest.(check bool) "reflexive edge" true
+    (bad (fun () ->
+         Crcore.Spec.make Fixtures.edith_entity
+           ~orders:[ { Crcore.Spec.attr = "status"; lo = 1; hi = 1 } ]
+           ~sigma:[] ~gamma:[]));
+  Alcotest.(check bool) "constraint over unknown attr" true
+    (bad (fun () ->
+         Crcore.Spec.make Fixtures.edith_entity ~orders:[]
+           ~sigma:[ Currency.Parser.parse_exn "prec(zzz) -> prec(job)" ]
+           ~gamma:[]));
+  Alcotest.(check bool) "cfd over unknown attr" true
+    (bad (fun () ->
+         Crcore.Spec.make Fixtures.edith_entity ~orders:[] ~sigma:[]
+           ~gamma:[ Cfd.Constant_cfd.parse_exn "zzz = 1 -> job = 2" ]))
+
+let test_add_order_edges () =
+  let spec = Fixtures.george_spec () in
+  let spec' =
+    Crcore.Spec.add_order_edges spec [ { Crcore.Spec.attr = "status"; lo = 2; hi = 1 } ]
+  in
+  Alcotest.(check int) "edge added" 1 (List.length spec'.Crcore.Spec.orders);
+  Alcotest.(check int) "original untouched" 0 (List.length spec.Crcore.Spec.orders);
+  Alcotest.(check int) "entity unchanged" (Crcore.Spec.size spec) (Crcore.Spec.size spec')
+
+let test_extend_with_tuple () =
+  let spec = Fixtures.george_spec () in
+  let values =
+    Array.init (Schema.arity schema) (fun a ->
+        if Schema.name schema a = "status" then Value.Str "retired" else Value.Null)
+  in
+  let tup = Tuple.of_array schema values in
+  let spec' = Crcore.Spec.extend_with_tuple spec tup ~current_attrs:[ "status" ] in
+  Alcotest.(check int) "tuple appended" 4 (Crcore.Spec.size spec');
+  (* one edge per pre-existing tuple on the named attribute *)
+  Alcotest.(check int) "edges added" 3 (List.length spec'.Crcore.Spec.orders);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "edge attr" "status" e.Crcore.Spec.attr;
+      Alcotest.(check int) "edge target is the new tuple" 3 e.Crcore.Spec.hi)
+    spec'.Crcore.Spec.orders;
+  (* the extension encodes and stays valid; status becomes known *)
+  let enc = Crcore.Encode.encode spec' in
+  Alcotest.(check bool) "still valid" true (Crcore.Validity.check enc);
+  let d = Crcore.Deduce.deduce_order enc in
+  let a = Schema.index schema "status" in
+  match (Crcore.Deduce.true_values d).(a) with
+  | Some v -> Alcotest.(check string) "status pinned" "retired" (Value.to_string v)
+  | None -> Alcotest.fail "status should be known"
+
+let test_extend_multiple_attrs () =
+  let spec = Fixtures.george_spec () in
+  let values =
+    Array.init (Schema.arity schema) (fun a ->
+        match Schema.name schema a with
+        | "status" -> Value.Str "retired"
+        | "kids" -> Value.Int 2
+        | _ -> Value.Null)
+  in
+  let tup = Tuple.of_array schema values in
+  let spec' = Crcore.Spec.extend_with_tuple spec tup ~current_attrs:[ "status"; "kids" ] in
+  Alcotest.(check int) "edges for both attrs" 6 (List.length spec'.Crcore.Spec.orders)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" Crcore.Spec.pp (Fixtures.george_spec ()) in
+  Alcotest.(check bool) "prints entity" true (contains_sub s "George");
+  Alcotest.(check bool) "prints counts" true (contains_sub s "= 8")
+
+let prop_extension_monotone_validity =
+  (* extending an INVALID spec never makes it valid *)
+  QCheck.Test.make ~count:60 ~name:"order extension preserves invalidity" Fixtures.qcheck_spec
+    (fun spec ->
+      if Crcore.Validity.is_valid spec then true
+      else begin
+        let n = Crcore.Spec.size spec in
+        if n < 2 then true
+        else
+          let spec' =
+            Crcore.Spec.add_order_edges spec [ { Crcore.Spec.attr = "a"; lo = 0; hi = 1 } ]
+          in
+          not (Crcore.Validity.is_valid spec')
+      end)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "add_order_edges" `Quick test_add_order_edges;
+          Alcotest.test_case "extend_with_tuple" `Quick test_extend_with_tuple;
+          Alcotest.test_case "extend multiple attrs" `Quick test_extend_multiple_attrs;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_extension_monotone_validity ]);
+    ]
