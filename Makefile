@@ -1,0 +1,30 @@
+.PHONY: all build test check bench batch fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate a change must pass before review: full build, the whole test
+# suite, and a small batch-engine smoke run (engine vs naive equivalence
+# on live data, not just the unit fixtures).
+check: build
+	dune runtest
+	dune exec bench/main.exe -- batch_smoke
+
+bench:
+	dune exec bench/main.exe
+
+batch:
+	dune exec bench/main.exe -- batch
+
+# Requires ocamlformat (see .ocamlformat for the pinned profile); not part
+# of `check` so the gate works on toolchains without it.
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

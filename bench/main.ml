@@ -439,6 +439,114 @@ let ablation_maxsat () =
     nba_buckets
 
 (* ---------------------------------------------------------------- *)
+(* Batch: incremental engine vs naive per-entity loop               *)
+(* ---------------------------------------------------------------- *)
+
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  ((Unix.gettimeofday () -. t0) *. 1000., r)
+
+(* Resolve a generated Person relation entity-by-entity twice: once as a
+   plain Framework.resolve loop (one encoding + fresh solvers per phase
+   per round), once through Engine.run_batch with incremental solver
+   sessions and the encoding cache. A stingy oracle (one answer per
+   round) forces multi-round interactions, the workload the incremental
+   Se ⊕ Ot path exists for. Emits machine-readable results to [json]. *)
+let batch_sized ~n_entities ~json () =
+  section
+    (Printf.sprintf "Batch: %d Person entities, incremental engine vs naive loop" n_entities);
+  let ds =
+    Datagen.Person.generate
+      {
+        Datagen.Person.default_params with
+        n_entities;
+        size_min = 4;
+        size_max = 10;
+        extra_events = 2;
+      }
+  in
+  let items =
+    List.map
+      (fun (case : Datagen.Types.case) ->
+        {
+          Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+          spec = Datagen.Types.spec_of ds case;
+          user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+        })
+      ds.Datagen.Types.cases
+  in
+  let naive_ms, naive_outcomes =
+    wall_ms (fun () ->
+        List.map
+          (fun (it : Crcore.Engine.item) ->
+            Crcore.Framework.resolve ~user:it.Crcore.Engine.user it.Crcore.Engine.spec)
+          items)
+  in
+  let engine_ms, (results, stats) = wall_ms (fun () -> Crcore.Engine.run_batch items) in
+  let equivalent =
+    List.for_all2
+      (fun (o : Crcore.Framework.outcome) (r : Crcore.Engine.item_result) ->
+        o.Crcore.Framework.resolved = r.Crcore.Engine.result.Crcore.Engine.resolved
+        && o.Crcore.Framework.valid = r.Crcore.Engine.result.Crcore.Engine.valid
+        && o.Crcore.Framework.rounds = r.Crcore.Engine.result.Crcore.Engine.rounds)
+      naive_outcomes results
+  in
+  let per_sec ms = if ms <= 0. then 0. else 1000. *. float_of_int n_entities /. ms in
+  let speedup = if engine_ms <= 0. then 0. else naive_ms /. engine_ms in
+  Printf.printf "  naive Framework.resolve loop: %8.1f ms  (%7.1f entities/s)\n" naive_ms
+    (per_sec naive_ms);
+  Printf.printf "  Engine.run_batch:             %8.1f ms  (%7.1f entities/s)\n" engine_ms
+    (per_sec engine_ms);
+  Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup equivalent;
+  Format.printf "  %a@." Crcore.Engine.pp_stats stats;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let st = stats in
+      let sv = st.Crcore.Engine.solver in
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "batch",
+  "dataset": "Person",
+  "n_entities": %d,
+  "total_rounds": %d,
+  "attrs_resolved": %d,
+  "attrs_total": %d,
+  "naive": { "wall_ms": %.3f, "entities_per_sec": %.1f },
+  "engine": {
+    "wall_ms": %.3f,
+    "entities_per_sec": %.1f,
+    "phase_ms": { "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
+    "solver": { "conflicts": %d, "decisions": %d, "propagations": %d, "restarts": %d },
+    "solvers_built": %d,
+    "cache_hits": %d,
+    "cache_misses": %d,
+    "delta_extensions": %d,
+    "rebuilds": %d
+  },
+  "speedup": %.3f,
+  "identical_results": %b
+}
+|}
+        n_entities st.Crcore.Engine.total_rounds st.Crcore.Engine.attrs_resolved
+        st.Crcore.Engine.attrs_total naive_ms (per_sec naive_ms) engine_ms (per_sec engine_ms)
+        st.Crcore.Engine.times.Crcore.Engine.encode_ms
+        st.Crcore.Engine.times.Crcore.Engine.validity_ms
+        st.Crcore.Engine.times.Crcore.Engine.deduce_ms
+        st.Crcore.Engine.times.Crcore.Engine.suggest_ms sv.Sat.Solver.conflicts
+        sv.Sat.Solver.decisions sv.Sat.Solver.propagations sv.Sat.Solver.restarts
+        st.Crcore.Engine.solvers_built st.Crcore.Engine.cache_hits
+        st.Crcore.Engine.cache_misses st.Crcore.Engine.delta_extensions
+        st.Crcore.Engine.rebuilds speedup equivalent;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+
+let batch () = batch_sized ~n_entities:120 ~json:(Some "BENCH_batch.json") ()
+let batch_smoke () = batch_sized ~n_entities:12 ~json:None ()
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -486,6 +594,8 @@ let experiments =
     ("fig8i", fig8i); ("fig8j", fig8j); ("fig8k", fig8k); ("fig8l", fig8l);
     ("fig8m", fig8m); ("fig8n", fig8n); ("fig8o", fig8o); ("fig8p", fig8p);
     ("summary", summary);
+    ("batch", batch);
+    ("batch_smoke", batch_smoke);
     ("ablation_encoding", ablation_encoding);
     ("ablation_clique", ablation_clique);
     ("ablation_maxsat", ablation_maxsat);
@@ -496,7 +606,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
     match args with
-    | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
+    | [] -> List.filter (fun (n, _) -> n <> "micro" && n <> "batch_smoke") experiments
     | names ->
         List.map
           (fun n ->

@@ -203,6 +203,153 @@ let run_repair entity_file sigma_file gamma_file exact key output =
   | None -> print_string (Csv.to_string rows));
   if r.Crcore.Repair.invalid_entities = 0 then 0 else 1
 
+(* ---- batch ---- *)
+
+let parse_sigma_gamma sigma_file gamma_file =
+  let sigma =
+    match sigma_file with
+    | None -> []
+    | Some f -> (
+        match Currency.Parser.parse_many (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse currency constraints: " ^ m))
+  in
+  let gamma =
+    match gamma_file with
+    | None -> []
+    | Some f -> (
+        match Cfd.Constant_cfd.parse_many (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse CFDs: " ^ m))
+  in
+  (sigma, gamma)
+
+(* group a relation's tuples by key attribute values, first-seen order *)
+let group_by_key key_positions tuples =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      let k = List.map (fun a -> Value.to_string (Tuple.get t a)) key_positions in
+      match Hashtbl.find_opt seen k with
+      | Some r -> r := t :: !r
+      | None ->
+          Hashtbl.add seen k (ref [ t ]);
+          order := k :: !order)
+    tuples;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find seen k))) !order
+
+let run_batch entity_file dir sigma_file gamma_file exact naive key truth_file max_rounds
+    output =
+  let sigma, gamma = parse_sigma_gamma sigma_file gamma_file in
+  let mk_label_spec label entity =
+    match Crcore.Spec.make_res entity ~orders:[] ~sigma ~gamma with
+    | Ok spec -> (label, spec)
+    | Error e ->
+        failwith (Format.asprintf "entity %s: bad specification: %a" label Crcore.Spec.pp_error e)
+  in
+  let labelled =
+    match (dir, entity_file) with
+    | Some d, _ ->
+        let files =
+          Sys.readdir d |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".csv")
+          |> List.sort compare
+        in
+        if files = [] then failwith (Printf.sprintf "no .csv files in %s" d);
+        List.map
+          (fun f ->
+            mk_label_spec (Filename.remove_extension f) (Csv.load_entity (Filename.concat d f)))
+          files
+    | None, Some ef ->
+        if key = "" then failwith "batch: --entity needs --key to split the relation into entities";
+        let rel = Csv.load_entity ef in
+        let schema = Entity.schema rel in
+        let key_attrs = String.split_on_char ',' key in
+        List.iter
+          (fun a ->
+            if not (Schema.mem schema a) then
+              failwith (Printf.sprintf "batch: unknown key attribute %S" a))
+          key_attrs;
+        let key_positions = List.map (Schema.index schema) key_attrs in
+        group_by_key key_positions (Entity.tuples rel)
+        |> List.map (fun (k, tuples) ->
+               mk_label_spec (String.concat ";" k) (Entity.make schema tuples))
+    | None, None -> failwith "batch: either --entity with --key or --dir is required"
+  in
+  let schema =
+    match labelled with
+    | (_, spec) :: _ -> Crcore.Spec.schema spec
+    | [] -> failwith "batch: no entities"
+  in
+  let user_for =
+    match truth_file with
+    | None -> fun _ -> Crcore.Framework.silent
+    | Some f -> (
+        if dir <> None then failwith "batch: --truth is only supported with --entity/--key";
+        match Csv.parse_file f with
+        | [] -> failwith "empty truth file"
+        | header :: rows ->
+            let tschema = Schema.make header in
+            if not (Schema.equal tschema schema) then failwith "truth schema mismatch";
+            let key_positions =
+              List.map (Schema.index schema) (String.split_on_char ',' key)
+            in
+            let truths = Hashtbl.create 64 in
+            List.iter
+              (fun row ->
+                let t = Tuple.make schema (List.map Value.of_string row) in
+                let k =
+                  String.concat ";"
+                    (List.map (fun a -> Value.to_string (Tuple.get t a)) key_positions)
+                in
+                Hashtbl.replace truths k t)
+              rows;
+            fun label ->
+              (match Hashtbl.find_opt truths label with
+              | Some t -> Crcore.Framework.oracle t
+              | None -> Crcore.Framework.silent))
+  in
+  let items =
+    List.map
+      (fun (label, spec) -> { Crcore.Engine.label; spec; user = user_for label })
+      labelled
+  in
+  let config =
+    {
+      (if naive then Crcore.Engine.naive_config else Crcore.Engine.default_config) with
+      Crcore.Engine.mode = mode_of_exact exact;
+      max_rounds;
+    }
+  in
+  let on_result (r : Crcore.Engine.item_result) =
+    let res = r.Crcore.Engine.result in
+    let known =
+      Array.fold_left (fun n v -> if v = None then n else n + 1) 0 res.Crcore.Engine.resolved
+    in
+    Printf.printf "[%s] %s rounds=%d resolved=%d/%d\n%!" r.Crcore.Engine.label
+      (if res.Crcore.Engine.valid then "valid" else "INVALID")
+      res.Crcore.Engine.rounds known
+      (Array.length res.Crcore.Engine.resolved)
+  in
+  let results, stats = Crcore.Engine.run_batch ~config ~on_result items in
+  Format.printf "@.%a@." Crcore.Engine.pp_stats stats;
+  (match output with
+  | None -> ()
+  | Some path ->
+      let rows =
+        ("entity" :: Schema.attr_names schema)
+        :: List.map
+             (fun (r : Crcore.Engine.item_result) ->
+               r.Crcore.Engine.label
+               :: (Array.to_list r.Crcore.Engine.result.Crcore.Engine.resolved
+                  |> List.map (function Some v -> Value.to_string v | None -> "")))
+             results
+      in
+      Csv.write_file path rows;
+      Printf.printf "resolved tuples written to %s\n" path);
+  if stats.Crcore.Engine.valid_entities = stats.Crcore.Engine.entities then 0 else 1
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -273,10 +420,37 @@ let repair_cmd =
     (Cmd.info "repair" ~doc:"Repair a whole relation: one current tuple per entity")
     Term.(const run_repair $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ key_a $ out_a)
 
+let batch_cmd =
+  let entity_a =
+    Arg.(value & opt (some file) None & info [ "entity"; "e" ] ~docv:"CSV" ~doc:"Relation CSV holding every entity's tuples; split on $(b,--key).")
+  in
+  let dir_a =
+    Arg.(value & opt (some dir) None & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Directory of per-entity CSV files (header row = schema) instead of $(b,--entity).")
+  in
+  let key_a =
+    Arg.(value & opt string "" & info [ "key"; "k" ] ~docv:"ATTRS" ~doc:"Comma-separated key attributes partitioning the relation into entities.")
+  in
+  let naive_a =
+    Arg.(value & flag & info [ "naive" ] ~doc:"Disable the incremental solver sessions and the encoding cache (per-entity framework behaviour); for comparisons.")
+  in
+  let out_a =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"CSV" ~doc:"Write one resolved tuple per entity here.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Resolve a whole collection of entities with the incremental batch engine")
+    Term.(
+      const run_batch $ entity_a $ dir_a $ sigma_arg $ gamma_arg $ exact_arg $ naive_a
+      $ key_a $ truth_arg $ max_rounds_arg $ out_a)
+
 let main =
   Cmd.group
     (Cmd.info "crsolve" ~version:"1.0.0"
        ~doc:"Conflict resolution by inferring data currency and consistency (ICDE 2013)")
-    [ validate_cmd; suggest_cmd; resolve_cmd; implication_cmd; coverage_cmd; repair_cmd ]
+    [ validate_cmd; suggest_cmd; resolve_cmd; batch_cmd; implication_cmd; coverage_cmd; repair_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  try exit (Cmd.eval' ~catch:false main)
+  with Failure m | Invalid_argument m | Sys_error m ->
+    Printf.eprintf "crsolve: %s\n" m;
+    exit 2

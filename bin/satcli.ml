@@ -21,10 +21,12 @@ let run file stats =
       Buffer.add_string buf " 0";
       print_endline (Buffer.contents buf)
   | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE");
-  if stats then
+  if stats then begin
+    let st = Sat.Solver.stats s in
     Printf.eprintf "c conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d\n"
-      (Sat.Solver.n_conflicts s) (Sat.Solver.n_decisions s) (Sat.Solver.n_propagations s)
-      (Sat.Solver.n_restarts s) (Sat.Solver.n_learnts s);
+      st.Sat.Solver.conflicts st.Sat.Solver.decisions st.Sat.Solver.propagations
+      st.Sat.Solver.restarts st.Sat.Solver.learnts
+  end;
   match result with Sat.Solver.Sat -> 10 | Sat.Solver.Unsat -> 20
 
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF" ~doc:"DIMACS CNF file.")

@@ -5,7 +5,12 @@
    conflict and carry no timestamps; currency constraints and constant
    CFDs recover the true values.
 
+   Everything below goes through [Conflict_resolution], the stable API
+   facade — the one module applications are meant to program against.
+
    Run with: dune exec examples/quickstart.exe *)
+
+open Conflict_resolution
 
 let schema =
   Schema.make [ "name"; "status"; "job"; "kids"; "city"; "AC"; "zip"; "county" ]
@@ -30,7 +35,7 @@ let george =
 
 (* Fig. 3 of the paper: currency constraints ϕ1–ϕ8 ... *)
 let sigma =
-  List.map Currency.Parser.parse_exn
+  List.map Constraint_parser.parse_exn
     [
       {|t1[status] = "working" & t2[status] = "retired" -> prec(status)|};
       {|t1[status] = "retired" & t2[status] = "deceased" -> prec(status)|};
@@ -44,12 +49,12 @@ let sigma =
 
 (* ... and constant CFDs ψ1, ψ2 *)
 let gamma =
-  List.map Cfd.Constant_cfd.parse_exn
+  List.map Constant_cfd.parse_exn
     [ {|AC = 213 -> city = "LA"|}; {|AC = 212 -> city = "NY"|} ]
 
-let print_resolution name entity (o : Crcore.Framework.outcome) =
+let print_resolution name entity (o : Framework.outcome) =
   Printf.printf "%s  (valid spec: %b, user interactions: %d)\n" name
-    o.Crcore.Framework.valid o.Crcore.Framework.rounds;
+    o.Framework.valid o.Framework.rounds;
   List.iteri
     (fun a attr ->
       let values =
@@ -57,7 +62,7 @@ let print_resolution name entity (o : Crcore.Framework.outcome) =
       in
       Printf.printf "  %-8s %-34s -> %s\n" attr
         (Printf.sprintf "{ %s }" values)
-        (match o.Crcore.Framework.resolved.(a) with
+        (match o.Framework.resolved.(a) with
         | Some v -> Value.to_string v
         | None -> "(undetermined)"))
     (Schema.attr_names schema);
@@ -67,38 +72,50 @@ let () =
   print_endline "== Conflict resolution via data currency + consistency ==\n";
 
   (* Edith: everything is deducible automatically (paper Example 2) *)
-  let spec_e = Crcore.Spec.make edith ~orders:[] ~sigma ~gamma in
-  let o_e = Crcore.Framework.resolve ~user:Crcore.Framework.silent spec_e in
+  let spec_e = Spec.make edith ~orders:[] ~sigma ~gamma in
+  let o_e = Framework.resolve ~user:Framework.silent spec_e in
   print_resolution "Edith Shain — fully automatic" edith o_e;
 
   (* George without help: only name and kids (paper Example 4) *)
-  let spec_g = Crcore.Spec.make george ~orders:[] ~sigma ~gamma in
-  let o_g0 = Crcore.Framework.resolve ~user:Crcore.Framework.silent spec_g in
+  let spec_g = Spec.make george ~orders:[] ~sigma ~gamma in
+  let o_g0 = Framework.resolve ~user:Framework.silent spec_g in
   print_resolution "George Mendonça — no user input" george o_g0;
 
   (* what would the framework ask? (paper Example 12) *)
-  let enc = Crcore.Encode.encode spec_g in
-  let d = Crcore.Deduce.deduce_order enc in
-  let known = Crcore.Deduce.true_values d in
-  let s = Crcore.Rules.suggest d ~known in
+  let enc = Encode.encode spec_g in
+  let d = Deduce.deduce_order enc in
+  let known = Deduce.true_values d in
+  let s = Rules.suggest d ~known in
   Printf.printf "Suggestion for George: provide true values for [%s]\n"
-    (String.concat "; " (List.map (Schema.name schema) s.Crcore.Rules.attrs));
+    (String.concat "; " (List.map (Schema.name schema) s.Rules.attrs));
   List.iter
     (fun (a, vals) ->
       Printf.printf "  candidates for %s: %s\n" (Schema.name schema a)
         (String.concat " | " (List.map Value.to_string vals)))
-    s.Crcore.Rules.candidates;
+    s.Rules.candidates;
   Printf.printf "  (then %s follow automatically)\n\n"
-    (String.concat ", " (List.map (Schema.name schema) s.Crcore.Rules.derivable));
+    (String.concat ", " (List.map (Schema.name schema) s.Rules.derivable));
 
   (* George with a (simulated) user who knows he retired (Example 6/9) *)
   let truth =
     tup [ "George"; "retired"; "veteran"; "2"; "NY"; "212"; "12404"; "Accord" ]
   in
-  let o_g1 = Crcore.Framework.resolve ~user:(Crcore.Framework.oracle truth) spec_g in
+  let o_g1 = Framework.resolve ~user:(Framework.oracle truth) spec_g in
   print_resolution "George Mendonça — after 1 interaction" george o_g1;
 
+  (* both entities in one call: the batch engine shares one encoding
+     cache and reports aggregate phase/solver statistics *)
+  let items =
+    [
+      { Engine.label = "edith"; spec = spec_e; user = Framework.silent };
+      { Engine.label = "george"; spec = spec_g; user = Framework.oracle truth };
+    ]
+  in
+  let _, stats = Engine.run_batch items in
+  Format.printf "Batch of both entities via Engine.run_batch:@.%a@.@." Engine.pp_stats
+    stats;
+
   (* contrast with the traditional baseline *)
-  let picked = Crcore.Pick.run spec_g in
+  let picked = Pick.run spec_g in
   Printf.printf "Pick baseline for George: (%s)\n"
     (String.concat ", " (Array.to_list (Array.map Value.to_string picked)))

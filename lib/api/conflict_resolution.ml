@@ -1,0 +1,95 @@
+(** The stable public surface of the conflict-resolution system.
+
+    One [open]-able (or dot-accessible) module collecting everything an
+    application needs to resolve conflicts by data currency and
+    consistency (ICDE 2013): the relational building blocks, the
+    specification type [Se = (It, Σ, Γ)] with its constraint parsers, the
+    interactive framework of Fig. 4 and its batch {!Engine}, and the
+    traditional baselines.
+
+    Internal libraries ([sat], [maxsat], [clique], [porder], the module
+    internals of [crcore]) are deliberately not re-exported: they may
+    change freely between versions, while the aliases below are the
+    compatibility surface.
+
+    {[
+      open Conflict_resolution
+
+      let spec = Spec.make entity ~orders:[] ~sigma ~gamma in
+      let outcome = Framework.resolve ~user:Framework.silent spec in
+      ...
+    ]} *)
+
+(** {1 Relational building blocks} *)
+
+(** Attribute values: integers, strings, nulls. *)
+module Value = Value
+
+(** Relation schemas (attribute names and positions). *)
+module Schema = Schema
+
+(** Tuples over a schema. *)
+module Tuple = Tuple
+
+(** Entity instances: the tuples referring to one real-world entity. *)
+module Entity = Entity
+
+(** CSV reading/writing, including [load_entity]. *)
+module Csv = Csv
+
+(** {1 Specifications and their parsers} *)
+
+(** Entity specifications [Se = (It, Σ, Γ)]; build with {!Spec.make_res}
+    (typed errors) or {!Spec.make} (raising). *)
+module Spec = Crcore.Spec
+
+(** Currency-constraint ASTs (the Σ of a specification). *)
+module Constraint_ast = Currency.Constraint_ast
+
+(** Parser for the textual currency-constraint syntax, e.g.
+    [t1\[status\] = "working" & t2\[status\] = "retired" -> prec(status)]. *)
+module Constraint_parser = Currency.Parser
+
+(** Constant conditional functional dependencies (the Γ of a
+    specification), with [parse] / [parse_many] for the
+    [AC = 212 -> city = "NY"] syntax. *)
+module Constant_cfd = Cfd.Constant_cfd
+
+(** {1 Reasoning} *)
+
+(** The CNF encoding Ω(Se)/Φ(Se); chiefly useful for {!Encode.mode}
+    ([Paper] vs the totality-augmented [Exact]) accepted across the API. *)
+module Encode = Crcore.Encode
+
+(** Validity of a specification (does a valid completion exist?). *)
+module Validity = Crcore.Validity
+
+(** True-value deduction (certain facts in every valid completion). *)
+module Deduce = Crcore.Deduce
+
+(** Derivation rules and the [Suggest] pipeline. *)
+module Rules = Crcore.Rules
+
+(** {1 Resolution} *)
+
+(** The interactive loop of Fig. 4, one entity per call. *)
+module Framework = Crcore.Framework
+
+(** Batch resolution: incremental solver sessions, encoding cache, and
+    structured statistics over collections of specifications. *)
+module Engine = Crcore.Engine
+
+(** Whole-relation repair: partition by key, resolve each entity. *)
+module Repair = Crcore.Repair
+
+(** {1 Baselines and evaluation} *)
+
+(** The traditional heuristic conflict-resolution baseline. *)
+module Pick = Crcore.Pick
+
+(** Accuracy metrics (precision/recall against ground truth). *)
+module Metrics = Crcore.Metrics
+
+(** The encoding mode, re-exported for convenience: [Paper] is the
+    heuristic reduction of Lemma 5, [Exact] adds totality clauses. *)
+type mode = Crcore.Encode.mode = Paper | Exact

@@ -10,11 +10,13 @@ type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
+  sigma_insts : iconstraint list;
   units : (fact * source) list;
   implications : iconstraint list;
   vetoes : (fact list * source) list;
   cnf : Sat.Cnf.t;
   n_structural : int;
+  structural : Sat.Lit.t array list;
 }
 
 let var_of_fact_c coding f = Coding.var_of coding ~attr:f.attr f.lo f.hi
@@ -26,58 +28,125 @@ let var_of_fact_c coding f = Coding.var_of coding ~attr:f.attr f.lo f.hi
    distinct projections rather than pairs of tuples: same instances,
    usually far fewer pairs. *)
 
-let projection_reps entity attr_positions =
+(* representatives paired with the index of their first-occurrence tuple,
+   so an incremental pass can tell which ones the extension introduced *)
+let projection_reps_i entity attr_positions =
   let seen = Hashtbl.create 16 in
   let reps = ref [] in
-  List.iter
-    (fun tup ->
+  List.iteri
+    (fun i tup ->
       let key =
         String.concat "\x00"
           (List.map (fun a -> Value.to_string (Tuple.get tup a)) attr_positions)
       in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
-        reps := tup :: !reps
+        reps := (i, tup) :: !reps
       end)
     (Entity.tuples entity);
   List.rev !reps
 
+let sigma_fact_of schema coding (name, v1, v2) =
+  let attr = Schema.index schema name in
+  { attr; lo = Coding.vid coding attr v1; hi = Coding.vid coding attr v2 }
+
+(* Σ instances in a canonical order, independent of which tuple pairs
+   produced them: [extend] merges incrementally-found instances into a
+   base set and must land on the very list a fresh encode would build. *)
+let sort_insts l =
+  List.sort (fun a b -> compare (a.premise, a.concl) (b.premise, b.concl)) l
+
+(* constraint sets routinely hold hundreds of constraints over the same
+   few attribute sets (chains instantiated with different constants), so
+   representatives are memoised per position list *)
+let reps_memo entity =
+  let memo = Hashtbl.create 16 in
+  fun positions ->
+    match Hashtbl.find_opt memo positions with
+    | Some reps -> reps
+    | None ->
+        let reps = projection_reps_i entity positions in
+        Hashtbl.add memo positions reps;
+        reps
+
 let instantiate_sigma spec coding =
   let schema = Spec.schema spec in
-  let fact_of (name, v1, v2) =
-    let attr = Schema.index schema name in
-    { attr; lo = Coding.vid coding attr v1; hi = Coding.vid coding attr v2 }
-  in
+  let reps_of = reps_memo spec.Spec.entity in
   let out = Hashtbl.create 256 in
-  let order = ref [] in
+  let insts = ref [] in
   List.iteri
     (fun k c ->
       let positions =
         List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
       in
-      let reps = projection_reps spec.Spec.entity positions in
+      let reps = reps_of positions in
       List.iter
-        (fun s1 ->
+        (fun (_, s1) ->
           List.iter
-            (fun s2 ->
+            (fun (_, s2) ->
               if not (s1 == s2) then
                 match Currency.Constraint_ast.instantiate c s1 s2 with
                 | None -> ()
                 | Some inst ->
                     let premise =
                       List.sort_uniq compare
-                        (List.map fact_of inst.Currency.Constraint_ast.prec_premises)
+                        (List.map (sigma_fact_of schema coding)
+                           inst.Currency.Constraint_ast.prec_premises)
                     in
-                    let concl = fact_of inst.Currency.Constraint_ast.conclusion in
+                    let concl = sigma_fact_of schema coding inst.Currency.Constraint_ast.conclusion in
                     let key = (premise, concl) in
                     if not (Hashtbl.mem out key) then begin
                       Hashtbl.add out key ();
-                      order := { premise; concl; source = From_constraint k } :: !order
+                      insts := { premise; concl; source = From_constraint k } :: !insts
                     end)
             reps)
         reps)
     spec.Spec.sigma;
-  List.rev !order
+  sort_insts !insts
+
+(* The Σ instances an extension adds: with the value universes unchanged,
+   instances over pairs of pre-existing tuples are exactly [base_insts],
+   so only pairs touching a projection representative introduced by a
+   tuple at index ≥ [n_base] can contribute anything new. On the
+   framework's one-fresh-tuple extensions this is O(reps) [instantiate]
+   calls per constraint instead of O(reps²). *)
+let instantiate_sigma_delta spec coding ~base_insts ~n_base =
+  let schema = Spec.schema spec in
+  let reps_of = reps_memo spec.Spec.entity in
+  let seen = Hashtbl.create 1024 in
+  List.iter (fun ic -> Hashtbl.replace seen (ic.premise, ic.concl) ()) base_insts;
+  let out = ref [] in
+  List.iteri
+    (fun k c ->
+      let positions =
+        List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
+      in
+      let reps = reps_of positions in
+      let news = List.filter (fun (i, _) -> i >= n_base) reps in
+      if news <> [] then begin
+        let try_pair s1 s2 =
+          if not (s1 == s2) then
+            match Currency.Constraint_ast.instantiate c s1 s2 with
+            | None -> ()
+            | Some inst ->
+                let premise =
+                  List.sort_uniq compare
+                    (List.map (sigma_fact_of schema coding)
+                       inst.Currency.Constraint_ast.prec_premises)
+                in
+                let concl = sigma_fact_of schema coding inst.Currency.Constraint_ast.conclusion in
+                let key = (premise, concl) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  out := { premise; concl; source = From_constraint k } :: !out
+                end
+        in
+        let olds = List.filter (fun (i, _) -> i < n_base) reps in
+        List.iter (fun (_, o) -> List.iter (fun (_, n) -> try_pair o n) news) olds;
+        List.iter (fun (_, n) -> List.iter (fun (_, r) -> try_pair n r) reps) news
+      end)
+    spec.Spec.sigma;
+  !out
 
 (* ---- instantiating constant CFDs ---- *)
 
@@ -161,20 +230,28 @@ let order_units spec coding =
   done;
   List.rev !out
 
-let encode ?(mode = Paper) spec =
+(* Ω(Se) minus the Σ instantiation: units from the orders of It, the Γ
+   instances and vetoes, and the premise-free split — everything that is
+   cheap enough to recompute on each [Se ⊕ Ot] extension. [sigma_insts]
+   is the (canonically sorted) Σ instance list, computed either from
+   scratch ([encode]) or by merging a delta ([extend]). *)
+let assemble_parts spec coding sigma_insts =
   let gamma_rel = relevant_gamma spec.Spec.entity spec.Spec.gamma in
-  let coding = Coding.build spec.Spec.entity [] in
   let units = order_units spec coding in
   let gamma_imps, vetoes = instantiate_gamma spec coding gamma_rel in
-  let implications = instantiate_sigma spec coding @ gamma_imps in
+  let implications = sigma_insts @ gamma_imps in
   (* split premise-free implications into units *)
   let extra_units, implications =
     List.partition (fun ic -> ic.premise = []) implications
   in
   let units = units @ List.map (fun ic -> (ic.concl, ic.source)) extra_units in
+  (units, implications, vetoes)
+
+(* The clause rendering of the instance part, in reverse push order (kept
+   stable so [extend] diffs clause-for-clause against a base encoding). *)
+let instance_clauses coding (units, implications, vetoes) =
   let var f = var_of_fact_c coding f in
   let clauses = ref [] in
-  let n_structural = ref 0 in
   List.iter (fun (f, _) -> clauses := [| Sat.Lit.pos (var f) |] :: !clauses) units;
   List.iter
     (fun ic ->
@@ -189,11 +266,18 @@ let encode ?(mode = Paper) spec =
     (fun (premise, _) ->
       clauses := Array.of_list (List.map (fun f -> Sat.Lit.neg_of (var f)) premise) :: !clauses)
     vetoes;
-  (* structural axioms per attribute *)
-  let schema = Spec.schema spec in
+  !clauses
+
+(* Φ's structural axioms: transitivity, asymmetry (+ totality in exact
+   mode) per attribute. Depends only on the coding and the mode — the part
+   [extend] reuses verbatim across [Se ⊕ Ot] steps. *)
+let structural_clauses coding mode =
+  let schema = Coding.schema coding in
+  let clauses = ref [] in
+  let n_structural = ref 0 in
   for a = 0 to Schema.arity schema - 1 do
     let d = Array.length (Coding.universe coding a) in
-    let v lo hi = var { attr = a; lo; hi } in
+    let v lo hi = var_of_fact_c coding { attr = a; lo; hi } in
     (* transitivity *)
     for i = 0 to d - 1 do
       for j = 0 to d - 1 do
@@ -220,8 +304,172 @@ let encode ?(mode = Paper) spec =
       done
     done
   done;
-  let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) !clauses in
-  { spec; coding; mode; units; implications; vetoes; cnf; n_structural = !n_structural }
+  (!clauses, !n_structural)
+
+let encode ?(mode = Paper) spec =
+  let coding = Coding.build spec.Spec.entity [] in
+  let sigma_insts = instantiate_sigma spec coding in
+  let ((units, implications, vetoes) as parts) = assemble_parts spec coding sigma_insts in
+  let inst = instance_clauses coding parts in
+  let structural, n_structural = structural_clauses coding mode in
+  let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (structural @ inst) in
+  { spec; coding; mode; sigma_insts; units; implications; vetoes; cnf; n_structural; structural }
+
+(* ---- incremental re-encoding for Se ⊕ Ot extensions ---- *)
+
+let same_universes c1 c2 =
+  Schema.equal (Coding.schema c1) (Coding.schema c2)
+  &&
+  let arity = Schema.arity (Coding.schema c1) in
+  let rec attrs_equal a =
+    a >= arity
+    || (Coding.adom_size c1 a = Coding.adom_size c2 a
+       &&
+       let u1 = Coding.universe c1 a and u2 = Coding.universe c2 a in
+       Array.length u1 = Array.length u2
+       && (let rec vals i =
+             i >= Array.length u1 || (Value.equal u1.(i) u2.(i) && vals (i + 1))
+           in
+           vals 0)
+       && attrs_equal (a + 1))
+  in
+  attrs_equal 0
+
+(* c1's universes are per-attribute prefixes of c2's: every old value
+   keeps its id, so facts (and hence Σ instances) carry over verbatim *)
+let universes_prefix c1 c2 =
+  Schema.equal (Coding.schema c1) (Coding.schema c2)
+  &&
+  let arity = Schema.arity (Coding.schema c1) in
+  let rec attrs_ok a =
+    a >= arity
+    ||
+    let u1 = Coding.universe c1 a and u2 = Coding.universe c2 a in
+    Array.length u1 <= Array.length u2
+    && (let rec vals i =
+          i >= Array.length u1 || (Value.equal u1.(i) u2.(i) && vals (i + 1))
+        in
+        vals 0)
+    && attrs_ok (a + 1)
+  in
+  attrs_ok 0
+
+let same_list eq a b = a == b || List.equal eq a b
+
+(* [spec] must be a pure extension of [base.spec]: same Σ and Γ, the old
+   tuples a prefix of the new ones (extensions append), the old order
+   edges a suffix of the new ones (extensions prepend). This is what
+   guarantees Ω(base) ⊆ Ω(spec) clause-for-clause, which delta solving
+   needs: a clause that disappeared would leave an incremental solver
+   stronger than Φ(Se ⊕ Ot). *)
+let pure_extension base_spec spec =
+  same_list ( = ) base_spec.Spec.sigma spec.Spec.sigma
+  && same_list ( = ) base_spec.Spec.gamma spec.Spec.gamma
+  && (let bt = Entity.tuples base_spec.Spec.entity
+      and nt = Entity.tuples spec.Spec.entity in
+      let rec prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: a', y :: b' -> (x == y || x = y) && prefix a' b'
+        | _ :: _, [] -> false
+      in
+      prefix bt nt)
+  &&
+  let k = List.length spec.Spec.orders - List.length base_spec.Spec.orders in
+  k >= 0
+  &&
+  let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+  same_list ( = ) (drop k spec.Spec.orders) base_spec.Spec.orders
+
+type extension = Delta of t * Sat.Lit.t array list | Renumbered of t
+
+let extend base spec =
+  if not (pure_extension base.spec spec) then None
+  else
+    let coding' = Coding.build spec.Spec.entity [] in
+    if not (universes_prefix base.coding coding') then None
+    else begin
+      (* old values keep their per-attribute ids, so the Σ instances of
+         the base — the expensive quadratic sweep over projection pairs —
+         carry over verbatim; only pairs the new tuples touch are swept *)
+      let identical = same_universes base.coding coding' in
+      let coding = if identical then base.coding else coding' in
+      let n_base = List.length (Entity.tuples base.spec.Spec.entity) in
+      let delta_insts =
+        instantiate_sigma_delta spec coding ~base_insts:base.sigma_insts ~n_base
+      in
+      let sigma_insts = sort_insts (base.sigma_insts @ delta_insts) in
+      let ((units, implications, vetoes) as parts) = assemble_parts spec coding sigma_insts in
+      let inst = instance_clauses coding parts in
+      if identical then begin
+        (* variable numbering unchanged: the structural axioms carry over
+           and a live solver only needs the delta clauses — unit clauses
+           for fresh facts (new order edges, premise-free new Σ
+           instances) plus the new Σ implications. Γ's part is a function
+           of the unchanged universes and is identical on both sides, and
+           pure extensions only add clauses, so the session stays sound. *)
+        let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (base.structural @ inst) in
+        let var f = var_of_fact_c coding f in
+        let base_unit_facts = Hashtbl.create 64 in
+        List.iter (fun (f, _) -> Hashtbl.replace base_unit_facts f ()) base.units;
+        let delta_units =
+          List.filter_map
+            (fun (f, _) ->
+              if Hashtbl.mem base_unit_facts f then None
+              else Some [| Sat.Lit.pos (var f) |])
+            units
+        in
+        let delta_imps =
+          List.filter_map
+            (fun ic ->
+              if ic.premise = [] then None
+              else
+                Some
+                  (Array.of_list
+                     (Sat.Lit.pos (var ic.concl)
+                     :: List.map (fun f -> Sat.Lit.neg_of (var f)) ic.premise)))
+            delta_insts
+        in
+        Some
+          (Delta
+             ( {
+                 spec;
+                 coding;
+                 mode = base.mode;
+                 sigma_insts;
+                 units;
+                 implications;
+                 vetoes;
+                 cnf;
+                 n_structural = base.n_structural;
+                 structural = base.structural;
+               },
+               delta_units @ delta_imps ))
+      end
+      else begin
+        (* a universe grew (e.g. the fresh tuple carries a value, or a
+           null, the entity never took): variable numbers shift globally,
+           so solvers must reload — but the Σ instances still carried
+           over; only the (cheap, small-domain) structural axioms are
+           regenerated *)
+        let structural, n_structural = structural_clauses coding base.mode in
+        let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (structural @ inst) in
+        Some
+          (Renumbered
+             {
+               spec;
+               coding;
+               mode = base.mode;
+               sigma_insts;
+               units;
+               implications;
+               vetoes;
+               cnf;
+               n_structural;
+               structural;
+             })
+      end
+    end
 
 let var_of_fact e f = var_of_fact_c e.coding f
 

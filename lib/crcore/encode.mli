@@ -42,6 +42,10 @@ type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
+  sigma_insts : iconstraint list;
+      (** the instances of Σ alone, in a canonical order independent of
+          which tuple pairs produced them — the part {!extend} updates
+          incrementally (premise-free ones also appear in [units]) *)
   units : (fact * source) list;      (** premise-free part of Ω(Se) *)
   implications : iconstraint list;   (** the rest of Ω(Se) *)
   vetoes : (fact list * source) list;
@@ -50,10 +54,42 @@ type t = {
           its "LHS pattern is most current" premise is forbidden *)
   cnf : Sat.Cnf.t;                   (** Φ(Se), structural axioms included *)
   n_structural : int;  (** transitivity + asymmetry (+ totality) clauses *)
+  structural : Sat.Lit.t array list;
+      (** the structural-axiom clauses themselves (also inside [cnf]);
+          kept separately so {!extend} can reuse them without regenerating
+          the cubic transitivity block *)
 }
 
 (** [encode ?mode spec] computes Ω(Se) and Φ(Se). Default mode [Paper]. *)
 val encode : ?mode:mode -> Spec.t -> t
+
+(** How an incremental re-encode relates to its base. *)
+type extension =
+  | Delta of t * Sat.Lit.t array list
+      (** value universes unchanged, so variable numbering is too: the
+          new encoding plus exactly the clauses of its [cnf] missing from
+          the base's — an incremental SAT session already holding the
+          base Φ(Se) only needs these added to represent the new
+          specification (pure extensions only add clauses, so the
+          session stays sound) *)
+  | Renumbered of t
+      (** a universe grew (e.g. the fresh tuple carries a value, or a
+          null, the entity never took): variable numbers shifted, so
+          solvers must reload the new [cnf] — but the expensive Σ
+          instance sweep was still reused from the base *)
+
+(** [extend base spec] re-encodes [spec] incrementally against the
+    already-encoded [base] — the [Se ⊕ Ot] step of the framework, where
+    [spec] extends [base.spec] with user-asserted orders and tuples.
+
+    Old values keep their per-attribute ids (universes are built in
+    first-occurrence order), so the base's Σ instances carry over
+    verbatim and only tuple pairs touching the appended tuples are
+    instantiated — O(reps) [instantiate] calls per constraint instead of
+    the full O(reps²) sweep. Returns [None] when [spec] is not a pure
+    extension of [base.spec] (different Σ/Γ, tuples not appended, order
+    edges not prepended); callers then fall back to a full {!encode}. *)
+val extend : t -> Spec.t -> extension option
 
 (** [relevant_gamma entity gamma] keeps the CFDs that can fire on this
     entity — those whose every LHS pattern constant occurs in the active

@@ -1,0 +1,383 @@
+type user = Rules.suggestion -> schema:Schema.t -> (string * Value.t) list
+
+type config = {
+  mode : Encode.mode;
+  deduce : Encode.t -> Deduce.t;
+  repair : Rules.repair;
+  max_rounds : int;
+  incremental : bool;
+  cache : bool;
+}
+
+let default_config =
+  {
+    mode = Encode.Paper;
+    deduce = Deduce.deduce_order;
+    repair = Rules.Exact_maxsat;
+    max_rounds = 5;
+    incremental = true;
+    cache = true;
+  }
+
+let naive_config = { default_config with incremental = false; cache = false }
+
+type phase_times = {
+  mutable encode_ms : float;
+  mutable validity_ms : float;
+  mutable deduce_ms : float;
+  mutable suggest_ms : float;
+}
+
+let zero_times () = { encode_ms = 0.; validity_ms = 0.; deduce_ms = 0.; suggest_ms = 0. }
+
+type entity_stats = {
+  times : phase_times;
+  solver : Sat.Solver.stats;
+  solvers_built : int;
+  cache_hits : int;
+  cache_misses : int;
+  delta_extensions : int;
+  rebuilds : int;
+}
+
+type result = {
+  resolved : Value.t option array;
+  valid : bool;
+  rounds : int;
+  per_round_known : int list;
+}
+
+(* ---- encoding cache ---- *)
+
+module Key = struct
+  type t = Encode.mode * Spec.t
+
+  let equal = ( = )
+
+  (* deep polymorphic hash: specs routinely share Σ/Γ and differ only in
+     the entity tuples, which shallow hashing would miss *)
+  let hash k = Hashtbl.hash_param 200 1000 k
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type cache = Encode.t Tbl.t
+
+let create_cache () = Tbl.create 64
+
+(* ---- sessions ---- *)
+
+type session = {
+  config : config;
+  cache : cache;
+  times : phase_times;
+  mutable spec : Spec.t;
+  mutable enc : Encode.t;
+  mutable solver : Sat.Solver.t option;  (* the incremental session *)
+  mutable retired : Sat.Solver.stats;    (* stats of replaced/one-shot solvers *)
+  mutable solvers_built : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable delta_extensions : int;
+  mutable rebuilds : int;
+}
+
+type slot = Encode_p | Validity_p | Deduce_p | Suggest_p
+
+let timed sess slot f =
+  let t0 = Sys.time () in
+  let r = f () in
+  let dt = (Sys.time () -. t0) *. 1000. in
+  (match slot with
+  | Encode_p -> sess.times.encode_ms <- sess.times.encode_ms +. dt
+  | Validity_p -> sess.times.validity_ms <- sess.times.validity_ms +. dt
+  | Deduce_p -> sess.times.deduce_ms <- sess.times.deduce_ms +. dt
+  | Suggest_p -> sess.times.suggest_ms <- sess.times.suggest_ms +. dt);
+  r
+
+let lookup ~(config : config) ~cache spec =
+  if not config.cache then (Encode.encode ~mode:config.mode spec, false)
+  else
+    let key = (config.mode, spec) in
+    match Tbl.find_opt cache key with
+    | Some enc -> (enc, true)
+    | None ->
+        let enc = Encode.encode ~mode:config.mode spec in
+        Tbl.replace cache key enc;
+        (enc, false)
+
+let encode_spec sess spec =
+  let enc, hit = lookup ~config:sess.config ~cache:sess.cache spec in
+  if sess.config.cache then
+    if hit then sess.cache_hits <- sess.cache_hits + 1
+    else sess.cache_misses <- sess.cache_misses + 1;
+  enc
+
+let fresh_solver sess enc =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_cnf s enc.Encode.cnf;
+  sess.solvers_built <- sess.solvers_built + 1;
+  s
+
+let retire sess s = sess.retired <- Sat.Solver.add_stats sess.retired (Sat.Solver.stats s)
+
+let create_session ?(config = default_config) ?cache spec =
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let times = zero_times () in
+  let t0 = Sys.time () in
+  let enc, hit = lookup ~config ~cache spec in
+  times.encode_ms <- (Sys.time () -. t0) *. 1000.;
+  let sess =
+    {
+      config;
+      cache;
+      times;
+      spec;
+      enc;
+      solver = None;
+      retired = Sat.Solver.zero_stats;
+      solvers_built = 0;
+      cache_hits = (if config.cache && hit then 1 else 0);
+      cache_misses = (if config.cache && not hit then 1 else 0);
+      delta_extensions = 0;
+      rebuilds = 0;
+    }
+  in
+  if config.incremental then
+    sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc));
+  sess
+
+(* IsValid on the session: the incremental path re-solves the live
+   session (learnt clauses intact); the naive path rebuilds a solver, as
+   Validity.check does, but keeps its statistics. *)
+let check_validity sess =
+  match sess.solver with
+  | Some s -> Sat.Solver.solve s = Sat.Solver.Sat
+  | None ->
+      let s = fresh_solver sess sess.enc in
+      let r = Sat.Solver.solve s in
+      retire sess s;
+      r = Sat.Solver.Sat
+
+let suggest_on sess d ~known =
+  match sess.solver with
+  | Some s -> Rules.suggest ~repair:sess.config.repair ~solver:s d ~known
+  | None ->
+      let s = fresh_solver sess sess.enc in
+      let r = Rules.suggest ~repair:sess.config.repair ~solver:s d ~known in
+      retire sess s;
+      r
+
+(* Se ⊕ Ot: move the session to the extended specification. *)
+let apply_extension sess spec' =
+  sess.spec <- spec';
+  if not sess.config.incremental then
+    sess.enc <- timed sess Encode_p (fun () -> encode_spec sess spec')
+  else
+    match timed sess Encode_p (fun () -> Encode.extend sess.enc spec') with
+    | Some (Encode.Delta (enc', delta)) ->
+        sess.enc <- enc';
+        sess.delta_extensions <- sess.delta_extensions + 1;
+        if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
+        let s = match sess.solver with Some s -> s | None -> assert false in
+        timed sess Validity_p (fun () -> List.iter (Sat.Solver.add_clause_a s) delta)
+    | Some (Encode.Renumbered enc') ->
+        (* a value universe grew: the Σ instances were still reused, but
+           variable numbers shifted, so the solver session restarts *)
+        sess.rebuilds <- sess.rebuilds + 1;
+        sess.enc <- enc';
+        if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
+        (match sess.solver with Some s -> retire sess s | None -> ());
+        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc))
+    | None ->
+        (* not a pure extension: full re-encode and a fresh session *)
+        sess.rebuilds <- sess.rebuilds + 1;
+        (match sess.solver with Some s -> retire sess s | None -> ());
+        sess.enc <- timed sess Encode_p (fun () -> encode_spec sess spec');
+        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc))
+
+let snapshot_stats sess =
+  let solver =
+    match sess.solver with
+    | Some s -> Sat.Solver.add_stats sess.retired (Sat.Solver.stats s)
+    | None -> sess.retired
+  in
+  {
+    times = sess.times;
+    solver;
+    solvers_built = sess.solvers_built;
+    cache_hits = sess.cache_hits;
+    cache_misses = sess.cache_misses;
+    delta_extensions = sess.delta_extensions;
+    rebuilds = sess.rebuilds;
+  }
+
+let count_known known = Array.fold_left (fun n v -> if v = None then n else n + 1) 0 known
+
+let resolve_session sess ~user =
+  let schema = Spec.schema sess.spec in
+  let arity = Schema.arity schema in
+  let analyse () =
+    if not (timed sess Validity_p (fun () -> check_validity sess)) then None
+    else
+      let d = timed sess Deduce_p (fun () -> sess.config.deduce sess.enc) in
+      Some (d, Deduce.true_values d)
+  in
+  let outcome =
+    match analyse () with
+    | None ->
+        { resolved = Array.make arity None; valid = false; rounds = 0; per_round_known = [ 0 ] }
+    | Some (d0, known0) ->
+        let d = ref d0 in
+        let known = ref known0 in
+        let per_round = ref [ count_known known0 ] in
+        let rounds = ref 0 in
+        let valid = ref true in
+        let stop = ref (count_known !known = arity) in
+        while (not !stop) && !rounds < sess.config.max_rounds do
+          let suggestion =
+            timed sess Suggest_p (fun () -> suggest_on sess !d ~known:!known)
+          in
+          let answer = user suggestion ~schema in
+          if answer = [] then stop := true
+          else begin
+            incr rounds;
+            (* the fresh tuple t_o of the paper's Remark (1): provided
+               values, plus the already-established ones, null elsewhere *)
+            let values =
+              Array.init arity (fun a ->
+                  let name = Schema.name schema a in
+                  match List.assoc_opt name answer with
+                  | Some v -> v
+                  | None -> ( match !known.(a) with Some v -> v | None -> Value.Null))
+            in
+            let tup = Tuple.of_array schema values in
+            let current_attrs =
+              List.filter_map
+                (fun a ->
+                  if Value.is_null values.(a) then None else Some (Schema.name schema a))
+                (List.init arity Fun.id)
+            in
+            apply_extension sess (Spec.extend_with_tuple sess.spec tup ~current_attrs);
+            match analyse () with
+            | None ->
+                valid := false;
+                stop := true
+            | Some (d', known') ->
+                d := d';
+                known := known';
+                per_round := count_known known' :: !per_round;
+                if count_known known' = arity then stop := true
+          end
+        done;
+        {
+          resolved = !known;
+          valid = !valid;
+          rounds = !rounds;
+          per_round_known = List.rev !per_round;
+        }
+  in
+  (outcome, snapshot_stats sess)
+
+let resolve ?config ?cache ~user spec =
+  resolve_session (create_session ?config ?cache spec) ~user
+
+(* ---- batches ---- *)
+
+type item = { label : string; spec : Spec.t; user : user }
+
+type item_result = { label : string; result : result; stats : entity_stats }
+
+type stats = {
+  entities : int;
+  valid_entities : int;
+  total_rounds : int;
+  attrs_total : int;
+  attrs_resolved : int;
+  times : phase_times;
+  solver : Sat.Solver.stats;
+  solvers_built : int;
+  cache_hits : int;
+  cache_misses : int;
+  delta_extensions : int;
+  rebuilds : int;
+  wall_ms : float;
+}
+
+let cache_hit_rate st =
+  let total = st.cache_hits + st.cache_misses in
+  if total = 0 then 0. else float_of_int st.cache_hits /. float_of_int total
+
+let throughput st =
+  if st.wall_ms <= 0. then 0. else 1000. *. float_of_int st.entities /. st.wall_ms
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
+     phases (ms): encode %.1f | validity %.1f | deduce %.1f | suggest %.1f@ \
+     solver: %a; %d CNF load(s)@ \
+     encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), %d rebuild(s)@ \
+     wall: %.1f ms (%.1f entities/s)@]"
+    st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
+    st.times.encode_ms st.times.validity_ms st.times.deduce_ms st.times.suggest_ms
+    Sat.Solver.pp_stats st.solver st.solvers_built st.cache_hits st.cache_misses
+    (100. *. cache_hit_rate st)
+    st.delta_extensions st.rebuilds st.wall_ms (throughput st)
+
+let run_batch ?(config = default_config) ?cache ?on_result items =
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let t0 = Sys.time () in
+  let agg_times = zero_times () in
+  let entities = ref 0
+  and valid_entities = ref 0
+  and total_rounds = ref 0
+  and attrs_total = ref 0
+  and attrs_resolved = ref 0
+  and solver = ref Sat.Solver.zero_stats
+  and solvers_built = ref 0
+  and cache_hits = ref 0
+  and cache_misses = ref 0
+  and delta_extensions = ref 0
+  and rebuilds = ref 0 in
+  let results =
+    List.map
+      (fun item ->
+        let result, st = resolve ~config ~cache ~user:item.user item.spec in
+        incr entities;
+        if result.valid then incr valid_entities;
+        total_rounds := !total_rounds + result.rounds;
+        attrs_total := !attrs_total + Array.length result.resolved;
+        attrs_resolved := !attrs_resolved + count_known result.resolved;
+        agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
+        agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
+        agg_times.deduce_ms <- agg_times.deduce_ms +. st.times.deduce_ms;
+        agg_times.suggest_ms <- agg_times.suggest_ms +. st.times.suggest_ms;
+        solver := Sat.Solver.add_stats !solver st.solver;
+        solvers_built := !solvers_built + st.solvers_built;
+        cache_hits := !cache_hits + st.cache_hits;
+        cache_misses := !cache_misses + st.cache_misses;
+        delta_extensions := !delta_extensions + st.delta_extensions;
+        rebuilds := !rebuilds + st.rebuilds;
+        let ir = { label = item.label; result; stats = st } in
+        (match on_result with Some f -> f ir | None -> ());
+        ir)
+      items
+  in
+  let stats =
+    {
+      entities = !entities;
+      valid_entities = !valid_entities;
+      total_rounds = !total_rounds;
+      attrs_total = !attrs_total;
+      attrs_resolved = !attrs_resolved;
+      times = agg_times;
+      solver = !solver;
+      solvers_built = !solvers_built;
+      cache_hits = !cache_hits;
+      cache_misses = !cache_misses;
+      delta_extensions = !delta_extensions;
+      rebuilds = !rebuilds;
+      wall_ms = (Sys.time () -. t0) *. 1000.;
+    }
+  in
+  (results, stats)

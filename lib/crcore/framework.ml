@@ -18,87 +18,25 @@ type outcome = {
   timings : timings;
 }
 
-let count_known known = Array.fold_left (fun n v -> if v = None then n else n + 1) 0 known
-
+(* The loop itself lives in Engine; this entry point is the one-entity,
+   non-incremental configuration it grew out of, with the historical
+   phase accounting (encoding counted inside IsValid, seconds). *)
 let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.deduce_order)
     ?(repair = Rules.Exact_maxsat) ?(max_rounds = 5) ~user spec =
-  let timings = { validity = 0.; deduce = 0.; suggest = 0. } in
-  let timed slot f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (match slot with
-    | `Validity -> timings.validity <- timings.validity +. Sys.time () -. t0
-    | `Deduce -> timings.deduce <- timings.deduce +. Sys.time () -. t0
-    | `Suggest -> timings.suggest <- timings.suggest +. Sys.time () -. t0);
-    r
+  let config =
+    { Engine.mode; deduce; repair; max_rounds; incremental = false; cache = false }
   in
-  let schema = Spec.schema spec in
-  let arity = Schema.arity schema in
-  let analyse spec =
-    (* encoding is part of the validity phase, as in the paper's IsValid
-       (Instantiation + ConvertToCNF + SAT) *)
-    let enc = timed `Validity (fun () -> Encode.encode ~mode spec) in
-    if not (timed `Validity (fun () -> Validity.check enc)) then None
-    else
-      let d = timed `Deduce (fun () -> deduce enc) in
-      Some (d, Deduce.true_values d)
-  in
-  match analyse spec with
-  | None ->
+  let r, st = Engine.resolve ~config ~user spec in
+  let t = st.Engine.times in
+  {
+    resolved = r.Engine.resolved;
+    valid = r.Engine.valid;
+    rounds = r.Engine.rounds;
+    per_round_known = r.Engine.per_round_known;
+    timings =
       {
-        resolved = Array.make arity None;
-        valid = false;
-        rounds = 0;
-        per_round_known = [ 0 ];
-        timings;
-      }
-  | Some (d0, known0) ->
-      let spec = ref spec in
-      let d = ref d0 in
-      let known = ref known0 in
-      let per_round = ref [ count_known known0 ] in
-      let rounds = ref 0 in
-      let valid = ref true in
-      let stop = ref (count_known !known = arity) in
-      while (not !stop) && !rounds < max_rounds do
-        let suggestion =
-          timed `Suggest (fun () -> Rules.suggest ~repair !d ~known:!known)
-        in
-        let answer = user suggestion ~schema in
-        if answer = [] then stop := true
-        else begin
-          incr rounds;
-          (* build the fresh tuple t_o of the paper's Remark (1): provided
-             values, plus the already-established ones, null elsewhere *)
-          let values =
-            Array.init arity (fun a ->
-                let name = Schema.name schema a in
-                match List.assoc_opt name answer with
-                | Some v -> v
-                | None -> ( match !known.(a) with Some v -> v | None -> Value.Null))
-          in
-          let tup = Tuple.of_array schema values in
-          let current_attrs =
-            List.filter_map
-              (fun a -> if Value.is_null values.(a) then None else Some (Schema.name schema a))
-              (List.init arity Fun.id)
-          in
-          spec := Spec.extend_with_tuple !spec tup ~current_attrs;
-          match analyse !spec with
-          | None ->
-              valid := false;
-              stop := true
-          | Some (d', known') ->
-              d := d';
-              known := known';
-              per_round := count_known known' :: !per_round;
-              if count_known known' = arity then stop := true
-        end
-      done;
-      {
-        resolved = !known;
-        valid = !valid;
-        rounds = !rounds;
-        per_round_known = List.rev !per_round;
-        timings;
-      }
+        validity = (t.Engine.encode_ms +. t.Engine.validity_ms) /. 1000.;
+        deduce = t.Engine.deduce_ms /. 1000.;
+        suggest = t.Engine.suggest_ms /. 1000.;
+      };
+  }

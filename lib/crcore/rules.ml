@@ -170,11 +170,19 @@ let node_group coding (r : rule) =
    conflict repair: all of them when the embedded values are jointly
    consistent with Φ(Se), otherwise a maximum consistent subset found by
    group MaxSAT (or WalkSAT local search). *)
-let repair_clique repair enc clique_rules =
+let repair_clique ?solver repair enc clique_rules =
   let coding = enc.Encode.coding in
   let groups = List.map (node_group coding) clique_rules in
-  let s = Sat.Solver.create () in
-  Sat.Solver.add_cnf s enc.Encode.cnf;
+  let s =
+    (* an incremental session solver already holding Φ(Se) skips the
+       clause reload; assumption solving leaves it reusable afterwards *)
+    match solver with
+    | Some s -> s
+    | None ->
+        let s = Sat.Solver.create () in
+        Sat.Solver.add_cnf s enc.Encode.cnf;
+        s
+  in
   let assumptions = List.map (fun c -> c.(0)) (List.concat groups) in
   if clique_rules = [] then []
   else
@@ -195,7 +203,7 @@ let repair_clique repair enc clique_rules =
                        List.for_all (fun c -> Sat.Cnf.eval_clause model c) g)
                 |> List.map fst))
 
-let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) d ~known =
+let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) ?solver d ~known =
   let enc = d.Deduce.enc in
   let coding = enc.Encode.coding in
   let arity = Schema.arity (Coding.schema coding) in
@@ -204,7 +212,7 @@ let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) d ~known =
   let clique_ids = Clique.Maxclique.find ~exact_threshold:clique_threshold g in
   let arr = Array.of_list rules in
   let clique_rules = List.map (fun i -> arr.(i)) clique_ids in
-  let kept = repair_clique repair enc clique_rules in
+  let kept = repair_clique ?solver repair enc clique_rules in
   let kept_rules = List.map (fun i -> List.nth clique_rules i) kept in
   let derivable = List.sort_uniq compare (List.map (fun r -> r.b) kept_rules) in
   let unknown =

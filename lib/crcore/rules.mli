@@ -37,10 +37,19 @@ val derive_rules : Deduce.t -> known:Value.t option array -> rule list
     [bval]). *)
 val compatibility_graph : rule list -> Clique.Ugraph.t
 
-(** [suggest ?repair ?clique_threshold d ~known] is the full [Suggest]
-    pipeline. [clique_threshold] bounds the exact max-clique search
-    (default 400 vertices, greedy beyond). *)
+(** [suggest ?repair ?clique_threshold ?solver d ~known] is the full
+    [Suggest] pipeline. [clique_threshold] bounds the exact max-clique
+    search (default 400 vertices, greedy beyond). [solver] is an optional
+    incremental SAT session already loaded with Φ(Se) (see
+    {!Engine}): the clique-consistency check then solves under
+    assumptions on it instead of building a fresh solver, and leaves it
+    reusable. *)
 val suggest :
-  ?repair:repair -> ?clique_threshold:int -> Deduce.t -> known:Value.t option array -> suggestion
+  ?repair:repair ->
+  ?clique_threshold:int ->
+  ?solver:Sat.Solver.t ->
+  Deduce.t ->
+  known:Value.t option array ->
+  suggestion
 
 val pp_rule : Deduce.t -> Format.formatter -> rule -> unit

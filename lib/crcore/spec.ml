@@ -7,33 +7,63 @@ type t = {
   gamma : Cfd.Constant_cfd.t list;
 }
 
-let make entity ~orders ~sigma ~gamma =
+type error =
+  | Unknown_order_attribute of string
+  | Order_index_out_of_range of { attr : string; index : int; size : int }
+  | Reflexive_order_edge of { attr : string; index : int }
+  | Unknown_constraint_attribute of { constraint_index : int; attr : string }
+  | Unknown_cfd_attribute of { cfd_index : int; attr : string }
+
+let pp_error ppf = function
+  | Unknown_order_attribute attr ->
+      Format.fprintf ppf "unknown attribute %S in order" attr
+  | Order_index_out_of_range { attr; index; size } ->
+      Format.fprintf ppf "order edge on %S: tuple index %d out of range [0,%d)" attr index size
+  | Reflexive_order_edge { attr; index } ->
+      Format.fprintf ppf "reflexive order edge on %S at tuple %d" attr index
+  | Unknown_constraint_attribute { constraint_index; attr } ->
+      Format.fprintf ppf "currency constraint #%d mentions unknown attribute %S"
+        constraint_index attr
+  | Unknown_cfd_attribute { cfd_index; attr } ->
+      Format.fprintf ppf "CFD #%d mentions unknown attribute %S" cfd_index attr
+
+exception Spec_error of error
+
+let make_res entity ~orders ~sigma ~gamma =
   let schema = Entity.schema entity in
   let n = Entity.size entity in
-  List.iter
-    (fun { attr; lo; hi } ->
-      if not (Schema.mem schema attr) then
-        invalid_arg (Printf.sprintf "Spec.make: unknown attribute %S in order" attr);
-      if lo < 0 || lo >= n || hi < 0 || hi >= n then
-        invalid_arg "Spec.make: order edge tuple index out of range";
-      if lo = hi then invalid_arg "Spec.make: reflexive order edge")
-    orders;
-  List.iter
-    (fun c ->
-      match Currency.Constraint_ast.check_schema c schema with
-      | Ok () -> ()
-      | Error a ->
-          invalid_arg
-            (Printf.sprintf "Spec.make: currency constraint mentions unknown attribute %S" a))
-    sigma;
-  List.iter
-    (fun c ->
-      match Cfd.Constant_cfd.check_schema c schema with
-      | Ok () -> ()
-      | Error a ->
-          invalid_arg (Printf.sprintf "Spec.make: CFD mentions unknown attribute %S" a))
-    gamma;
-  { entity; orders; sigma; gamma }
+  try
+    List.iter
+      (fun { attr; lo; hi } ->
+        if not (Schema.mem schema attr) then raise (Spec_error (Unknown_order_attribute attr));
+        let check_idx index =
+          if index < 0 || index >= n then
+            raise (Spec_error (Order_index_out_of_range { attr; index; size = n }))
+        in
+        check_idx lo;
+        check_idx hi;
+        if lo = hi then raise (Spec_error (Reflexive_order_edge { attr; index = lo })))
+      orders;
+    List.iteri
+      (fun k c ->
+        match Currency.Constraint_ast.check_schema c schema with
+        | Ok () -> ()
+        | Error a ->
+            raise (Spec_error (Unknown_constraint_attribute { constraint_index = k; attr = a })))
+      sigma;
+    List.iteri
+      (fun k c ->
+        match Cfd.Constant_cfd.check_schema c schema with
+        | Ok () -> ()
+        | Error a -> raise (Spec_error (Unknown_cfd_attribute { cfd_index = k; attr = a })))
+      gamma;
+    Ok { entity; orders; sigma; gamma }
+  with Spec_error e -> Error e
+
+let make entity ~orders ~sigma ~gamma =
+  match make_res entity ~orders ~sigma ~gamma with
+  | Ok s -> s
+  | Error e -> invalid_arg (Format.asprintf "Spec.make: %a" pp_error e)
 
 let schema s = Entity.schema s.entity
 

@@ -13,9 +13,34 @@ type t = {
   gamma : Cfd.Constant_cfd.t list;         (** constant CFDs Γ *)
 }
 
-(** [make entity ~orders ~sigma ~gamma] validates attribute names and tuple
-    indices and builds the specification. Raises [Invalid_argument] with a
-    description on any dangling reference. *)
+(** Why a specification cannot be built: a dangling attribute name, a
+    tuple index outside the entity, or a degenerate (reflexive) order
+    edge. Constraint/CFD variants carry the index of the offending element
+    in the input list. *)
+type error =
+  | Unknown_order_attribute of string
+  | Order_index_out_of_range of { attr : string; index : int; size : int }
+  | Reflexive_order_edge of { attr : string; index : int }
+  | Unknown_constraint_attribute of { constraint_index : int; attr : string }
+  | Unknown_cfd_attribute of { cfd_index : int; attr : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [make_res entity ~orders ~sigma ~gamma] validates attribute names and
+    tuple indices and builds the specification; the non-raising entry
+    point for callers assembling specifications from untrusted input
+    (parsers, network, CSV headers). *)
+val make_res :
+  Entity.t ->
+  orders:order_edge list ->
+  sigma:Currency.Constraint_ast.t list ->
+  gamma:Cfd.Constant_cfd.t list ->
+  (t, error) result
+
+(** [make entity ~orders ~sigma ~gamma] is {!make_res}, raising
+    [Invalid_argument] (rendered with {!pp_error}) on any dangling
+    reference — the historical behaviour, kept so existing callers
+    compile. *)
 val make :
   Entity.t ->
   orders:order_edge list ->

@@ -540,8 +540,50 @@ let value_level0 s v =
   if s.assigns.(v) <> 0 && s.level.(v) = 0 then Some (s.assigns.(v) = 1) else None
 
 let ok s = s.ok
-let n_conflicts s = s.conflicts
-let n_decisions s = s.decisions
-let n_propagations s = s.propagations
-let n_restarts s = s.restarts
-let n_learnts s = Vec.size s.learnts
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnts : int;
+}
+
+let stats (s : t) =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learnts = Vec.size s.learnts;
+  }
+
+let zero_stats = { conflicts = 0; decisions = 0; propagations = 0; restarts = 0; learnts = 0 }
+
+let add_stats a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learnts = b.learnts;
+  }
+
+let diff_stats a b =
+  {
+    conflicts = a.conflicts - b.conflicts;
+    decisions = a.decisions - b.decisions;
+    propagations = a.propagations - b.propagations;
+    restarts = a.restarts - b.restarts;
+    learnts = a.learnts;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf "conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d"
+    st.conflicts st.decisions st.propagations st.restarts st.learnts
+
+let n_conflicts (s : t) = s.conflicts
+let n_decisions (s : t) = s.decisions
+let n_propagations (s : t) = s.propagations
+let n_restarts (s : t) = s.restarts
+let n_learnts (s : t) = Vec.size s.learnts

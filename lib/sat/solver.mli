@@ -56,10 +56,41 @@ val value_level0 : t -> int -> bool option
     assumptions. *)
 val ok : t -> bool
 
-(** Cumulative statistics since [create]. *)
+(** Cumulative statistics since [create], in one snapshot: CDCL conflicts,
+    decisions, propagations, restarts, and the current learnt-clause count.
+    [Crcore.Engine] aggregates these per entity and per batch. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnts : int;
+}
+
+val stats : t -> stats
+
+val zero_stats : stats
+
+(** [add_stats a b] / [diff_stats a b] combine snapshots field-wise
+    ([learnts] is a gauge, not a counter: [add_stats] and [diff_stats] keep
+    the later snapshot's value). *)
+val add_stats : stats -> stats -> stats
+
+val diff_stats : stats -> stats -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
 val n_conflicts : t -> int
+  [@@ocaml.deprecated "use Solver.stats"]
 
 val n_decisions : t -> int
+  [@@ocaml.deprecated "use Solver.stats"]
+
 val n_propagations : t -> int
+  [@@ocaml.deprecated "use Solver.stats"]
+
 val n_restarts : t -> int
+  [@@ocaml.deprecated "use Solver.stats"]
+
 val n_learnts : t -> int
+  [@@ocaml.deprecated "use Solver.stats"]

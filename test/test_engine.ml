@@ -1,0 +1,206 @@
+(* The batch resolution engine: equivalence with the per-entity framework,
+   incremental-session vs naive-rebuild configs, and the encoding cache. *)
+
+module F = Crcore.Framework
+module E = Crcore.Engine
+
+let same_outcome (o : F.outcome) (r : E.result) =
+  o.F.resolved = r.E.resolved
+  && o.F.valid = r.E.valid
+  && o.F.rounds = r.E.rounds
+  && o.F.per_round_known = r.E.per_round_known
+
+let check_same_outcome msg o r =
+  Alcotest.(check bool) (msg ^ ": resolved") true (o.F.resolved = r.E.resolved);
+  Alcotest.(check bool) (msg ^ ": valid") o.F.valid r.E.valid;
+  Alcotest.(check int) (msg ^ ": rounds") o.F.rounds r.E.rounds;
+  Alcotest.(check (list int)) (msg ^ ": per-round known") o.F.per_round_known r.E.per_round_known
+
+let test_edith_matches_framework () =
+  let o = F.resolve ~user:F.silent (Fixtures.edith_spec ()) in
+  let r, st = E.resolve ~user:F.silent (Fixtures.edith_spec ()) in
+  check_same_outcome "edith/silent" o r;
+  Alcotest.(check bool) "one solver session" true (st.E.solvers_built >= 1)
+
+let test_george_oracle_matches_framework () =
+  let user = F.oracle Fixtures.george_truth in
+  let o = F.resolve ~user (Fixtures.george_spec ()) in
+  let r, st = E.resolve ~user (Fixtures.george_spec ()) in
+  check_same_outcome "george/oracle" o r;
+  (* every interaction round went through either the delta path or a
+     universe-growth rebuild — never silently skipped *)
+  Alcotest.(check int) "rounds accounted for" r.E.rounds
+    (st.E.delta_extensions + st.E.rebuilds)
+
+let test_invalid_spec_matches_framework () =
+  let spec () =
+    Crcore.Spec.make Fixtures.george_entity
+      ~orders:
+        [
+          { Crcore.Spec.attr = "status"; lo = 0; hi = 1 };
+          { Crcore.Spec.attr = "status"; lo = 1; hi = 0 };
+        ]
+      ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma
+  in
+  let o = F.resolve ~user:F.silent (spec ()) in
+  let r, _ = E.resolve ~user:F.silent (spec ()) in
+  Alcotest.(check bool) "both invalid" false (o.F.valid || r.E.valid);
+  check_same_outcome "invalid" o r
+
+let test_cache_hit_identical () =
+  let cache = E.create_cache () in
+  let user = F.oracle Fixtures.george_truth in
+  let r1, st1 = E.resolve ~cache ~user (Fixtures.george_spec ()) in
+  let r2, st2 = E.resolve ~cache ~user (Fixtures.george_spec ()) in
+  Alcotest.(check bool) "cold run misses" true (st1.E.cache_misses >= 1);
+  Alcotest.(check bool) "warm run hits" true (st2.E.cache_hits >= 1);
+  Alcotest.(check bool) "identical results" true
+    (r1.E.resolved = r2.E.resolved && r1.E.rounds = r2.E.rounds)
+
+let test_run_batch_matches_per_entity () =
+  let items =
+    [
+      { E.label = "edith"; spec = Fixtures.edith_spec (); user = F.oracle Fixtures.edith_truth };
+      { E.label = "george"; spec = Fixtures.george_spec (); user = F.oracle Fixtures.george_truth };
+    ]
+  in
+  let results, stats = E.run_batch items in
+  Alcotest.(check int) "all entities resolved" 2 stats.E.entities;
+  Alcotest.(check int) "all valid" 2 stats.E.valid_entities;
+  Alcotest.(check int) "attrs total" 16 stats.E.attrs_total;
+  List.iter
+    (fun (ir : E.item_result) ->
+      let spec =
+        if ir.E.label = "edith" then Fixtures.edith_spec () else Fixtures.george_spec ()
+      in
+      let truth = if ir.E.label = "edith" then Fixtures.edith_truth else Fixtures.george_truth in
+      let o = F.resolve ~user:(F.oracle truth) spec in
+      check_same_outcome ir.E.label o ir.E.result)
+    results
+
+let test_batch_streaming_order () =
+  let seen = ref [] in
+  let items =
+    [
+      { E.label = "a"; spec = Fixtures.edith_spec (); user = F.silent };
+      { E.label = "b"; spec = Fixtures.george_spec (); user = F.silent };
+    ]
+  in
+  let _, _ = E.run_batch ~on_result:(fun ir -> seen := ir.E.label :: !seen) items in
+  Alcotest.(check (list string)) "streamed in order" [ "a"; "b" ] (List.rev !seen)
+
+let test_stats_aggregation () =
+  let items =
+    List.concat_map
+      (fun _ ->
+        [ { E.label = "g"; spec = Fixtures.george_spec (); user = F.oracle Fixtures.george_truth } ])
+      [ 1; 2; 3 ]
+  in
+  let _, stats = E.run_batch items in
+  Alcotest.(check int) "entities" 3 stats.E.entities;
+  (* identical specs: the shared cache serves runs 2 and 3 *)
+  Alcotest.(check bool) "cache hits on repeats" true (stats.E.cache_hits >= 2);
+  let rate = E.cache_hit_rate stats in
+  Alcotest.(check bool) "hit rate in [0,1]" true (rate >= 0. && rate <= 1.);
+  Alcotest.(check bool) "times non-negative" true
+    (stats.E.times.E.encode_ms >= 0.
+    && stats.E.times.E.validity_ms >= 0.
+    && stats.E.times.E.deduce_ms >= 0.
+    && stats.E.times.E.suggest_ms >= 0.);
+  Alcotest.(check bool) "pp_stats renders" true
+    (String.length (Format.asprintf "%a" E.pp_stats stats) > 0)
+
+let test_facade_surface () =
+  (* the stable facade re-exports the whole pipeline under one name *)
+  let spec =
+    Conflict_resolution.Spec.make Fixtures.edith_entity ~orders:[] ~sigma:Fixtures.sigma
+      ~gamma:Fixtures.gamma
+  in
+  let o = Conflict_resolution.Framework.resolve ~user:Conflict_resolution.Framework.silent spec in
+  Alcotest.(check bool) "facade resolves edith" true o.Conflict_resolution.Framework.valid;
+  let r, _ =
+    Conflict_resolution.Engine.resolve ~user:Conflict_resolution.Framework.silent spec
+  in
+  Alcotest.(check bool) "facade engine agrees" true (o.F.resolved = r.E.resolved)
+
+let prop_incremental_equals_naive =
+  (* the whole point: config {incremental; cache} must never change what is
+     resolved, only how much work it takes *)
+  QCheck.Test.make ~count:60 ~name:"incremental session == naive rebuild on random specs"
+    Fixtures.qcheck_spec (fun spec ->
+      let user =
+        match Crcore.Reference.analyze spec with
+        | Some r when r.Crcore.Reference.valid -> (
+            match r.Crcore.Reference.true_tuple with
+            | Some t -> F.oracle (Tuple.of_array (Crcore.Spec.schema spec) t)
+            | None -> F.silent)
+        | _ -> F.silent
+      in
+      let ri, _ = E.resolve ~config:E.default_config ~user spec in
+      let rn, _ = E.resolve ~config:E.naive_config ~user spec in
+      ri.E.resolved = rn.E.resolved
+      && ri.E.valid = rn.E.valid
+      && ri.E.rounds = rn.E.rounds
+      && ri.E.per_round_known = rn.E.per_round_known)
+
+let prop_engine_equals_framework_on_datasets =
+  QCheck.Test.make ~count:6 ~name:"batch engine == per-entity framework on generator data"
+    QCheck.(int_range 0 100)
+    (fun seed ->
+      let ds = Datagen.Person.quick ~seed ~n_entities:4 ~size:7 () in
+      let items =
+        List.map
+          (fun (c : Datagen.Types.case) ->
+            {
+              E.label = string_of_int c.Datagen.Types.id;
+              spec = Datagen.Types.spec_of ds c;
+              user = F.oracle c.Datagen.Types.truth;
+            })
+          ds.Datagen.Types.cases
+      in
+      let results, stats = E.run_batch items in
+      stats.E.entities = List.length items
+      && List.for_all2
+           (fun (c : Datagen.Types.case) (ir : E.item_result) ->
+             let o =
+               F.resolve ~user:(F.oracle c.Datagen.Types.truth) (Datagen.Types.spec_of ds c)
+             in
+             same_outcome o ir.E.result)
+           ds.Datagen.Types.cases results)
+
+let prop_exact_mode_configs_agree =
+  QCheck.Test.make ~count:25 ~name:"exact-mode incremental == exact-mode naive"
+    Fixtures.qcheck_spec (fun spec ->
+      let ri, _ =
+        E.resolve ~config:{ E.default_config with mode = Crcore.Encode.Exact } ~user:F.silent spec
+      in
+      let rn, _ =
+        E.resolve ~config:{ E.naive_config with mode = Crcore.Encode.Exact } ~user:F.silent spec
+      in
+      ri.E.resolved = rn.E.resolved && ri.E.valid = rn.E.valid)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "framework_equivalence",
+        [
+          Alcotest.test_case "Edith silent" `Quick test_edith_matches_framework;
+          Alcotest.test_case "George oracle" `Quick test_george_oracle_matches_framework;
+          Alcotest.test_case "invalid spec" `Quick test_invalid_spec_matches_framework;
+        ] );
+      ( "sessions_and_cache",
+        [
+          Alcotest.test_case "cache hit is identical" `Quick test_cache_hit_identical;
+          Alcotest.test_case "batch == per-entity" `Quick test_run_batch_matches_per_entity;
+          Alcotest.test_case "streaming order" `Quick test_batch_streaming_order;
+          Alcotest.test_case "stats aggregation" `Quick test_stats_aggregation;
+          Alcotest.test_case "facade surface" `Quick test_facade_surface;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_incremental_equals_naive;
+            prop_engine_equals_framework_on_datasets;
+            prop_exact_mode_configs_agree;
+          ] );
+    ]

@@ -49,7 +49,8 @@ let test_php_scaling () =
   let s = Sat.Solver.create () in
   Sat.Solver.add_cnf s (php 6 5);
   Alcotest.(check bool) "php(6,5) unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat);
-  Alcotest.(check bool) "real conflicts happened" true (Sat.Solver.n_conflicts s > 10);
+  Alcotest.(check bool) "real conflicts happened" true
+    ((Sat.Solver.stats s).Sat.Solver.conflicts > 10);
   (* satisfiable variant: as many holes as pigeons *)
   let s2 = Sat.Solver.create () in
   Sat.Solver.add_cnf s2 (php 5 5);
@@ -104,7 +105,7 @@ let test_many_solves_stats_monotone () =
     in
     Sat.Solver.add_clause_a s c;
     ignore (Sat.Solver.solve s);
-    let p = Sat.Solver.n_propagations s in
+    let p = (Sat.Solver.stats s).Sat.Solver.propagations in
     Alcotest.(check bool) "propagations monotone" true (p >= !last_props);
     last_props := p
   done
