@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch fmt clean
+.PHONY: all build test check bench batch lint fmt clean
 
 all: build
 
@@ -20,6 +20,15 @@ bench:
 
 batch:
 	dune exec bench/main.exe -- batch
+
+# Lint the shipped example data: the clean set must exit 0, the broken
+# set must exit 2 (errors found) — both outcomes are part of the gate.
+lint: build
+	dune exec bin/crsolve.exe -- lint -e examples/data/photo.csv \
+	  -s examples/data/sigma.txt -g examples/data/gamma.txt
+	dune exec bin/crsolve.exe -- lint -e examples/data_broken/photo.csv \
+	  -s examples/data_broken/sigma.txt -g examples/data_broken/gamma.txt; \
+	  test $$? -eq 2
 
 # Requires ocamlformat (see .ocamlformat for the pinned profile); not part
 # of `check` so the gate works on toolchains without it.

@@ -483,7 +483,13 @@ let batch_sized ~n_entities ~json () =
             Crcore.Framework.resolve ~user:it.Crcore.Engine.user it.Crcore.Engine.spec)
           items)
   in
-  let engine_ms, (results, stats) = wall_ms (fun () -> Crcore.Engine.run_batch items) in
+  (* lint off on both sides: this scenario isolates incremental sessions +
+     the encoding cache against the naive loop (which never lints); the
+     lint pre-phase has its own off-vs-on scenario below *)
+  let engine_ms, (results, stats) =
+    wall_ms (fun () ->
+        Crcore.Engine.run_batch ~config:{ Crcore.Engine.default_config with lint = false } items)
+  in
   let equivalent =
     List.for_all2
       (fun (o : Crcore.Framework.outcome) (r : Crcore.Engine.item_result) ->
@@ -518,7 +524,7 @@ let batch_sized ~n_entities ~json () =
   "engine": {
     "wall_ms": %.3f,
     "entities_per_sec": %.1f,
-    "phase_ms": { "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
+    "phase_ms": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
     "solver": { "conflicts": %d, "decisions": %d, "propagations": %d, "restarts": %d },
     "solvers_built": %d,
     "cache_hits": %d,
@@ -532,6 +538,7 @@ let batch_sized ~n_entities ~json () =
 |}
         n_entities st.Crcore.Engine.total_rounds st.Crcore.Engine.attrs_resolved
         st.Crcore.Engine.attrs_total naive_ms (per_sec naive_ms) engine_ms (per_sec engine_ms)
+        st.Crcore.Engine.times.Crcore.Engine.lint_ms
         st.Crcore.Engine.times.Crcore.Engine.encode_ms
         st.Crcore.Engine.times.Crcore.Engine.validity_ms
         st.Crcore.Engine.times.Crcore.Engine.deduce_ms
@@ -545,6 +552,118 @@ let batch_sized ~n_entities ~json () =
 
 let batch () = batch_sized ~n_entities:120 ~json:(Some "BENCH_batch.json") ()
 let batch_smoke () = batch_sized ~n_entities:12 ~json:None ()
+
+(* ---------------------------------------------------------------- *)
+(* Lint pre-phase: statically-unsat specs skip the solver            *)
+(* ---------------------------------------------------------------- *)
+
+(* Break a spec so the linter can prove it unsatisfiable in polynomial
+   time: a two-cycle in an attribute's explicit currency order between
+   tuples holding different values (E001). *)
+let break_spec spec =
+  let entity = spec.Crcore.Spec.entity in
+  let schema = Entity.schema entity in
+  match Entity.tuples entity with
+  | t0 :: t1 :: _ ->
+      let attr =
+        List.find_map
+          (fun a ->
+            let v0 = Tuple.get t0 a and v1 = Tuple.get t1 a in
+            if (not (Value.is_null v0)) && (not (Value.is_null v1)) && not (Value.equal v0 v1)
+            then Some (Schema.name schema a)
+            else None)
+          (List.init (Schema.arity schema) Fun.id)
+      in
+      (match attr with
+      | Some a ->
+          Crcore.Spec.add_order_edges spec
+            [ { Crcore.Spec.attr = a; lo = 0; hi = 1 }; { Crcore.Spec.attr = a; lo = 1; hi = 0 } ]
+      | None -> spec)
+  | _ -> spec
+
+(* Resolve a half-broken Person batch twice — lint pre-phase off vs on.
+   Results must be identical (the linter only rejects provably-unsat
+   specs); the linted run never encodes or solves the broken half, which
+   is where the speedup comes from. Emits BENCH_lint.json. *)
+let lint_sized ~n_entities ~size_min ~size_max ~extra_events ~json () =
+  section
+    (Printf.sprintf "Lint: %d Person entities, half statically broken, pre-phase off vs on"
+       n_entities);
+  let ds =
+    Datagen.Person.generate
+      { Datagen.Person.default_params with n_entities; size_min; size_max; extra_events }
+  in
+  let items =
+    List.mapi
+      (fun i (case : Datagen.Types.case) ->
+        let spec = Datagen.Types.spec_of ds case in
+        let spec = if i mod 2 = 1 then break_spec spec else spec in
+        {
+          Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+          spec;
+          user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+        })
+      ds.Datagen.Types.cases
+  in
+  let no_lint = { Crcore.Engine.default_config with lint = false } in
+  (* best-of-3 per configuration: batches this small sit well inside GC
+     noise on a single run *)
+  let best_of_3 f =
+    let runs = List.init 3 (fun _ -> wall_ms f) in
+    List.fold_left (fun acc r -> if fst r < fst acc then r else acc) (List.hd runs)
+      (List.tl runs)
+  in
+  let off_ms, (off_results, off_stats) =
+    best_of_3 (fun () -> Crcore.Engine.run_batch ~config:no_lint items)
+  in
+  let on_ms, (on_results, on_stats) = best_of_3 (fun () -> Crcore.Engine.run_batch items) in
+  let equivalent =
+    List.for_all2
+      (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+        a.Crcore.Engine.result = b.Crcore.Engine.result)
+      off_results on_results
+  in
+  let speedup = if on_ms <= 0. then 0. else off_ms /. on_ms in
+  Printf.printf "  lint off: %8.1f ms    lint on: %8.1f ms    speedup: %.2fx\n" off_ms on_ms
+    speedup;
+  Printf.printf "  rejected before encoding: %d/%d    identical results: %b\n"
+    on_stats.Crcore.Engine.lint_rejected n_entities equivalent;
+  Format.printf "  %a@." Crcore.Engine.pp_stats on_stats;
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "lint",
+  "dataset": "Person",
+  "n_entities": %d,
+  "broken_entities": %d,
+  "lint_off": { "wall_ms": %.3f, "valid_entities": %d },
+  "lint_on": {
+    "wall_ms": %.3f,
+    "valid_entities": %d,
+    "lint_rejected": %d,
+    "lint_ms": %.3f,
+    "solvers_built": %d
+  },
+  "speedup": %.3f,
+  "identical_results": %b
+}
+|}
+        n_entities (n_entities / 2) off_ms off_stats.Crcore.Engine.valid_entities on_ms
+        on_stats.Crcore.Engine.valid_entities on_stats.Crcore.Engine.lint_rejected
+        on_stats.Crcore.Engine.times.Crcore.Engine.lint_ms
+        on_stats.Crcore.Engine.solvers_built speedup equivalent;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path
+
+let lint () =
+  lint_sized ~n_entities:60 ~size_min:40 ~size_max:80 ~extra_events:12
+    ~json:(Some "BENCH_lint.json") ()
+
+let lint_smoke () =
+  lint_sized ~n_entities:10 ~size_min:40 ~size_max:80 ~extra_events:12 ~json:None ()
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                        *)
@@ -596,6 +715,8 @@ let experiments =
     ("summary", summary);
     ("batch", batch);
     ("batch_smoke", batch_smoke);
+    ("lint", lint);
+    ("lint_smoke", lint_smoke);
     ("ablation_encoding", ablation_encoding);
     ("ablation_clique", ablation_clique);
     ("ablation_maxsat", ablation_maxsat);
@@ -606,7 +727,10 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
     match args with
-    | [] -> List.filter (fun (n, _) -> n <> "micro" && n <> "batch_smoke") experiments
+    | [] ->
+        List.filter
+          (fun (n, _) -> n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke")
+          experiments
     | names ->
         List.map
           (fun n ->

@@ -85,6 +85,83 @@ let run_suggest entity_file sigma_file gamma_file exact =
     0
   end
 
+(* ---- lint ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_lint entity_file sigma_file gamma_file json =
+  let entity = Csv.load_entity entity_file in
+  let sigma_spanned =
+    match sigma_file with
+    | None -> []
+    | Some f -> (
+        match Currency.Parser.parse_many_spanned (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse currency constraints: " ^ m))
+  in
+  let gamma =
+    match gamma_file with
+    | None -> []
+    | Some f -> (
+        match Cfd.Constant_cfd.parse_many (read_file f) with
+        | Ok l -> l
+        | Error m -> failwith ("cannot parse CFDs: " ^ m))
+  in
+  let sigma = List.map fst sigma_spanned in
+  let sigma_spans = Array.of_list (List.map (fun (_, sp) -> Some sp) sigma_spanned) in
+  let spec = Crcore.Spec.make entity ~orders:[] ~sigma ~gamma in
+  let ds = Crcore.Analyze.analyze ~sigma_spans spec in
+  let count sev =
+    List.length (List.filter (fun d -> d.Crcore.Analyze.severity = sev) ds)
+  in
+  let n_err = count Crcore.Analyze.Error
+  and n_warn = count Crcore.Analyze.Warning
+  and n_info = count Crcore.Analyze.Info in
+  if json then begin
+    let diag_json (d : Crcore.Analyze.diagnostic) =
+      let span =
+        match d.span with
+        | None -> "null"
+        | Some sp ->
+            Printf.sprintf "{\"line\":%d,\"col_start\":%d,\"col_end\":%d}"
+              sp.Currency.Parser.line sp.Currency.Parser.col_start sp.Currency.Parser.col_end
+      in
+      Printf.sprintf
+        "{\"code\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\",\"span\":%s}"
+        (json_escape d.code)
+        (Crcore.Analyze.severity_to_string d.severity)
+        (json_escape (Format.asprintf "%a" (Crcore.Analyze.pp_subject spec) d.subject))
+        (json_escape d.message) span
+    in
+    Printf.printf
+      "{\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\"infos\":%d}\n"
+      (String.concat "," (List.map diag_json ds))
+      n_err n_warn n_info
+  end
+  else begin
+    List.iter (fun d -> Format.printf "%a@." (Crcore.Analyze.pp_diagnostic spec) d) ds;
+    if ds = [] then print_endline "clean: no diagnostics"
+    else Printf.printf "%d error(s), %d warning(s), %d info\n" n_err n_warn n_info
+  end;
+  match Crcore.Analyze.max_severity ds with
+  | Some Crcore.Analyze.Error -> 2
+  | Some Crcore.Analyze.Warning -> 1
+  | Some Crcore.Analyze.Info | None -> 0
+
 (* ---- resolve ---- *)
 
 let stdin_user suggestion ~schema =
@@ -375,6 +452,17 @@ let truth_arg =
 let max_rounds_arg =
   Arg.(value & opt int 5 & info [ "max-rounds" ] ~docv:"N" ~doc:"Interaction-round budget (default 5).")
 
+let lint_cmd =
+  let json_a =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON object instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse the specification: errors (provably unsatisfiable), \
+             warnings (likely misuse) and redundancy notes, without running the SAT solver. \
+             Exits 0 when clean (info-only allowed), 1 on warnings, 2 on errors.")
+    Term.(const run_lint $ entity_arg $ sigma_arg $ gamma_arg $ json_a)
+
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Check whether the specification admits a valid completion")
@@ -447,7 +535,16 @@ let main =
   Cmd.group
     (Cmd.info "crsolve" ~version:"1.0.0"
        ~doc:"Conflict resolution by inferring data currency and consistency (ICDE 2013)")
-    [ validate_cmd; suggest_cmd; resolve_cmd; batch_cmd; implication_cmd; coverage_cmd; repair_cmd ]
+    [
+      lint_cmd;
+      validate_cmd;
+      suggest_cmd;
+      resolve_cmd;
+      batch_cmd;
+      implication_cmd;
+      coverage_cmd;
+      repair_cmd;
+    ]
 
 let () =
   try exit (Cmd.eval' ~catch:false main)

@@ -1,0 +1,527 @@
+type severity = Error | Warning | Info
+
+type subject =
+  | Whole
+  | Attr of string
+  | Order_edge of Spec.order_edge
+  | Sigma of int
+  | Gamma of int
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+  span : Currency.Parser.span option;
+}
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let max_severity ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when severity_rank s <= severity_rank d.severity -> acc
+      | _ -> Some d.severity)
+    None ds
+
+let pp_subject spec ppf = function
+  | Whole -> Format.pp_print_string ppf "specification"
+  | Attr a -> Format.fprintf ppf "attribute %S" a
+  | Order_edge { Spec.attr; lo; hi } -> Format.fprintf ppf "order edge %s: %d -> %d" attr lo hi
+  | Sigma k -> (
+      match List.nth_opt spec.Spec.sigma k with
+      | Some c -> Format.fprintf ppf "Σ#%d '%a'" k Currency.Constraint_ast.pp c
+      | None -> Format.fprintf ppf "Σ#%d" k)
+  | Gamma k -> (
+      match List.nth_opt spec.Spec.gamma k with
+      | Some c -> Format.fprintf ppf "Γ#%d '%a'" k Cfd.Constant_cfd.pp c
+      | None -> Format.fprintf ppf "Γ#%d" k)
+
+let pp_diagnostic spec ppf d =
+  Format.fprintf ppf "%s %a: %s (%a)" d.code pp_severity d.severity d.message
+    (pp_subject spec) d.subject;
+  match d.span with
+  | Some sp -> Format.fprintf ppf " [%a]" Currency.Parser.pp_span sp
+  | None -> ()
+
+(* ---- the analysis ---- *)
+
+(* A value-currency fact over active-domain value ids, as in
+   {!Encode.fact}; every check below reasons on these. *)
+type fact = { attr : int; lo : int; hi : int }
+
+type ground = { premise : fact list; concl : fact }
+
+let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
+  let schema = Spec.schema spec in
+  let entity = spec.Spec.entity in
+  let arity = Schema.arity schema in
+  let tuples = Array.of_list (Entity.tuples entity) in
+  (* universes = active domains, ids in first-occurrence order, exactly as
+     the encoding numbers them (Encode passes no Γ constants to Coding) *)
+  let coding = Coding.build entity [] in
+  let adom = Array.init arity (fun a -> Array.of_list (Entity.active_domain entity a)) in
+  let in_adom a v = Array.exists (Value.equal v) adom.(a) in
+  let diags = ref [] in
+  let emit ?span code severity subject message =
+    diags := { code; severity; subject; message; span } :: !diags
+  in
+  let span_of k = if k < Array.length sigma_spans then sigma_spans.(k) else None in
+
+  (* ---- explicit order edges, at the value level ---- *)
+  (* (edge, value-level fact option): [None] when the edge's tuples agree
+     on the attribute — the encoding drops such an edge (W005) *)
+  let edge_facts =
+    List.map
+      (fun ({ Spec.attr; lo; hi } as e) ->
+        let a = Schema.index schema attr in
+        let v1 = Tuple.get tuples.(lo) a and v2 = Tuple.get tuples.(hi) a in
+        if Value.equal v1 v2 then (e, None)
+        else (e, Some { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }))
+      spec.Spec.orders
+  in
+  let explicit = Array.init arity (fun a -> Porder.Digraph.create (Array.length adom.(a))) in
+  List.iter
+    (fun (_, f) ->
+      match f with
+      | Some f -> Porder.Digraph.add_edge explicit.(f.attr) f.lo f.hi
+      | None -> ())
+    edge_facts;
+
+  (* E001: a cyclic explicit order admits no completion — every completion
+     totally orders the attribute's values (Section II-A). *)
+  let e001 = Array.init arity (fun a -> Porder.Digraph.has_cycle explicit.(a)) in
+  Array.iteri
+    (fun a cyclic ->
+      if cyclic then
+        emit "E001" Error (Attr (Schema.name schema a))
+          (Printf.sprintf "explicit currency order on %S is cyclic at the value level"
+             (Schema.name schema a)))
+    e001;
+
+  (* W004/W005/I003: duplicate, reflexive-after-closure and transitively
+     implied order edges *)
+  let seen_edges = Hashtbl.create 16 in
+  let dup_edges = Hashtbl.create 16 in
+  if not errors_only then begin
+    List.iteri
+      (fun i ((e, f) : Spec.order_edge * fact option) ->
+        if Hashtbl.mem seen_edges e then begin
+          Hashtbl.replace dup_edges i ();
+          emit "W004" Warning (Order_edge e)
+            (Printf.sprintf "order edge %s: %d -> %d is listed more than once" e.Spec.attr
+               e.Spec.lo e.Spec.hi)
+        end
+        else Hashtbl.add seen_edges e ();
+        match f with
+        | None ->
+            emit "W005" Warning (Order_edge e)
+              (Printf.sprintf
+                 "tuples %d and %d hold equal values on %S; the edge is reflexive at the value \
+                  level and the encoding drops it"
+                 e.Spec.lo e.Spec.hi e.Spec.attr)
+        | Some _ -> ())
+      edge_facts;
+    let edge_facts_a = Array.of_list edge_facts in
+    Array.iteri
+      (fun i (e, f) ->
+        match f with
+        | Some f when (not e001.(f.attr)) && not (Hashtbl.mem dup_edges i) ->
+            let g = Porder.Digraph.create (Array.length adom.(f.attr)) in
+            Array.iteri
+              (fun j (_, f') ->
+                match f' with
+                | Some f' when f'.attr = f.attr && j <> i && (f' <> f || j < i) ->
+                    Porder.Digraph.add_edge g f'.lo f'.hi
+                | _ -> ())
+              edge_facts_a;
+            if Porder.Digraph.has_edge (Porder.Digraph.transitive_closure g) f.lo f.hi then
+              emit "I003" Info (Order_edge e)
+                (Printf.sprintf
+                   "order edge %s: %d -> %d is implied by the transitive closure of the other \
+                    explicit edges"
+                   e.Spec.attr e.Spec.lo e.Spec.hi)
+        | _ -> ())
+      edge_facts_a
+  end;
+
+  let group_by key n item =
+    let groups = Hashtbl.create 16 in
+    for k = 0 to n - 1 do
+      let key = key (item k) in
+      match Hashtbl.find_opt groups key with
+      | Some r -> r := k :: !r
+      | None -> Hashtbl.add groups key (ref [ k ])
+    done;
+    Hashtbl.iter (fun _ r -> r := List.rev !r) groups;
+    fun k -> !(Hashtbl.find groups (key (item k)))
+  in
+
+  (* ---- Γ: relevance, forcing, conflicts, subsumption ---- *)
+  let gamma_a = Array.of_list spec.Spec.gamma in
+  let lhs_relevant (c : Cfd.Constant_cfd.t) =
+    List.for_all (fun (name, v) -> in_adom (Schema.index schema name) v) c.Cfd.Constant_cfd.lhs
+  in
+  (* forced: every completion's current tuple matches the LHS pattern,
+     because each pattern attribute takes a single value in the entity *)
+  let lhs_forced (c : Cfd.Constant_cfd.t) =
+    List.for_all
+      (fun (name, v) ->
+        let a = Schema.index schema name in
+        Array.length adom.(a) = 1 && Value.equal adom.(a).(0) v)
+      c.Cfd.Constant_cfd.lhs
+  in
+  let rhs_in_adom (c : Cfd.Constant_cfd.t) =
+    let bname, bval = c.Cfd.Constant_cfd.rhs in
+    in_adom (Schema.index schema bname) bval
+  in
+  (* the flags are reused by every pairwise check below: compute them once
+     per CFD, not once per CFD pair *)
+  let g_relevant = Array.map lhs_relevant gamma_a in
+  let g_forced = Array.map lhs_forced gamma_a in
+  let gamma_error = Array.make (Array.length gamma_a) false in
+  Array.iteri
+    (fun k (c : Cfd.Constant_cfd.t) ->
+      if not g_relevant.(k) then begin
+        if not errors_only then
+          emit "W001" Warning (Gamma k)
+            "dead CFD: an LHS pattern constant never occurs in the entity, so the CFD can \
+             never fire"
+      end
+      else if not (rhs_in_adom c) then
+        if g_forced.(k) then begin
+          gamma_error.(k) <- true;
+          emit "E004" Error (Gamma k)
+            "the LHS pattern is forced (singleton active domains) but the RHS constant never \
+             occurs in the entity: no completion's current tuple can satisfy this CFD"
+        end
+        else if not errors_only then
+          emit "W002" Warning (Gamma k)
+            "veto CFD: the RHS constant never occurs in the entity, so the CFD is violated \
+             whenever its LHS pattern is most current")
+    gamma_a;
+  (* E003 / W006: contradictory RHS over unifiable LHS patterns. Only CFDs
+     writing the same RHS attribute can conflict: pair up per attribute. *)
+  let lhs_unifiable (c1 : Cfd.Constant_cfd.t) (c2 : Cfd.Constant_cfd.t) =
+    List.for_all
+      (fun (a1, v1) ->
+        match List.assoc_opt a1 c2.Cfd.Constant_cfd.lhs with
+        | Some v2 -> Value.equal v1 v2
+        | None -> true)
+      c1.Cfd.Constant_cfd.lhs
+  in
+  (* only relevant CFDs can conflict (forced implies relevant), so pair up
+     per RHS attribute over the relevant ones alone — on a single entity
+     most of a large Γ is dead and never enters the quadratic part *)
+  let rhs_groups = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (c : Cfd.Constant_cfd.t) ->
+      if g_relevant.(k) then begin
+        let b = fst c.Cfd.Constant_cfd.rhs in
+        match Hashtbl.find_opt rhs_groups b with
+        | Some r -> r := k :: !r
+        | None -> Hashtbl.add rhs_groups b (ref [ k ])
+      end)
+    gamma_a;
+  Hashtbl.iter
+    (fun _ group ->
+      let group = List.rev !group in
+      List.iter
+        (fun k2 ->
+          let c2 = gamma_a.(k2) in
+          List.iter
+            (fun k1 ->
+              if k1 < k2 then begin
+                let c1 = gamma_a.(k1) in
+                let b1, v1 = c1.Cfd.Constant_cfd.rhs and _, v2 = c2.Cfd.Constant_cfd.rhs in
+                if not (Value.equal v1 v2) then
+                  if g_forced.(k1) && g_forced.(k2) then begin
+                    gamma_error.(k2) <- true;
+                    emit "E003" Error (Gamma k2)
+                      (Printf.sprintf
+                         "conflicts with Γ#%d: both LHS patterns are forced (singleton active \
+                          domains) yet they demand different current values for %S"
+                         k1 b1)
+                  end
+                  else if (not errors_only) && lhs_unifiable c1 c2 then
+                    emit "W006" Warning (Gamma k2)
+                      (Printf.sprintf
+                         "may conflict with Γ#%d: unifiable LHS patterns over the entity's \
+                          values but contradictory constants for %S"
+                         k1 b1)
+              end)
+            group)
+        group)
+    rhs_groups;
+  (* I002: subsumed CFDs (duplicates included); only CFDs with the exact
+     same RHS pattern qualify, so pair up within RHS-pattern groups. *)
+  if not errors_only then begin
+    let gamma_rhs_pat_group =
+      group_by
+        (fun (c : Cfd.Constant_cfd.t) ->
+          (fst c.Cfd.Constant_cfd.rhs, Value.to_string (snd c.Cfd.Constant_cfd.rhs)))
+        (Array.length gamma_a)
+        (Array.get gamma_a)
+    in
+    Array.iteri
+      (fun k2 (c2 : Cfd.Constant_cfd.t) ->
+        let subsumed_by k1 =
+          k1 <> k2
+          &&
+          let c1 = gamma_a.(k1) in
+          List.for_all
+            (fun (a, v) ->
+              match List.assoc_opt a c2.Cfd.Constant_cfd.lhs with
+              | Some v' -> Value.equal v v'
+              | None -> false)
+            c1.Cfd.Constant_cfd.lhs
+          && (List.length c1.Cfd.Constant_cfd.lhs < List.length c2.Cfd.Constant_cfd.lhs
+             || k1 < k2)
+        in
+        match List.find_opt subsumed_by (gamma_rhs_pat_group k2) with
+        | Some k1 ->
+            emit "I002" Info (Gamma k2)
+              (Printf.sprintf "subsumed by Γ#%d: same RHS pattern from a sub-pattern LHS" k1)
+        | None -> ())
+      gamma_a
+  end;
+
+  (* fast-fail for the engine pre-phase: once a cheap check (a cyclic
+     explicit order, a forced CFD conflict) has proven the specification
+     unsatisfiable, skip the expensive Σ instantiation and ground-closure
+     work — [has_errors] is already decided *)
+  if not (errors_only && !diags <> []) then begin
+    (* ---- Σ: ground instances over tuple pairs ---- *)
+    let fact_of (name, v1, v2) =
+      let a = Schema.index schema name in
+      { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }
+    in
+    let sigma_insts = ref [] in
+    let seen_insts = Hashtbl.create 256 in
+    let sigma_fires = Array.make (List.length spec.Spec.sigma) false in
+    (* instantiate over distinct projection representatives, exactly as
+       {!Encode.instantiate_sigma} does: instances depend only on the two
+       tuples' values at the attributes a constraint mentions, so the
+       instance set is the same and this pass stays aligned with the
+       encoding it reasons about *)
+    let reps_of = Encode.reps_memo spec.Spec.entity in
+    List.iteri
+      (fun k c ->
+        let positions =
+          List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
+        in
+        let reps = reps_of positions in
+        List.iter
+          (fun ((_, s1) : int * Tuple.t) ->
+            List.iter
+              (fun ((_, s2) : int * Tuple.t) ->
+                if not (s1 == s2) then
+                  match Currency.Constraint_ast.instantiate c s1 s2 with
+                  | None -> ()
+                  | Some inst ->
+                      sigma_fires.(k) <- true;
+                      let premise =
+                        List.sort_uniq compare
+                          (List.map fact_of inst.Currency.Constraint_ast.prec_premises)
+                      in
+                      let concl = fact_of inst.Currency.Constraint_ast.conclusion in
+                      if not (Hashtbl.mem seen_insts (premise, concl)) then begin
+                        Hashtbl.add seen_insts (premise, concl) ();
+                        sigma_insts := ({ premise; concl }, k) :: !sigma_insts
+                      end)
+              reps)
+          reps)
+      spec.Spec.sigma;
+
+    (* W003: a constraint no tuple pair can instantiate never influences
+       this entity — its premise is unsatisfiable over the entity's values,
+       or its conclusion always relates equal values. *)
+    if not errors_only then
+      Array.iteri
+        (fun k fires ->
+          if not fires then
+            emit "W003" Warning ?span:(span_of k) (Sigma k)
+              "vacuous on this entity: no ordered tuple pair yields an instance")
+        sigma_fires;
+
+    (* I001: subsumed Σ-constraints (duplicates included). Only constraints
+       with the same conclusion can subsume each other, so pair up within
+       conclusion groups rather than over the full quadratic Σ × Σ. *)
+    let sigma_a = Array.of_list spec.Spec.sigma in
+    let pred_subset p1 p2 = List.for_all (fun x -> List.mem x p2) p1 in
+    if not errors_only then begin
+      let sigma_group =
+        group_by
+          (fun (c : Currency.Constraint_ast.t) -> c.Currency.Constraint_ast.concl)
+          (Array.length sigma_a)
+          (Array.get sigma_a)
+      in
+      (* canonical premise (sorted, duplicate conjuncts dropped): set-equal
+         premises are exact-equal canonical lists, so duplicate constraints
+         fall out of one hash lookup, and a proper sub-conjunction is always
+         strictly shorter — the scan skips same-or-longer premises *)
+      let sigma_canon =
+        Array.map
+          (fun (c : Currency.Constraint_ast.t) ->
+            List.sort_uniq compare c.Currency.Constraint_ast.premise)
+          sigma_a
+      in
+      let first_canon = Hashtbl.create (Array.length sigma_a) in
+      Array.iteri
+        (fun k (c : Currency.Constraint_ast.t) ->
+          let key = (sigma_canon.(k), c.Currency.Constraint_ast.concl) in
+          if not (Hashtbl.mem first_canon key) then Hashtbl.add first_canon key k)
+        sigma_a;
+      let sigma_len = Array.map List.length sigma_canon in
+      let min_group_len =
+        (* shortest canonical premise per conclusion group: a constraint can
+           only be properly subsumed when its group holds a shorter one *)
+        let m = Hashtbl.create 16 in
+        Array.iteri
+          (fun k (c : Currency.Constraint_ast.t) ->
+            let key = c.Currency.Constraint_ast.concl in
+            match Hashtbl.find_opt m key with
+            | Some l when l <= sigma_len.(k) -> ()
+            | _ -> Hashtbl.replace m key sigma_len.(k))
+          sigma_a;
+        fun (c : Currency.Constraint_ast.t) -> Hashtbl.find m c.Currency.Constraint_ast.concl
+      in
+      Array.iteri
+        (fun k2 (c2 : Currency.Constraint_ast.t) ->
+          let p2 = sigma_canon.(k2) in
+          let n2 = sigma_len.(k2) in
+          let dup =
+            match Hashtbl.find_opt first_canon (p2, c2.Currency.Constraint_ast.concl) with
+            | Some k1 when k1 < k2 -> Some k1
+            | _ -> None
+          in
+          let subsumed_by k1 = k1 <> k2 && sigma_len.(k1) < n2 && pred_subset sigma_canon.(k1) p2 in
+          match
+            (match dup with
+            | Some _ -> dup
+            | None ->
+                if min_group_len c2 < n2 then List.find_opt subsumed_by (sigma_group k2) else None)
+          with
+          | Some k1 ->
+              emit "I001" Info ?span:(span_of k2) (Sigma k2)
+                (Printf.sprintf "subsumed by Σ#%d: same conclusion from a sub-conjunction premise" k1)
+          | None -> ())
+        sigma_a
+    end;
+
+    (* ---- E002: the ground closure ----
+
+       Seed per-attribute digraphs with everything that must hold in any
+       valid completion (explicit edges, null-is-lowest, premise-free Σ
+       instances), then repeatedly fire Σ instances and CFD instances whose
+       premises are already in the transitive closure. A derived cycle
+       violates asymmetry+transitivity; a fired veto (a CFD whose RHS
+       constant the entity never takes, with its "LHS is most current"
+       premise derived) violates the veto clause — either way Φ(Se) is
+       unsatisfiable. *)
+    let g = Array.init arity (fun a -> Porder.Digraph.create (Array.length adom.(a))) in
+    let add f = if not (Porder.Digraph.has_edge g.(f.attr) f.lo f.hi) then Porder.Digraph.add_edge g.(f.attr) f.lo f.hi in
+    List.iter (fun (_, f) -> match f with Some f -> add f | None -> ()) edge_facts;
+    for a = 0 to arity - 1 do
+      Array.iteri
+        (fun i v ->
+          if Value.is_null v then
+            Array.iteri
+              (fun j w -> if j <> i && not (Value.is_null w) then add { attr = a; lo = i; hi = j })
+              adom.(a))
+        adom.(a)
+    done;
+    (* pending implications: Σ instances with premises, plus CFD instances;
+       vetoes are checked against the final closure *)
+    let pending = ref [] in
+    let vetoes = ref [] in
+    List.iter
+      (fun ((inst : ground), k) ->
+        if inst.premise = [] then add inst.concl
+        else pending := (inst.premise, [ inst.concl ], `Sigma k) :: !pending)
+      !sigma_insts;
+    Array.iteri
+      (fun k (c : Cfd.Constant_cfd.t) ->
+        if lhs_relevant c then begin
+          let premise =
+            List.concat_map
+              (fun (name, v) ->
+                let a = Schema.index schema name in
+                let target = Coding.vid coding a v in
+                List.filter_map
+                  (fun lo -> if lo <> target then Some { attr = a; lo; hi = target } else None)
+                  (List.init (Array.length adom.(a)) Fun.id))
+              c.Cfd.Constant_cfd.lhs
+          in
+          let bname, bval = c.Cfd.Constant_cfd.rhs in
+          let battr = Schema.index schema bname in
+          match Coding.vid_opt coding battr bval with
+          | Some btarget ->
+              let concls =
+                List.filter_map
+                  (fun b -> if b <> btarget then Some { attr = battr; lo = b; hi = btarget } else None)
+                  (List.init (Array.length adom.(battr)) Fun.id)
+              in
+              if premise = [] then List.iter add concls
+              else pending := (premise, concls, `Gamma k) :: !pending
+          | None -> vetoes := (premise, k) :: !vetoes
+        end)
+      gamma_a;
+    let reach = ref (Array.map Porder.Digraph.transitive_closure g) in
+    let holds f = Porder.Digraph.has_edge !reach.(f.attr) f.lo f.hi in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let added = ref false in
+      pending :=
+        List.filter
+          (fun (premise, concls, _) ->
+            if List.for_all holds premise then begin
+              List.iter
+                (fun f ->
+                  if not (Porder.Digraph.has_edge g.(f.attr) f.lo f.hi) then begin
+                    add f;
+                    added := true
+                  end)
+                concls;
+              false
+            end
+            else true)
+          !pending;
+      if !added then begin
+        reach := Array.map Porder.Digraph.transitive_closure g;
+        progress := true
+      end
+    done;
+    for a = 0 to arity - 1 do
+      if (not e001.(a)) && Porder.Digraph.has_cycle g.(a) then
+        emit "E002" Error (Attr (Schema.name schema a))
+          (Printf.sprintf
+             "the ground closure of Σ/Γ instances and explicit edges derives a cyclic currency \
+              order on %S"
+             (Schema.name schema a))
+    done;
+    List.iter
+      (fun (premise, k) ->
+        if (not gamma_error.(k)) && List.for_all holds premise then begin
+          gamma_error.(k) <- true;
+          emit "E002" Error (Gamma k)
+            "the ground closure forces this CFD's LHS pattern to be most current, but its RHS \
+             constant never occurs in the entity"
+        end)
+      !vetoes
+  end;
+
+  List.stable_sort
+    (fun d1 d2 ->
+      match compare (severity_rank d1.severity) (severity_rank d2.severity) with
+      | 0 -> compare d1.code d2.code
+      | c -> c)
+    (List.rev !diags)

@@ -100,6 +100,15 @@ val extend : t -> Spec.t -> extension option
     transitivity axioms) small when Γ is a large pattern table. *)
 val relevant_gamma : Entity.t -> Cfd.Constant_cfd.t list -> (int * Cfd.Constant_cfd.t) list
 
+(** [reps_memo entity] is a memoised mapping from attribute-position
+    lists to first-occurrence representatives of the distinct projections
+    of the entity's tuples onto those positions. Σ-instances depend only
+    on the two tuples' values at the attributes a constraint mentions, so
+    instantiating over representative pairs yields exactly the instances
+    of all tuple pairs, usually over far fewer pairs. {!Analyze} uses the
+    same mapping so its ground instances match this encoding's. *)
+val reps_memo : Entity.t -> int list -> (int * Tuple.t) list
+
 (** [var_of_fact e f] is the Boolean variable of fact [f]. *)
 val var_of_fact : t -> fact -> int
 

@@ -7,6 +7,7 @@ type config = {
   max_rounds : int;
   incremental : bool;
   cache : bool;
+  lint : bool;
 }
 
 let default_config =
@@ -17,18 +18,21 @@ let default_config =
     max_rounds = 5;
     incremental = true;
     cache = true;
+    lint = true;
   }
 
-let naive_config = { default_config with incremental = false; cache = false }
+let naive_config = { default_config with incremental = false; cache = false; lint = false }
 
 type phase_times = {
+  mutable lint_ms : float;
   mutable encode_ms : float;
   mutable validity_ms : float;
   mutable deduce_ms : float;
   mutable suggest_ms : float;
 }
 
-let zero_times () = { encode_ms = 0.; validity_ms = 0.; deduce_ms = 0.; suggest_ms = 0. }
+let zero_times () =
+  { lint_ms = 0.; encode_ms = 0.; validity_ms = 0.; deduce_ms = 0.; suggest_ms = 0. }
 
 type entity_stats = {
   times : phase_times;
@@ -38,6 +42,7 @@ type entity_stats = {
   cache_misses : int;
   delta_extensions : int;
   rebuilds : int;
+  lint_rejected : bool;
 }
 
 type result = {
@@ -72,7 +77,7 @@ type session = {
   cache : cache;
   times : phase_times;
   mutable spec : Spec.t;
-  mutable enc : Encode.t;
+  mutable enc : Encode.t option;  (* [None] iff the lint pre-phase rejected the spec *)
   mutable solver : Sat.Solver.t option;  (* the incremental session *)
   mutable retired : Sat.Solver.stats;    (* stats of replaced/one-shot solvers *)
   mutable solvers_built : int;
@@ -80,20 +85,29 @@ type session = {
   mutable cache_misses : int;
   mutable delta_extensions : int;
   mutable rebuilds : int;
+  lint_rejected : bool;
 }
 
-type slot = Encode_p | Validity_p | Deduce_p | Suggest_p
+type slot = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
 
-let timed sess slot f =
+let timed_t times slot f =
   let t0 = Sys.time () in
   let r = f () in
   let dt = (Sys.time () -. t0) *. 1000. in
   (match slot with
-  | Encode_p -> sess.times.encode_ms <- sess.times.encode_ms +. dt
-  | Validity_p -> sess.times.validity_ms <- sess.times.validity_ms +. dt
-  | Deduce_p -> sess.times.deduce_ms <- sess.times.deduce_ms +. dt
-  | Suggest_p -> sess.times.suggest_ms <- sess.times.suggest_ms +. dt);
+  | Lint_p -> times.lint_ms <- times.lint_ms +. dt
+  | Encode_p -> times.encode_ms <- times.encode_ms +. dt
+  | Validity_p -> times.validity_ms <- times.validity_ms +. dt
+  | Deduce_p -> times.deduce_ms <- times.deduce_ms +. dt
+  | Suggest_p -> times.suggest_ms <- times.suggest_ms +. dt);
   r
+
+let timed sess slot f = timed_t sess.times slot f
+
+let the_enc sess =
+  match sess.enc with
+  | Some enc -> enc
+  | None -> invalid_arg "Engine: session was rejected by the lint pre-phase"
 
 let lookup ~(config : config) ~cache spec =
   if not config.cache then (Encode.encode ~mode:config.mode spec, false)
@@ -124,9 +138,21 @@ let retire sess s = sess.retired <- Sat.Solver.add_stats sess.retired (Sat.Solve
 let create_session ?(config = default_config) ?cache spec =
   let cache = match cache with Some c -> c | None -> create_cache () in
   let times = zero_times () in
-  let t0 = Sys.time () in
-  let enc, hit = lookup ~config ~cache spec in
-  times.encode_ms <- (Sys.time () -. t0) *. 1000.;
+  (* the lint pre-phase: a statically-unsat specification skips
+     Instantiation/ConvertToCNF and the solver session entirely — sound by
+     construction (every E-level diagnostic implies Φ(Se) unsatisfiable,
+     property-tested in test_analyze) *)
+  let lint_rejected =
+    config.lint
+    && timed_t times Lint_p (fun () ->
+           Analyze.has_errors (Analyze.analyze ~errors_only:true spec))
+  in
+  let enc, hit =
+    if lint_rejected then (None, false)
+    else
+      let enc, hit = timed_t times Encode_p (fun () -> lookup ~config ~cache spec) in
+      (Some enc, hit)
+  in
   let sess =
     {
       config;
@@ -138,13 +164,14 @@ let create_session ?(config = default_config) ?cache spec =
       retired = Sat.Solver.zero_stats;
       solvers_built = 0;
       cache_hits = (if config.cache && hit then 1 else 0);
-      cache_misses = (if config.cache && not hit then 1 else 0);
+      cache_misses = (if config.cache && (not hit) && not lint_rejected then 1 else 0);
       delta_extensions = 0;
       rebuilds = 0;
+      lint_rejected;
     }
   in
-  if config.incremental then
-    sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc));
+  if config.incremental && not lint_rejected then
+    sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess (the_enc sess)));
   sess
 
 (* IsValid on the session: the incremental path re-solves the live
@@ -154,7 +181,7 @@ let check_validity sess =
   match sess.solver with
   | Some s -> Sat.Solver.solve s = Sat.Solver.Sat
   | None ->
-      let s = fresh_solver sess sess.enc in
+      let s = fresh_solver sess (the_enc sess) in
       let r = Sat.Solver.solve s in
       retire sess s;
       r = Sat.Solver.Sat
@@ -163,7 +190,7 @@ let suggest_on sess d ~known =
   match sess.solver with
   | Some s -> Rules.suggest ~repair:sess.config.repair ~solver:s d ~known
   | None ->
-      let s = fresh_solver sess sess.enc in
+      let s = fresh_solver sess (the_enc sess) in
       let r = Rules.suggest ~repair:sess.config.repair ~solver:s d ~known in
       retire sess s;
       r
@@ -172,11 +199,11 @@ let suggest_on sess d ~known =
 let apply_extension sess spec' =
   sess.spec <- spec';
   if not sess.config.incremental then
-    sess.enc <- timed sess Encode_p (fun () -> encode_spec sess spec')
+    sess.enc <- Some (timed sess Encode_p (fun () -> encode_spec sess spec'))
   else
-    match timed sess Encode_p (fun () -> Encode.extend sess.enc spec') with
+    match timed sess Encode_p (fun () -> Encode.extend (the_enc sess) spec') with
     | Some (Encode.Delta (enc', delta)) ->
-        sess.enc <- enc';
+        sess.enc <- Some enc';
         sess.delta_extensions <- sess.delta_extensions + 1;
         if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
         let s = match sess.solver with Some s -> s | None -> assert false in
@@ -185,16 +212,17 @@ let apply_extension sess spec' =
         (* a value universe grew: the Σ instances were still reused, but
            variable numbers shifted, so the solver session restarts *)
         sess.rebuilds <- sess.rebuilds + 1;
-        sess.enc <- enc';
+        sess.enc <- Some enc';
         if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
         (match sess.solver with Some s -> retire sess s | None -> ());
-        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc))
+        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess enc'))
     | None ->
         (* not a pure extension: full re-encode and a fresh session *)
         sess.rebuilds <- sess.rebuilds + 1;
         (match sess.solver with Some s -> retire sess s | None -> ());
-        sess.enc <- timed sess Encode_p (fun () -> encode_spec sess spec');
-        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess sess.enc))
+        let enc' = timed sess Encode_p (fun () -> encode_spec sess spec') in
+        sess.enc <- Some enc';
+        sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess enc'))
 
 let snapshot_stats sess =
   let solver =
@@ -210,6 +238,7 @@ let snapshot_stats sess =
     cache_misses = sess.cache_misses;
     delta_extensions = sess.delta_extensions;
     rebuilds = sess.rebuilds;
+    lint_rejected = sess.lint_rejected;
   }
 
 let count_known known = Array.fold_left (fun n v -> if v = None then n else n + 1) 0 known
@@ -220,10 +249,15 @@ let resolve_session sess ~user =
   let analyse () =
     if not (timed sess Validity_p (fun () -> check_validity sess)) then None
     else
-      let d = timed sess Deduce_p (fun () -> sess.config.deduce sess.enc) in
+      let d = timed sess Deduce_p (fun () -> sess.config.deduce (the_enc sess)) in
       Some (d, Deduce.true_values d)
   in
   let outcome =
+    (* a lint-rejected spec is provably unsatisfiable: report the same
+       outcome IsValid would, without ever building a solver *)
+    if sess.lint_rejected then
+      { resolved = Array.make arity None; valid = false; rounds = 0; per_round_known = [ 0 ] }
+    else
     match analyse () with
     | None ->
         { resolved = Array.make arity None; valid = false; rounds = 0; per_round_known = [ 0 ] }
@@ -301,6 +335,7 @@ type stats = {
   cache_misses : int;
   delta_extensions : int;
   rebuilds : int;
+  lint_rejected : int;
   wall_ms : float;
 }
 
@@ -314,13 +349,15 @@ let throughput st =
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
-     phases (ms): encode %.1f | validity %.1f | deduce %.1f | suggest %.1f@ \
+     phases (ms): lint %.1f | encode %.1f | validity %.1f | deduce %.1f | suggest %.1f@ \
+     lint: %d spec(s) rejected before encoding@ \
      solver: %a; %d CNF load(s)@ \
      encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), %d rebuild(s)@ \
      wall: %.1f ms (%.1f entities/s)@]"
     st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
-    st.times.encode_ms st.times.validity_ms st.times.deduce_ms st.times.suggest_ms
-    Sat.Solver.pp_stats st.solver st.solvers_built st.cache_hits st.cache_misses
+    st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
+    st.times.suggest_ms st.lint_rejected Sat.Solver.pp_stats st.solver st.solvers_built
+    st.cache_hits st.cache_misses
     (100. *. cache_hit_rate st)
     st.delta_extensions st.rebuilds st.wall_ms (throughput st)
 
@@ -338,7 +375,8 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
   and cache_hits = ref 0
   and cache_misses = ref 0
   and delta_extensions = ref 0
-  and rebuilds = ref 0 in
+  and rebuilds = ref 0
+  and lint_rejected = ref 0 in
   let results =
     List.map
       (fun item ->
@@ -348,6 +386,7 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
         total_rounds := !total_rounds + result.rounds;
         attrs_total := !attrs_total + Array.length result.resolved;
         attrs_resolved := !attrs_resolved + count_known result.resolved;
+        agg_times.lint_ms <- agg_times.lint_ms +. st.times.lint_ms;
         agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
         agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
         agg_times.deduce_ms <- agg_times.deduce_ms +. st.times.deduce_ms;
@@ -358,6 +397,7 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
         cache_misses := !cache_misses + st.cache_misses;
         delta_extensions := !delta_extensions + st.delta_extensions;
         rebuilds := !rebuilds + st.rebuilds;
+        if st.lint_rejected then incr lint_rejected;
         let ir = { label = item.label; result; stats = st } in
         (match on_result with Some f -> f ir | None -> ());
         ir)
@@ -377,6 +417,7 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
       cache_misses = !cache_misses;
       delta_extensions = !delta_extensions;
       rebuilds = !rebuilds;
+      lint_rejected = !lint_rejected;
       wall_ms = (Sys.time () -. t0) *. 1000.;
     }
   in

@@ -38,9 +38,13 @@ type config = {
       (** reuse one solver session per entity across phases and rounds,
           with {!Encode.extend} deltas for user-input extensions *)
   cache : bool;  (** cache encodings keyed on the specification *)
+  lint : bool;
+      (** run the {!Analyze} pre-phase: specifications with an E-level
+          diagnostic (provably unsatisfiable) skip encoding and the
+          solver entirely and report the invalid outcome directly *)
 }
 
-(** Incremental session + cache on; [mode = Paper],
+(** Incremental session + cache + lint pre-phase on; [mode = Paper],
     [deduce = Deduce.deduce_order], [repair = Exact_maxsat],
     [max_rounds = 5]. *)
 val default_config : config
@@ -56,6 +60,7 @@ val naive_config : config
     are visible; add [encode_ms] to [validity_ms] to recover the paper's
     [IsValid] accounting. *)
 type phase_times = {
+  mutable lint_ms : float;
   mutable encode_ms : float;
   mutable validity_ms : float;
   mutable deduce_ms : float;
@@ -70,6 +75,9 @@ type entity_stats = {
   cache_misses : int;
   delta_extensions : int;  (** [Se ⊕ Ot] rounds served by {!Encode.extend} *)
   rebuilds : int;  (** rounds that changed a universe: full re-encode *)
+  lint_rejected : bool;
+      (** the lint pre-phase proved the spec unsatisfiable: no encoding,
+          no solver was built *)
 }
 
 (** Per-entity result; same content as {!Framework.outcome} minus timings
@@ -125,6 +133,7 @@ type stats = {
   cache_misses : int;
   delta_extensions : int;
   rebuilds : int;
+  lint_rejected : int;  (** entities rejected by the lint pre-phase *)
   wall_ms : float;
 }
 

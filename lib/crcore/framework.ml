@@ -23,8 +23,18 @@ type outcome = {
    phase accounting (encoding counted inside IsValid, seconds). *)
 let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.deduce_order)
     ?(repair = Rules.Exact_maxsat) ?(max_rounds = 5) ~user spec =
+  (* lint off: this is the pure SAT reference path the engine's lint
+     short-circuit is property-tested against *)
   let config =
-    { Engine.mode; deduce; repair; max_rounds; incremental = false; cache = false }
+    {
+      Engine.mode;
+      deduce;
+      repair;
+      max_rounds;
+      incremental = false;
+      cache = false;
+      lint = false;
+    }
   in
   let r, st = Engine.resolve ~config ~user spec in
   let t = st.Engine.times in

@@ -134,15 +134,61 @@ let parse s =
 
 let parse_exn s = match parse s with Ok c -> c | Error m -> failwith ("Currency.Parser: " ^ m)
 
-let parse_many s =
-  let pieces =
-    String.split_on_char '\n' s
-    |> List.concat_map (String.split_on_char ';')
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  in
+(* ---- source positions ---- *)
+
+type span = { line : int; col_start : int; col_end : int }
+
+let pp_span ppf sp =
+  if sp.col_start = sp.col_end then Format.fprintf ppf "line %d, col %d" sp.line sp.col_start
+  else Format.fprintf ppf "line %d, cols %d-%d" sp.line sp.col_start sp.col_end
+
+let span_to_string sp = Format.asprintf "%a" pp_span sp
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* Split the input into constraint texts with their 1-based line/column
+   spans: newline- or semicolon-separated, [#] lines are comments,
+   surrounding whitespace excluded from the span. *)
+let split_spanned s =
+  let pieces = ref [] in
+  List.iteri
+    (fun li line ->
+      let n = String.length line in
+      let seg a b =
+        let a = ref a and b = ref b in
+        while !a < !b && is_space line.[!a] do
+          incr a
+        done;
+        while !b > !a && is_space line.[!b - 1] do
+          decr b
+        done;
+        if !b > !a && line.[!a] <> '#' then
+          pieces :=
+            ( String.sub line !a (!b - !a),
+              { line = li + 1; col_start = !a + 1; col_end = !b } )
+            :: !pieces
+      in
+      let start = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = ';' then begin
+            seg !start i;
+            start := i + 1
+          end)
+        line;
+      seg !start n)
+    (String.split_on_char '\n' s);
+  List.rev !pieces
+
+let parse_many_spanned s =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
-    | p :: rest -> ( match parse p with Ok c -> go (c :: acc) rest | Error m -> Error (p ^ ": " ^ m))
+    | (p, sp) :: rest -> (
+        match parse p with
+        | Ok c -> go ((c, sp) :: acc) rest
+        | Error m -> Error (Printf.sprintf "%s: %s: %s" (span_to_string sp) p m))
   in
-  go [] pieces
+  go [] (split_spanned s)
+
+let parse_many s =
+  match parse_many_spanned s with Ok cs -> Ok (List.map fst cs) | Error m -> Error m

@@ -21,6 +21,20 @@ val parse : string -> (Constraint_ast.t, string) result
 (** [parse_exn s] is {!parse}, raising [Failure] on error. *)
 val parse_exn : string -> Constraint_ast.t
 
+(** Where a constraint sat in the source text: 1-based line, 1-based
+    inclusive column range (leading/trailing whitespace excluded). Lint
+    diagnostics and parse errors cite these instead of list indices. *)
+type span = { line : int; col_start : int; col_end : int }
+
+val pp_span : Format.formatter -> span -> unit
+val span_to_string : span -> string
+
 (** [parse_many s] parses a newline- or semicolon-separated list; lines
-    starting with [#] are comments. *)
+    starting with [#] are comments. Errors cite the offending constraint's
+    line/column span and text. *)
 val parse_many : string -> (Constraint_ast.t list, string) result
+
+(** [parse_many_spanned s] is {!parse_many}, with each constraint paired
+    with its source span — the input to span-aware diagnostics
+    ([Crcore.Analyze], [crsolve lint]). *)
+val parse_many_spanned : string -> ((Constraint_ast.t * span) list, string) result

@@ -581,9 +581,3 @@ let diff_stats a b =
 let pp_stats ppf st =
   Format.fprintf ppf "conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d"
     st.conflicts st.decisions st.propagations st.restarts st.learnts
-
-let n_conflicts (s : t) = s.conflicts
-let n_decisions (s : t) = s.decisions
-let n_propagations (s : t) = s.propagations
-let n_restarts (s : t) = s.restarts
-let n_learnts (s : t) = Vec.size s.learnts

@@ -79,18 +79,3 @@ val add_stats : stats -> stats -> stats
 val diff_stats : stats -> stats -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
-
-val n_conflicts : t -> int
-  [@@ocaml.deprecated "use Solver.stats"]
-
-val n_decisions : t -> int
-  [@@ocaml.deprecated "use Solver.stats"]
-
-val n_propagations : t -> int
-  [@@ocaml.deprecated "use Solver.stats"]
-
-val n_restarts : t -> int
-  [@@ocaml.deprecated "use Solver.stats"]
-
-val n_learnts : t -> int
-  [@@ocaml.deprecated "use Solver.stats"]

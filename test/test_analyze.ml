@@ -1,0 +1,259 @@
+(* The spec linter: one positive and one negative unit case per
+   diagnostic code, SAT cross-checks that every E-level construction is
+   indeed unsatisfiable, and qcheck properties tying the analysis to the
+   solver-backed semantics (soundness: an E-level diagnostic implies the
+   encoding is unsatisfiable; the engine pre-phase never changes what a
+   batch resolves). *)
+
+module A = Crcore.Analyze
+module E = Crcore.Engine
+module F = Crcore.Framework
+
+let parse = Currency.Parser.parse_exn
+
+let mk_cfd lhs (battr, bval) =
+  Cfd.Constant_cfd.make
+    (List.map (fun (a, v) -> (a, Value.of_string v)) lhs)
+    (battr, Value.of_string bval)
+
+let edge attr lo hi = { Crcore.Spec.attr; lo; hi }
+
+(* all unit cases run over the paper's Edith entity (Fig. 2): adoms
+   name = {Edith Shain}, status = {working, retired, deceased},
+   job = {nurse, n/a}, city = {NY, SFC, LA}, AC = {212, 415, 213} *)
+let mk ?(orders = []) ?(sigma = []) ?(gamma = []) () =
+  Crcore.Spec.make Fixtures.edith_entity ~orders ~sigma ~gamma
+
+let codes spec = List.map (fun (d : A.diagnostic) -> d.A.code) (A.analyze spec)
+let check_has msg code spec = Alcotest.(check bool) msg true (List.mem code (codes spec))
+let check_not msg code spec = Alcotest.(check bool) msg false (List.mem code (codes spec))
+
+let check_unsat msg spec =
+  Alcotest.(check bool) msg false (Crcore.Validity.check (Crcore.Encode.encode spec))
+
+let check_sat msg spec =
+  Alcotest.(check bool) msg true (Crcore.Validity.check (Crcore.Encode.encode spec))
+
+(* ---- errors ---- *)
+
+let test_e001 () =
+  let cyc = mk ~orders:[ edge "status" 0 1; edge "status" 1 0 ] () in
+  check_has "value-level order cycle" "E001" cyc;
+  check_unsat "SAT agrees: cyclic order is unsat" cyc;
+  check_not "acyclic order" "E001" (mk ~orders:[ edge "status" 0 1 ] ())
+
+let phi = parse {|t1[status] = "working" & t2[status] = "retired" -> prec(status)|}
+let phi_mirror = parse {|t1[status] = "retired" & t2[status] = "working" -> prec(status)|}
+
+let test_e002 () =
+  let contradictory = mk ~sigma:[ phi; phi_mirror ] () in
+  check_has "contradictory ground instances" "E002" contradictory;
+  check_unsat "SAT agrees: contradictory closure is unsat" contradictory;
+  check_not "one direction only" "E002" (mk ~sigma:[ phi ] ())
+
+let test_e003 () =
+  (* name is a singleton adom, so both LHS patterns are forced *)
+  let g v = mk_cfd [ ("name", "Edith Shain") ] ("city", v) in
+  let forced = mk ~gamma:[ g "NY"; g "LA" ] () in
+  check_has "forced contradictory CFDs" "E003" forced;
+  check_unsat "SAT agrees: forced conflict is unsat" forced;
+  (* same conflict over a non-singleton adom is W006 territory, not E003 *)
+  let g' v = mk_cfd [ ("AC", "213") ] ("city", v) in
+  check_not "unforced conflict" "E003" (mk ~gamma:[ g' "NY"; g' "LA" ] ())
+
+let test_e004 () =
+  let dead_end = mk ~gamma:[ mk_cfd [ ("name", "Edith Shain") ] ("city", "Paris") ] () in
+  check_has "forced LHS, RHS never occurs" "E004" dead_end;
+  check_not "E004 subsumes the W002 veto warning" "W002" dead_end;
+  check_unsat "SAT agrees: forced dead-end is unsat" dead_end;
+  check_not "RHS in adom" "E004" (mk ~gamma:[ mk_cfd [ ("name", "Edith Shain") ] ("city", "NY") ] ())
+
+(* ---- warnings ---- *)
+
+let test_w001 () =
+  check_has "dead CFD" "W001" (mk ~gamma:[ mk_cfd [ ("AC", "999") ] ("city", "NY") ] ());
+  check_not "live CFD" "W001" (mk ~gamma:[ mk_cfd [ ("AC", "213") ] ("city", "LA") ] ())
+
+let test_w002 () =
+  let veto = mk ~gamma:[ mk_cfd [ ("AC", "213") ] ("city", "Paris") ] () in
+  check_has "veto CFD" "W002" veto;
+  check_sat "a veto alone stays satisfiable" veto;
+  check_not "RHS occurs" "W002" (mk ~gamma:[ mk_cfd [ ("AC", "213") ] ("city", "LA") ] ())
+
+let test_w003 () =
+  let vacuous = parse {|t1[status] = "fired" & t2[status] = "working" -> prec(status)|} in
+  check_has "no instance on this entity" "W003" (mk ~sigma:[ vacuous ] ());
+  check_not "instantiating constraint" "W003" (mk ~sigma:[ phi ] ())
+
+let test_w004 () =
+  check_has "duplicate edge" "W004" (mk ~orders:[ edge "status" 0 1; edge "status" 0 1 ] ());
+  check_not "distinct edges" "W004" (mk ~orders:[ edge "status" 0 1; edge "status" 1 2 ] ())
+
+let test_w005 () =
+  (* Edith tuples 1 and 2 both hold job = "n/a" *)
+  check_has "equal-value edge" "W005" (mk ~orders:[ edge "job" 1 2 ] ());
+  check_not "differing values" "W005" (mk ~orders:[ edge "status" 0 1 ] ())
+
+let test_w006 () =
+  let g v = mk_cfd [ ("AC", "213") ] ("city", v) in
+  let conflict = mk ~gamma:[ g "LA"; g "NY" ] () in
+  check_has "unifiable LHS, contradictory RHS" "W006" conflict;
+  check_sat "unforced conflict stays satisfiable" conflict;
+  check_not "disjoint LHS patterns" "W006"
+    (mk ~gamma:[ mk_cfd [ ("AC", "213") ] ("city", "LA"); mk_cfd [ ("AC", "212") ] ("city", "NY") ] ())
+
+(* ---- info ---- *)
+
+let test_i001 () =
+  let s1 = parse {|prec(status) -> prec(job)|} in
+  check_has "sub-conjunction premise" "I001"
+    (mk ~sigma:[ s1; parse {|prec(status) & prec(city) -> prec(job)|} ] ());
+  check_not "different conclusions" "I001"
+    (mk ~sigma:[ s1; parse {|prec(status) & prec(city) -> prec(county)|} ] ())
+
+let test_i002 () =
+  let c1 = mk_cfd [ ("AC", "212") ] ("city", "NY") in
+  check_has "sub-pattern LHS" "I002"
+    (mk ~gamma:[ c1; mk_cfd [ ("AC", "212"); ("zip", "10036") ] ("city", "NY") ] ());
+  check_not "different RHS" "I002"
+    (mk ~gamma:[ c1; mk_cfd [ ("AC", "212"); ("zip", "10036") ] ("city", "SFC") ] ())
+
+let test_i003 () =
+  check_has "transitively implied edge" "I003"
+    (mk ~orders:[ edge "status" 0 1; edge "status" 1 2; edge "status" 0 2 ] ());
+  check_not "chain only" "I003" (mk ~orders:[ edge "status" 0 1; edge "status" 1 2 ] ())
+
+(* ---- report shape ---- *)
+
+let test_ordering_and_severity () =
+  (* an error and a warning together: errors always sort first *)
+  let spec =
+    mk
+      ~orders:[ edge "status" 0 1; edge "status" 1 0 ]
+      ~sigma:[ parse {|t1[status] = "fired" & t2[status] = "working" -> prec(status)|} ]
+      ()
+  in
+  let ds = A.analyze spec in
+  (match ds with
+  | d :: _ -> Alcotest.(check bool) "errors first" true (d.A.severity = A.Error)
+  | [] -> Alcotest.fail "expected diagnostics");
+  Alcotest.(check bool) "has_errors" true (A.has_errors ds);
+  Alcotest.(check bool) "max severity is Error" true (A.max_severity ds = Some A.Error);
+  Alcotest.(check bool) "clean report" true (A.max_severity (A.analyze (mk ())) = None)
+
+let test_spans_attached () =
+  let vacuous = parse {|t1[status] = "fired" & t2[status] = "working" -> prec(status)|} in
+  let span = { Currency.Parser.line = 3; col_start = 1; col_end = 42 } in
+  let ds = A.analyze ~sigma_spans:[| Some span |] (mk ~sigma:[ vacuous ] ()) in
+  let w003 = List.find (fun (d : A.diagnostic) -> d.A.code = "W003") ds in
+  Alcotest.(check bool) "span carried through" true (w003.A.span = Some span)
+
+let test_errors_only_unit () =
+  let cyc = mk ~orders:[ edge "status" 0 1; edge "status" 1 0 ] ~sigma:[ phi; phi_mirror ] () in
+  let eo = A.analyze ~errors_only:true cyc in
+  Alcotest.(check bool) "non-empty" true (eo <> []);
+  Alcotest.(check bool) "only E codes" true
+    (List.for_all (fun (d : A.diagnostic) -> d.A.severity = A.Error) eo);
+  Alcotest.(check (list string)) "clean spec" []
+    (List.map (fun (d : A.diagnostic) -> d.A.code) (A.analyze ~errors_only:true (mk ())))
+
+(* ---- engine pre-phase ---- *)
+
+let test_engine_lint_rejected () =
+  let spec () =
+    mk
+      ~orders:[ edge "status" 0 1; edge "status" 1 0 ]
+      ~sigma:Fixtures.sigma ~gamma:Fixtures.gamma ()
+  in
+  let r, st = E.resolve ~user:F.silent (spec ()) in
+  Alcotest.(check bool) "rejected by lint" true st.E.lint_rejected;
+  Alcotest.(check int) "no solver built" 0 st.E.solvers_built;
+  Alcotest.(check bool) "invalid" false r.E.valid;
+  let r', st' =
+    E.resolve ~config:{ E.default_config with lint = false } ~user:F.silent (spec ())
+  in
+  Alcotest.(check bool) "lint off solves" true (st'.E.solvers_built >= 1);
+  Alcotest.(check bool) "identical outcome either way" true
+    (r.E.resolved = r'.E.resolved && r.E.valid = r'.E.valid && r.E.rounds = r'.E.rounds
+   && r.E.per_round_known = r'.E.per_round_known)
+
+let test_engine_lint_clean_passthrough () =
+  let r, st = E.resolve ~user:F.silent (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "not rejected" false st.E.lint_rejected;
+  Alcotest.(check bool) "solved normally" true (st.E.solvers_built >= 1 && r.E.valid)
+
+(* ---- properties ---- *)
+
+let prop_errors_sound =
+  (* the tentpole guarantee: an E-level diagnostic means the SAT encoding
+     of the specification is unsatisfiable, no exceptions *)
+  QCheck.Test.make ~count:1000 ~name:"E-level diagnostic implies unsat encoding"
+    Fixtures.qcheck_spec (fun spec ->
+      (not (A.has_errors (A.analyze spec)))
+      || not (Crcore.Validity.check (Crcore.Encode.encode spec)))
+
+let prop_errors_only_agrees =
+  QCheck.Test.make ~count:500
+    ~name:"errors_only: same has_errors verdict, subset of the full report's errors"
+    Fixtures.qcheck_spec (fun spec ->
+      let full = A.analyze spec in
+      let eo = A.analyze ~errors_only:true spec in
+      A.has_errors eo = A.has_errors full
+      && List.for_all (fun (d : A.diagnostic) -> d.A.severity = A.Error) eo
+      && List.for_all (fun d -> List.mem d full) eo)
+
+let prop_lint_never_changes_results =
+  (* clean specs are never rejected for lint-covered reasons: switching
+     the pre-phase on cannot change what a batch resolves *)
+  QCheck.Test.make ~count:250 ~name:"engine lint pre-phase never changes resolution results"
+    Fixtures.qcheck_spec (fun spec ->
+      let on, st = E.resolve ~config:E.default_config ~user:F.silent spec in
+      let off, _ =
+        E.resolve ~config:{ E.default_config with lint = false } ~user:F.silent spec
+      in
+      on.E.resolved = off.E.resolved
+      && on.E.valid = off.E.valid
+      && on.E.rounds = off.E.rounds
+      && on.E.per_round_known = off.E.per_round_known
+      && ((not st.E.lint_rejected) || not on.E.valid))
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "E001 cyclic explicit order" `Quick test_e001;
+          Alcotest.test_case "E002 contradictory closure" `Quick test_e002;
+          Alcotest.test_case "E003 forced CFD conflict" `Quick test_e003;
+          Alcotest.test_case "E004 forced dead-end CFD" `Quick test_e004;
+        ] );
+      ( "warnings",
+        [
+          Alcotest.test_case "W001 dead CFD" `Quick test_w001;
+          Alcotest.test_case "W002 veto CFD" `Quick test_w002;
+          Alcotest.test_case "W003 vacuous constraint" `Quick test_w003;
+          Alcotest.test_case "W004 duplicate edge" `Quick test_w004;
+          Alcotest.test_case "W005 equal-value edge" `Quick test_w005;
+          Alcotest.test_case "W006 possible CFD conflict" `Quick test_w006;
+        ] );
+      ( "info",
+        [
+          Alcotest.test_case "I001 subsumed constraint" `Quick test_i001;
+          Alcotest.test_case "I002 subsumed CFD" `Quick test_i002;
+          Alcotest.test_case "I003 implied edge" `Quick test_i003;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "ordering and severity" `Quick test_ordering_and_severity;
+          Alcotest.test_case "source spans" `Quick test_spans_attached;
+          Alcotest.test_case "errors_only subset" `Quick test_errors_only_unit;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "lint-rejected session" `Quick test_engine_lint_rejected;
+          Alcotest.test_case "clean passthrough" `Quick test_engine_lint_clean_passthrough;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_errors_sound; prop_errors_only_agrees; prop_lint_never_changes_results ] );
+    ]
