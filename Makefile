@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch lint fmt clean
+.PHONY: all build test check bench batch par lint fmt clean
 
 all: build
 
@@ -20,6 +20,11 @@ bench:
 
 batch:
 	dune exec bench/main.exe -- batch
+
+# Domain-parallel engine vs sequential (jobs from $$CRSOLVE_JOBS, else 4);
+# writes BENCH_par.json and requires identical results.
+par:
+	dune exec bench/main.exe -- par
 
 # Lint the shipped example data: the clean set must exit 0, the broken
 # set must exit 2 (errors found) — both outcomes are part of the gate.

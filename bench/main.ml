@@ -447,6 +447,24 @@ let wall_ms f =
   let r = f () in
   ((Unix.gettimeofday () -. t0) *. 1000., r)
 
+(* [Datagen.Types.spec_of] rebuilds the Σ/Γ lists per case, so batch items
+   carry structurally equal but physically distinct lists. Share them
+   physically — both resolution paths receive the same items, and the
+   encoder's compiled-constraint reuse keys on physical identity. *)
+let intern_items items =
+  match items with
+  | [] -> []
+  | (first : Crcore.Engine.item) :: _ ->
+      let cs = first.Crcore.Engine.spec.Crcore.Spec.sigma in
+      let cg = first.Crcore.Engine.spec.Crcore.Spec.gamma in
+      List.map
+        (fun (it : Crcore.Engine.item) ->
+          let s = it.Crcore.Engine.spec in
+          let sigma = if s.Crcore.Spec.sigma = cs then cs else s.Crcore.Spec.sigma in
+          let gamma = if s.Crcore.Spec.gamma = cg then cg else s.Crcore.Spec.gamma in
+          { it with Crcore.Engine.spec = { s with Crcore.Spec.sigma; gamma } })
+        items
+
 (* Resolve a generated Person relation entity-by-entity twice: once as a
    plain Framework.resolve loop (one encoding + fresh solvers per phase
    per round), once through Engine.run_batch with incremental solver
@@ -476,6 +494,7 @@ let batch_sized ~n_entities ~json () =
         })
       ds.Datagen.Types.cases
   in
+  let items = intern_items items in
   let naive_ms, naive_outcomes =
     wall_ms (fun () ->
         List.map
@@ -506,6 +525,33 @@ let batch_sized ~n_entities ~json () =
     (per_sec engine_ms);
   Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup equivalent;
   Format.printf "  %a@." Crcore.Engine.pp_stats stats;
+  (* Repeated-specs cache case: the second copy of every item resolves a
+     structurally identical spec, so its initial encoding must come from
+     the spec-keyed cache rather than a fresh Encode.encode. *)
+  let rep_items =
+    items
+    @ List.map
+        (fun (it : Crcore.Engine.item) ->
+          { it with Crcore.Engine.label = it.Crcore.Engine.label ^ "-rep" })
+        items
+  in
+  let rep_results, rep_stats =
+    Crcore.Engine.run_batch
+      ~config:{ Crcore.Engine.default_config with lint = false }
+      rep_items
+  in
+  let rep_equivalent =
+    let firsts = List.filteri (fun i _ -> i < n_entities) rep_results in
+    let seconds = List.filteri (fun i _ -> i >= n_entities) rep_results in
+    List.for_all2
+      (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+        a.Crcore.Engine.result = b.Crcore.Engine.result)
+      firsts seconds
+  in
+  Printf.printf
+    "  cache (specs repeated twice, %d items): %d hit(s), hit_ratio %.3f, repeats identical: %b\n"
+    (2 * n_entities) rep_stats.Crcore.Engine.cache_hits rep_stats.Crcore.Engine.hit_ratio
+    rep_equivalent;
   (match json with
   | None -> ()
   | Some path ->
@@ -529,8 +575,18 @@ let batch_sized ~n_entities ~json () =
     "solvers_built": %d,
     "cache_hits": %d,
     "cache_misses": %d,
+    "hit_ratio": %.3f,
     "delta_extensions": %d,
-    "rebuilds": %d
+    "rebuilds": %d,
+    "rebuilds_renumbered": %d,
+    "rebuilds_impure": %d
+  },
+  "cache_case": {
+    "items": %d,
+    "cache_hits": %d,
+    "cache_misses": %d,
+    "hit_ratio": %.3f,
+    "repeats_identical": %b
   },
   "speedup": %.3f,
   "identical_results": %b
@@ -545,13 +601,123 @@ let batch_sized ~n_entities ~json () =
         st.Crcore.Engine.times.Crcore.Engine.suggest_ms sv.Sat.Solver.conflicts
         sv.Sat.Solver.decisions sv.Sat.Solver.propagations sv.Sat.Solver.restarts
         st.Crcore.Engine.solvers_built st.Crcore.Engine.cache_hits
-        st.Crcore.Engine.cache_misses st.Crcore.Engine.delta_extensions
-        st.Crcore.Engine.rebuilds speedup equivalent;
+        st.Crcore.Engine.cache_misses st.Crcore.Engine.hit_ratio
+        st.Crcore.Engine.delta_extensions st.Crcore.Engine.rebuilds
+        st.Crcore.Engine.rebuilds_renumbered st.Crcore.Engine.rebuilds_impure
+        (2 * n_entities) rep_stats.Crcore.Engine.cache_hits
+        rep_stats.Crcore.Engine.cache_misses rep_stats.Crcore.Engine.hit_ratio rep_equivalent
+        speedup equivalent;
       close_out oc;
       Printf.printf "  wrote %s\n%!" path)
 
 let batch () = batch_sized ~n_entities:120 ~json:(Some "BENCH_batch.json") ()
 let batch_smoke () = batch_sized ~n_entities:12 ~json:None ()
+
+(* ---------------------------------------------------------------- *)
+(* Parallel: domain-parallel run_batch vs sequential                 *)
+(* ---------------------------------------------------------------- *)
+
+let par_jobs_default () =
+  match Sys.getenv_opt "CRSOLVE_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 4)
+  | None -> 4
+
+(* The same Person workload as [batch], resolved twice through
+   Engine.run_batch: jobs = 1, then jobs = N domains. The parallel run
+   must produce byte-identical results in input order. Per-phase times
+   under parallelism are summed across workers, so they can legitimately
+   exceed wall-clock; the JSON reports both, plus the cores the runtime
+   actually has — on a single-core host the speedup honestly reflects
+   that there is no parallel hardware to use. Emits BENCH_par.json. *)
+let par_sized ~n_entities ~jobs ~json () =
+  section
+    (Printf.sprintf "Parallel: %d Person entities, run_batch jobs=1 vs jobs=%d" n_entities jobs);
+  let ds =
+    Datagen.Person.generate
+      {
+        Datagen.Person.default_params with
+        n_entities;
+        size_min = 4;
+        size_max = 10;
+        extra_events = 2;
+      }
+  in
+  let items =
+    intern_items
+      (List.map
+         (fun (case : Datagen.Types.case) ->
+           {
+             Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+             spec = Datagen.Types.spec_of ds case;
+             user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+           })
+         ds.Datagen.Types.cases)
+  in
+  let no_lint = { Crcore.Engine.default_config with lint = false } in
+  let best_of_3 f =
+    let runs = List.init 3 (fun _ -> wall_ms f) in
+    List.fold_left (fun acc r -> if fst r < fst acc then r else acc) (List.hd runs)
+      (List.tl runs)
+  in
+  let seq_ms, (seq_results, seq_stats) =
+    best_of_3 (fun () -> Crcore.Engine.run_batch ~config:no_lint items)
+  in
+  let par_ms, (par_results, par_stats) =
+    best_of_3 (fun () -> Crcore.Engine.run_batch ~config:{ no_lint with jobs } items)
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+        a.Crcore.Engine.label = b.Crcore.Engine.label
+        && a.Crcore.Engine.result = b.Crcore.Engine.result)
+      seq_results par_results
+  in
+  let cores = Parallel.Pool.recommended_jobs () in
+  let speedup = if par_ms <= 0. then 0. else seq_ms /. par_ms in
+  Printf.printf "  sequential (jobs=1):  %8.1f ms\n" seq_ms;
+  Printf.printf "  parallel   (jobs=%d):  %8.1f ms   (%d core(s) available)\n" jobs par_ms cores;
+  Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup identical;
+  Format.printf "  %a@." Crcore.Engine.pp_stats par_stats;
+  match json with
+  | None -> ()
+  | Some path ->
+      let pt (st : Crcore.Engine.stats) = st.Crcore.Engine.times in
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "par",
+  "dataset": "Person",
+  "n_entities": %d,
+  "jobs": %d,
+  "cores_available": %d,
+  "sequential": {
+    "wall_ms": %.3f,
+    "phase_ms_sum": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f }
+  },
+  "parallel": {
+    "wall_ms": %.3f,
+    "phase_ms_sum": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
+    "hit_ratio": %.3f,
+    "rebuilds_renumbered": %d,
+    "rebuilds_impure": %d
+  },
+  "speedup": %.3f,
+  "identical_results": %b
+}
+|}
+        n_entities jobs cores seq_ms (pt seq_stats).Crcore.Engine.lint_ms
+        (pt seq_stats).Crcore.Engine.encode_ms (pt seq_stats).Crcore.Engine.validity_ms
+        (pt seq_stats).Crcore.Engine.deduce_ms (pt seq_stats).Crcore.Engine.suggest_ms par_ms
+        (pt par_stats).Crcore.Engine.lint_ms (pt par_stats).Crcore.Engine.encode_ms
+        (pt par_stats).Crcore.Engine.validity_ms (pt par_stats).Crcore.Engine.deduce_ms
+        (pt par_stats).Crcore.Engine.suggest_ms par_stats.Crcore.Engine.hit_ratio
+        par_stats.Crcore.Engine.rebuilds_renumbered par_stats.Crcore.Engine.rebuilds_impure
+        speedup identical;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path
+
+let par () = par_sized ~n_entities:120 ~jobs:(par_jobs_default ()) ~json:(Some "BENCH_par.json") ()
+let par_smoke () = par_sized ~n_entities:12 ~jobs:(par_jobs_default ()) ~json:None ()
 
 (* ---------------------------------------------------------------- *)
 (* Lint pre-phase: statically-unsat specs skip the solver            *)
@@ -715,6 +881,8 @@ let experiments =
     ("summary", summary);
     ("batch", batch);
     ("batch_smoke", batch_smoke);
+    ("par", par);
+    ("par_smoke", par_smoke);
     ("lint", lint);
     ("lint_smoke", lint_smoke);
     ("ablation_encoding", ablation_encoding);
@@ -729,7 +897,8 @@ let () =
     match args with
     | [] ->
         List.filter
-          (fun (n, _) -> n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke")
+          (fun (n, _) ->
+            n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke")
           experiments
     | names ->
         List.map

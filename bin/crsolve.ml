@@ -316,7 +316,13 @@ let group_by_key key_positions tuples =
     tuples;
   List.rev_map (fun k -> (k, List.rev !(Hashtbl.find seen k))) !order
 
-let run_batch entity_file dir sigma_file gamma_file exact naive key truth_file max_rounds
+(* -j default: the CRSOLVE_JOBS environment variable, else sequential *)
+let default_jobs () =
+  match Sys.getenv_opt "CRSOLVE_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 1)
+  | None -> 1
+
+let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_file max_rounds
     output =
   let sigma, gamma = parse_sigma_gamma sigma_file gamma_file in
   let mk_label_spec label entity =
@@ -397,6 +403,7 @@ let run_batch entity_file dir sigma_file gamma_file exact naive key truth_file m
       (if naive then Crcore.Engine.naive_config else Crcore.Engine.default_config) with
       Crcore.Engine.mode = mode_of_exact exact;
       max_rounds;
+      jobs = max 1 jobs;
     }
   in
   let on_result (r : Crcore.Engine.item_result) =
@@ -524,12 +531,21 @@ let batch_cmd =
   let out_a =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"CSV" ~doc:"Write one resolved tuple per entity here.")
   in
+  let jobs_a =
+    Arg.(
+      value
+      & opt int (default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Resolve entities on $(docv) domains in parallel. Results are identical to the \
+             sequential run and stream in input order. Defaults to \\$CRSOLVE_JOBS, else 1.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Resolve a whole collection of entities with the incremental batch engine")
     Term.(
       const run_batch $ entity_a $ dir_a $ sigma_arg $ gamma_arg $ exact_arg $ naive_a
-      $ key_a $ truth_arg $ max_rounds_arg $ out_a)
+      $ jobs_a $ key_a $ truth_arg $ max_rounds_arg $ out_a)
 
 let main =
   Cmd.group

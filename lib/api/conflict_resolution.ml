@@ -75,8 +75,11 @@ module Rules = Crcore.Rules
 (** The interactive loop of Fig. 4, one entity per call. *)
 module Framework = Crcore.Framework
 
-(** Batch resolution: incremental solver sessions, encoding cache, and
-    structured statistics over collections of specifications. *)
+(** Batch resolution: incremental solver sessions, a sharded encoding
+    cache, and structured statistics over collections of specifications.
+    Set [config.jobs > 1] to resolve entities on that many domains in
+    parallel — results are identical to the sequential run and arrive in
+    input order. *)
 module Engine = Crcore.Engine
 
 (** Whole-relation repair: partition by key, resolve each entity. *)

@@ -6,11 +6,47 @@ type source = From_order | From_constraint of int | From_cfd of int
 
 type iconstraint = { premise : fact list; concl : fact; source : source }
 
+(* ---- compiled constraint forms ----
+
+   [Instantiation] evaluates every constraint on every representative tuple
+   pair; resolving attribute names to positions once per Σ/Γ (instead of a
+   hashtable lookup per predicate per pair) and splitting the single-tuple
+   constant predicates out of the pair predicates turns the inner loop into
+   array reads and lets whole constraints skip pairs wholesale. *)
+
+type cpred = CPrec of int | CCmp2 of int * Value.op
+
+type cconstraint = {
+  c_idx : int;  (* index into Σ *)
+  c_positions : int list;  (* sorted positions of every mentioned attribute *)
+  c_t1 : (int * Value.op * Value.t) list;  (* constant predicates on t1 *)
+  c_t2 : (int * Value.op * Value.t) list;  (* constant predicates on t2 *)
+  c_pair : cpred list;  (* pair predicates, original premise order *)
+  c_concl : int;
+}
+
+type sigma_c = {
+  s_schema : Schema.t;
+  s_src : Currency.Constraint_ast.t list;
+  s_cs : cconstraint list;
+}
+
+type cgamma = { g_idx : int; g_lhs : (int * Value.t) list; g_rhs : int * Value.t }
+
+type gamma_c = {
+  g_schema : Schema.t;
+  g_src : Cfd.Constant_cfd.t list;
+  g_cs : cgamma list;
+}
+
 type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
+  sigma_c : sigma_c;
+  gamma_c : gamma_c;
   sigma_insts : iconstraint list;
+  gamma_imps : iconstraint list;
   units : (fact * source) list;
   implications : iconstraint list;
   vetoes : (fact list * source) list;
@@ -20,6 +56,98 @@ type t = {
 }
 
 let var_of_fact_c coding f = Coding.var_of coding ~attr:f.attr f.lo f.hi
+
+let compile_sigma schema sigma =
+  let cs =
+    List.mapi
+      (fun k (c : Currency.Constraint_ast.t) ->
+        let t1 = ref [] and t2 = ref [] and pair = ref [] in
+        let positions = ref [Schema.index schema c.Currency.Constraint_ast.concl] in
+        List.iter
+          (fun p ->
+            match p with
+            | Currency.Constraint_ast.Prec name ->
+                let a = Schema.index schema name in
+                positions := a :: !positions;
+                pair := CPrec a :: !pair
+            | Currency.Constraint_ast.Cmp2 (name, op) ->
+                let a = Schema.index schema name in
+                positions := a :: !positions;
+                pair := CCmp2 (a, op) :: !pair
+            | Currency.Constraint_ast.Cmp_const (r, name, op, v) -> (
+                let a = Schema.index schema name in
+                positions := a :: !positions;
+                let e = (a, op, v) in
+                match r with
+                | Currency.Constraint_ast.T1 -> t1 := e :: !t1
+                | Currency.Constraint_ast.T2 -> t2 := e :: !t2))
+          c.Currency.Constraint_ast.premise;
+        {
+          c_idx = k;
+          (* sorted positions, not name-sorted [Constraint_ast.attrs]:
+             which tuples represent a distinct projection is insensitive
+             to the order of the projected positions, so any canonical
+             order yields the same representatives (and memo hits) *)
+          c_positions = List.sort_uniq compare !positions;
+          c_t1 = List.rev !t1;
+          c_t2 = List.rev !t2;
+          c_pair = List.rev !pair;
+          c_concl = Schema.index schema c.Currency.Constraint_ast.concl;
+        })
+      sigma
+  in
+  { s_schema = schema; s_src = sigma; s_cs = cs }
+
+let compile_gamma schema gamma =
+  let cs =
+    List.mapi
+      (fun k (c : Cfd.Constant_cfd.t) ->
+        let bname, bval = c.Cfd.Constant_cfd.rhs in
+        {
+          g_idx = k;
+          g_lhs =
+            List.map (fun (a, v) -> (Schema.index schema a, v)) c.Cfd.Constant_cfd.lhs;
+          g_rhs = (Schema.index schema bname, bval);
+        })
+      gamma
+  in
+  { g_schema = schema; g_src = gamma; g_cs = cs }
+
+(* Reuse a compiled form when the constraint list is the very same value:
+   specs share Σ/Γ physically across [Se ⊕ Ot] steps (and callers can
+   share across a batch via the [?sigma_c] parameters). A one-slot
+   domain-local memo backs up callers that don't pass the compiled form —
+   e.g. a naive resolution loop re-encoding the same spec every round —
+   without any cross-domain state. *)
+let sigma_memo : sigma_c option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let gamma_memo : gamma_c option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let sigma_c_for schema spec arg =
+  match arg with
+  | Some sc when sc.s_src == spec.Spec.sigma && Schema.equal sc.s_schema schema -> sc
+  | _ -> (
+      let slot = Domain.DLS.get sigma_memo in
+      match !slot with
+      | Some sc when sc.s_src == spec.Spec.sigma && Schema.equal sc.s_schema schema -> sc
+      | _ ->
+          let sc = compile_sigma schema spec.Spec.sigma in
+          slot := Some sc;
+          sc)
+
+let gamma_c_for schema spec arg =
+  match arg with
+  | Some gc when gc.g_src == spec.Spec.gamma && Schema.equal gc.g_schema schema -> gc
+  | _ -> (
+      let slot = Domain.DLS.get gamma_memo in
+      match !slot with
+      | Some gc when gc.g_src == spec.Spec.gamma && Schema.equal gc.g_schema schema -> gc
+      | _ ->
+          let gc = compile_gamma schema spec.Spec.gamma in
+          slot := Some gc;
+          gc)
 
 (* ---- instantiating currency constraints over distinct projections ----
 
@@ -46,15 +174,13 @@ let projection_reps_i entity attr_positions =
     (Entity.tuples entity);
   List.rev !reps
 
-let sigma_fact_of schema coding (name, v1, v2) =
-  let attr = Schema.index schema name in
-  { attr; lo = Coding.vid coding attr v1; hi = Coding.vid coding attr v2 }
-
 (* Σ instances in a canonical order, independent of which tuple pairs
    produced them: [extend] merges incrementally-found instances into a
    base set and must land on the very list a fresh encode would build. *)
-let sort_insts l =
-  List.sort (fun a b -> compare (a.premise, a.concl) (b.premise, b.concl)) l
+let compare_insts a b =
+  match compare a.premise b.premise with 0 -> compare a.concl b.concl | c -> c
+
+let sort_insts l = List.sort compare_insts l
 
 (* constraint sets routinely hold hundreds of constraints over the same
    few attribute sets (chains instantiated with different constants), so
@@ -69,84 +195,130 @@ let reps_memo entity =
         Hashtbl.add memo positions reps;
         reps
 
-let instantiate_sigma spec coding =
-  let schema = Spec.schema spec in
+let sat_consts tup preds =
+  List.for_all (fun (a, op, cst) -> Value.eval op (Tuple.get tup a) cst) preds
+
+(* the [Constraint_ast.instantiate] semantics on a compiled constraint whose
+   single-tuple constant predicates already held: evaluate the pair
+   predicates, collect the residual prec conjuncts as coded facts.
+   Returns the packed dedup key ([concl var :: sorted premise vars]) and
+   the instance, or [None] when some conjunct is vacuous-making. *)
+let inst_compiled coding cc s1 s2 =
+  let vacuous = ref false in
+  let residual = ref [] in
+  List.iter
+    (fun p ->
+      if not !vacuous then
+        match p with
+        | CPrec a -> (
+            let v1 = Tuple.get s1 a and v2 = Tuple.get s2 a in
+            (* nulls rank lowest: null ≺ v always holds (drop the conjunct),
+               v ≺ null never does (the whole constraint is vacuous) *)
+            match (Value.is_null v1, Value.is_null v2) with
+            | true, false -> ()
+            | _, true -> vacuous := true
+            | false, false ->
+                if Value.equal v1 v2 then vacuous := true
+                else
+                  residual :=
+                    { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }
+                    :: !residual)
+        | CCmp2 (a, op) ->
+            if not (Value.eval op (Tuple.get s1 a) (Tuple.get s2 a)) then vacuous := true)
+    cc.c_pair;
+  if !vacuous then None
+  else
+    let a = cc.c_concl in
+    let w1 = Tuple.get s1 a and w2 = Tuple.get s2 a in
+    (* equal-valued conclusions hold trivially; a null on either side of
+       the conclusion carries no value-level currency information (a null
+       already ranks lowest; a more-current-but-unknown value constrains
+       nothing) *)
+    if Value.equal w1 w2 || Value.is_null w1 || Value.is_null w2 then None
+    else
+      let concl = { attr = a; lo = Coding.vid coding a w1; hi = Coding.vid coding a w2 } in
+      let premise = List.sort_uniq compare !residual in
+      let key =
+        var_of_fact_c coding concl
+        :: List.map (fun f -> var_of_fact_c coding f) premise
+      in
+      Some (key, { premise; concl; source = From_constraint cc.c_idx })
+
+let instantiate_sigma sigma_c spec coding =
   let reps_of = reps_memo spec.Spec.entity in
   let out = Hashtbl.create 256 in
   let insts = ref [] in
-  List.iteri
-    (fun k c ->
-      let positions =
-        List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
+  List.iter
+    (fun cc ->
+      let reps = reps_of cc.c_positions in
+      let cand1 =
+        if cc.c_t1 = [] then reps
+        else List.filter (fun (_, s) -> sat_consts s cc.c_t1) reps
       in
-      let reps = reps_of positions in
-      List.iter
-        (fun (_, s1) ->
-          List.iter
-            (fun (_, s2) ->
-              if not (s1 == s2) then
-                match Currency.Constraint_ast.instantiate c s1 s2 with
-                | None -> ()
-                | Some inst ->
-                    let premise =
-                      List.sort_uniq compare
-                        (List.map (sigma_fact_of schema coding)
-                           inst.Currency.Constraint_ast.prec_premises)
-                    in
-                    let concl = sigma_fact_of schema coding inst.Currency.Constraint_ast.conclusion in
-                    let key = (premise, concl) in
-                    if not (Hashtbl.mem out key) then begin
-                      Hashtbl.add out key ();
-                      insts := { premise; concl; source = From_constraint k } :: !insts
-                    end)
-            reps)
-        reps)
-    spec.Spec.sigma;
+      if cand1 <> [] then begin
+        let cand2 =
+          if cc.c_t2 = [] then reps
+          else List.filter (fun (_, s) -> sat_consts s cc.c_t2) reps
+        in
+        List.iter
+          (fun (_, s1) ->
+            List.iter
+              (fun (_, s2) ->
+                if not (s1 == s2) then
+                  match inst_compiled coding cc s1 s2 with
+                  | None -> ()
+                  | Some (key, inst) ->
+                      if not (Hashtbl.mem out key) then begin
+                        Hashtbl.add out key ();
+                        insts := inst :: !insts
+                      end)
+              cand2)
+          cand1
+      end)
+    sigma_c.s_cs;
   sort_insts !insts
 
 (* The Σ instances an extension adds: with the value universes unchanged,
    instances over pairs of pre-existing tuples are exactly [base_insts],
    so only pairs touching a projection representative introduced by a
    tuple at index ≥ [n_base] can contribute anything new. On the
-   framework's one-fresh-tuple extensions this is O(reps) [instantiate]
+   framework's one-fresh-tuple extensions this is O(reps) instantiation
    calls per constraint instead of O(reps²). *)
-let instantiate_sigma_delta spec coding ~base_insts ~n_base =
-  let schema = Spec.schema spec in
+let instantiate_sigma_delta sigma_c spec coding ~base_insts ~n_base =
   let reps_of = reps_memo spec.Spec.entity in
   let seen = Hashtbl.create 1024 in
-  List.iter (fun ic -> Hashtbl.replace seen (ic.premise, ic.concl) ()) base_insts;
-  let out = ref [] in
-  List.iteri
-    (fun k c ->
-      let positions =
-        List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
+  List.iter
+    (fun ic ->
+      let key =
+        var_of_fact_c coding ic.concl
+        :: List.map (fun f -> var_of_fact_c coding f) ic.premise
       in
-      let reps = reps_of positions in
+      Hashtbl.replace seen key ())
+    base_insts;
+  let out = ref [] in
+  List.iter
+    (fun cc ->
+      let reps = reps_of cc.c_positions in
       let news = List.filter (fun (i, _) -> i >= n_base) reps in
       if news <> [] then begin
         let try_pair s1 s2 =
-          if not (s1 == s2) then
-            match Currency.Constraint_ast.instantiate c s1 s2 with
+          if (not (s1 == s2)) && sat_consts s1 cc.c_t1 && sat_consts s2 cc.c_t2 then
+            match inst_compiled coding cc s1 s2 with
             | None -> ()
-            | Some inst ->
-                let premise =
-                  List.sort_uniq compare
-                    (List.map (sigma_fact_of schema coding)
-                       inst.Currency.Constraint_ast.prec_premises)
-                in
-                let concl = sigma_fact_of schema coding inst.Currency.Constraint_ast.conclusion in
-                let key = (premise, concl) in
+            | Some (key, inst) ->
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.replace seen key ();
-                  out := { premise; concl; source = From_constraint k } :: !out
+                  out := inst :: !out
                 end
         in
         let olds = List.filter (fun (i, _) -> i < n_base) reps in
         List.iter (fun (_, o) -> List.iter (fun (_, n) -> try_pair o n) news) olds;
         List.iter (fun (_, n) -> List.iter (fun (_, r) -> try_pair n r) reps) news
       end)
-    spec.Spec.sigma;
-  !out
+    sigma_c.s_cs;
+  (* canonical order: the delta clauses a live session receives must not
+     depend on hashing or pair-enumeration order *)
+  sort_insts !out
 
 (* ---- instantiating constant CFDs ---- *)
 
@@ -164,39 +336,53 @@ let relevant_gamma entity gamma =
            c.Cfd.Constant_cfd.lhs)
 
 (* Returns the implication instances and, for CFDs whose RHS constant the
-   entity never takes, the vetoed premises (ω_X → ⊥). *)
-let instantiate_gamma spec coding gamma_rel =
-  let schema = Spec.schema spec in
+   entity never takes, the vetoed premises (ω_X → ⊥). A CFD whose LHS
+   mentions a value outside the active domain is vacuous on this entity
+   (its pattern can never be the current tuple) and contributes nothing —
+   the compiled-form equivalent of {!relevant_gamma}. *)
+let instantiate_gamma gamma_c coding =
   let out = ref [] in
   let vetoes = ref [] in
   List.iter
-    (fun (k, (c : Cfd.Constant_cfd.t)) ->
-      let premise =
-        (* ω_X: every other active-domain value sits below the pattern *)
-        List.concat_map
-          (fun (name, v) ->
-            let attr = Schema.index schema name in
-            let target = Coding.vid coding attr v in
-            List.filter_map
-              (fun lo -> if lo <> target then Some { attr; lo; hi = target } else None)
-              (List.init (Coding.adom_size coding attr) Fun.id))
-          c.Cfd.Constant_cfd.lhs
+    (fun gc ->
+      let relevant =
+        List.for_all
+          (fun (a, v) ->
+            match Coding.vid_opt coding a v with
+            | Some id -> id < Coding.adom_size coding a
+            | None -> false)
+          gc.g_lhs
       in
-      let bname, bval = c.Cfd.Constant_cfd.rhs in
-      let battr = Schema.index schema bname in
-      match Coding.vid_opt coding battr bval with
-      | Some btarget ->
-          for b = 0 to Coding.adom_size coding battr - 1 do
-            if b <> btarget then
-              out :=
-                { premise; concl = { attr = battr; lo = b; hi = btarget }; source = From_cfd k }
-                :: !out
-          done
-      | None ->
-          (* the repair value never occurs: the pattern can never be the
-             current tuple, unless the premise is already vacuous *)
-          vetoes := (premise, From_cfd k) :: !vetoes)
-    gamma_rel;
+      if relevant then begin
+        let premise =
+          (* ω_X: every other active-domain value sits below the pattern *)
+          List.concat_map
+            (fun (attr, v) ->
+              let target = Coding.vid coding attr v in
+              List.filter_map
+                (fun lo -> if lo <> target then Some { attr; lo; hi = target } else None)
+                (List.init (Coding.adom_size coding attr) Fun.id))
+            gc.g_lhs
+        in
+        let battr, bval = gc.g_rhs in
+        match Coding.vid_opt coding battr bval with
+        | Some btarget ->
+            for b = 0 to Coding.adom_size coding battr - 1 do
+              if b <> btarget then
+                out :=
+                  {
+                    premise;
+                    concl = { attr = battr; lo = b; hi = btarget };
+                    source = From_cfd gc.g_idx;
+                  }
+                  :: !out
+            done
+        | None ->
+            (* the repair value never occurs: the pattern can never be the
+               current tuple, unless the premise is already vacuous *)
+            vetoes := (premise, From_cfd gc.g_idx) :: !vetoes
+      end)
+    gamma_c.g_cs;
   (List.rev !out, List.rev !vetoes)
 
 (* ---- units from the currency orders of It and the null-lowest rule ---- *)
@@ -230,15 +416,14 @@ let order_units spec coding =
   done;
   List.rev !out
 
-(* Ω(Se) minus the Σ instantiation: units from the orders of It, the Γ
-   instances and vetoes, and the premise-free split — everything that is
-   cheap enough to recompute on each [Se ⊕ Ot] extension. [sigma_insts]
-   is the (canonically sorted) Σ instance list, computed either from
-   scratch ([encode]) or by merging a delta ([extend]). *)
-let assemble_parts spec coding sigma_insts =
-  let gamma_rel = relevant_gamma spec.Spec.entity spec.Spec.gamma in
+(* Ω(Se) minus the Σ and Γ instantiations: units from the orders of It and
+   the premise-free split. [sigma_insts] is the (canonically sorted) Σ
+   instance list, computed either from scratch ([encode]) or by merging a
+   delta ([extend]); the Γ parts are a function of the value universes
+   alone, so [extend] reuses them verbatim whenever the universes are
+   unchanged. *)
+let assemble_parts spec coding ~sigma_insts ~gamma_imps ~vetoes =
   let units = order_units spec coding in
-  let gamma_imps, vetoes = instantiate_gamma spec coding gamma_rel in
   let implications = sigma_insts @ gamma_imps in
   (* split premise-free implications into units *)
   let extra_units, implications =
@@ -306,14 +491,36 @@ let structural_clauses coding mode =
   done;
   (!clauses, !n_structural)
 
-let encode ?(mode = Paper) spec =
+let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
+  let schema = Spec.schema spec in
+  let sigma_c = sigma_c_for schema spec sigma_c in
+  let gamma_c = gamma_c_for schema spec gamma_c in
   let coding = Coding.build spec.Spec.entity [] in
-  let sigma_insts = instantiate_sigma spec coding in
-  let ((units, implications, vetoes) as parts) = assemble_parts spec coding sigma_insts in
+  let sigma_insts = instantiate_sigma sigma_c spec coding in
+  let gamma_imps, gvetoes = instantiate_gamma gamma_c coding in
+  let ((units, implications, vetoes) as parts) =
+    assemble_parts spec coding ~sigma_insts ~gamma_imps ~vetoes:gvetoes
+  in
   let inst = instance_clauses coding parts in
   let structural, n_structural = structural_clauses coding mode in
-  let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (structural @ inst) in
-  { spec; coding; mode; sigma_insts; units; implications; vetoes; cnf; n_structural; structural }
+  (* all literals are in range by construction: facts are coded over the
+     very universes the variable space is built from *)
+  let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (structural @ inst) in
+  {
+    spec;
+    coding;
+    mode;
+    sigma_c;
+    gamma_c;
+    sigma_insts;
+    gamma_imps;
+    units;
+    implications;
+    vetoes;
+    cnf;
+    n_structural;
+    structural;
+  }
 
 (* ---- incremental re-encoding for Se ⊕ Ot extensions ---- *)
 
@@ -394,12 +601,22 @@ let extend base spec =
          carry over verbatim; only pairs the new tuples touch are swept *)
       let identical = same_universes base.coding coding' in
       let coding = if identical then base.coding else coding' in
+      (* Σ/Γ are unchanged on a pure extension, so the compiled forms
+         carry over (they depend only on the schema and the lists) *)
+      let sigma_c = base.sigma_c and gamma_c = base.gamma_c in
       let n_base = List.length (Entity.tuples base.spec.Spec.entity) in
       let delta_insts =
-        instantiate_sigma_delta spec coding ~base_insts:base.sigma_insts ~n_base
+        instantiate_sigma_delta sigma_c spec coding ~base_insts:base.sigma_insts ~n_base
       in
-      let sigma_insts = sort_insts (base.sigma_insts @ delta_insts) in
-      let ((units, implications, vetoes) as parts) = assemble_parts spec coding sigma_insts in
+      let sigma_insts = sort_insts (List.rev_append delta_insts base.sigma_insts) in
+      (* the Γ instances are a function of the value universes alone:
+         identical universes reuse the base's parts verbatim *)
+      let gamma_imps, gvetoes =
+        if identical then (base.gamma_imps, base.vetoes) else instantiate_gamma gamma_c coding
+      in
+      let ((units, implications, vetoes) as parts) =
+        assemble_parts spec coding ~sigma_insts ~gamma_imps ~vetoes:gvetoes
+      in
       let inst = instance_clauses coding parts in
       if identical then begin
         (* variable numbering unchanged: the structural axioms carry over
@@ -408,7 +625,7 @@ let extend base spec =
            instances) plus the new Σ implications. Γ's part is a function
            of the unchanged universes and is identical on both sides, and
            pure extensions only add clauses, so the session stays sound. *)
-        let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (base.structural @ inst) in
+        let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (base.structural @ inst) in
         let var f = var_of_fact_c coding f in
         let base_unit_facts = Hashtbl.create 64 in
         List.iter (fun (f, _) -> Hashtbl.replace base_unit_facts f ()) base.units;
@@ -436,7 +653,10 @@ let extend base spec =
                  spec;
                  coding;
                  mode = base.mode;
+                 sigma_c;
+                 gamma_c;
                  sigma_insts;
+                 gamma_imps;
                  units;
                  implications;
                  vetoes;
@@ -453,14 +673,17 @@ let extend base spec =
            over; only the (cheap, small-domain) structural axioms are
            regenerated *)
         let structural, n_structural = structural_clauses coding base.mode in
-        let cnf = Sat.Cnf.make ~nvars:(Coding.nvars coding) (structural @ inst) in
+        let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (structural @ inst) in
         Some
           (Renumbered
              {
                spec;
                coding;
                mode = base.mode;
+               sigma_c;
+               gamma_c;
                sigma_insts;
+               gamma_imps;
                units;
                implications;
                vetoes;

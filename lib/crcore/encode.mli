@@ -38,14 +38,38 @@ type source =
     conclusion fact holds. Premise-free instances are facts outright. *)
 type iconstraint = { premise : fact list; concl : fact; source : source }
 
+(** Σ compiled against a schema: attribute names resolved to positions
+    once, single-tuple constant predicates split out of the pair
+    predicates so whole tuple pairs can be skipped wholesale. Compiling
+    is cheap but Σ is routinely large and shared across a batch, so
+    {!encode} accepts a precompiled form. *)
+type sigma_c
+
+(** Γ compiled against a schema (attribute names resolved to positions). *)
+type gamma_c
+
+(** [compile_sigma schema sigma] resolves [sigma] against [schema]. The
+    result is only valid for specs carrying this very [sigma] list (it is
+    checked by physical equality and recompiled on mismatch). *)
+val compile_sigma : Schema.t -> Currency.Constraint_ast.t list -> sigma_c
+
+(** [compile_gamma schema gamma] — as {!compile_sigma}, for Γ. *)
+val compile_gamma : Schema.t -> Cfd.Constant_cfd.t list -> gamma_c
+
 type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
+  sigma_c : sigma_c;   (** compiled Σ, reused across {!extend} steps *)
+  gamma_c : gamma_c;   (** compiled Γ, reused across {!extend} steps *)
   sigma_insts : iconstraint list;
       (** the instances of Σ alone, in a canonical order independent of
           which tuple pairs produced them — the part {!extend} updates
           incrementally (premise-free ones also appear in [units]) *)
+  gamma_imps : iconstraint list;
+      (** the implication instances of Γ alone; a pure function of the
+          value universes, reused verbatim by {!extend} when the
+          universes are unchanged (also folded into [implications]) *)
   units : (fact * source) list;      (** premise-free part of Ω(Se) *)
   implications : iconstraint list;   (** the rest of Ω(Se) *)
   vetoes : (fact list * source) list;
@@ -60,8 +84,13 @@ type t = {
           the cubic transitivity block *)
 }
 
-(** [encode ?mode spec] computes Ω(Se) and Φ(Se). Default mode [Paper]. *)
-val encode : ?mode:mode -> Spec.t -> t
+(** [encode ?mode ?sigma_c ?gamma_c spec] computes Ω(Se) and Φ(Se).
+    Default mode [Paper]. Pass [?sigma_c]/[?gamma_c] (from
+    {!compile_sigma}/{!compile_gamma}) to share the compiled constraint
+    forms across a batch of specs holding the same Σ/Γ lists; a compiled
+    form whose source list is not physically the spec's is recompiled, so
+    passing a stale one is safe. *)
+val encode : ?mode:mode -> ?sigma_c:sigma_c -> ?gamma_c:gamma_c -> Spec.t -> t
 
 (** How an incremental re-encode relates to its base. *)
 type extension =

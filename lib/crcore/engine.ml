@@ -8,6 +8,7 @@ type config = {
   incremental : bool;
   cache : bool;
   lint : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -19,9 +20,11 @@ let default_config =
     incremental = true;
     cache = true;
     lint = true;
+    jobs = 1;
   }
 
-let naive_config = { default_config with incremental = false; cache = false; lint = false }
+let naive_config =
+  { default_config with incremental = false; cache = false; lint = false }
 
 type phase_times = {
   mutable lint_ms : float;
@@ -42,6 +45,8 @@ type entity_stats = {
   cache_misses : int;
   delta_extensions : int;
   rebuilds : int;
+  rebuilds_renumbered : int;
+  rebuilds_impure : int;
   lint_rejected : bool;
 }
 
@@ -59,16 +64,40 @@ module Key = struct
 
   let equal = ( = )
 
-  (* deep polymorphic hash: specs routinely share Σ/Γ and differ only in
-     the entity tuples, which shallow hashing would miss *)
-  let hash k = Hashtbl.hash_param 200 1000 k
+  (* Structurally identical specs must collide, but hashing the whole spec
+     would deep-walk Σ and Γ (routinely hundreds of constraints) on every
+     lookup. Specs in practice differ in the entity tuples and the order
+     edges, so hash those plus the constraint-list lengths — cheap, and
+     still a function of the key, as {!equal} requires. *)
+  let hash ((mode, spec) : t) =
+    Hashtbl.hash_param 100 200
+      ( mode,
+        Entity.tuples spec.Spec.entity,
+        spec.Spec.orders,
+        List.length spec.Spec.sigma,
+        List.length spec.Spec.gamma )
 end
 
 module Tbl = Hashtbl.Make (Key)
 
-type cache = Encode.t Tbl.t
+(* Sharded for domain-parallel batches: a lookup locks only the shard its
+   key hashes to, and encoding on a miss runs outside any lock, so domains
+   resolving distinct specs never serialise on the cache. *)
+let n_shards = 16
 
-let create_cache () = Tbl.create 64
+type cache = { shards : Encode.t Tbl.t array; locks : Mutex.t array }
+
+let create_cache () =
+  {
+    shards = Array.init n_shards (fun _ -> Tbl.create 8);
+    locks = Array.init n_shards (fun _ -> Mutex.create ());
+  }
+
+let with_shard cache key f =
+  let i = Key.hash key land (n_shards - 1) in
+  let lock = cache.locks.(i) in
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f cache.shards.(i))
 
 (* ---- sessions ---- *)
 
@@ -84,16 +113,22 @@ type session = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable delta_extensions : int;
-  mutable rebuilds : int;
+  mutable rebuilds_renumbered : int;
+  mutable rebuilds_impure : int;
   lint_rejected : bool;
 }
 
 type slot = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
 
+(* wall clock, not [Sys.time]: process CPU time charges one domain's work
+   with every running domain's cycles, so per-phase times would be
+   nonsense under a parallel batch *)
+let now_ms () = Unix.gettimeofday () *. 1000.
+
 let timed_t times slot f =
-  let t0 = Sys.time () in
+  let t0 = now_ms () in
   let r = f () in
-  let dt = (Sys.time () -. t0) *. 1000. in
+  let dt = now_ms () -. t0 in
   (match slot with
   | Lint_p -> times.lint_ms <- times.lint_ms +. dt
   | Encode_p -> times.encode_ms <- times.encode_ms +. dt
@@ -113,12 +148,28 @@ let lookup ~(config : config) ~cache spec =
   if not config.cache then (Encode.encode ~mode:config.mode spec, false)
   else
     let key = (config.mode, spec) in
-    match Tbl.find_opt cache key with
+    match with_shard cache key (fun tbl -> Tbl.find_opt tbl key) with
     | Some enc -> (enc, true)
     | None ->
+        (* encode outside the shard lock: misses on distinct specs must
+           not serialise. A racing domain encoding the same spec does the
+           work twice; both land on equal encodings (encoding is a pure
+           function of the spec), and first-in wins the slot. *)
         let enc = Encode.encode ~mode:config.mode spec in
-        Tbl.replace cache key enc;
+        let enc =
+          with_shard cache key (fun tbl ->
+              match Tbl.find_opt tbl key with
+              | Some existing -> existing
+              | None ->
+                  Tbl.replace tbl key enc;
+                  enc)
+        in
         (enc, false)
+
+let cache_store ~(config : config) ~cache spec enc =
+  if config.cache then
+    let key = (config.mode, spec) in
+    with_shard cache key (fun tbl -> Tbl.replace tbl key enc)
 
 let encode_spec sess spec =
   let enc, hit = lookup ~config:sess.config ~cache:sess.cache spec in
@@ -166,7 +217,8 @@ let create_session ?(config = default_config) ?cache spec =
       cache_hits = (if config.cache && hit then 1 else 0);
       cache_misses = (if config.cache && (not hit) && not lint_rejected then 1 else 0);
       delta_extensions = 0;
-      rebuilds = 0;
+      rebuilds_renumbered = 0;
+      rebuilds_impure = 0;
       lint_rejected;
     }
   in
@@ -205,20 +257,20 @@ let apply_extension sess spec' =
     | Some (Encode.Delta (enc', delta)) ->
         sess.enc <- Some enc';
         sess.delta_extensions <- sess.delta_extensions + 1;
-        if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
+        cache_store ~config:sess.config ~cache:sess.cache spec' enc';
         let s = match sess.solver with Some s -> s | None -> assert false in
         timed sess Validity_p (fun () -> List.iter (Sat.Solver.add_clause_a s) delta)
     | Some (Encode.Renumbered enc') ->
         (* a value universe grew: the Σ instances were still reused, but
            variable numbers shifted, so the solver session restarts *)
-        sess.rebuilds <- sess.rebuilds + 1;
+        sess.rebuilds_renumbered <- sess.rebuilds_renumbered + 1;
         sess.enc <- Some enc';
-        if sess.config.cache then Tbl.replace sess.cache (sess.config.mode, spec') enc';
+        cache_store ~config:sess.config ~cache:sess.cache spec' enc';
         (match sess.solver with Some s -> retire sess s | None -> ());
         sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess enc'))
     | None ->
         (* not a pure extension: full re-encode and a fresh session *)
-        sess.rebuilds <- sess.rebuilds + 1;
+        sess.rebuilds_impure <- sess.rebuilds_impure + 1;
         (match sess.solver with Some s -> retire sess s | None -> ());
         let enc' = timed sess Encode_p (fun () -> encode_spec sess spec') in
         sess.enc <- Some enc';
@@ -237,7 +289,9 @@ let snapshot_stats sess =
     cache_hits = sess.cache_hits;
     cache_misses = sess.cache_misses;
     delta_extensions = sess.delta_extensions;
-    rebuilds = sess.rebuilds;
+    rebuilds = sess.rebuilds_renumbered + sess.rebuilds_impure;
+    rebuilds_renumbered = sess.rebuilds_renumbered;
+    rebuilds_impure = sess.rebuilds_impure;
     lint_rejected = sess.lint_rejected;
   }
 
@@ -333,15 +387,17 @@ type stats = {
   solvers_built : int;
   cache_hits : int;
   cache_misses : int;
+  hit_ratio : float;
   delta_extensions : int;
   rebuilds : int;
+  rebuilds_renumbered : int;
+  rebuilds_impure : int;
   lint_rejected : int;
+  jobs : int;
   wall_ms : float;
 }
 
-let cache_hit_rate st =
-  let total = st.cache_hits + st.cache_misses in
-  if total = 0 then 0. else float_of_int st.cache_hits /. float_of_int total
+let cache_hit_rate st = st.hit_ratio
 
 let throughput st =
   if st.wall_ms <= 0. then 0. else 1000. *. float_of_int st.entities /. st.wall_ms
@@ -349,21 +405,50 @@ let throughput st =
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
-     phases (ms): lint %.1f | encode %.1f | validity %.1f | deduce %.1f | suggest %.1f@ \
+     phases (ms, summed over %d job(s)): lint %.1f | encode %.1f | validity %.1f | \
+     deduce %.1f | suggest %.1f@ \
      lint: %d spec(s) rejected before encoding@ \
      solver: %a; %d CNF load(s)@ \
-     encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), %d rebuild(s)@ \
+     encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), \
+     %d rebuild(s) (%d renumbered, %d impure)@ \
      wall: %.1f ms (%.1f entities/s)@]"
     st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
-    st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
+    st.jobs st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
     st.times.suggest_ms st.lint_rejected Sat.Solver.pp_stats st.solver st.solvers_built
     st.cache_hits st.cache_misses
-    (100. *. cache_hit_rate st)
-    st.delta_extensions st.rebuilds st.wall_ms (throughput st)
+    (100. *. st.hit_ratio)
+    st.delta_extensions st.rebuilds st.rebuilds_renumbered st.rebuilds_impure st.wall_ms
+    (throughput st)
 
-let run_batch ?(config = default_config) ?cache ?on_result items =
-  let cache = match cache with Some c -> c | None -> create_cache () in
-  let t0 = Sys.time () in
+(* Batch items routinely carry structurally equal Σ/Γ lists that are not
+   physically shared (each built by its own producer). {!Encode} reuses
+   compiled constraint forms by physical identity, so intern the lists:
+   one deep comparison per distinct list per item, against compiling
+   (name resolution over hundreds of constraints) once per item. *)
+let intern_constraint_lists items =
+  let intern pool l =
+    if l == [] then l
+    else
+      match List.find_opt (fun c -> c == l) !pool with
+      | Some c -> c
+      | None -> (
+          match List.find_opt (fun c -> c = l) !pool with
+          | Some c -> c
+          | None ->
+              pool := l :: !pool;
+              l)
+  in
+  let sigmas = ref [] and gammas = ref [] in
+  List.map
+    (fun it ->
+      let s = it.spec in
+      let sigma = intern sigmas s.Spec.sigma in
+      let gamma = intern gammas s.Spec.gamma in
+      if sigma == s.Spec.sigma && gamma == s.Spec.gamma then it
+      else { it with spec = { s with Spec.sigma; gamma } })
+    items
+
+let aggregate ~jobs ~wall_ms (results : item_result array) =
   let agg_times = zero_times () in
   let entities = ref 0
   and valid_entities = ref 0
@@ -375,50 +460,97 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
   and cache_hits = ref 0
   and cache_misses = ref 0
   and delta_extensions = ref 0
-  and rebuilds = ref 0
+  and rebuilds_renumbered = ref 0
+  and rebuilds_impure = ref 0
   and lint_rejected = ref 0 in
-  let results =
-    List.map
-      (fun item ->
-        let result, st = resolve ~config ~cache ~user:item.user item.spec in
-        incr entities;
-        if result.valid then incr valid_entities;
-        total_rounds := !total_rounds + result.rounds;
-        attrs_total := !attrs_total + Array.length result.resolved;
-        attrs_resolved := !attrs_resolved + count_known result.resolved;
-        agg_times.lint_ms <- agg_times.lint_ms +. st.times.lint_ms;
-        agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
-        agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
-        agg_times.deduce_ms <- agg_times.deduce_ms +. st.times.deduce_ms;
-        agg_times.suggest_ms <- agg_times.suggest_ms +. st.times.suggest_ms;
-        solver := Sat.Solver.add_stats !solver st.solver;
-        solvers_built := !solvers_built + st.solvers_built;
-        cache_hits := !cache_hits + st.cache_hits;
-        cache_misses := !cache_misses + st.cache_misses;
-        delta_extensions := !delta_extensions + st.delta_extensions;
-        rebuilds := !rebuilds + st.rebuilds;
-        if st.lint_rejected then incr lint_rejected;
-        let ir = { label = item.label; result; stats = st } in
-        (match on_result with Some f -> f ir | None -> ());
-        ir)
-      items
+  Array.iter
+    (fun { result; stats = st; _ } ->
+      incr entities;
+      if result.valid then incr valid_entities;
+      total_rounds := !total_rounds + result.rounds;
+      attrs_total := !attrs_total + Array.length result.resolved;
+      attrs_resolved := !attrs_resolved + count_known result.resolved;
+      agg_times.lint_ms <- agg_times.lint_ms +. st.times.lint_ms;
+      agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
+      agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
+      agg_times.deduce_ms <- agg_times.deduce_ms +. st.times.deduce_ms;
+      agg_times.suggest_ms <- agg_times.suggest_ms +. st.times.suggest_ms;
+      solver := Sat.Solver.add_stats !solver st.solver;
+      solvers_built := !solvers_built + st.solvers_built;
+      cache_hits := !cache_hits + st.cache_hits;
+      cache_misses := !cache_misses + st.cache_misses;
+      delta_extensions := !delta_extensions + st.delta_extensions;
+      rebuilds_renumbered := !rebuilds_renumbered + st.rebuilds_renumbered;
+      rebuilds_impure := !rebuilds_impure + st.rebuilds_impure;
+      if st.lint_rejected then incr lint_rejected)
+    results;
+  let lookups = !cache_hits + !cache_misses in
+  {
+    entities = !entities;
+    valid_entities = !valid_entities;
+    total_rounds = !total_rounds;
+    attrs_total = !attrs_total;
+    attrs_resolved = !attrs_resolved;
+    times = agg_times;
+    solver = !solver;
+    solvers_built = !solvers_built;
+    cache_hits = !cache_hits;
+    cache_misses = !cache_misses;
+    hit_ratio =
+      (if lookups = 0 then 0. else float_of_int !cache_hits /. float_of_int lookups);
+    delta_extensions = !delta_extensions;
+    rebuilds = !rebuilds_renumbered + !rebuilds_impure;
+    rebuilds_renumbered = !rebuilds_renumbered;
+    rebuilds_impure = !rebuilds_impure;
+    lint_rejected = !lint_rejected;
+    jobs;
+    wall_ms;
+  }
+
+let run_batch ?(config = default_config) ?cache ?on_result items =
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let jobs = max 1 config.jobs in
+  let t0 = now_ms () in
+  let items = Array.of_list (intern_constraint_lists items) in
+  let n = Array.length items in
+  let results : item_result option array = Array.make n None in
+  let process i =
+    let item = items.(i) in
+    let result, st = resolve ~config ~cache ~user:item.user item.spec in
+    results.(i) <- Some { label = item.label; result; stats = st }
   in
-  let stats =
-    {
-      entities = !entities;
-      valid_entities = !valid_entities;
-      total_rounds = !total_rounds;
-      attrs_total = !attrs_total;
-      attrs_resolved = !attrs_resolved;
-      times = agg_times;
-      solver = !solver;
-      solvers_built = !solvers_built;
-      cache_hits = !cache_hits;
-      cache_misses = !cache_misses;
-      delta_extensions = !delta_extensions;
-      rebuilds = !rebuilds;
-      lint_rejected = !lint_rejected;
-      wall_ms = (Sys.time () -. t0) *. 1000.;
-    }
+  let the_result i =
+    match results.(i) with Some r -> r | None -> assert false
   in
-  (results, stats)
+  if jobs = 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      process i;
+      match on_result with Some f -> f (the_result i) | None -> ()
+    done
+  else begin
+    (* Results are written to disjoint indices (race-free), and joining
+       the pool's job happens-before [run] returns (publication-safe).
+       [on_result] streams the finished prefix in input order — exactly
+       the sequence the sequential path emits, whatever the schedule. *)
+    let emit_m = Mutex.create () in
+    let emitted = ref 0 in
+    let process_and_emit i =
+      process i;
+      match on_result with
+      | None -> ()
+      | Some f ->
+          Mutex.lock emit_m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock emit_m)
+            (fun () ->
+              while !emitted < n && Option.is_some results.(!emitted) do
+                f (the_result !emitted);
+                incr emitted
+              done)
+    in
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Pool.run pool ~n process_and_emit)
+  end;
+  let results = Array.map (fun r -> match r with Some r -> r | None -> assert false) results in
+  let stats = aggregate ~jobs ~wall_ms:(now_ms () -. t0) results in
+  (Array.to_list results, stats)

@@ -42,11 +42,18 @@ type config = {
       (** run the {!Analyze} pre-phase: specifications with an E-level
           diagnostic (provably unsatisfiable) skip encoding and the
           solver entirely and report the invalid outcome directly *)
+  jobs : int;
+      (** domains {!run_batch} resolves entities on (clamped to at least
+          1). Results and aggregate counters are identical to [jobs = 1] —
+          property-tested — and [on_result] still streams in input order;
+          only the schedule changes. Item [user] callbacks must be safe to
+          call from another domain. Sessions created directly are
+          unaffected. *)
 }
 
 (** Incremental session + cache + lint pre-phase on; [mode = Paper],
     [deduce = Deduce.deduce_order], [repair = Exact_maxsat],
-    [max_rounds = 5]. *)
+    [max_rounds = 5], [jobs = 1]. *)
 val default_config : config
 
 (** The literal per-entity behaviour of {!Framework.resolve} before this
@@ -54,7 +61,9 @@ val default_config : config
     The baseline the batch benchmarks compare against. *)
 val naive_config : config
 
-(** Cumulative CPU time per phase, milliseconds. Encoding
+(** Cumulative wall-clock time per phase, milliseconds (wall, not process
+    CPU: under a parallel batch, process CPU time charges one domain's
+    work with every domain's cycles). Encoding
     ([Instantiation] + [ConvertToCNF], including {!Encode.extend} deltas)
     is split out of the paper's validity phase so cache and delta effects
     are visible; add [encode_ms] to [validity_ms] to recover the paper's
@@ -74,7 +83,14 @@ type entity_stats = {
   cache_hits : int;
   cache_misses : int;
   delta_extensions : int;  (** [Se ⊕ Ot] rounds served by {!Encode.extend} *)
-  rebuilds : int;  (** rounds that changed a universe: full re-encode *)
+  rebuilds : int;  (** rounds the solver session could not survive:
+                       [rebuilds_renumbered + rebuilds_impure] *)
+  rebuilds_renumbered : int;
+      (** {!Encode.extend} reused the Σ instances but a value universe
+          grew, shifting variable numbers: the solver reloaded *)
+  rebuilds_impure : int;
+      (** the extension was not pure (Σ/Γ changed, tuples not appended):
+          full re-encode from scratch *)
   lint_rejected : bool;
       (** the lint pre-phase proved the spec unsatisfiable: no encoding,
           no solver was built *)
@@ -89,7 +105,9 @@ type result = {
   per_round_known : int list;
 }
 
-(** A shared encoding cache, safe to reuse across sessions and batches. *)
+(** A shared encoding cache, safe to reuse across sessions and batches —
+    including parallel ones: the table is split into hash-addressed,
+    mutex-guarded shards, and encoding on a miss runs outside any lock. *)
 type cache
 
 val create_cache : unit -> cache
@@ -117,9 +135,11 @@ type item = { label : string; spec : Spec.t; user : user }
 
 type item_result = { label : string; result : result; stats : entity_stats }
 
-(** Aggregate batch statistics. Times are CPU milliseconds summed over
-    entities; [wall_ms] is the batch's elapsed CPU time including
-    orchestration. *)
+(** Aggregate batch statistics. Phase times are wall milliseconds summed
+    over entities — under a parallel batch they exceed [wall_ms] (the
+    batch's elapsed time, orchestration included), because [jobs] domains
+    accumulate them concurrently; [wall_ms] is the honest end-to-end
+    figure, the phase sums show where the work went. *)
 type stats = {
   entities : int;
   valid_entities : int;
@@ -131,14 +151,17 @@ type stats = {
   solvers_built : int;
   cache_hits : int;
   cache_misses : int;
+  hit_ratio : float;  (** hits / (hits + misses), 0 with no lookups *)
   delta_extensions : int;
-  rebuilds : int;
+  rebuilds : int;  (** [rebuilds_renumbered + rebuilds_impure] *)
+  rebuilds_renumbered : int;
+  rebuilds_impure : int;
   lint_rejected : int;  (** entities rejected by the lint pre-phase *)
+  jobs : int;  (** domains the batch ran on *)
   wall_ms : float;
 }
 
-(** [cache_hit_rate stats] is hits / (hits + misses), 0 on an empty
-    cache history. *)
+(** [cache_hit_rate stats] is [stats.hit_ratio]. *)
 val cache_hit_rate : stats -> float
 
 (** [throughput stats] is resolved entities per second of wall time. *)
@@ -147,8 +170,13 @@ val throughput : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
 
 (** [run_batch ?config ?cache ?on_result items] resolves every item with a
-    shared encoding cache, streaming each {!item_result} to [on_result] as
-    it completes, and returns all results plus the aggregate. *)
+    shared encoding cache and returns all results plus the aggregate, on
+    [config.jobs] domains. Results are in input order and identical to a
+    sequential run whatever [jobs] is; [on_result] receives each finished
+    {!item_result} in input order too (under parallelism, as the finished
+    prefix grows). Structurally equal Σ/Γ lists are interned across items
+    first, so compiled constraint forms and cache-key comparisons are
+    shared batch-wide. *)
 val run_batch :
   ?config:config ->
   ?cache:cache ->

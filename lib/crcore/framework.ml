@@ -34,6 +34,7 @@ let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.deduce_order)
       incremental = false;
       cache = false;
       lint = false;
+      jobs = 1;
     }
   in
   let r, st = Engine.resolve ~config ~user spec in

@@ -1,0 +1,135 @@
+type job = {
+  n : int;
+  chunk : int;
+  f : int -> unit;
+  next : int Atomic.t;  (* next unclaimed index *)
+  mutable running : int;  (* workers still inside this job *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-index failure so far; [m] guards it *)
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t;  (* a new job was posted, or shutdown *)
+  idle : Condition.t;  (* a worker left a job *)
+  mutable current : job option;
+  mutable generation : int;  (* bumped per job; lets workers spot new work *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* claim and process chunks until the counter runs dry *)
+let drain pool job =
+  let rec loop () =
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.n then begin
+      let stop_ = min job.n (start + job.chunk) in
+      for i = start to stop_ - 1 do
+        try job.f i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock pool.m;
+          (match job.failure with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> job.failure <- Some (i, e, bt));
+          Mutex.unlock pool.m
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker pool =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    while (not pool.stop) && (pool.generation = !seen || pool.current = None) do
+      Condition.wait pool.work pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      seen := pool.generation;
+      let job = match pool.current with Some j -> j | None -> assert false in
+      job.running <- job.running + 1;
+      Mutex.unlock pool.m;
+      drain pool job;
+      Mutex.lock pool.m;
+      job.running <- job.running - 1;
+      Condition.signal pool.idle;
+      Mutex.unlock pool.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      current = None;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let reraise (i, e, bt) =
+  ignore i;
+  Printexc.raise_with_backtrace e bt
+
+let run ?chunk pool ~n f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (pool.jobs * 8))
+    in
+    if pool.jobs = 1 then begin
+      (* degenerate pool: a plain loop, same failure discipline *)
+      let job = { n; chunk; f; next = Atomic.make 0; running = 0; failure = None } in
+      drain pool job;
+      match job.failure with None -> () | Some fl -> reraise fl
+    end
+    else begin
+      let job = { n; chunk; f; next = Atomic.make 0; running = 0; failure = None } in
+      Mutex.lock pool.m;
+      pool.current <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.m;
+      (* the caller is a worker too *)
+      drain pool job;
+      Mutex.lock pool.m;
+      (* the counter is dry, so workers still [running] are on their last
+         chunks; late workers that never joined will find no indices left *)
+      while job.running > 0 do
+        Condition.wait pool.idle pool.m
+      done;
+      pool.current <- None;
+      Mutex.unlock pool.m;
+      match job.failure with None -> () | Some fl -> reraise fl
+    end
+  end
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let recommended_jobs () = Domain.recommended_domain_count ()

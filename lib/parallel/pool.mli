@@ -1,0 +1,45 @@
+(** A fixed-size domain pool for data-parallel loops.
+
+    [run pool ~n f] evaluates [f i] for every [i] in [0..n-1], spread over
+    the pool's domains; the caller participates as a worker, so a pool of
+    [jobs] executes on [jobs] domains total ([jobs - 1] spawned). Indices
+    are claimed in contiguous chunks from a shared counter, so workers
+    stay busy even when per-item cost is skewed.
+
+    [f] receives only the item index: workers communicate results by
+    writing to disjoint indices of a caller-owned array, which is
+    race-free (no two invocations share an index) and publication-safe
+    (joining the job happens-before [run] returning).
+
+    Exceptions raised by [f] are caught per item; after the loop drains,
+    the exception of the lowest raising index is re-raised in the caller —
+    deterministic regardless of scheduling. Remaining items still run
+    (item independence means a failure cannot poison its neighbours).
+
+    The pool is itself domain-safe for sequential reuse but [run] must not
+    be called concurrently from two domains, nor from inside [f]. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs] is clamped to
+    at least 1; [jobs = 1] spawns nothing and [run] degenerates to a plain
+    sequential loop). *)
+val create : jobs:int -> t
+
+(** Number of domains executing a [run], caller included. *)
+val jobs : t -> int
+
+(** [run pool ~n f] — see module doc. [chunk] overrides the claiming
+    granularity (default: [n] split 8 ways per worker, at least 1). *)
+val run : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+
+(** Joins the worker domains. The pool must not be used afterwards;
+    idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] is [f pool] with {!shutdown} guaranteed. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** The runtime's view of how many domains this machine can usefully run
+    ({!Domain.recommended_domain_count}). *)
+val recommended_jobs : unit -> int

@@ -16,6 +16,10 @@ let make ~nvars clauses =
   List.iter (check_clause nvars) clauses;
   { nvars; clauses }
 
+let unsafe_make ~nvars clauses =
+  if nvars < 0 then invalid_arg "Cnf.unsafe_make: negative nvars";
+  { nvars; clauses }
+
 let nclauses f = List.length f.clauses
 
 let add_clause f c =

@@ -15,6 +15,12 @@ type t = {
     [< nvars] and builds the formula. Raises [Invalid_argument] otherwise. *)
 val make : nvars:int -> clause list -> t
 
+(** [unsafe_make ~nvars clauses] builds the formula without the per-literal
+    range check — for producers (the [Crcore] encoder's hot path) whose
+    clauses are in range by construction. A literal over a variable
+    [>= nvars] yields a formula that later stages reject or misread. *)
+val unsafe_make : nvars:int -> clause list -> t
+
 val nclauses : t -> int
 
 (** [add_clause f c] is [f] with [c] appended (variables must fit). *)

@@ -1,0 +1,207 @@
+(* The domain-parallel batch path: Parallel.Pool scheduling discipline,
+   and the engine-level guarantee that [jobs > 1] never changes what
+   run_batch returns — only how long it takes. *)
+
+module F = Crcore.Framework
+module E = Crcore.Engine
+
+(* ---- Parallel.Pool unit tests ---- *)
+
+let test_pool_covers_all_indices () =
+  List.iter
+    (fun jobs ->
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let n = 100 in
+          let out = Array.make n (-1) in
+          Parallel.Pool.run pool ~n (fun i -> out.(i) <- i * i);
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check int) (Printf.sprintf "jobs=%d index %d" jobs i) (i * i) v)
+            out))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_chunk_sizes () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun chunk ->
+          let n = 37 in
+          let out = Array.make n false in
+          Parallel.Pool.run ~chunk pool ~n (fun i -> out.(i) <- true);
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk=%d covers all" chunk)
+            true
+            (Array.for_all Fun.id out))
+        [ 1; 5; 1000 ])
+
+let test_pool_reuse_and_empty () =
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      let calls = Atomic.make 0 in
+      Parallel.Pool.run pool ~n:0 (fun _ -> Atomic.incr calls);
+      Alcotest.(check int) "n=0 runs nothing" 0 (Atomic.get calls);
+      Parallel.Pool.run pool ~n:10 (fun _ -> Atomic.incr calls);
+      Parallel.Pool.run pool ~n:10 (fun _ -> Atomic.incr calls);
+      Alcotest.(check int) "two jobs on one pool" 20 (Atomic.get calls))
+
+let test_pool_lowest_failure_wins () =
+  List.iter
+    (fun jobs ->
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let raised =
+            try
+              Parallel.Pool.run pool ~n:60 (fun i ->
+                  if i = 7 || i = 41 then failwith (string_of_int i));
+              None
+            with Failure m -> Some m
+          in
+          (* every index is still attempted; the failure re-raised at the
+             end is the lowest-indexed one *)
+          Alcotest.(check (option string))
+            (Printf.sprintf "jobs=%d lowest failure" jobs)
+            (Some "7") raised))
+    [ 1; 4 ]
+
+let test_pool_clamps_jobs () =
+  Parallel.Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "jobs clamped to 1" 1 (Parallel.Pool.jobs pool);
+      let hit = ref false in
+      Parallel.Pool.run pool ~n:1 (fun _ -> hit := true);
+      Alcotest.(check bool) "still runs" true !hit)
+
+(* ---- batches of random specs, including lint-rejected and unsat ---- *)
+
+(* A spec the lint pre-phase provably rejects: a two-cycle in [a]'s
+   explicit currency order between tuples holding distinct values. *)
+let broken_spec () =
+  let mk vals = Tuple.make Fixtures.small_schema (List.map (fun s -> Value.Str s) vals) in
+  let entity = Entity.make Fixtures.small_schema [ mk [ "a0"; "b0"; "c0" ]; mk [ "a1"; "b1"; "c1" ] ] in
+  Crcore.Spec.make entity
+    ~orders:
+      [ { Crcore.Spec.attr = "a"; lo = 0; hi = 1 }; { Crcore.Spec.attr = "a"; lo = 1; hi = 0 } ]
+    ~sigma:[] ~gamma:[]
+
+(* 20 specs per generated batch: random ones (possibly unsat through
+   inconsistent orders / contradictory Σ) with every fifth replaced by
+   the guaranteed lint-rejected spec above. Users are pure closures over
+   a precomputed truth tuple, so they are safe to call from any domain. *)
+let batch_of_seed seed =
+  let st = Random.State.make [| seed |] in
+  List.init 20 (fun i ->
+      let spec =
+        if i mod 5 = 4 then broken_spec () else Fixtures.random_spec st
+      in
+      let user =
+        match Crcore.Reference.analyze spec with
+        | Some r when r.Crcore.Reference.valid -> (
+            match r.Crcore.Reference.true_tuple with
+            | Some t -> F.oracle (Tuple.of_array (Crcore.Spec.schema spec) t)
+            | None -> F.silent)
+        | _ -> F.silent
+      in
+      { E.label = string_of_int i; spec; user })
+
+let same_item_results (a : E.item_result list) (b : E.item_result list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : E.item_result) (y : E.item_result) ->
+         x.E.label = y.E.label && x.E.result = y.E.result)
+       a b
+
+(* The headline property: 25 batches x 20 specs = 500 random specs, each
+   batch resolved sequentially and with jobs in {2, 4, 8}; every parallel
+   run must return exactly the sequential results. Lint stays on, so the
+   rejected specs exercise the mixed lint/solve path under parallelism. *)
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~count:25 ~name:"run_batch jobs>1 == jobs=1 on random spec batches"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let items = batch_of_seed seed in
+      let seq_results, seq_stats = E.run_batch items in
+      List.for_all
+        (fun jobs ->
+          let par_results, par_stats =
+            E.run_batch ~config:{ E.default_config with jobs } items
+          in
+          same_item_results seq_results par_results
+          && par_stats.E.entities = seq_stats.E.entities
+          && par_stats.E.valid_entities = seq_stats.E.valid_entities
+          && par_stats.E.lint_rejected = seq_stats.E.lint_rejected
+          && par_stats.E.total_rounds = seq_stats.E.total_rounds)
+        [ 2; 4; 8 ])
+
+let test_parallel_streaming_order () =
+  let items = batch_of_seed 42 in
+  let seen = ref [] in
+  let _, _ =
+    E.run_batch
+      ~config:{ E.default_config with jobs = 4 }
+      ~on_result:(fun ir -> seen := ir.E.label :: !seen)
+      items
+  in
+  Alcotest.(check (list string))
+    "on_result streams in input order"
+    (List.map (fun (it : E.item) -> it.E.label) items)
+    (List.rev !seen)
+
+let test_parallel_stats_invariants () =
+  let items = batch_of_seed 7 in
+  let _, st = E.run_batch ~config:{ E.default_config with jobs = 4 } items in
+  Alcotest.(check int) "jobs recorded" 4 st.E.jobs;
+  Alcotest.(check int) "entities" (List.length items) st.E.entities;
+  Alcotest.(check int) "rebuild breakdown sums" st.E.rebuilds
+    (st.E.rebuilds_renumbered + st.E.rebuilds_impure);
+  Alcotest.(check bool) "hit_ratio in [0,1]" true
+    (st.E.hit_ratio >= 0. && st.E.hit_ratio <= 1.);
+  Alcotest.(check bool) "hit_ratio consistent" true
+    (st.E.cache_hits + st.E.cache_misses = 0
+    || abs_float
+         (st.E.hit_ratio
+         -. (float_of_int st.E.cache_hits
+            /. float_of_int (st.E.cache_hits + st.E.cache_misses)))
+       < 1e-9);
+  Alcotest.(check bool) "phase times non-negative" true
+    (st.E.times.E.lint_ms >= 0.
+    && st.E.times.E.encode_ms >= 0.
+    && st.E.times.E.validity_ms >= 0.
+    && st.E.times.E.deduce_ms >= 0.
+    && st.E.times.E.suggest_ms >= 0.)
+
+(* CRSOLVE_JOBS is how CI widens the tested job counts without editing
+   the suite: when set, the same parity property runs at that width. *)
+let env_jobs_tests =
+  match Sys.getenv_opt "CRSOLVE_JOBS" with
+  | Some s when (match int_of_string_opt s with Some j -> j > 1 | None -> false) ->
+      let jobs = int_of_string s in
+      [
+        QCheck.Test.make ~count:10
+          ~name:(Printf.sprintf "run_batch jobs=%d == jobs=1 (CRSOLVE_JOBS)" jobs)
+          QCheck.(int_bound 1_000_000)
+          (fun seed ->
+            let items = batch_of_seed seed in
+            let seq_results, _ = E.run_batch items in
+            let par_results, _ =
+              E.run_batch ~config:{ E.default_config with jobs } items
+            in
+            same_item_results seq_results par_results);
+      ]
+  | _ -> []
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers all indices" `Quick test_pool_covers_all_indices;
+          Alcotest.test_case "chunk sizes" `Quick test_pool_chunk_sizes;
+          Alcotest.test_case "reuse and empty" `Quick test_pool_reuse_and_empty;
+          Alcotest.test_case "lowest failure wins" `Quick test_pool_lowest_failure_wins;
+          Alcotest.test_case "clamps jobs" `Quick test_pool_clamps_jobs;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "streaming order (jobs=4)" `Quick test_parallel_streaming_order;
+          Alcotest.test_case "stats invariants (jobs=4)" `Quick test_parallel_stats_invariants;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          (prop_parallel_equals_sequential :: env_jobs_tests) );
+    ]
