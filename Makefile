@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par lint fmt clean
+.PHONY: all build test check bench batch par deduce lint fmt clean
 
 all: build
 
@@ -25,6 +25,12 @@ batch:
 # writes BENCH_par.json and requires identical results.
 par:
 	dune exec bench/main.exe -- par
+
+# Backbone vs naive vs unit-prop deduction on the Person batch; writes
+# BENCH_deduce.json and exits non-zero if backbone and naive_deduce ever
+# disagree on a deduced order.
+deduce:
+	dune exec bench/main.exe -- deduce
 
 # Lint the shipped example data: the clean set must exit 0, the broken
 # set must exit 2 (errors found) — both outcomes are part of the gate.

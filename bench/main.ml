@@ -663,7 +663,10 @@ let par_sized ~n_entities ~jobs ~json () =
     best_of_3 (fun () -> Crcore.Engine.run_batch ~config:no_lint items)
   in
   let par_ms, (par_results, par_stats) =
-    best_of_3 (fun () -> Crcore.Engine.run_batch ~config:{ no_lint with jobs } items)
+    (* clamp off: the scenario measures the requested width as-is, so a
+       1-core host honestly shows the over-subscription penalty *)
+    best_of_3 (fun () ->
+        Crcore.Engine.run_batch ~config:{ no_lint with jobs; clamp_jobs = false } items)
   in
   let identical =
     List.for_all2
@@ -718,6 +721,163 @@ let par_sized ~n_entities ~jobs ~json () =
 
 let par () = par_sized ~n_entities:120 ~jobs:(par_jobs_default ()) ~json:(Some "BENCH_par.json") ()
 let par_smoke () = par_sized ~n_entities:12 ~jobs:(par_jobs_default ()) ~json:None ()
+
+(* ---------------------------------------------------------------- *)
+(* Deduce: backbone vs naive vs unit propagation                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Complete deduction head-to-head on the batch workload. Per entity
+   (fresh encoding, no shared session — the standalone cost): wall time,
+   SAT calls and facts for unit propagation (deduce_order), NaiveDeduce
+   and backbone; backbone and naive must deduce identical orders, which
+   this scenario enforces (CI runs it on the smoke batch). Then the
+   engine-level effect: run_batch with config.deduce = backbone (the
+   default) against deduce_order — complete deduction resolves more
+   attributes per round, so fewer Se ⊕ Ot extensions, fewer
+   Null-enters-universe renumberings, and fewer solvers built.
+   Emits BENCH_deduce.json. *)
+let deduce_sized ~n_entities ~json () =
+  section
+    (Printf.sprintf "Deduce: %d Person entities, backbone vs naive vs unit propagation"
+       n_entities);
+  let ds =
+    Datagen.Person.generate
+      {
+        Datagen.Person.default_params with
+        n_entities;
+        size_min = 4;
+        size_max = 10;
+        extra_events = 2;
+      }
+  in
+  let specs = List.map (Datagen.Types.spec_of ds) ds.Datagen.Types.cases in
+  let sorted_pairs (d : Crcore.Deduce.t) =
+    Array.map
+      (fun o -> List.sort compare (Porder.Strict_order.pairs o))
+      d.Crcore.Deduce.od
+  in
+  let u_ms = ref 0. and n_ms = ref 0. and b_ms = ref 0. in
+  let u_facts = ref 0 and n_facts = ref 0 and b_facts = ref 0 in
+  let n_calls = ref 0 and b_calls = ref 0 in
+  let b_probes = ref 0 and b_prunes = ref 0 and b_seeded = ref 0 in
+  let nvars_total = ref 0 in
+  let identical = ref true in
+  List.iter
+    (fun spec ->
+      let enc = Crcore.Encode.encode spec in
+      nvars_total := !nvars_total + enc.Crcore.Encode.cnf.Sat.Cnf.nvars;
+      let ms, u = wall_ms (fun () -> Crcore.Deduce.deduce_order enc) in
+      u_ms := !u_ms +. ms;
+      u_facts := !u_facts + Crcore.Deduce.n_facts u;
+      let ms, n = wall_ms (fun () -> Crcore.Deduce.naive_deduce enc) in
+      n_ms := !n_ms +. ms;
+      n_facts := !n_facts + Crcore.Deduce.n_facts n;
+      n_calls := !n_calls + n.Crcore.Deduce.stats.Crcore.Deduce.sat_calls;
+      let ms, b = wall_ms (fun () -> Crcore.Deduce.backbone enc) in
+      b_ms := !b_ms +. ms;
+      b_facts := !b_facts + Crcore.Deduce.n_facts b;
+      let st = b.Crcore.Deduce.stats in
+      b_calls := !b_calls + st.Crcore.Deduce.sat_calls;
+      b_probes := !b_probes + st.Crcore.Deduce.probes;
+      b_prunes := !b_prunes + st.Crcore.Deduce.model_prunes;
+      b_seeded := !b_seeded + st.Crcore.Deduce.seeded;
+      if sorted_pairs b <> sorted_pairs n then identical := false)
+    specs;
+  let ratio = if !b_calls = 0 then 0. else float_of_int !n_calls /. float_of_int !b_calls in
+  Printf.printf "  unit propagation: %8.1f ms                     %6d facts\n" !u_ms !u_facts;
+  Printf.printf "  naive_deduce:     %8.1f ms  %7d SAT calls  %6d facts\n" !n_ms !n_calls
+    !n_facts;
+  Printf.printf "  backbone:         %8.1f ms  %7d SAT calls  %6d facts\n" !b_ms !b_calls
+    !b_facts;
+  Printf.printf
+    "  backbone detail: %d probe(s), %d model-prune(s), %d seeded over %d var(s)\n"
+    !b_probes !b_prunes !b_seeded !nvars_total;
+  Printf.printf "  SAT-call ratio naive/backbone: %.1fx   identical orders: %b\n" ratio
+    !identical;
+  if not !identical then begin
+    prerr_endline "deduce bench: backbone and naive_deduce disagree";
+    exit 1
+  end;
+  (* engine effect: complete deduction cuts interaction rounds *)
+  let items =
+    intern_items
+      (List.map
+         (fun (case : Datagen.Types.case) ->
+           {
+             Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+             spec = Datagen.Types.spec_of ds case;
+             user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+           })
+         ds.Datagen.Types.cases)
+  in
+  let run_with deduce =
+    wall_ms (fun () ->
+        Crcore.Engine.run_batch
+          ~config:{ Crcore.Engine.default_config with lint = false; deduce }
+          items)
+  in
+  let up_ms, (up_results, up_stats) = run_with Crcore.Deduce.deduce_order in
+  let bb_ms, (bb_results, bb_stats) = run_with Crcore.Deduce.backbone in
+  let same_resolved =
+    List.for_all2
+      (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+        a.Crcore.Engine.result.Crcore.Engine.resolved
+        = b.Crcore.Engine.result.Crcore.Engine.resolved)
+      up_results bb_results
+  in
+  let line name ms (st : Crcore.Engine.stats) =
+    Printf.printf
+      "  engine (%-12s): %8.1f ms, %d round(s), %d solver(s) built (%d renumbered, %d delta), %d reused phase(s)\n"
+      name ms st.Crcore.Engine.total_rounds st.Crcore.Engine.solvers_built
+      st.Crcore.Engine.rebuilds_renumbered st.Crcore.Engine.delta_extensions
+      st.Crcore.Engine.solvers_reused
+  in
+  line "deduce_order" up_ms up_stats;
+  line "backbone" bb_ms bb_stats;
+  Printf.printf "  same final resolutions: %b\n%!" same_resolved;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "deduce",
+  "dataset": "Person",
+  "n_entities": %d,
+  "nvars_total": %d,
+  "unit_prop": { "wall_ms": %.3f, "sat_calls": 0, "facts": %d },
+  "naive": { "wall_ms": %.3f, "sat_calls": %d, "facts": %d },
+  "backbone": {
+    "wall_ms": %.3f,
+    "sat_calls": %d,
+    "probes": %d,
+    "model_prunes": %d,
+    "seeded": %d,
+    "facts": %d
+  },
+  "sat_call_ratio_naive_over_backbone": %.3f,
+  "identical_orders": %b,
+  "engine": {
+    "deduce_order": { "wall_ms": %.3f, "total_rounds": %d, "solvers_built": %d, "rebuilds_renumbered": %d, "delta_extensions": %d, "solvers_reused": %d, "deduce_sat_calls": %d },
+    "backbone":     { "wall_ms": %.3f, "total_rounds": %d, "solvers_built": %d, "rebuilds_renumbered": %d, "delta_extensions": %d, "solvers_reused": %d, "deduce_sat_calls": %d },
+    "same_final_resolutions": %b
+  }
+}
+|}
+        n_entities !nvars_total !u_ms !u_facts !n_ms !n_calls !n_facts !b_ms !b_calls
+        !b_probes !b_prunes !b_seeded !b_facts ratio !identical up_ms
+        up_stats.Crcore.Engine.total_rounds up_stats.Crcore.Engine.solvers_built
+        up_stats.Crcore.Engine.rebuilds_renumbered up_stats.Crcore.Engine.delta_extensions
+        up_stats.Crcore.Engine.solvers_reused up_stats.Crcore.Engine.deduce_sat_calls bb_ms
+        bb_stats.Crcore.Engine.total_rounds bb_stats.Crcore.Engine.solvers_built
+        bb_stats.Crcore.Engine.rebuilds_renumbered bb_stats.Crcore.Engine.delta_extensions
+        bb_stats.Crcore.Engine.solvers_reused bb_stats.Crcore.Engine.deduce_sat_calls
+        same_resolved;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+
+let deduce () = deduce_sized ~n_entities:120 ~json:(Some "BENCH_deduce.json") ()
+let deduce_smoke () = deduce_sized ~n_entities:12 ~json:(Some "BENCH_deduce.json") ()
 
 (* ---------------------------------------------------------------- *)
 (* Lint pre-phase: statically-unsat specs skip the solver            *)
@@ -883,6 +1043,8 @@ let experiments =
     ("batch_smoke", batch_smoke);
     ("par", par);
     ("par_smoke", par_smoke);
+    ("deduce", deduce);
+    ("deduce_smoke", deduce_smoke);
     ("lint", lint);
     ("lint_smoke", lint_smoke);
     ("ablation_encoding", ablation_encoding);
@@ -898,7 +1060,8 @@ let () =
     | [] ->
         List.filter
           (fun (n, _) ->
-            n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke")
+            n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke"
+            && n <> "deduce_smoke")
           experiments
     | names ->
         List.map

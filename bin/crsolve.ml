@@ -398,12 +398,19 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
       (fun (label, spec) -> { Crcore.Engine.label; spec; user = user_for label })
       labelled
   in
+  let jobs = max 1 jobs in
+  let cores = Parallel.Pool.recommended_jobs () in
+  if jobs > cores then
+    Printf.eprintf
+      "crsolve: warning: -j %d exceeds the %d available core(s); running %d job(s) \
+       (over-subscribing domains only slows batches down)\n%!"
+      jobs cores (min jobs cores);
   let config =
     {
       (if naive then Crcore.Engine.naive_config else Crcore.Engine.default_config) with
       Crcore.Engine.mode = mode_of_exact exact;
       max_rounds;
-      jobs = max 1 jobs;
+      jobs;
     }
   in
   let on_result (r : Crcore.Engine.item_result) =

@@ -7,24 +7,32 @@ type result = { clique : int list; optimal : bool }
 let colour_order g cand =
   let vs = Bitset.to_list cand in
   let n = Ugraph.n_vertices g in
-  let colour_classes : Bitset.t list ref = ref [] in
+  (* first-fit classes in creation order, indexed 0..n_classes-1: a
+     growable array instead of appending to a list tail, which rescanned
+     every class per vertex (quadratic in the number of colours) *)
+  let colour_classes = Array.make (max n 1) (Bitset.create 0) in
+  let n_classes = ref 0 in
   let assignments = ref [] in
   List.iter
     (fun v ->
-      let rec place k = function
-        | [] ->
-            let cls = Bitset.create n in
+      let rec place k =
+        if k > !n_classes then begin
+          let cls = Bitset.create n in
+          Bitset.add cls v;
+          colour_classes.(!n_classes) <- cls;
+          incr n_classes;
+          k
+        end
+        else begin
+          let cls = colour_classes.(k - 1) in
+          if Bitset.is_empty (Bitset.inter cls (Ugraph.neighbours g v)) then begin
             Bitset.add cls v;
-            colour_classes := !colour_classes @ [ cls ];
             k
-        | cls :: rest ->
-            if Bitset.is_empty (Bitset.inter cls (Ugraph.neighbours g v)) then begin
-              Bitset.add cls v;
-              k
-            end
-            else place (k + 1) rest
+          end
+          else place (k + 1)
+        end
       in
-      let k = place 1 !colour_classes in
+      let k = place 1 in
       assignments := (v, k) :: !assignments)
     vs;
   (* ascending colour, so the loop in [expand] scans high colours first *)

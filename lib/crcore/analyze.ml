@@ -87,7 +87,11 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
         else (e, Some { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }))
       spec.Spec.orders
   in
-  let explicit = Array.init arity (fun a -> Porder.Digraph.create (Array.length adom.(a))) in
+  (* digraphs are sized by the coding universe, not the raw active domain:
+     the universe also holds the reserved null (see {!Coding.build}), whose
+     id a Γ null constant can reach *)
+  let univ_len a = Array.length (Coding.universe coding a) in
+  let explicit = Array.init arity (fun a -> Porder.Digraph.create (univ_len a)) in
   List.iter
     (fun (_, f) ->
       match f with
@@ -134,7 +138,7 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
       (fun i (e, f) ->
         match f with
         | Some f when (not e001.(f.attr)) && not (Hashtbl.mem dup_edges i) ->
-            let g = Porder.Digraph.create (Array.length adom.(f.attr)) in
+            let g = Porder.Digraph.create (univ_len f.attr) in
             Array.iteri
               (fun j (_, f') ->
                 match f' with
@@ -426,17 +430,21 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
        constant the entity never takes, with its "LHS is most current"
        premise derived) violates the veto clause — either way Φ(Se) is
        unsatisfiable. *)
-    let g = Array.init arity (fun a -> Porder.Digraph.create (Array.length adom.(a))) in
+    let g = Array.init arity (fun a -> Porder.Digraph.create (univ_len a)) in
     let add f = if not (Porder.Digraph.has_edge g.(f.attr) f.lo f.hi) then Porder.Digraph.add_edge g.(f.attr) f.lo f.hi in
     List.iter (fun (_, f) -> match f with Some f -> add f | None -> ()) edge_facts;
+    (* null-lowest over the coding universe, so the reserved null is
+       seeded too — a Γ null constant then derives a cycle in the closure
+       exactly where the encoding's unit clauses make Φ unsatisfiable *)
     for a = 0 to arity - 1 do
+      let univ = Coding.universe coding a in
       Array.iteri
         (fun i v ->
           if Value.is_null v then
             Array.iteri
               (fun j w -> if j <> i && not (Value.is_null w) then add { attr = a; lo = i; hi = j })
-              adom.(a))
-        adom.(a)
+              univ)
+        univ
     done;
     (* pending implications: Σ instances with premises, plus CFD instances;
        vetoes are checked against the final closure *)

@@ -21,6 +21,15 @@ let build entity gamma =
   let ids = Array.make arity VMap.empty in
   for a = 0 to arity - 1 do
     let adom = Entity.active_domain entity a in
+    (* Null is pre-reserved in every universe: when no tuple takes it yet
+       it sits right after the active-domain values — exactly where the
+       first-occurrence order would place it if a later Se ⊕ Ot tuple
+       (extensions append) introduced a null. The universe, and with it
+       the variable numbering, then survives null-carrying extensions, so
+       a live incremental solver session does too. *)
+    let adom =
+      if List.exists Value.is_null adom then adom else adom @ [ Value.Null ]
+    in
     adom_sizes.(a) <- List.length adom;
     let name = Schema.name schema a in
     let extra =

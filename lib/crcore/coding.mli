@@ -15,11 +15,20 @@ val schema : t -> Schema.t
 
 (** [universe c a] is the value universe of attribute position [a];
     active-domain values first (in first-occurrence order), then CFD
-    constants. *)
+    constants.
+
+    [Value.Null] is always a universe member: when no tuple takes it, it
+    is reserved right after the active-domain values — the slot a
+    null-carrying [Se ⊕ Ot] extension tuple (extensions append) would
+    give it anyway. Null-introducing extensions therefore keep the
+    universe, and with it the variable numbering, unchanged, so live
+    incremental solver sessions survive them. The reserved null is ranked
+    lowest by the null-lowest unit clauses and is never a candidate true
+    value. *)
 val universe : t -> int -> Value.t array
 
 (** [adom_size c a] is the number of universe values of [a] that occur in
-    the entity (a prefix of {!universe}). *)
+    the entity (a prefix of {!universe}), counting the reserved null. *)
 val adom_size : t -> int -> int
 
 (** [vid c a v] is the id of value [v] within attribute [a]'s universe.

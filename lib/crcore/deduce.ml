@@ -1,4 +1,22 @@
-type t = { enc : Encode.t; od : Porder.Strict_order.t array }
+type stats = {
+  sat_calls : int;
+  probes : int;
+  model_prunes : int;
+  seeded : int;
+  reused_solver : bool;
+  built_solver : bool;
+}
+
+let no_stats = {
+  sat_calls = 0;
+  probes = 0;
+  model_prunes = 0;
+  seeded = 0;
+  reused_solver = false;
+  built_solver = false;
+}
+
+type t = { enc : Encode.t; od : Porder.Strict_order.t array; stats : stats }
 
 let empty_od enc =
   let coding = enc.Encode.coding in
@@ -14,12 +32,20 @@ let add_literal_to_od enc od lit =
   let lo, hi = if Sat.Lit.sign lit then (lo, hi) else (hi, lo) in
   ignore (Porder.Strict_order.add od.(attr) lo hi)
 
-(* ---- DeduceOrder: unit propagation with occurrence lists ---- *)
+(* ---- unit propagation over Φ(Se), shared by DeduceOrder and backbone ---- *)
 
-let deduce_order enc =
-  let cnf = enc.Encode.cnf in
+(* Propagates to fixpoint and returns the assignment array ([1] true,
+   [-1] false, [0] undecided) plus a conflict flag. Literals are deduped
+   per clause first: occurrence counting decrements [n_active] once per
+   occurrence of ¬l, so a duplicated literal would otherwise drive the
+   count negative (or fire a bogus unit) on non-deduped input CNF. *)
+let unit_propagate cnf =
   let nvars = cnf.Sat.Cnf.nvars in
-  let clauses = Array.of_list cnf.Sat.Cnf.clauses in
+  let clauses =
+    List.map (fun c -> Array.to_list c |> List.sort_uniq compare |> Array.of_list)
+      cnf.Sat.Cnf.clauses
+    |> Array.of_list
+  in
   let nclauses = Array.length clauses in
   let satisfied = Array.make nclauses false in
   let n_active = Array.make nclauses 0 in
@@ -36,17 +62,15 @@ let deduce_order enc =
     if Sat.Lit.sign l then a else -a
   in
   let queue = Queue.create () in
-  Array.iteri (fun ci c -> if Array.length c = 1 then Queue.add (c.(0), ci) queue) clauses;
-  let od = empty_od enc in
+  Array.iter (fun c -> if Array.length c = 1 then Queue.add c.(0) queue) clauses;
   let conflict = ref false in
   while (not !conflict) && not (Queue.is_empty queue) do
-    let l, _src = Queue.pop queue in
+    let l = Queue.pop queue in
     match value_lit l with
     | 1 -> () (* already known *)
     | -1 -> conflict := true (* invalid specification; caller checks first *)
     | _ ->
         assigns.(Sat.Lit.var l) <- (if Sat.Lit.sign l then 1 else -1);
-        add_literal_to_od enc od l;
         (* clauses containing l are satisfied *)
         List.iter (fun ci -> satisfied.(ci) <- true) occ.(l);
         (* clauses containing ¬l lose a literal *)
@@ -59,7 +83,7 @@ let deduce_order enc =
                 let c = clauses.(ci) in
                 let rest = Array.to_list c |> List.filter (fun l' -> value_lit l' = 0) in
                 match rest with
-                | [ l' ] -> Queue.add (l', ci) queue
+                | [ l' ] -> Queue.add l' queue
                 | [] -> conflict := true
                 | _ -> assert false
               end
@@ -67,13 +91,34 @@ let deduce_order enc =
             end)
           occ.(Sat.Lit.negate l)
   done;
-  { enc; od }
+  (assigns, !conflict)
+
+(* ---- DeduceOrder: unit propagation with occurrence lists ---- *)
+
+let deduce_order ?solver:_ enc =
+  let assigns, _conflict = unit_propagate enc.Encode.cnf in
+  let od = empty_od enc in
+  Array.iteri
+    (fun v a ->
+      if a = 1 then add_literal_to_od enc od (Sat.Lit.pos v)
+      else if a = -1 then add_literal_to_od enc od (Sat.Lit.neg_of v))
+    assigns;
+  { enc; od; stats = no_stats }
+
+(* ---- shared solver plumbing for the SAT-based deducers ---- *)
+
+let deduction_solver solver enc =
+  match solver with
+  | Some s -> (s, true)
+  | None ->
+      let s = Sat.Solver.create () in
+      Sat.Solver.add_cnf s enc.Encode.cnf;
+      (s, false)
 
 (* ---- NaiveDeduce: one SAT call per variable ---- *)
 
-let naive_deduce enc =
-  let s = Sat.Solver.create () in
-  Sat.Solver.add_cnf s enc.Encode.cnf;
+let naive_deduce ?solver enc =
+  let s, reused = deduction_solver solver enc in
   let od = empty_od enc in
   let nvars = enc.Encode.cnf.Sat.Cnf.nvars in
   for v = 0 to nvars - 1 do
@@ -81,7 +126,106 @@ let naive_deduce enc =
     | Sat.Solver.Unsat -> add_literal_to_od enc od (Sat.Lit.pos v)
     | Sat.Solver.Sat -> ()
   done;
-  { enc; od }
+  {
+    enc;
+    od;
+    stats =
+      {
+        sat_calls = nvars;
+        probes = nvars;
+        model_prunes = 0;
+        seeded = 0;
+        reused_solver = reused;
+        built_solver = not reused;
+      };
+  }
+
+(* ---- backbone: model-intersection complete deduction ---- *)
+
+(* Computes exactly NaiveDeduce's fact set — the positive backbone of
+   Φ(Se), the variables true in every model — with far fewer solver calls:
+
+   - the model of the preceding validity check (still saved on a reused
+     session solver) bounds the candidate set: a variable false in any
+     model cannot be backbone;
+   - unit propagation seeds for free: positive units are backbone without
+     a probe, negative units leave the candidate set;
+   - each remaining candidate v is probed by one assumption solve of
+     Φ ∧ ¬v; [Unsat] confirms the fact, and a [Sat] answer's model prunes
+     every candidate it assigns false — typically many per call.
+
+   A reused solver may hold extra clause layers (learnt clauses, MaxSAT
+   selectors/relaxation from {!Maxsat.Exact.solve_groups_on}); all are
+   satisfiable extensions of Φ(Se), so probe answers and model
+   restrictions agree with Φ(Se) alone. *)
+let backbone ?solver enc =
+  let cnf = enc.Encode.cnf in
+  let nvars = cnf.Sat.Cnf.nvars in
+  let s, reused = deduction_solver solver enc in
+  let sat_calls = ref 0 in
+  let od = empty_od enc in
+  if
+    Sat.Solver.has_model s
+    ||
+    (incr sat_calls;
+     Sat.Solver.solve s = Sat.Solver.Sat)
+  then begin
+    let cand = Array.init nvars (Sat.Solver.model_value s) in
+    let assigns, conflict = unit_propagate cnf in
+    let seeded = ref 0 in
+    if not conflict then
+      Array.iteri
+        (fun v a ->
+          if a = 1 then begin
+            (* unit-propagation facts are backbone: adopt without a probe *)
+            add_literal_to_od enc od (Sat.Lit.pos v);
+            incr seeded;
+            cand.(v) <- false
+          end
+          else if a = -1 then cand.(v) <- false)
+        assigns;
+    let probes = ref 0 and model_prunes = ref 0 in
+    for v = 0 to nvars - 1 do
+      if cand.(v) then begin
+        incr probes;
+        incr sat_calls;
+        match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of v ] s with
+        | Sat.Solver.Unsat ->
+            add_literal_to_od enc od (Sat.Lit.pos v);
+            cand.(v) <- false
+        | Sat.Solver.Sat ->
+            (* v is not backbone; neither is any candidate this model
+               refutes — prune them all before the next probe *)
+            for u = v to nvars - 1 do
+              if cand.(u) && not (Sat.Solver.model_value s u) then begin
+                cand.(u) <- false;
+                if u > v then incr model_prunes
+              end
+            done
+      end
+    done;
+    {
+      enc;
+      od;
+      stats =
+        {
+          sat_calls = !sat_calls;
+          probes = !probes;
+          model_prunes = !model_prunes;
+          seeded = !seeded;
+          reused_solver = reused;
+          built_solver = not reused;
+        };
+    }
+  end
+  else
+    (* unsatisfiable specification; callers check validity first *)
+    {
+      enc;
+      od;
+      stats = { no_stats with sat_calls = !sat_calls; reused_solver = reused;
+                built_solver = not reused };
+    }
 
 let lt d ~attr lo hi = Porder.Strict_order.lt d.od.(attr) lo hi
 

@@ -5,21 +5,60 @@
     (negative literals contribute the reversed pair, sound under the
     total-order completion semantics). [NaiveDeduce] instead asks the SAT
     solver, for every variable, whether Φ(Se) ∧ ¬x is unsatisfiable — the
-    exact but expensive variant the paper compares against. *)
+    exact but expensive variant the paper compares against. [backbone]
+    computes the same complete answer as [NaiveDeduce] from the backbone
+    of Φ(Se), pruning candidates with the models of failed refutations so
+    most variables never need their own solver call.
+
+    Each deducer takes an optional incremental [solver] already holding
+    Φ(Se) (the engine passes its per-entity session): the SAT-based
+    deducers then probe under assumptions instead of loading the CNF into
+    a fresh solver, and [backbone] additionally starts from the model the
+    preceding validity check left on the session. *)
+
+(** Solver-work accounting for one deduction call. *)
+type stats = {
+  sat_calls : int;  (** incremental [solve] calls issued *)
+  probes : int;  (** single-literal assumption solves *)
+  model_prunes : int;
+      (** candidates eliminated by intersecting a probe's model, beyond
+          the probed variable itself *)
+  seeded : int;  (** facts adopted from unit propagation without a probe *)
+  reused_solver : bool;  (** the caller's session solver served the calls *)
+  built_solver : bool;  (** a private solver was created (one CNF load) *)
+}
 
 type t = {
   enc : Encode.t;
   od : Porder.Strict_order.t array;
       (** per attribute position: the deduced order over value ids, kept
           transitively closed *)
+  stats : stats;
 }
 
 (** [deduce_order enc] is the paper's [DeduceOrder] (linear-time unit
-    propagation). The specification must be valid. *)
-val deduce_order : Encode.t -> t
+    propagation). The specification must be valid. [solver] is accepted
+    for interface uniformity and ignored — no SAT call is made. *)
+val deduce_order : ?solver:Sat.Solver.t -> Encode.t -> t
 
-(** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. *)
-val naive_deduce : Encode.t -> t
+(** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. With
+    [solver] the calls run as assumption solves on the given session. *)
+val naive_deduce : ?solver:Sat.Solver.t -> Encode.t -> t
+
+(** [backbone enc] deduces exactly the facts of {!naive_deduce} — the
+    positive backbone of Φ(Se) — by model intersection: variables false
+    in any discovered model are discarded as candidates, unit-propagation
+    facts are adopted without a probe, and each remaining candidate [v]
+    costs one assumption solve of Φ ∧ ¬v whose [Sat] models prune further
+    candidates wholesale.
+
+    When [solver] is a session already holding Φ(Se), its saved validity
+    model bootstraps the candidate set with no extra solve, and learnt
+    clauses carry over. The session may also hold satisfiable extension
+    layers (relaxation/totalizer clauses from
+    {!Maxsat.Exact.solve_groups_on}); these never change answers about
+    Φ(Se)'s variables. *)
+val backbone : ?solver:Sat.Solver.t -> Encode.t -> t
 
 (** [lt d ~attr lo hi] is [true] when [Od] orders value [lo] before [hi]. *)
 val lt : t -> attr:int -> int -> int -> bool

@@ -543,7 +543,13 @@ let same_universes c1 c2 =
   attrs_equal 0
 
 (* c1's universes are per-attribute prefixes of c2's: every old value
-   keeps its id, so facts (and hence Σ instances) carry over verbatim *)
+   keeps its id, so facts (and hence Σ instances) carry over verbatim.
+   One exception is allowed to float: a trailing null in [u1] (the
+   reserved slot {!Coding.build} appends when no tuple is null yet) may
+   sit at a later id in [u2] — a fresh tuple's genuinely new value
+   displaces the reservation. That is safe precisely because no carried-
+   over Σ instance can mention a null id: [Constraint_ast.instantiate]
+   drops null premise conjuncts and null conclusions outright. *)
 let universes_prefix c1 c2 =
   Schema.equal (Coding.schema c1) (Coding.schema c2)
   &&
@@ -552,9 +558,12 @@ let universes_prefix c1 c2 =
     a >= arity
     ||
     let u1 = Coding.universe c1 a and u2 = Coding.universe c2 a in
+    let n1 = Array.length u1 in
     Array.length u1 <= Array.length u2
     && (let rec vals i =
-          i >= Array.length u1 || (Value.equal u1.(i) u2.(i) && vals (i + 1))
+          i >= n1
+          || (i = n1 - 1 && Value.is_null u1.(i))
+          || (Value.equal u1.(i) u2.(i) && vals (i + 1))
         in
         vals 0)
     && attrs_ok (a + 1)

@@ -102,22 +102,27 @@ type extension =
           specification (pure extensions only add clauses, so the
           session stays sound) *)
   | Renumbered of t
-      (** a universe grew (e.g. the fresh tuple carries a value, or a
-          null, the entity never took): variable numbers shifted, so
-          solvers must reload the new [cnf] — but the expensive Σ
-          instance sweep was still reused from the base *)
+      (** a universe grew (the fresh tuple carries a genuinely new
+          value): variable numbers shifted, so solvers must reload the
+          new [cnf] — but the expensive Σ instance sweep was still
+          reused from the base. A fresh tuple carrying only known values
+          and nulls does {e not} renumber: {!Coding.build} pre-reserves
+          [Null] in every universe, so null-introducing extensions stay
+          on the [Delta] path *)
 
 (** [extend base spec] re-encodes [spec] incrementally against the
     already-encoded [base] — the [Se ⊕ Ot] step of the framework, where
     [spec] extends [base.spec] with user-asserted orders and tuples.
 
     Old values keep their per-attribute ids (universes are built in
-    first-occurrence order), so the base's Σ instances carry over
-    verbatim and only tuple pairs touching the appended tuples are
-    instantiated — O(reps) [instantiate] calls per constraint instead of
-    the full O(reps²) sweep. Returns [None] when [spec] is not a pure
-    extension of [base.spec] (different Σ/Γ, tuples not appended, order
-    edges not prepended); callers then fall back to a full {!encode}. *)
+    first-occurrence order; a reserved trailing null may float to a later
+    id, which is safe because Σ instances never mention null ids), so the
+    base's Σ instances carry over verbatim and only tuple pairs touching
+    the appended tuples are instantiated — O(reps) [instantiate] calls
+    per constraint instead of the full O(reps²) sweep. Returns [None]
+    when [spec] is not a pure extension of [base.spec] (different Σ/Γ,
+    tuples not appended, order edges not prepended); callers then fall
+    back to a full {!encode}. *)
 val extend : t -> Spec.t -> extension option
 
 (** [relevant_gamma entity gamma] keeps the CFDs that can fire on this

@@ -2,25 +2,27 @@ type user = Rules.suggestion -> schema:Schema.t -> (string * Value.t) list
 
 type config = {
   mode : Encode.mode;
-  deduce : Encode.t -> Deduce.t;
+  deduce : ?solver:Sat.Solver.t -> Encode.t -> Deduce.t;
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
   cache : bool;
   lint : bool;
   jobs : int;
+  clamp_jobs : bool;
 }
 
 let default_config =
   {
     mode = Encode.Paper;
-    deduce = Deduce.deduce_order;
+    deduce = Deduce.backbone;
     repair = Rules.Exact_maxsat;
     max_rounds = 5;
     incremental = true;
     cache = true;
     lint = true;
     jobs = 1;
+    clamp_jobs = true;
   }
 
 let naive_config =
@@ -41,6 +43,11 @@ type entity_stats = {
   times : phase_times;
   solver : Sat.Solver.stats;
   solvers_built : int;
+  solvers_reused : int;
+  deduce_sat_calls : int;
+  deduce_probes : int;
+  deduce_model_prunes : int;
+  deduce_seeded : int;
   cache_hits : int;
   cache_misses : int;
   delta_extensions : int;
@@ -110,6 +117,11 @@ type session = {
   mutable solver : Sat.Solver.t option;  (* the incremental session *)
   mutable retired : Sat.Solver.stats;    (* stats of replaced/one-shot solvers *)
   mutable solvers_built : int;
+  mutable solvers_reused : int;
+  mutable deduce_sat_calls : int;
+  mutable deduce_probes : int;
+  mutable deduce_model_prunes : int;
+  mutable deduce_seeded : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable delta_extensions : int;
@@ -214,6 +226,11 @@ let create_session ?(config = default_config) ?cache spec =
       solver = None;
       retired = Sat.Solver.zero_stats;
       solvers_built = 0;
+      solvers_reused = 0;
+      deduce_sat_calls = 0;
+      deduce_probes = 0;
+      deduce_model_prunes = 0;
+      deduce_seeded = 0;
       cache_hits = (if config.cache && hit then 1 else 0);
       cache_misses = (if config.cache && (not hit) && not lint_rejected then 1 else 0);
       delta_extensions = 0;
@@ -231,7 +248,9 @@ let create_session ?(config = default_config) ?cache spec =
    Validity.check does, but keeps its statistics. *)
 let check_validity sess =
   match sess.solver with
-  | Some s -> Sat.Solver.solve s = Sat.Solver.Sat
+  | Some s ->
+      sess.solvers_reused <- sess.solvers_reused + 1;
+      Sat.Solver.solve s = Sat.Solver.Sat
   | None ->
       let s = fresh_solver sess (the_enc sess) in
       let r = Sat.Solver.solve s in
@@ -240,12 +259,28 @@ let check_validity sess =
 
 let suggest_on sess d ~known =
   match sess.solver with
-  | Some s -> Rules.suggest ~repair:sess.config.repair ~solver:s d ~known
+  | Some s ->
+      sess.solvers_reused <- sess.solvers_reused + 1;
+      Rules.suggest ~repair:sess.config.repair ~solver:s d ~known
   | None ->
       let s = fresh_solver sess (the_enc sess) in
       let r = Rules.suggest ~repair:sess.config.repair ~solver:s d ~known in
       retire sess s;
       r
+
+(* deduction on the session solver when there is one: the SAT-based
+   deducers probe it under assumptions ([backbone] additionally reuses
+   the validity check's model), a private solver otherwise *)
+let deduce_on sess enc =
+  let d = sess.config.deduce ?solver:sess.solver enc in
+  let st = d.Deduce.stats in
+  sess.deduce_sat_calls <- sess.deduce_sat_calls + st.Deduce.sat_calls;
+  sess.deduce_probes <- sess.deduce_probes + st.Deduce.probes;
+  sess.deduce_model_prunes <- sess.deduce_model_prunes + st.Deduce.model_prunes;
+  sess.deduce_seeded <- sess.deduce_seeded + st.Deduce.seeded;
+  if st.Deduce.built_solver then sess.solvers_built <- sess.solvers_built + 1;
+  if st.Deduce.reused_solver then sess.solvers_reused <- sess.solvers_reused + 1;
+  d
 
 (* Se ⊕ Ot: move the session to the extended specification. *)
 let apply_extension sess spec' =
@@ -286,6 +321,11 @@ let snapshot_stats sess =
     times = sess.times;
     solver;
     solvers_built = sess.solvers_built;
+    solvers_reused = sess.solvers_reused;
+    deduce_sat_calls = sess.deduce_sat_calls;
+    deduce_probes = sess.deduce_probes;
+    deduce_model_prunes = sess.deduce_model_prunes;
+    deduce_seeded = sess.deduce_seeded;
     cache_hits = sess.cache_hits;
     cache_misses = sess.cache_misses;
     delta_extensions = sess.delta_extensions;
@@ -303,7 +343,7 @@ let resolve_session sess ~user =
   let analyse () =
     if not (timed sess Validity_p (fun () -> check_validity sess)) then None
     else
-      let d = timed sess Deduce_p (fun () -> sess.config.deduce (the_enc sess)) in
+      let d = timed sess Deduce_p (fun () -> deduce_on sess (the_enc sess)) in
       Some (d, Deduce.true_values d)
   in
   let outcome =
@@ -385,6 +425,11 @@ type stats = {
   times : phase_times;
   solver : Sat.Solver.stats;
   solvers_built : int;
+  solvers_reused : int;
+  deduce_sat_calls : int;
+  deduce_probes : int;
+  deduce_model_prunes : int;
+  deduce_seeded : int;
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;
@@ -394,6 +439,7 @@ type stats = {
   rebuilds_impure : int;
   lint_rejected : int;
   jobs : int;
+  jobs_requested : int;
   wall_ms : float;
 }
 
@@ -405,17 +451,23 @@ let throughput st =
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
-     phases (ms, summed over %d job(s)): lint %.1f | encode %.1f | validity %.1f | \
+     phases (ms, summed over %d job(s)%s): lint %.1f | encode %.1f | validity %.1f | \
      deduce %.1f | suggest %.1f@ \
      lint: %d spec(s) rejected before encoding@ \
-     solver: %a; %d CNF load(s)@ \
+     solver: %a; %d CNF load(s), %d phase(s) on live sessions@ \
+     deduce: %d SAT call(s) (%d probe(s), %d model-prune(s), %d seeded)@ \
      encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), \
      %d rebuild(s) (%d renumbered, %d impure)@ \
      wall: %.1f ms (%.1f entities/s)@]"
     st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
-    st.jobs st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
+    st.jobs
+    (if st.jobs_requested <> st.jobs then
+       Printf.sprintf ", %d requested" st.jobs_requested
+     else "")
+    st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
     st.times.suggest_ms st.lint_rejected Sat.Solver.pp_stats st.solver st.solvers_built
-    st.cache_hits st.cache_misses
+    st.solvers_reused st.deduce_sat_calls st.deduce_probes st.deduce_model_prunes
+    st.deduce_seeded st.cache_hits st.cache_misses
     (100. *. st.hit_ratio)
     st.delta_extensions st.rebuilds st.rebuilds_renumbered st.rebuilds_impure st.wall_ms
     (throughput st)
@@ -448,7 +500,7 @@ let intern_constraint_lists items =
       else { it with spec = { s with Spec.sigma; gamma } })
     items
 
-let aggregate ~jobs ~wall_ms (results : item_result array) =
+let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   let agg_times = zero_times () in
   let entities = ref 0
   and valid_entities = ref 0
@@ -457,6 +509,11 @@ let aggregate ~jobs ~wall_ms (results : item_result array) =
   and attrs_resolved = ref 0
   and solver = ref Sat.Solver.zero_stats
   and solvers_built = ref 0
+  and solvers_reused = ref 0
+  and deduce_sat_calls = ref 0
+  and deduce_probes = ref 0
+  and deduce_model_prunes = ref 0
+  and deduce_seeded = ref 0
   and cache_hits = ref 0
   and cache_misses = ref 0
   and delta_extensions = ref 0
@@ -477,6 +534,11 @@ let aggregate ~jobs ~wall_ms (results : item_result array) =
       agg_times.suggest_ms <- agg_times.suggest_ms +. st.times.suggest_ms;
       solver := Sat.Solver.add_stats !solver st.solver;
       solvers_built := !solvers_built + st.solvers_built;
+      solvers_reused := !solvers_reused + st.solvers_reused;
+      deduce_sat_calls := !deduce_sat_calls + st.deduce_sat_calls;
+      deduce_probes := !deduce_probes + st.deduce_probes;
+      deduce_model_prunes := !deduce_model_prunes + st.deduce_model_prunes;
+      deduce_seeded := !deduce_seeded + st.deduce_seeded;
       cache_hits := !cache_hits + st.cache_hits;
       cache_misses := !cache_misses + st.cache_misses;
       delta_extensions := !delta_extensions + st.delta_extensions;
@@ -494,6 +556,11 @@ let aggregate ~jobs ~wall_ms (results : item_result array) =
     times = agg_times;
     solver = !solver;
     solvers_built = !solvers_built;
+    solvers_reused = !solvers_reused;
+    deduce_sat_calls = !deduce_sat_calls;
+    deduce_probes = !deduce_probes;
+    deduce_model_prunes = !deduce_model_prunes;
+    deduce_seeded = !deduce_seeded;
     cache_hits = !cache_hits;
     cache_misses = !cache_misses;
     hit_ratio =
@@ -504,12 +571,22 @@ let aggregate ~jobs ~wall_ms (results : item_result array) =
     rebuilds_impure = !rebuilds_impure;
     lint_rejected = !lint_rejected;
     jobs;
+    jobs_requested;
     wall_ms;
   }
 
 let run_batch ?(config = default_config) ?cache ?on_result items =
   let cache = match cache with Some c -> c | None -> create_cache () in
-  let jobs = max 1 config.jobs in
+  let jobs_requested = max 1 config.jobs in
+  (* more domains than cores is a pure loss (BENCH_par: jobs=4 on a 1-core
+     host ran 3x slower), so the effective width is capped by default;
+     [clamp_jobs = false] restores the literal request for scheduling
+     tests and benchmarks that need over-subscription on purpose *)
+  let jobs =
+    if config.clamp_jobs then min jobs_requested (Parallel.Pool.recommended_jobs ())
+    else jobs_requested
+  in
+  let jobs = max 1 jobs in
   let t0 = now_ms () in
   let items = Array.of_list (intern_constraint_lists items) in
   let n = Array.length items in
@@ -552,5 +629,5 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
         Parallel.Pool.run pool ~n process_and_emit)
   end;
   let results = Array.map (fun r -> match r with Some r -> r | None -> assert false) results in
-  let stats = aggregate ~jobs ~wall_ms:(now_ms () -. t0) results in
+  let stats = aggregate ~jobs ~jobs_requested ~wall_ms:(now_ms () -. t0) results in
   (Array.to_list results, stats)

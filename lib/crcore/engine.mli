@@ -31,7 +31,11 @@ type user = Rules.suggestion -> schema:Schema.t -> (string * Value.t) list
 
 type config = {
   mode : Encode.mode;
-  deduce : Encode.t -> Deduce.t;
+  deduce : ?solver:Sat.Solver.t -> Encode.t -> Deduce.t;
+      (** deduction engine; the session solver (already holding Φ(Se),
+          with the validity check's model still saved) is passed in
+          incremental mode so SAT-based deducers probe it under
+          assumptions instead of reloading the CNF *)
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
@@ -49,11 +53,20 @@ type config = {
           only the schedule changes. Item [user] callbacks must be safe to
           call from another domain. Sessions created directly are
           unaffected. *)
+  clamp_jobs : bool;
+      (** cap the effective batch width at
+          [Parallel.Pool.recommended_jobs ()] (the machine's core count):
+          over-subscribing domains is a pure slowdown. [stats.jobs] is
+          the effective width, [stats.jobs_requested] the request. Off,
+          the request is honoured literally (scheduling tests,
+          deliberate over-subscription). *)
 }
 
 (** Incremental session + cache + lint pre-phase on; [mode = Paper],
-    [deduce = Deduce.deduce_order], [repair = Exact_maxsat],
-    [max_rounds = 5], [jobs = 1]. *)
+    [deduce = Deduce.backbone] (complete deduction — cheap on the reused
+    session, and fewer interaction rounds than unit propagation),
+    [repair = Exact_maxsat], [max_rounds = 5], [jobs = 1],
+    [clamp_jobs = true]. *)
 val default_config : config
 
 (** The literal per-entity behaviour of {!Framework.resolve} before this
@@ -79,7 +92,17 @@ type phase_times = {
 type entity_stats = {
   times : phase_times;
   solver : Sat.Solver.stats;  (** summed over every solver the entity used *)
-  solvers_built : int;  (** CNF loads: 1 = a single session survived *)
+  solvers_built : int;
+      (** CNF loads, including any private solver a SAT-based deducer had
+          to build: 1 = a single session survived and served every phase *)
+  solvers_reused : int;
+      (** solver phases (validity checks, deductions, suggestions) served
+          by the live session instead of a fresh CNF load *)
+  deduce_sat_calls : int;  (** solver calls issued by the deduction phase *)
+  deduce_probes : int;  (** single-literal refutation probes *)
+  deduce_model_prunes : int;
+      (** candidates {!Deduce.backbone} eliminated by model intersection *)
+  deduce_seeded : int;  (** facts adopted from unit propagation, no probe *)
   cache_hits : int;
   cache_misses : int;
   delta_extensions : int;  (** [Se ⊕ Ot] rounds served by {!Encode.extend} *)
@@ -149,6 +172,11 @@ type stats = {
   times : phase_times;
   solver : Sat.Solver.stats;
   solvers_built : int;
+  solvers_reused : int;  (** phases served by live sessions, batch-wide *)
+  deduce_sat_calls : int;
+  deduce_probes : int;
+  deduce_model_prunes : int;
+  deduce_seeded : int;
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;  (** hits / (hits + misses), 0 with no lookups *)
@@ -157,7 +185,8 @@ type stats = {
   rebuilds_renumbered : int;
   rebuilds_impure : int;
   lint_rejected : int;  (** entities rejected by the lint pre-phase *)
-  jobs : int;  (** domains the batch ran on *)
+  jobs : int;  (** domains the batch ran on (after any clamping) *)
+  jobs_requested : int;  (** [config.jobs] as given *)
   wall_ms : float;
 }
 

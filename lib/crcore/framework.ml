@@ -21,10 +21,11 @@ type outcome = {
 (* The loop itself lives in Engine; this entry point is the one-entity,
    non-incremental configuration it grew out of, with the historical
    phase accounting (encoding counted inside IsValid, seconds). *)
-let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.deduce_order)
+let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.backbone)
     ?(repair = Rules.Exact_maxsat) ?(max_rounds = 5) ~user spec =
   (* lint off: this is the pure SAT reference path the engine's lint
-     short-circuit is property-tested against *)
+     short-circuit is property-tested against. The default deducer tracks
+     Engine.default_config so the two entry points stay equivalent. *)
   let config =
     {
       Engine.mode;
@@ -35,6 +36,7 @@ let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.deduce_order)
       cache = false;
       lint = false;
       jobs = 1;
+      clamp_jobs = true;
     }
   in
   let r, st = Engine.resolve ~config ~user spec in

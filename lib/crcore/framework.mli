@@ -35,11 +35,13 @@ type outcome = {
 }
 
 (** [resolve ?mode ?deduce ?repair ?max_rounds ~user spec] runs the loop.
-    [deduce] selects the deduction engine (default {!Deduce.deduce_order});
-    [max_rounds] defaults to 5. *)
+    [deduce] selects the deduction engine (default {!Deduce.backbone},
+    matching {!Engine.default_config}; this entry point is
+    non-incremental, so no solver is ever passed to it); [max_rounds]
+    defaults to 5. *)
 val resolve :
   ?mode:Encode.mode ->
-  ?deduce:(Encode.t -> Deduce.t) ->
+  ?deduce:(?solver:Sat.Solver.t -> Encode.t -> Deduce.t) ->
   ?repair:Rules.repair ->
   ?max_rounds:int ->
   user:user ->

@@ -14,6 +14,21 @@ let favoured_order spec =
     Array.init (Schema.arity schema) (fun a ->
         Porder.Strict_order.create (Array.length (Coding.universe coding a)))
   in
+  (* null-lowest, matching the encoding's unit clauses: neither a genuine
+     nor a reserved null (see {!Coding.build}) can be favoured while the
+     attribute has any other value *)
+  for a = 0 to Schema.arity schema - 1 do
+    let univ = Coding.universe coding a in
+    Array.iteri
+      (fun i v ->
+        if Value.is_null v then
+          Array.iteri
+            (fun j w ->
+              if j <> i && not (Value.is_null w) then
+                ignore (Porder.Strict_order.add orders.(a) i j))
+            univ)
+      univ
+  done;
   let tuples = Entity.tuples entity in
   List.iter
     (fun c ->
@@ -48,7 +63,19 @@ let run ?(seed = 17) ?(strategy = Favoured) spec =
           (* restrict to values that actually occur *)
           let nadom = Coding.adom_size coding a in
           let occurring = List.filter (fun v -> v < nadom) maximal in
-          let pool = if occurring = [] then List.init nadom Fun.id else occurring in
+          (* the reserved null is part of the adom prefix but never a
+             sensible pick: fall back to it only when nothing else exists *)
+          let non_null =
+            List.filter (fun v -> not (Value.is_null (Coding.value coding a v)))
+          in
+          let pool =
+            match non_null occurring with
+            | [] -> (
+                match non_null (List.init nadom Fun.id) with
+                | [] -> List.init nadom Fun.id
+                | l -> l)
+            | l -> l
+          in
           Coding.value coding a (List.nth pool (Random.State.int rng (List.length pool))))
   | Random ->
       Array.init arity (fun a ->

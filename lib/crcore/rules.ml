@@ -191,8 +191,14 @@ let repair_clique ?solver repair enc clique_rules =
     | Sat.Solver.Unsat -> (
         match repair with
         | Exact_maxsat -> (
-            match Maxsat.Exact.solve_groups ~hard:enc.Encode.cnf ~groups with
-            | Some (_, kept) -> kept
+            (* layer the relaxation/totalizer onto [s] itself — the
+               session when one was passed, the local solver otherwise:
+               no CNF reload, the added clauses are satisfiable
+               extensions (the session stays sound for later
+               validity/deduce solves), and the lex-first kept subset is
+               deterministic whichever solver served the call *)
+            match Maxsat.Exact.solve_groups_on ~solver:s ~groups with
+            | Some kept -> kept
             | None -> [])
         | Walksat -> (
             match Maxsat.Walksat.solve ~hard:enc.Encode.cnf ~soft:(List.concat groups) () with

@@ -52,6 +52,93 @@ let solve ~(hard : Sat.Cnf.t) ~(soft : Sat.Cnf.clause list) =
         Some { model = restrict !best n0; satisfied = nsoft - !best_violated }
       end
 
+(* Group MaxSAT layered onto a live solver already holding the hard
+   clauses, leaving the solver reusable afterwards. Every clause added —
+   selector-guarded group clauses (c ∨ ¬sel), relaxed soft units
+   (sel ∨ r), the totalizer over the r's — is a satisfiable extension of
+   the solver's clause set (set every sel false and every r true), so
+   models restricted to the pre-existing variables are unchanged and
+   later phases (validity re-solves, backbone deduction) on the same
+   session stay sound; the optimum is enforced per call through
+   assumptions only.
+
+   The kept set is extracted by a lexicographic-greedy pass under the
+   optimal bound rather than read off the optimal model: which optimal
+   subset a plain solve lands on depends on solver history (activity,
+   saved phases), and a shared session has plenty — the greedy pass makes
+   the answer a function of the groups alone, so incremental and
+   from-scratch configurations agree. *)
+let solve_groups_on ~solver:s ~(groups : Sat.Cnf.clause list list) =
+  let ngroups = List.length groups in
+  if ngroups = 0 then (match Sat.Solver.solve s with
+    | Sat.Solver.Unsat -> None
+    | Sat.Solver.Sat -> Some [])
+  else begin
+    let sels =
+      List.map
+        (fun cls ->
+          let sv = Sat.Solver.new_var s in
+          List.iter
+            (fun c -> Sat.Solver.add_clause_a s (Array.append c [| Sat.Lit.neg_of sv |]))
+            cls;
+          sv)
+        groups
+    in
+    let relax =
+      List.map
+        (fun sv ->
+          let r = Sat.Solver.new_var s in
+          Sat.Solver.add_clause s [ Sat.Lit.pos sv; Sat.Lit.pos r ];
+          Sat.Lit.pos r)
+        sels
+    in
+    let outs = Totalizer.encode s relax in
+    match Sat.Solver.solve s with
+    | Sat.Solver.Unsat -> None
+    | Sat.Solver.Sat ->
+        let sel_arr = Array.of_list sels in
+        let violated_in m =
+          Array.fold_left (fun n sv -> if m.(sv) then n else n + 1) 0 sel_arr
+        in
+        let best_violated = ref (violated_in (Sat.Solver.model s)) in
+        let continue_search = ref (!best_violated > 0) in
+        while !continue_search do
+          let k = !best_violated - 1 in
+          match Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
+          | Sat.Solver.Unsat -> continue_search := false
+          | Sat.Solver.Sat ->
+              let v = violated_in (Sat.Solver.model s) in
+              (* ¬outs.(k) forces at most k violations, so progress is
+                 guaranteed; guard against non-termination anyway *)
+              if v >= !best_violated then continue_search := false
+              else begin
+                best_violated := v;
+                if v = 0 then continue_search := false
+              end
+        done;
+        let max_kept = ngroups - !best_violated in
+        if max_kept = 0 then Some []
+        else if !best_violated = 0 then Some (List.init ngroups Fun.id)
+        else begin
+          let bound = Sat.Lit.negate outs.(!best_violated) in
+          let kept = ref [] in
+          let n_kept = ref 0 in
+          for i = 0 to ngroups - 1 do
+            if !n_kept < max_kept then begin
+              let assumptions =
+                bound :: List.rev_map (fun j -> Sat.Lit.pos sel_arr.(j)) (i :: !kept)
+              in
+              match Sat.Solver.solve ~assumptions s with
+              | Sat.Solver.Sat ->
+                  kept := i :: !kept;
+                  incr n_kept
+              | Sat.Solver.Unsat -> ()
+            end
+          done;
+          Some (List.rev !kept)
+        end
+  end
+
 let solve_groups ~(hard : Sat.Cnf.t) ~(groups : Sat.Cnf.clause list list) =
   (* selector variable per group: sel → c for each clause c of the group;
      the soft clauses are the unit selectors. *)

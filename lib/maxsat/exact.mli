@@ -23,3 +23,21 @@ val solve_groups :
   hard:Sat.Cnf.t ->
   groups:Sat.Cnf.clause list list ->
   (bool array * int list) option
+
+(** [solve_groups_on ~solver ~groups] is group MaxSAT layered onto a live
+    incremental [solver] that already holds the hard clauses, leaving the
+    solver reusable afterwards: every added clause (selector-guarded group
+    clauses, relaxation units, the totalizer) is a satisfiable extension
+    of the clause set, and the optimum is enforced through assumptions
+    only, so later solves on the same session — validity re-checks,
+    backbone deduction — still answer for the original formula.
+
+    Returns the indices of a maximum subset of groups whose clauses are
+    all simultaneously satisfiable with the hard clauses, or [None] when
+    the hard clauses alone are unsatisfiable. The kept subset is the
+    lexicographically first optimal one (greedy extraction under the
+    optimal bound), hence deterministic regardless of the solver's
+    history — a session that has already served other phases returns the
+    same answer a fresh solver would. *)
+val solve_groups_on :
+  solver:Sat.Solver.t -> groups:Sat.Cnf.clause list list -> int list option

@@ -535,6 +535,8 @@ let model s =
   if not s.model_valid then invalid_arg "Solver.model: no model";
   Array.copy s.saved_model
 
+let has_model s = s.model_valid
+
 let value_level0 s v =
   if v < 0 || v >= s.nvars then invalid_arg "Solver.value_level0";
   if s.assigns.(v) <> 0 && s.level.(v) = 0 then Some (s.assigns.(v) = 1) else None

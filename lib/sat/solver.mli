@@ -48,6 +48,13 @@ val model_value : t -> int -> bool
 (** [model s] is the full model as an array indexed by variable. *)
 val model : t -> bool array
 
+(** [has_model s] is [true] when the last [solve] returned [Sat] and its
+    model is still available — models found under assumptions count, since
+    they satisfy the whole clause set. Lets a caller reuse the model of a
+    preceding phase (e.g. a validity check on a shared incremental session)
+    instead of re-solving. *)
+val has_model : t -> bool
+
 (** [value_level0 s v] is [Some b] when [v] is fixed to [b] by unit
     propagation at decision level 0, [None] otherwise. *)
 val value_level0 : t -> int -> bool option

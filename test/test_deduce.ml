@@ -194,6 +194,89 @@ let prop_naive_facts_implied =
         !ok
       end)
 
+(* ---- backbone: complete deduction by model intersection ---- *)
+
+let sorted_pairs (d : D.t) =
+  Array.map (fun o -> List.sort compare (Porder.Strict_order.pairs o)) d.D.od
+
+let same_orders a b =
+  let pa = sorted_pairs a and pb = sorted_pairs b in
+  Array.length pa = Array.length pb && Array.for_all2 ( = ) pa pb
+
+let subset_orders a b =
+  (* every pair of [a]'s closure appears in [b]'s *)
+  Array.for_all2
+    (fun pa pb -> List.for_all (fun p -> List.mem p pb) pa)
+    (sorted_pairs a) (sorted_pairs b)
+
+let test_backbone_on_paper_examples () =
+  List.iter
+    (fun spec ->
+      let enc = E.encode spec in
+      let b = D.backbone enc in
+      let n = D.naive_deduce enc in
+      Alcotest.(check bool) "backbone od == naive od" true (same_orders b n);
+      Alcotest.(check bool) "fewer SAT calls than naive" true
+        (b.D.stats.D.sat_calls < n.D.stats.D.sat_calls))
+    [ Fixtures.edith_spec (); Fixtures.george_spec () ]
+
+(* the headline property (both encoding modes, and with a reused session
+   solver): backbone computes exactly NaiveDeduce's positive backbone *)
+let prop_backbone_equals_naive =
+  QCheck.Test.make ~count:300 ~name:"backbone == naive_deduce (both modes, fresh + reused solver)"
+    Fixtures.qcheck_spec (fun spec ->
+      List.for_all
+        (fun mode ->
+          let enc = E.encode ~mode spec in
+          if not (Crcore.Validity.check enc) then true
+          else begin
+            let n = D.naive_deduce enc in
+            let b = D.backbone enc in
+            (* a live session: CNF loaded, validity solved (model saved) *)
+            let s = Sat.Solver.create () in
+            Sat.Solver.add_cnf s enc.E.cnf;
+            let sat = Sat.Solver.solve s = Sat.Solver.Sat in
+            let br = D.backbone ~solver:s enc in
+            sat && same_orders b n && same_orders br n
+            && b.D.stats.D.sat_calls <= enc.E.cnf.Sat.Cnf.nvars + 1
+            && br.D.stats.D.reused_solver
+            && (not b.D.stats.D.reused_solver)
+          end)
+        [ E.Paper; E.Exact ])
+
+(* deduce_order reads negative units as reversed pairs, which is sound
+   under the total-order completion semantics the Exact mode encodes — so
+   the subset relation against the complete deducers holds there *)
+let prop_deduce_order_subset_of_complete =
+  QCheck.Test.make ~count:200 ~name:"deduce_order facts subset of backbone and naive (exact mode)"
+    Fixtures.qcheck_spec (fun spec ->
+      let enc = E.encode ~mode:E.Exact spec in
+      if not (Crcore.Validity.check enc) then true
+      else begin
+        let u = D.deduce_order enc in
+        let b = D.backbone enc in
+        let n = D.naive_deduce enc in
+        subset_orders u b && subset_orders u n
+      end)
+
+(* duplicate literals within a clause must not corrupt the occurrence
+   counting (n_active would go negative / fire bogus units) *)
+let prop_duplicate_literals_harmless =
+  QCheck.Test.make ~count:100 ~name:"deduce_order unchanged under duplicated clause literals"
+    Fixtures.qcheck_spec (fun spec ->
+      let enc = E.encode spec in
+      let dup =
+        {
+          enc with
+          E.cnf =
+            Sat.Cnf.unsafe_make ~nvars:enc.E.cnf.Sat.Cnf.nvars
+              (List.map
+                 (fun c -> Array.append c c)
+                 enc.E.cnf.Sat.Cnf.clauses);
+        }
+      in
+      same_orders (D.deduce_order enc) (D.deduce_order dup))
+
 let () =
   Alcotest.run "deduce"
     [
@@ -206,6 +289,7 @@ let () =
           Alcotest.test_case "candidate sets V(A)" `Quick test_candidates;
           Alcotest.test_case "naive vs deduce_order" `Quick test_naive_agrees_on_paper_examples;
           Alcotest.test_case "monotonicity" `Quick test_n_facts_monotone;
+          Alcotest.test_case "backbone on paper examples" `Quick test_backbone_on_paper_examples;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
@@ -213,5 +297,8 @@ let () =
             prop_deduced_facts_implied;
             prop_true_values_agree_with_reference;
             prop_naive_facts_implied;
+            prop_backbone_equals_naive;
+            prop_deduce_order_subset_of_complete;
+            prop_duplicate_literals_harmless;
           ] );
     ]

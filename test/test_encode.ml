@@ -9,14 +9,19 @@ let test_coding_universes () =
   let schema = Fixtures.schema in
   let a_city = Schema.index schema "city" in
   let univ = Crcore.Coding.universe coding a_city in
-  (* adom(city) = NY, SFC, LA; CFD constants add nothing new *)
-  Alcotest.(check int) "city universe" 3 (Array.length univ);
-  Alcotest.(check int) "city adom prefix" 3 (Crcore.Coding.adom_size coding a_city);
+  (* adom(city) = NY, SFC, LA plus the reserved null; CFD constants add
+     nothing new *)
+  Alcotest.(check int) "city universe" 4 (Array.length univ);
+  Alcotest.(check int) "city adom prefix" 4 (Crcore.Coding.adom_size coding a_city);
+  Alcotest.(check bool) "reserved null sits last in the adom prefix" true
+    (Value.is_null univ.(3));
   let a_kids = Schema.index schema "kids" in
+  (* kids already takes null: no extra slot is reserved *)
   Alcotest.(check int) "kids universe includes null" 3
     (Array.length (Crcore.Coding.universe coding a_kids));
   let a_name = Schema.index schema "name" in
-  Alcotest.(check int) "single-value attr" 1 (Array.length (Crcore.Coding.universe coding a_name))
+  Alcotest.(check int) "single-value attr plus reserved null" 2
+    (Array.length (Crcore.Coding.universe coding a_name))
 
 let test_coding_bijection () =
   let spec = Fixtures.edith_spec () in
@@ -46,12 +51,13 @@ let test_coding_foreign_constant () =
   let spec = Crcore.Spec.make e ~orders:[] ~sigma:[] ~gamma in
   let enc = E.encode spec in
   let univ_y = Crcore.Coding.universe enc.E.coding 1 in
-  Alcotest.(check int) "y universe = adom" 2 (Array.length univ_y);
+  Alcotest.(check int) "y universe = adom + reserved null" 3 (Array.length univ_y);
   Alcotest.(check int) "one veto" 1 (List.length enc.E.vetoes);
-  (* the veto forbids "b < a" in x, i.e. a being most current *)
+  (* the veto forbids a being most current in x: its premise holds the
+     facts "b < a" and "null < a" *)
   (match enc.E.vetoes with
-  | [ ([ f ], E.From_cfd 0) ] ->
-      Alcotest.(check int) "veto attr" 0 f.E.attr
+  | [ (([ _; _ ] as fs), E.From_cfd 0) ] ->
+      List.iter (fun f -> Alcotest.(check int) "veto attr" 0 f.E.attr) fs
   | _ -> Alcotest.fail "unexpected veto shape");
   (* and the specification remains valid: completions put b on top *)
   Alcotest.(check bool) "still valid" true (Crcore.Validity.check enc);
@@ -126,12 +132,14 @@ let test_cfd_encoding () =
   let cfd_imps =
     List.filter (fun ic -> match ic.E.source with E.From_cfd _ -> true | _ -> false) enc.E.implications
   in
-  (* each CFD: one implication per other active-domain city value (2 each) *)
-  Alcotest.(check int) "cfd implication count" 4 (List.length cfd_imps);
+  (* each CFD: one implication per other adom-prefix city value — the two
+     other cities plus the reserved null (3 each) *)
+  Alcotest.(check int) "cfd implication count" 6 (List.length cfd_imps);
   List.iter
     (fun ic ->
-      (* premise: the two other AC values below the pattern's AC *)
-      Alcotest.(check int) "cfd premise size" 2 (List.length ic.E.premise))
+      (* premise: the other AC values (incl. the reserved null) below the
+         pattern's AC *)
+      Alcotest.(check int) "cfd premise size" 3 (List.length ic.E.premise))
     cfd_imps
 
 let test_relevant_gamma () =
@@ -148,16 +156,58 @@ let test_relevant_gamma () =
 
 let test_structural_axioms_counts () =
   (* for universe sizes d: transitivity d(d-1)(d-2), asymmetry d(d-1)/2,
-     totality (exact only) d(d-1)/2 *)
+     totality (exact only) d(d-1)/2 — here d = 4: three values plus the
+     reserved null *)
   let schema = Schema.make [ "x" ] in
   let mk v = Tuple.make schema [ Value.Str v ] in
   let e = Entity.make schema [ mk "a"; mk "b"; mk "c" ] in
   let spec = Crcore.Spec.make e ~orders:[] ~sigma:[] ~gamma:[] in
   let paper = E.encode ~mode:E.Paper spec in
   let exact = E.encode ~mode:E.Exact spec in
-  Alcotest.(check int) "paper structural" ((3 * 2 * 1) + 3) paper.E.n_structural;
-  Alcotest.(check int) "exact structural" ((3 * 2 * 1) + 6) exact.E.n_structural;
-  Alcotest.(check int) "nvars d(d-1)" 6 paper.E.cnf.Sat.Cnf.nvars
+  Alcotest.(check int) "paper structural" ((4 * 3 * 2) + 6) paper.E.n_structural;
+  Alcotest.(check int) "exact structural" ((4 * 3 * 2) + 12) exact.E.n_structural;
+  Alcotest.(check int) "nvars d(d-1)" 12 paper.E.cnf.Sat.Cnf.nvars
+
+(* The reserved-null slot at work: a fresh tuple carrying only known
+   values and nulls keeps every universe — and hence the variable
+   numbering — unchanged, so [extend] serves a [Delta]; a genuinely new
+   value still renumbers, with the trailing reserved null floating to a
+   later id rather than breaking the prefix condition. *)
+let test_extend_null_is_delta () =
+  let schema = Schema.make [ "x"; "y" ] in
+  let e =
+    Entity.make schema
+      [
+        Tuple.make schema [ Value.Str "a"; Value.Str "p" ];
+        Tuple.make schema [ Value.Str "b"; Value.Str "q" ];
+      ]
+  in
+  let spec = Crcore.Spec.make e ~orders:[] ~sigma:[] ~gamma:[] in
+  let enc = E.encode spec in
+  let null_spec =
+    Crcore.Spec.extend_with_tuple spec
+      (Tuple.make schema [ Value.Str "a"; Value.Null ])
+      ~current_attrs:[ "x" ]
+  in
+  (match E.extend enc null_spec with
+  | Some (E.Delta (enc', _)) ->
+      Alcotest.(check int) "numbering unchanged" (Crcore.Coding.nvars enc.E.coding)
+        (Crcore.Coding.nvars enc'.E.coding)
+  | Some (E.Renumbered _) -> Alcotest.fail "null-only extension renumbered"
+  | None -> Alcotest.fail "null-only extension rejected");
+  let fresh_spec =
+    Crcore.Spec.extend_with_tuple spec
+      (Tuple.make schema [ Value.Str "c"; Value.Str "p" ])
+      ~current_attrs:[ "x" ]
+  in
+  match E.extend enc fresh_spec with
+  | Some (E.Renumbered enc') ->
+      let u = Crcore.Coding.universe enc'.E.coding 0 in
+      Alcotest.(check int) "x universe grew" 4 (Array.length u);
+      Alcotest.(check bool) "null floated behind the new value" true
+        (Value.is_null u.(3) && Value.equal u.(2) (Value.Str "c"))
+  | Some (E.Delta _) -> Alcotest.fail "new-value extension took the delta path"
+  | None -> Alcotest.fail "new-value extension rejected"
 
 let test_var_fact_roundtrip () =
   let enc = E.encode (Fixtures.george_spec ()) in
@@ -205,6 +255,7 @@ let () =
           Alcotest.test_case "cfd encoding" `Quick test_cfd_encoding;
           Alcotest.test_case "relevant_gamma" `Quick test_relevant_gamma;
           Alcotest.test_case "structural axiom counts" `Quick test_structural_axioms_counts;
+          Alcotest.test_case "null extension stays delta" `Quick test_extend_null_is_delta;
           Alcotest.test_case "fact/var round trip" `Quick test_var_fact_roundtrip;
         ] );
       ( "property",

@@ -118,8 +118,10 @@ let prop_parallel_equals_sequential =
       let seq_results, seq_stats = E.run_batch items in
       List.for_all
         (fun jobs ->
+          (* clamp off: the property is about arbitrary schedules, so it
+             must actually run the requested width even on small hosts *)
           let par_results, par_stats =
-            E.run_batch ~config:{ E.default_config with jobs } items
+            E.run_batch ~config:{ E.default_config with jobs; clamp_jobs = false } items
           in
           same_item_results seq_results par_results
           && par_stats.E.entities = seq_stats.E.entities
@@ -133,7 +135,7 @@ let test_parallel_streaming_order () =
   let seen = ref [] in
   let _, _ =
     E.run_batch
-      ~config:{ E.default_config with jobs = 4 }
+      ~config:{ E.default_config with jobs = 4; clamp_jobs = false }
       ~on_result:(fun ir -> seen := ir.E.label :: !seen)
       items
   in
@@ -144,8 +146,15 @@ let test_parallel_streaming_order () =
 
 let test_parallel_stats_invariants () =
   let items = batch_of_seed 7 in
-  let _, st = E.run_batch ~config:{ E.default_config with jobs = 4 } items in
+  let _, st =
+    E.run_batch ~config:{ E.default_config with jobs = 4; clamp_jobs = false } items
+  in
   Alcotest.(check int) "jobs recorded" 4 st.E.jobs;
+  Alcotest.(check int) "jobs_requested recorded" 4 st.E.jobs_requested;
+  Alcotest.(check bool) "deduce counters non-negative" true
+    (st.E.deduce_sat_calls >= 0 && st.E.deduce_probes >= 0
+    && st.E.deduce_model_prunes >= 0 && st.E.deduce_seeded >= 0);
+  Alcotest.(check bool) "live sessions served phases" true (st.E.solvers_reused > 0);
   Alcotest.(check int) "entities" (List.length items) st.E.entities;
   Alcotest.(check int) "rebuild breakdown sums" st.E.rebuilds
     (st.E.rebuilds_renumbered + st.E.rebuilds_impure);
@@ -165,6 +174,44 @@ let test_parallel_stats_invariants () =
     && st.E.times.E.deduce_ms >= 0.
     && st.E.times.E.suggest_ms >= 0.)
 
+(* Cross-phase solver reuse (one session serving validity, backbone
+   deduction and the MaxSAT repair layer) must be invisible in results:
+   the reusing default config and the rebuild-everything naive config
+   agree on every spec, at jobs = 1 and jobs = 4 alike. Lint is off on
+   both sides so the comparison is solver-path against solver-path. *)
+let prop_solver_reuse_identical_under_jobs =
+  QCheck.Test.make ~count:15 ~name:"solver reuse: incremental == naive at jobs in {1,4}"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let items = batch_of_seed seed in
+      let base_results, _ =
+        E.run_batch ~config:{ E.naive_config with jobs = 1 } items
+      in
+      List.for_all
+        (fun jobs ->
+          let r, _ =
+            E.run_batch
+              ~config:
+                { E.default_config with lint = false; jobs; clamp_jobs = false }
+              items
+          in
+          same_item_results base_results r)
+        [ 1; 4 ])
+
+(* By default the engine caps the batch width at the machine's core
+   count: over-subscribing domains is a pure slowdown, and BENCH_par
+   showed a 3x one on a 1-core host. The request is still recorded. *)
+let test_jobs_clamped_to_cores () =
+  let items = batch_of_seed 11 in
+  let cores = Parallel.Pool.recommended_jobs () in
+  let _, st = E.run_batch ~config:{ E.default_config with jobs = 64 } items in
+  Alcotest.(check int) "request recorded" 64 st.E.jobs_requested;
+  Alcotest.(check bool) "effective width capped at cores" true
+    (st.E.jobs >= 1 && st.E.jobs <= cores);
+  let _, st1 = E.run_batch items in
+  Alcotest.(check int) "jobs=1 unaffected" 1 st1.E.jobs;
+  Alcotest.(check int) "jobs=1 request recorded" 1 st1.E.jobs_requested
+
 (* CRSOLVE_JOBS is how CI widens the tested job counts without editing
    the suite: when set, the same parity property runs at that width. *)
 let env_jobs_tests =
@@ -179,7 +226,7 @@ let env_jobs_tests =
             let items = batch_of_seed seed in
             let seq_results, _ = E.run_batch items in
             let par_results, _ =
-              E.run_batch ~config:{ E.default_config with jobs } items
+              E.run_batch ~config:{ E.default_config with jobs; clamp_jobs = false } items
             in
             same_item_results seq_results par_results);
       ]
@@ -200,8 +247,11 @@ let () =
         [
           Alcotest.test_case "streaming order (jobs=4)" `Quick test_parallel_streaming_order;
           Alcotest.test_case "stats invariants (jobs=4)" `Quick test_parallel_stats_invariants;
+          Alcotest.test_case "jobs clamped to cores" `Quick test_jobs_clamped_to_cores;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          (prop_parallel_equals_sequential :: env_jobs_tests) );
+          (prop_parallel_equals_sequential
+           :: prop_solver_reuse_identical_under_jobs
+           :: env_jobs_tests) );
     ]
