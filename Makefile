@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par deduce lint fmt clean
+.PHONY: all build test check bench batch par deduce lint robustness fmt clean
 
 all: build
 
@@ -40,6 +40,13 @@ lint: build
 	dune exec bin/crsolve.exe -- lint -e examples/data_broken/photo.csv \
 	  -s examples/data_broken/sigma.txt -g examples/data_broken/gamma.txt; \
 	  test $$? -eq 2
+
+# Fault-injection suite plus the poisoned-batch bench smoke: per-entity
+# isolation, the degradation ladder under budgets, and jobs=1 == jobs=4
+# determinism; writes BENCH_robustness.json.
+robustness: build
+	dune exec test/test_robustness.exe
+	dune exec bench/main.exe -- robustness_smoke
 
 # Requires ocamlformat (see .ocamlformat for the pinned profile); not part
 # of `check` so the gate works on toolchains without it.

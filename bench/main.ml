@@ -17,6 +17,13 @@
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
 
+(* Uniform failure reporting: a scenario that detects a disagreement
+   records it here instead of exiting on its own; the driver prints every
+   recorded failure after the selected scenarios ran and exits 1 if any
+   were recorded, so all scenarios fail the same way. *)
+let failures : string list ref = ref []
+let claim name ok = if not ok then failures := name :: !failures
+
 let time_ms f =
   let t0 = Sys.time () in
   let r = f () in
@@ -375,7 +382,8 @@ let ablation_encoding () =
           te := mse :: !te)
         ds.Datagen.Types.cases;
       Printf.printf "  %-14s %12.0f %12.0f %9.1f ms %9.1f ms %8b\n%!" label (mean !cp) (mean !ce)
-        (mean !tp) (mean !te) !agree)
+        (mean !tp) (mean !te) !agree;
+      claim (Printf.sprintf "ablation_encoding: IsValid paper == exact (%s)" label) !agree)
     person_buckets
 
 let ablation_clique () =
@@ -447,6 +455,15 @@ let wall_ms f =
   let r = f () in
   ((Unix.gettimeofday () -. t0) *. 1000., r)
 
+(* unwrap an item outcome in scenarios that inject no faults *)
+let ir_result (r : Crcore.Engine.item_result) =
+  match r.Crcore.Engine.outcome with
+  | Ok res -> res
+  | Error e ->
+      failwith
+        (Printf.sprintf "bench: unexpected entity error [%s]: %s" r.Crcore.Engine.label
+           e.Crcore.Engine.exn)
+
 (* [Datagen.Types.spec_of] rebuilds the Σ/Γ lists per case, so batch items
    carry structurally equal but physically distinct lists. Share them
    physically — both resolution paths receive the same items, and the
@@ -512,9 +529,10 @@ let batch_sized ~n_entities ~json () =
   let equivalent =
     List.for_all2
       (fun (o : Crcore.Framework.outcome) (r : Crcore.Engine.item_result) ->
-        o.Crcore.Framework.resolved = r.Crcore.Engine.result.Crcore.Engine.resolved
-        && o.Crcore.Framework.valid = r.Crcore.Engine.result.Crcore.Engine.valid
-        && o.Crcore.Framework.rounds = r.Crcore.Engine.result.Crcore.Engine.rounds)
+        let res = ir_result r in
+        o.Crcore.Framework.resolved = res.Crcore.Engine.resolved
+        && o.Crcore.Framework.valid = res.Crcore.Engine.valid
+        && o.Crcore.Framework.rounds = res.Crcore.Engine.rounds)
       naive_outcomes results
   in
   let per_sec ms = if ms <= 0. then 0. else 1000. *. float_of_int n_entities /. ms in
@@ -524,6 +542,7 @@ let batch_sized ~n_entities ~json () =
   Printf.printf "  Engine.run_batch:             %8.1f ms  (%7.1f entities/s)\n" engine_ms
     (per_sec engine_ms);
   Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup equivalent;
+  claim "batch: engine == naive Framework loop" equivalent;
   Format.printf "  %a@." Crcore.Engine.pp_stats stats;
   (* Repeated-specs cache case: the second copy of every item resolves a
      structurally identical spec, so its initial encoding must come from
@@ -545,13 +564,14 @@ let batch_sized ~n_entities ~json () =
     let seconds = List.filteri (fun i _ -> i >= n_entities) rep_results in
     List.for_all2
       (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
-        a.Crcore.Engine.result = b.Crcore.Engine.result)
+        ir_result a = ir_result b)
       firsts seconds
   in
   Printf.printf
     "  cache (specs repeated twice, %d items): %d hit(s), hit_ratio %.3f, repeats identical: %b\n"
     (2 * n_entities) rep_stats.Crcore.Engine.cache_hits rep_stats.Crcore.Engine.hit_ratio
     rep_equivalent;
+  claim "batch: repeated specs resolve identically through the cache" rep_equivalent;
   (match json with
   | None -> ()
   | Some path ->
@@ -672,7 +692,7 @@ let par_sized ~n_entities ~jobs ~json () =
     List.for_all2
       (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
         a.Crcore.Engine.label = b.Crcore.Engine.label
-        && a.Crcore.Engine.result = b.Crcore.Engine.result)
+        && a.Crcore.Engine.outcome = b.Crcore.Engine.outcome)
       seq_results par_results
   in
   let cores = Parallel.Pool.recommended_jobs () in
@@ -680,6 +700,7 @@ let par_sized ~n_entities ~jobs ~json () =
   Printf.printf "  sequential (jobs=1):  %8.1f ms\n" seq_ms;
   Printf.printf "  parallel   (jobs=%d):  %8.1f ms   (%d core(s) available)\n" jobs par_ms cores;
   Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup identical;
+  claim "par: parallel results == sequential results" identical;
   Format.printf "  %a@." Crcore.Engine.pp_stats par_stats;
   match json with
   | None -> ()
@@ -794,10 +815,7 @@ let deduce_sized ~n_entities ~json () =
     !b_probes !b_prunes !b_seeded !nvars_total;
   Printf.printf "  SAT-call ratio naive/backbone: %.1fx   identical orders: %b\n" ratio
     !identical;
-  if not !identical then begin
-    prerr_endline "deduce bench: backbone and naive_deduce disagree";
-    exit 1
-  end;
+  claim "deduce: backbone orders == naive_deduce orders" !identical;
   (* engine effect: complete deduction cuts interaction rounds *)
   let items =
     intern_items
@@ -821,8 +839,7 @@ let deduce_sized ~n_entities ~json () =
   let same_resolved =
     List.for_all2
       (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
-        a.Crcore.Engine.result.Crcore.Engine.resolved
-        = b.Crcore.Engine.result.Crcore.Engine.resolved)
+        (ir_result a).Crcore.Engine.resolved = (ir_result b).Crcore.Engine.resolved)
       up_results bb_results
   in
   let line name ms (st : Crcore.Engine.stats) =
@@ -835,6 +852,7 @@ let deduce_sized ~n_entities ~json () =
   line "deduce_order" up_ms up_stats;
   line "backbone" bb_ms bb_stats;
   Printf.printf "  same final resolutions: %b\n%!" same_resolved;
+  claim "deduce: engine resolutions backbone == deduce_order" same_resolved;
   (match json with
   | None -> ()
   | Some path ->
@@ -946,7 +964,7 @@ let lint_sized ~n_entities ~size_min ~size_max ~extra_events ~json () =
   let equivalent =
     List.for_all2
       (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
-        a.Crcore.Engine.result = b.Crcore.Engine.result)
+        ir_result a = ir_result b)
       off_results on_results
   in
   let speedup = if on_ms <= 0. then 0. else off_ms /. on_ms in
@@ -954,6 +972,7 @@ let lint_sized ~n_entities ~size_min ~size_max ~extra_events ~json () =
     speedup;
   Printf.printf "  rejected before encoding: %d/%d    identical results: %b\n"
     on_stats.Crcore.Engine.lint_rejected n_entities equivalent;
+  claim "lint: lint-on results == lint-off results" equivalent;
   Format.printf "  %a@." Crcore.Engine.pp_stats on_stats;
   match json with
   | None -> ()
@@ -990,6 +1009,177 @@ let lint () =
 
 let lint_smoke () =
   lint_sized ~n_entities:10 ~size_min:40 ~size_max:80 ~extra_events:12 ~json:None ()
+
+(* ---------------------------------------------------------------- *)
+(* Robustness: budgets + fault isolation under a poisoned batch      *)
+(* ---------------------------------------------------------------- *)
+
+(* A Person batch where ~5% of the entities are poisoned through the
+   deterministic fault-injection harness: half of the poison simulates a
+   hang (a forced budget-exhaust at the solve phase, which the conflict
+   budget turns into a PickFallback degradation), half simulates a crash
+   (a raise at the solve phase, which per-entity isolation turns into an
+   Error outcome). The scenario compares isolation-on throughput (every
+   healthy entity still resolves) against the fail_fast batch-abort
+   semantics (the first crash kills the whole batch and delivers zero
+   results), checks that jobs=1 and jobs=4 agree outcome-for-outcome, and
+   reports the degradation histogram. Emits BENCH_robustness.json. *)
+let robustness_sized ~n_entities ~poison_period ~json () =
+  section
+    (Printf.sprintf
+       "Robustness: %d Person entities, 2/%d poisoned, isolation vs fail-fast" n_entities
+       poison_period);
+  let ds =
+    Datagen.Person.generate
+      {
+        Datagen.Person.default_params with
+        n_entities;
+        size_min = 4;
+        size_max = 10;
+        extra_events = 2;
+      }
+  in
+  let items =
+    intern_items
+      (List.map
+         (fun (case : Datagen.Types.case) ->
+           {
+             Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+             spec = Datagen.Types.spec_of ds case;
+             user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+           })
+         ds.Datagen.Types.cases)
+  in
+  let exhaust_slot = 7 mod poison_period and raise_slot = 27 mod poison_period in
+  let labels_at slot =
+    List.filteri (fun i _ -> i mod poison_period = slot) items
+    |> List.map (fun (it : Crcore.Engine.item) -> it.Crcore.Engine.label)
+  in
+  let exhaust_labels = labels_at exhaust_slot and raise_labels = labels_at raise_slot in
+  let rule label action =
+    { Crcore.Faults.label = Some label; point = Crcore.Faults.Solve; nth = 1; action }
+  in
+  let plan =
+    List.map (fun l -> rule l Crcore.Faults.Exhaust) exhaust_labels
+    @ List.map (fun l -> rule l (Crcore.Faults.Raise "bench: poisoned entity")) raise_labels
+  in
+  let cfg =
+    {
+      Crcore.Engine.default_config with
+      lint = false;
+      budget_conflicts = Some 20_000;
+    }
+  in
+  Crcore.Faults.arm plan;
+  Fun.protect ~finally:Crcore.Faults.disarm (fun () ->
+      let iso_ms, (results, stats) =
+        wall_ms (fun () -> Crcore.Engine.run_batch ~config:cfg items)
+      in
+      let _, (results4, _) =
+        wall_ms (fun () ->
+            Crcore.Engine.run_batch
+              ~config:{ cfg with jobs = 4; clamp_jobs = false }
+              items)
+      in
+      let abort_ms, aborted =
+        wall_ms (fun () ->
+            match Crcore.Engine.run_batch ~config:{ cfg with fail_fast = true } items with
+            | _ -> false
+            | exception Crcore.Faults.Injected _ -> true)
+      in
+      let hist_exact = ref 0 and hist_partial = ref 0 and hist_pick = ref 0 in
+      let errors = ref 0 in
+      List.iter
+        (fun (r : Crcore.Engine.item_result) ->
+          match r.Crcore.Engine.outcome with
+          | Error _ -> incr errors
+          | Ok res -> (
+              match res.Crcore.Engine.level with
+              | Crcore.Engine.Exact -> incr hist_exact
+              | Crcore.Engine.PartialDeduce -> incr hist_partial
+              | Crcore.Engine.PickFallback -> incr hist_pick))
+        results;
+      let outcome_keys rs =
+        (* backtraces legitimately differ across domain schedules *)
+        List.map
+          (fun (r : Crcore.Engine.item_result) ->
+            ( r.Crcore.Engine.label,
+              match r.Crcore.Engine.outcome with
+              | Ok res -> Ok res
+              | Error e -> Error (e.Crcore.Engine.exn, e.Crcore.Engine.phase) ))
+          rs
+      in
+      let deterministic = outcome_keys results = outcome_keys results4 in
+      let hangs_degraded =
+        List.for_all
+          (fun l ->
+            match
+              List.find_opt (fun (r : Crcore.Engine.item_result) -> r.Crcore.Engine.label = l)
+                results
+            with
+            | Some { Crcore.Engine.outcome = Ok res; _ } ->
+                res.Crcore.Engine.level = Crcore.Engine.PickFallback
+            | _ -> false)
+          exhaust_labels
+      in
+      let healthy = n_entities - !errors in
+      let per_sec ms = if ms <= 0. then 0. else 1000. *. float_of_int healthy /. ms in
+      Printf.printf "  poisoned: %d hang(s) (budget-exhaust), %d crash(es) (raise)\n"
+        (List.length exhaust_labels) (List.length raise_labels);
+      Printf.printf "  isolation on:  %8.1f ms   %d/%d outcomes delivered  (%7.1f healthy entities/s)\n"
+        iso_ms (List.length results) n_entities (per_sec iso_ms);
+      Printf.printf "  fail-fast:     %8.1f ms   %s, 0 results delivered\n" abort_ms
+        (if aborted then "aborted on first crash" else "did NOT abort");
+      Printf.printf
+        "  degradation histogram: exact=%d partial=%d pick=%d error=%d   budget-exhausted: %d\n"
+        !hist_exact !hist_partial !hist_pick !errors stats.Crcore.Engine.budget_exhausted;
+      Printf.printf "  jobs=1 == jobs=4: %b\n%!" deterministic;
+      Format.printf "  %a@." Crcore.Engine.pp_stats stats;
+      claim "robustness: every entity reports an outcome"
+        (List.length results = n_entities && stats.Crcore.Engine.entities = n_entities);
+      claim "robustness: crashes isolated as per-entity errors"
+        (!errors = List.length raise_labels && stats.Crcore.Engine.errors = !errors);
+      claim "robustness: hangs degrade to PickFallback under the budget" hangs_degraded;
+      claim "robustness: fail_fast aborts the batch" aborted;
+      claim "robustness: outcomes identical at jobs=1 and jobs=4" deterministic;
+      match json with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Printf.fprintf oc
+            {|{
+  "scenario": "robustness",
+  "dataset": "Person",
+  "n_entities": %d,
+  "poisoned": { "hangs": %d, "crashes": %d },
+  "budget_conflicts": 20000,
+  "isolation": {
+    "wall_ms": %.3f,
+    "healthy_entities_per_sec": %.1f,
+    "outcomes_delivered": %d,
+    "errors": %d,
+    "budget_exhausted": %d,
+    "degraded_partial": %d,
+    "degraded_pick": %d,
+    "histogram": { "exact": %d, "partial": %d, "pick": %d, "error": %d }
+  },
+  "fail_fast": { "wall_ms": %.3f, "aborted": %b, "results_delivered": 0 },
+  "jobs_deterministic": %b
+}
+|}
+            n_entities (List.length exhaust_labels) (List.length raise_labels) iso_ms
+            (per_sec iso_ms) (List.length results) !errors
+            stats.Crcore.Engine.budget_exhausted stats.Crcore.Engine.degraded_partial
+            stats.Crcore.Engine.degraded_pick !hist_exact !hist_partial !hist_pick !errors
+            abort_ms aborted deterministic;
+          close_out oc;
+          Printf.printf "  wrote %s\n%!" path)
+
+let robustness () =
+  robustness_sized ~n_entities:120 ~poison_period:40 ~json:(Some "BENCH_robustness.json") ()
+
+let robustness_smoke () =
+  robustness_sized ~n_entities:24 ~poison_period:8 ~json:(Some "BENCH_robustness.json") ()
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                        *)
@@ -1047,6 +1237,8 @@ let experiments =
     ("deduce_smoke", deduce_smoke);
     ("lint", lint);
     ("lint_smoke", lint_smoke);
+    ("robustness", robustness);
+    ("robustness_smoke", robustness_smoke);
     ("ablation_encoding", ablation_encoding);
     ("ablation_clique", ablation_clique);
     ("ablation_maxsat", ablation_maxsat);
@@ -1061,7 +1253,7 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke"
-            && n <> "deduce_smoke")
+            && n <> "deduce_smoke" && n <> "robustness_smoke")
           experiments
     | names ->
         List.map
@@ -1076,4 +1268,10 @@ let () =
   in
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f ()) selected;
-  Printf.printf "\n(total bench time: %.1f s)\n" (Sys.time () -. t0)
+  Printf.printf "\n(total bench time: %.1f s)\n" (Sys.time () -. t0);
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "\n%d bench disagreement(s):\n" (List.length fs);
+      List.iter (fun f -> Printf.eprintf "  FAIL %s\n" f) fs;
+      exit 1

@@ -323,7 +323,7 @@ let default_jobs () =
   | None -> 1
 
 let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_file max_rounds
-    output =
+    budget_conflicts budget_ms max_degrade fail_fast output =
   let sigma, gamma = parse_sigma_gamma sigma_file gamma_file in
   let mk_label_spec label entity =
     match Crcore.Spec.make_res entity ~orders:[] ~sigma ~gamma with
@@ -411,17 +411,31 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
       Crcore.Engine.mode = mode_of_exact exact;
       max_rounds;
       jobs;
+      budget_conflicts;
+      budget_ms;
+      max_degrade;
+      fail_fast;
     }
   in
   let on_result (r : Crcore.Engine.item_result) =
-    let res = r.Crcore.Engine.result in
-    let known =
-      Array.fold_left (fun n v -> if v = None then n else n + 1) 0 res.Crcore.Engine.resolved
-    in
-    Printf.printf "[%s] %s rounds=%d resolved=%d/%d\n%!" r.Crcore.Engine.label
-      (if res.Crcore.Engine.valid then "valid" else "INVALID")
-      res.Crcore.Engine.rounds known
-      (Array.length res.Crcore.Engine.resolved)
+    match r.Crcore.Engine.outcome with
+    | Error e ->
+        Printf.printf "[%s] ERROR in %s: %s\n%!" r.Crcore.Engine.label
+          (Crcore.Engine.phase_to_string e.Crcore.Engine.phase)
+          e.Crcore.Engine.exn
+    | Ok res ->
+        let known =
+          Array.fold_left (fun n v -> if v = None then n else n + 1) 0 res.Crcore.Engine.resolved
+        in
+        Printf.printf "[%s] %s rounds=%d resolved=%d/%d level=%s%s\n%!" r.Crcore.Engine.label
+          (if res.Crcore.Engine.valid then "valid" else "INVALID")
+          res.Crcore.Engine.rounds known
+          (Array.length res.Crcore.Engine.resolved)
+          (Crcore.Engine.level_to_string res.Crcore.Engine.level)
+          (match res.Crcore.Engine.degrade_reason with
+          | None -> ""
+          | Some reason ->
+              Printf.sprintf " degraded=%s" (Crcore.Engine.reason_to_string reason))
   in
   let results, stats = Crcore.Engine.run_batch ~config ~on_result items in
   Format.printf "@.%a@." Crcore.Engine.pp_stats stats;
@@ -433,13 +447,20 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
         :: List.map
              (fun (r : Crcore.Engine.item_result) ->
                r.Crcore.Engine.label
-               :: (Array.to_list r.Crcore.Engine.result.Crcore.Engine.resolved
-                  |> List.map (function Some v -> Value.to_string v | None -> "")))
+               ::
+               (match r.Crcore.Engine.outcome with
+               | Error _ ->
+                   List.map (fun _ -> "") (Schema.attr_names schema)
+               | Ok res ->
+                   Array.to_list res.Crcore.Engine.resolved
+                   |> List.map (function Some v -> Value.to_string v | None -> "")))
              results
       in
       Csv.write_file path rows;
       Printf.printf "resolved tuples written to %s\n" path);
-  if stats.Crcore.Engine.valid_entities = stats.Crcore.Engine.entities then 0 else 1
+  if stats.Crcore.Engine.errors > 0 then 2
+  else if stats.Crcore.Engine.valid_entities = stats.Crcore.Engine.entities then 0
+  else 1
 
 (* ---- cmdliner wiring ---- *)
 
@@ -547,12 +568,57 @@ let batch_cmd =
             "Resolve entities on $(docv) domains in parallel. Results are identical to the \
              sequential run and stream in input order. Defaults to \\$CRSOLVE_JOBS, else 1.")
   in
+  let budget_conflicts_a =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-conflicts" ] ~docv:"N"
+          ~doc:
+            "Per-entity SAT conflict budget. An entity that exhausts it degrades down the \
+             ladder (exact, partial, pick) instead of running unbounded; deterministic \
+             across $(b,--jobs).")
+  in
+  let budget_ms_a =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-entity soft wall-clock budget in milliseconds, checked between phases and \
+             rounds only. Prefer $(b,--budget-conflicts) for reproducible outcomes.")
+  in
+  let max_degrade_a =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("exact", Crcore.Engine.Exact);
+               ("partial", Crcore.Engine.PartialDeduce);
+               ("pick", Crcore.Engine.PickFallback);
+             ])
+          Crcore.Engine.PickFallback
+      & info [ "max-degrade" ] ~docv:"LEVEL"
+          ~doc:
+            "Lowest degradation level a budget-exhausted entity may fall to: $(b,exact) \
+             (never degrade; conservative unresolved answer), $(b,partial) (proven facts \
+             only), or $(b,pick) (the paper's Pick heuristic; default).")
+  in
+  let fail_fast_a =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Abort the whole batch on the first entity failure instead of isolating it as \
+             that entity's ERROR outcome.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Resolve a whole collection of entities with the incremental batch engine")
     Term.(
       const run_batch $ entity_a $ dir_a $ sigma_arg $ gamma_arg $ exact_arg $ naive_a
-      $ jobs_a $ key_a $ truth_arg $ max_rounds_arg $ out_a)
+      $ jobs_a $ key_a $ truth_arg $ max_rounds_arg $ budget_conflicts_a $ budget_ms_a
+      $ max_degrade_a $ fail_fast_a $ out_a)
 
 let main =
   Cmd.group

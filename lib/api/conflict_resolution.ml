@@ -85,6 +85,11 @@ module Engine = Crcore.Engine
 (** Whole-relation repair: partition by key, resolve each entity. *)
 module Repair = Crcore.Repair
 
+(** Deterministic fault injection at the engine's phase boundaries —
+    for testing batch robustness (per-entity isolation, the budget
+    degradation ladder) against simulated crashes and hangs. *)
+module Faults = Crcore.Faults
+
 (** {1 Baselines and evaluation} *)
 
 (** The traditional heuristic conflict-resolution baseline. *)

@@ -108,8 +108,11 @@ let greedy g =
     List.sort compare !clique
   end
 
-let find ?(exact_threshold = 400) g =
-  if Ugraph.n_vertices g <= exact_threshold then (exact g).clique else greedy g
+let find_r ?(exact_threshold = 400) ?max_nodes g =
+  if Ugraph.n_vertices g <= exact_threshold then exact ?max_nodes g
+  else { clique = greedy g; optimal = false }
+
+let find ?exact_threshold g = (find_r ?exact_threshold g).clique
 
 let brute g =
   let n = Ugraph.n_vertices g in

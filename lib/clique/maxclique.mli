@@ -21,9 +21,15 @@ val exact : ?max_nodes:int -> Ugraph.t -> result
     guarantee. *)
 val greedy : Ugraph.t -> int list
 
-(** [find ?exact_threshold g] runs {!exact} when [n_vertices g] is at most
-    [exact_threshold] (default 400) and {!greedy} otherwise; mirrors the
-    paper's use of an approximate tool at scale. *)
+(** [find_r ?exact_threshold ?max_nodes g] runs {!exact} (with its node
+    budget) when [n_vertices g] is at most [exact_threshold] (default 400)
+    and {!greedy} otherwise; mirrors the paper's use of an approximate
+    tool at scale. Reporting is unified with the other budgeted searches:
+    [optimal = false] whenever the search was not exhaustive, whether the
+    node budget ran out or the greedy heuristic was used. *)
+val find_r : ?exact_threshold:int -> ?max_nodes:int -> Ugraph.t -> result
+
+(** [find ?exact_threshold g] is [(find_r ?exact_threshold g).clique]. *)
 val find : ?exact_threshold:int -> Ugraph.t -> int list
 
 (** [brute g] enumerates all subsets; ground truth for tests. Raises

@@ -5,6 +5,7 @@ type stats = {
   seeded : int;
   reused_solver : bool;
   built_solver : bool;
+  complete : bool;
 }
 
 let no_stats = {
@@ -14,6 +15,7 @@ let no_stats = {
   seeded = 0;
   reused_solver = false;
   built_solver = false;
+  complete = true;
 }
 
 type t = { enc : Encode.t; od : Porder.Strict_order.t array; stats : stats }
@@ -95,7 +97,11 @@ let unit_propagate cnf =
 
 (* ---- DeduceOrder: unit propagation with occurrence lists ---- *)
 
-let deduce_order ?solver:_ enc =
+let unit_conflict enc =
+  let _assigns, conflict = unit_propagate enc.Encode.cnf in
+  conflict
+
+let deduce_order ?solver:_ ?budget:_ enc =
   let assigns, _conflict = unit_propagate enc.Encode.cnf in
   let od = empty_od enc in
   Array.iteri
@@ -117,26 +123,34 @@ let deduction_solver solver enc =
 
 (* ---- NaiveDeduce: one SAT call per variable ---- *)
 
-let naive_deduce ?solver enc =
+let naive_deduce ?solver ?budget enc =
   let s, reused = deduction_solver solver enc in
+  (match budget with Some b -> Sat.Solver.set_budget ~conflicts:b s | None -> ());
   let od = empty_od enc in
   let nvars = enc.Encode.cnf.Sat.Cnf.nvars in
-  for v = 0 to nvars - 1 do
-    match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of v ] s with
-    | Sat.Solver.Unsat -> add_literal_to_od enc od (Sat.Lit.pos v)
-    | Sat.Solver.Sat -> ()
+  let sat_calls = ref 0 in
+  let complete = ref true in
+  let v = ref 0 in
+  while !complete && !v < nvars do
+    incr sat_calls;
+    (match Sat.Solver.solve_limited ~assumptions:[ Sat.Lit.neg_of !v ] s with
+    | Sat.Solver.Limited.Unsat -> add_literal_to_od enc od (Sat.Lit.pos !v)
+    | Sat.Solver.Limited.Sat -> ()
+    | Sat.Solver.Limited.Unknown -> complete := false);
+    incr v
   done;
   {
     enc;
     od;
     stats =
       {
-        sat_calls = nvars;
-        probes = nvars;
+        sat_calls = !sat_calls;
+        probes = !sat_calls;
         model_prunes = 0;
         seeded = 0;
         reused_solver = reused;
         built_solver = not reused;
+        complete = !complete;
       };
   }
 
@@ -158,74 +172,96 @@ let naive_deduce ?solver enc =
    selectors/relaxation from {!Maxsat.Exact.solve_groups_on}); all are
    satisfiable extensions of Φ(Se), so probe answers and model
    restrictions agree with Φ(Se) alone. *)
-let backbone ?solver enc =
+let backbone ?solver ?budget enc =
   let cnf = enc.Encode.cnf in
   let nvars = cnf.Sat.Cnf.nvars in
   let s, reused = deduction_solver solver enc in
+  (match budget with Some b -> Sat.Solver.set_budget ~conflicts:b s | None -> ());
   let sat_calls = ref 0 in
   let od = empty_od enc in
-  if
-    Sat.Solver.has_model s
-    ||
-    (incr sat_calls;
-     Sat.Solver.solve s = Sat.Solver.Sat)
-  then begin
-    let cand = Array.init nvars (Sat.Solver.model_value s) in
-    let assigns, conflict = unit_propagate cnf in
-    let seeded = ref 0 in
-    if not conflict then
-      Array.iteri
-        (fun v a ->
-          if a = 1 then begin
-            (* unit-propagation facts are backbone: adopt without a probe *)
-            add_literal_to_od enc od (Sat.Lit.pos v);
-            incr seeded;
-            cand.(v) <- false
-          end
-          else if a = -1 then cand.(v) <- false)
-        assigns;
-    let probes = ref 0 and model_prunes = ref 0 in
-    for v = 0 to nvars - 1 do
-      if cand.(v) then begin
-        incr probes;
-        incr sat_calls;
-        match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of v ] s with
-        | Sat.Solver.Unsat ->
-            add_literal_to_od enc od (Sat.Lit.pos v);
-            cand.(v) <- false
-        | Sat.Solver.Sat ->
-            (* v is not backbone; neither is any candidate this model
-               refutes — prune them all before the next probe *)
-            for u = v to nvars - 1 do
-              if cand.(u) && not (Sat.Solver.model_value s u) then begin
-                cand.(u) <- false;
-                if u > v then incr model_prunes
-              end
-            done
-      end
-    done;
-    {
-      enc;
-      od;
-      stats =
-        {
-          sat_calls = !sat_calls;
-          probes = !probes;
-          model_prunes = !model_prunes;
-          seeded = !seeded;
-          reused_solver = reused;
-          built_solver = not reused;
-        };
-    }
-  end
-  else
-    (* unsatisfiable specification; callers check validity first *)
-    {
-      enc;
-      od;
-      stats = { no_stats with sat_calls = !sat_calls; reused_solver = reused;
-                built_solver = not reused };
-    }
+  let initial =
+    if Sat.Solver.has_model s then Sat.Solver.Limited.Sat
+    else begin
+      incr sat_calls;
+      Sat.Solver.solve_limited s
+    end
+  in
+  match initial with
+  | Sat.Solver.Limited.Sat ->
+      let cand = Array.init nvars (Sat.Solver.model_value s) in
+      let assigns, conflict = unit_propagate cnf in
+      let seeded = ref 0 in
+      if not conflict then
+        Array.iteri
+          (fun v a ->
+            if a = 1 then begin
+              (* unit-propagation facts are backbone: adopt without a probe *)
+              add_literal_to_od enc od (Sat.Lit.pos v);
+              incr seeded;
+              cand.(v) <- false
+            end
+            else if a = -1 then cand.(v) <- false)
+          assigns;
+      let probes = ref 0 and model_prunes = ref 0 in
+      let complete = ref true in
+      let v = ref 0 in
+      while !complete && !v < nvars do
+        if cand.(!v) then begin
+          incr probes;
+          incr sat_calls;
+          match Sat.Solver.solve_limited ~assumptions:[ Sat.Lit.neg_of !v ] s with
+          | Sat.Solver.Limited.Unsat ->
+              add_literal_to_od enc od (Sat.Lit.pos !v);
+              cand.(!v) <- false
+          | Sat.Solver.Limited.Sat ->
+              (* v is not backbone; neither is any candidate this model
+                 refutes — prune them all before the next probe *)
+              let v = !v in
+              for u = v to nvars - 1 do
+                if cand.(u) && not (Sat.Solver.model_value s u) then begin
+                  cand.(u) <- false;
+                  if u > v then incr model_prunes
+                end
+              done
+          | Sat.Solver.Limited.Unknown ->
+              (* budget spent: stop probing. Everything adopted so far is a
+                 proven fact (UP seed or Unsat probe), so the truncated
+                 result is a sound subset of the full backbone. *)
+              complete := false
+        end;
+        incr v
+      done;
+      {
+        enc;
+        od;
+        stats =
+          {
+            sat_calls = !sat_calls;
+            probes = !probes;
+            model_prunes = !model_prunes;
+            seeded = !seeded;
+            reused_solver = reused;
+            built_solver = not reused;
+            complete = !complete;
+          };
+      }
+  | Sat.Solver.Limited.Unknown ->
+      (* budget spent before the first model: nothing is known *)
+      {
+        enc;
+        od;
+        stats =
+          { no_stats with sat_calls = !sat_calls; reused_solver = reused;
+            built_solver = not reused; complete = false };
+      }
+  | Sat.Solver.Limited.Unsat ->
+      (* unsatisfiable specification; callers check validity first *)
+      {
+        enc;
+        od;
+        stats = { no_stats with sat_calls = !sat_calls; reused_solver = reused;
+                  built_solver = not reused };
+      }
 
 let lt d ~attr lo hi = Porder.Strict_order.lt d.od.(attr) lo hi
 

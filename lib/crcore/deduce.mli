@@ -26,6 +26,10 @@ type stats = {
   seeded : int;  (** facts adopted from unit propagation without a probe *)
   reused_solver : bool;  (** the caller's session solver served the calls *)
   built_solver : bool;  (** a private solver was created (one CNF load) *)
+  complete : bool;
+      (** [false] when a conflict budget interrupted the deduction: the
+          reported facts are then a sound subset of the full answer
+          (every adopted fact was proven before the interrupt) *)
 }
 
 type t = {
@@ -36,14 +40,24 @@ type t = {
   stats : stats;
 }
 
+(** [unit_conflict enc] is [true] when unit propagation alone refutes
+    Φ(Se) — a polynomial-time proof that the specification is invalid,
+    usable when a budget left full validity checking unfinished. *)
+val unit_conflict : Encode.t -> bool
+
 (** [deduce_order enc] is the paper's [DeduceOrder] (linear-time unit
-    propagation). The specification must be valid. [solver] is accepted
-    for interface uniformity and ignored — no SAT call is made. *)
-val deduce_order : ?solver:Sat.Solver.t -> Encode.t -> t
+    propagation). The specification must be valid. [solver] and [budget]
+    are accepted for interface uniformity and ignored — no SAT call is
+    made, so the answer is always complete. *)
+val deduce_order : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
 
 (** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. With
-    [solver] the calls run as assumption solves on the given session. *)
-val naive_deduce : ?solver:Sat.Solver.t -> Encode.t -> t
+    [solver] the calls run as assumption solves on the given session.
+    [budget] arms a conflict budget on the solver ({!Sat.Solver.set_budget});
+    when it runs out the probe loop stops and [stats.complete] is [false].
+    A budget already armed on a passed-in [solver] is honoured the same
+    way. *)
+val naive_deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
 
 (** [backbone enc] deduces exactly the facts of {!naive_deduce} — the
     positive backbone of Φ(Se) — by model intersection: variables false
@@ -57,8 +71,15 @@ val naive_deduce : ?solver:Sat.Solver.t -> Encode.t -> t
     clauses carry over. The session may also hold satisfiable extension
     layers (relaxation/totalizer clauses from
     {!Maxsat.Exact.solve_groups_on}); these never change answers about
-    Φ(Se)'s variables. *)
-val backbone : ?solver:Sat.Solver.t -> Encode.t -> t
+    Φ(Se)'s variables.
+
+    [budget] (or a budget already armed on [solver]) bounds the work in
+    CDCL conflicts: probes run through {!Sat.Solver.solve_limited}, and on
+    [Unknown] the loop stops with [stats.complete = false]. Facts are only
+    ever adopted from a unit-propagation seed or an [Unsat] probe, so a
+    truncated run returns a sound subset (a prefix of the probe order) of
+    the unbudgeted fact set. *)
+val backbone : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
 
 (** [lt d ~attr lo hi] is [true] when [Od] orders value [lo] before [hi]. *)
 val lt : t -> attr:int -> int -> int -> bool

@@ -1,8 +1,35 @@
 type user = Rules.suggestion -> schema:Schema.t -> (string * Value.t) list
 
+type degrade_level = Exact | PartialDeduce | PickFallback
+
+let level_rank = function Exact -> 0 | PartialDeduce -> 1 | PickFallback -> 2
+
+let level_to_string = function
+  | Exact -> "exact"
+  | PartialDeduce -> "partial"
+  | PickFallback -> "pick"
+
+type phase = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
+
+let phase_to_string = function
+  | Lint_p -> "lint"
+  | Encode_p -> "encode"
+  | Validity_p -> "validity"
+  | Deduce_p -> "deduce"
+  | Suggest_p -> "suggest"
+
+type budget_kind = Conflicts | Wall
+
+type degrade_reason = { cause : budget_kind; phase : phase }
+
+let reason_to_string r =
+  Printf.sprintf "%s@%s"
+    (match r.cause with Conflicts -> "conflicts" | Wall -> "wall")
+    (phase_to_string r.phase)
+
 type config = {
   mode : Encode.mode;
-  deduce : ?solver:Sat.Solver.t -> Encode.t -> Deduce.t;
+  deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> Deduce.t;
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
@@ -10,6 +37,10 @@ type config = {
   lint : bool;
   jobs : int;
   clamp_jobs : bool;
+  budget_conflicts : int option;
+  budget_ms : float option;
+  max_degrade : degrade_level;
+  fail_fast : bool;
 }
 
 let default_config =
@@ -23,6 +54,10 @@ let default_config =
     lint = true;
     jobs = 1;
     clamp_jobs = true;
+    budget_conflicts = None;
+    budget_ms = None;
+    max_degrade = PickFallback;
+    fail_fast = false;
   }
 
 let naive_config =
@@ -62,7 +97,31 @@ type result = {
   valid : bool;
   rounds : int;
   per_round_known : int list;
+  level : degrade_level;
+  degrade_reason : degrade_reason option;
+  conflicts_spent : int;
 }
+
+type error_info = { exn : string; backtrace : string; phase : phase }
+
+let zero_entity_stats () =
+  {
+    times = zero_times ();
+    solver = Sat.Solver.zero_stats;
+    solvers_built = 0;
+    solvers_reused = 0;
+    deduce_sat_calls = 0;
+    deduce_probes = 0;
+    deduce_model_prunes = 0;
+    deduce_seeded = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    delta_extensions = 0;
+    rebuilds = 0;
+    rebuilds_renumbered = 0;
+    rebuilds_impure = 0;
+    lint_rejected = false;
+  }
 
 (* ---- encoding cache ---- *)
 
@@ -112,10 +171,15 @@ type session = {
   config : config;
   cache : cache;
   times : phase_times;
+  track : phase ref;  (* last phase entered; attributes exceptions and faults *)
+  faults : Faults.ctx;
+  deadline : float option;  (* absolute [now_ms] bound from [budget_ms] *)
   mutable spec : Spec.t;
   mutable enc : Encode.t option;  (* [None] iff the lint pre-phase rejected the spec *)
   mutable solver : Sat.Solver.t option;  (* the incremental session *)
   mutable retired : Sat.Solver.stats;    (* stats of replaced/one-shot solvers *)
+  mutable burnt : int;           (* injected conflict-budget consumption *)
+  mutable forced_exhaust : bool; (* a pending injected budget-[Unknown] *)
   mutable solvers_built : int;
   mutable solvers_reused : int;
   mutable deduce_sat_calls : int;
@@ -129,8 +193,6 @@ type session = {
   mutable rebuilds_impure : int;
   lint_rejected : bool;
 }
-
-type slot = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
 
 (* wall clock, not [Sys.time]: process CPU time charges one domain's work
    with every running domain's cycles, so per-phase times would be
@@ -149,7 +211,9 @@ let timed_t times slot f =
   | Suggest_p -> times.suggest_ms <- times.suggest_ms +. dt);
   r
 
-let timed sess slot f = timed_t sess.times slot f
+let timed sess slot f =
+  sess.track := slot;
+  timed_t sess.times slot f
 
 let the_enc sess =
   match sess.enc with
@@ -198,18 +262,78 @@ let fresh_solver sess enc =
 
 let retire sess s = sess.retired <- Sat.Solver.add_stats sess.retired (Sat.Solver.stats s)
 
-let create_session ?(config = default_config) ?cache spec =
+(* ---- per-entity conflict/wall budgets ----
+
+   The conflict budget must survive solver rebuilds (Renumbered / impure
+   extensions replace the live solver), so the session, not the solver,
+   is the unit of account: spent = conflicts of retired solvers + the
+   live solver + injected burn. Each solver phase re-arms the live
+   solver with whatever remains. *)
+
+let live_conflicts sess =
+  match sess.solver with
+  | Some s -> (Sat.Solver.stats s).Sat.Solver.conflicts
+  | None -> 0
+
+let conflicts_spent sess =
+  sess.retired.Sat.Solver.conflicts + live_conflicts sess + sess.burnt
+
+let conflicts_remaining sess =
+  Option.map (fun b -> max 0 (b - conflicts_spent sess)) sess.config.budget_conflicts
+
+(* arm the remaining conflict budget on a solver about to serve a phase *)
+let arm_budget sess s =
+  match conflicts_remaining sess with
+  | Some left -> Sat.Solver.set_budget ~conflicts:left s
+  | None -> ()
+
+let wall_tripped sess =
+  match sess.deadline with Some d -> now_ms () > d | None -> false
+
+(* [true] once per injected [Exhaust] (consumed), or while the conflict
+   budget is fully spent *)
+let exhausted_now sess =
+  if sess.forced_exhaust then begin
+    sess.forced_exhaust <- false;
+    true
+  end
+  else match conflicts_remaining sess with Some 0 -> true | _ -> false
+
+(* fault hook: called at the start of each working phase *)
+let fire sess point ph =
+  sess.track := ph;
+  match Faults.fire sess.faults point with
+  | None -> ()
+  | Some (Faults.Raise msg) -> raise (Faults.Injected msg)
+  | Some (Faults.Burn n) -> sess.burnt <- sess.burnt + max 0 n
+  | Some Faults.Exhaust -> sess.forced_exhaust <- true
+
+let make_session ?(config = default_config) ?cache ?label ~track spec =
   let cache = match cache with Some c -> c | None -> create_cache () in
   let times = zero_times () in
   (* the lint pre-phase: a statically-unsat specification skips
      Instantiation/ConvertToCNF and the solver session entirely — sound by
      construction (every E-level diagnostic implies Φ(Se) unsatisfiable,
      property-tested in test_analyze) *)
+  track := Lint_p;
   let lint_rejected =
     config.lint
     && timed_t times Lint_p (fun () ->
            Analyze.has_errors (Analyze.analyze ~errors_only:true spec))
   in
+  let faults = Faults.make ~label in
+  (* the encode-point fault fires before the session record exists, so
+     budget effects are staged and adopted at construction below *)
+  let pending_burn = ref 0 in
+  let pending_exhaust = ref false in
+  if not lint_rejected then begin
+    track := Encode_p;
+    match Faults.fire faults Faults.Encode with
+    | None -> ()
+    | Some (Faults.Raise msg) -> raise (Faults.Injected msg)
+    | Some (Faults.Burn n) -> pending_burn := max 0 n
+    | Some Faults.Exhaust -> pending_exhaust := true
+  end;
   let enc, hit =
     if lint_rejected then (None, false)
     else
@@ -221,10 +345,15 @@ let create_session ?(config = default_config) ?cache spec =
       config;
       cache;
       times;
+      track;
+      faults;
+      deadline = Option.map (fun ms -> now_ms () +. ms) config.budget_ms;
       spec;
       enc;
       solver = None;
       retired = Sat.Solver.zero_stats;
+      burnt = !pending_burn;
+      forced_exhaust = !pending_exhaust;
       solvers_built = 0;
       solvers_reused = 0;
       deduce_sat_calls = 0;
@@ -243,36 +372,47 @@ let create_session ?(config = default_config) ?cache spec =
     sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess (the_enc sess)));
   sess
 
+let create_session ?config ?cache ?label spec =
+  make_session ?config ?cache ?label ~track:(ref Lint_p) spec
+
 (* IsValid on the session: the incremental path re-solves the live
    session (learnt clauses intact); the naive path rebuilds a solver, as
-   Validity.check does, but keeps its statistics. *)
+   Validity.check does, but keeps its statistics. Answers [Unknown] when
+   the entity's conflict budget runs out mid-solve. *)
 let check_validity sess =
   match sess.solver with
   | Some s ->
       sess.solvers_reused <- sess.solvers_reused + 1;
-      Sat.Solver.solve s = Sat.Solver.Sat
+      arm_budget sess s;
+      Sat.Solver.solve_limited s
   | None ->
       let s = fresh_solver sess (the_enc sess) in
-      let r = Sat.Solver.solve s in
+      arm_budget sess s;
+      let r = Sat.Solver.solve_limited s in
       retire sess s;
-      r = Sat.Solver.Sat
+      r
 
 let suggest_on sess d ~known =
   match sess.solver with
   | Some s ->
       sess.solvers_reused <- sess.solvers_reused + 1;
+      arm_budget sess s;
       Rules.suggest ~repair:sess.config.repair ~solver:s d ~known
   | None ->
       let s = fresh_solver sess (the_enc sess) in
+      arm_budget sess s;
       let r = Rules.suggest ~repair:sess.config.repair ~solver:s d ~known in
       retire sess s;
       r
 
 (* deduction on the session solver when there is one: the SAT-based
    deducers probe it under assumptions ([backbone] additionally reuses
-   the validity check's model), a private solver otherwise *)
+   the validity check's model), a private solver otherwise. The remaining
+   conflict budget is armed on the live solver and also passed down so a
+   deducer-private solver (naive mode) is bounded too. *)
 let deduce_on sess enc =
-  let d = sess.config.deduce ?solver:sess.solver enc in
+  (match sess.solver with Some s -> arm_budget sess s | None -> ());
+  let d = sess.config.deduce ?solver:sess.solver ?budget:(conflicts_remaining sess) enc in
   let st = d.Deduce.stats in
   sess.deduce_sat_calls <- sess.deduce_sat_calls + st.Deduce.sat_calls;
   sess.deduce_probes <- sess.deduce_probes + st.Deduce.probes;
@@ -284,6 +424,7 @@ let deduce_on sess enc =
 
 (* Se ⊕ Ot: move the session to the extended specification. *)
 let apply_extension sess spec' =
+  fire sess Faults.Encode Encode_p;
   sess.spec <- spec';
   if not sess.config.incremental then
     sess.enc <- Some (timed sess Encode_p (fun () -> encode_spec sess spec'))
@@ -337,88 +478,232 @@ let snapshot_stats sess =
 
 let count_known known = Array.fold_left (fun n v -> if v = None then n else n + 1) 0 known
 
+(* The graceful-degradation ladder (Exact → PartialDeduce → PickFallback),
+   driven by what the budget interruption leaves established:
+
+   - validity [Unknown]: nothing is proven, so degrade straight to
+     [PickFallback] (the paper's Pick baseline, deterministic) when
+     [max_degrade] allows. Capped at [PartialDeduce], unit propagation
+     decides: a UP conflict is an exact invalidity proof, otherwise the
+     UP facts are reported at avowedly lower confidence. Capped at
+     [Exact], a conservative empty answer is returned with the reason
+     recorded.
+   - deduction interrupted (validity proven): land at [PartialDeduce]
+     with the facts proven so far — UP seeds plus confirmed probes, a
+     sound subset of the full backbone.
+   - suggestion/round interrupted (deduction complete): keep the exact
+     facts of the current round and stop interacting; also
+     [PartialDeduce], since the interactive fixpoint was not reached.
+
+   Every degraded answer is a deterministic function of the spec and the
+   budget (conflict budgets count CDCL conflicts, never wall time), so
+   jobs = 1 and jobs = 4 agree. The soft [budget_ms] deadline is the
+   exception by design: it is checked only between phases and rounds, and
+   documented as schedule-dependent. *)
 let resolve_session sess ~user =
   let schema = Spec.schema sess.spec in
   let arity = Schema.arity schema in
-  let analyse () =
-    if not (timed sess Validity_p (fun () -> check_validity sess)) then None
-    else
-      let d = timed sess Deduce_p (fun () -> deduce_on sess (the_enc sess)) in
-      Some (d, Deduce.true_values d)
+  let allowed lvl = level_rank lvl <= level_rank sess.config.max_degrade in
+  (* cap a desired landing level at [max_degrade] *)
+  let land_at lvl = if allowed lvl then lvl else sess.config.max_degrade in
+  let mk ~resolved ~valid ~rounds ~per_round ~level ~reason =
+    {
+      resolved;
+      valid;
+      rounds;
+      per_round_known = List.rev per_round;
+      level;
+      degrade_reason = reason;
+      conflicts_spent = conflicts_spent sess;
+    }
+  in
+  let invalid_result ~rounds ~per_round =
+    mk ~resolved:(Array.make arity None) ~valid:false ~rounds
+      ~per_round:(0 :: per_round) ~level:Exact ~reason:None
+  in
+  (* validity could not be established before the budget ran out *)
+  let degrade_unknown_validity cause ~rounds ~per_round =
+    let reason = Some { cause; phase = Validity_p } in
+    match land_at PickFallback with
+    | PickFallback ->
+        let resolved = Array.map Option.some (Pick.run sess.spec) in
+        mk ~resolved ~valid:true ~rounds
+          ~per_round:(count_known resolved :: per_round)
+          ~level:PickFallback ~reason
+    | PartialDeduce ->
+        let enc = the_enc sess in
+        if Deduce.unit_conflict enc then
+          (* unit propagation refutes Φ(Se): an exact invalidity proof,
+             cheaper than the interrupted solve *)
+          invalid_result ~rounds ~per_round
+        else
+          let d = Deduce.deduce_order enc in
+          let resolved = Deduce.true_values d in
+          mk ~resolved ~valid:true ~rounds
+            ~per_round:(count_known resolved :: per_round)
+            ~level:PartialDeduce ~reason
+    | Exact ->
+        (* no degradation allowed: conservative unresolved answer, the
+           recorded reason distinguishing it from proven invalidity *)
+        mk ~resolved:(Array.make arity None) ~valid:false ~rounds
+          ~per_round:(0 :: per_round) ~level:Exact ~reason
+  in
+  (* validity proven, later work interrupted: report the sound facts *)
+  let degrade_partial cause phase resolved ~rounds ~per_round =
+    let reason = Some { cause; phase } in
+    mk ~resolved ~valid:true ~rounds
+      ~per_round:(count_known resolved :: per_round)
+      ~level:(land_at PartialDeduce) ~reason
   in
   let outcome =
     (* a lint-rejected spec is provably unsatisfiable: report the same
        outcome IsValid would, without ever building a solver *)
-    if sess.lint_rejected then
-      { resolved = Array.make arity None; valid = false; rounds = 0; per_round_known = [ 0 ] }
-    else
-    match analyse () with
-    | None ->
-        { resolved = Array.make arity None; valid = false; rounds = 0; per_round_known = [ 0 ] }
-    | Some (d0, known0) ->
-        let d = ref d0 in
-        let known = ref known0 in
-        let per_round = ref [ count_known known0 ] in
-        let rounds = ref 0 in
-        let valid = ref true in
-        let stop = ref (count_known !known = arity) in
-        while (not !stop) && !rounds < sess.config.max_rounds do
-          let suggestion =
-            timed sess Suggest_p (fun () -> suggest_on sess !d ~known:!known)
-          in
-          let answer = user suggestion ~schema in
-          if answer = [] then stop := true
+    if sess.lint_rejected then invalid_result ~rounds:0 ~per_round:[]
+    else begin
+      (* one analyse step: validity then deduction, budget-aware *)
+      let analyse ~rounds ~per_round =
+        if wall_tripped sess then
+          `Stop (degrade_unknown_validity Wall ~rounds ~per_round)
+        else begin
+          fire sess Faults.Solve Validity_p;
+          if exhausted_now sess then
+            `Stop (degrade_unknown_validity Conflicts ~rounds ~per_round)
+          else
+            match timed sess Validity_p (fun () -> check_validity sess) with
+            | Sat.Solver.Limited.Unsat -> `Invalid
+            | Sat.Solver.Limited.Unknown ->
+                `Stop (degrade_unknown_validity Conflicts ~rounds ~per_round)
+            | Sat.Solver.Limited.Sat ->
+                if wall_tripped sess then
+                  (* validity known; the cheapest sound deduction (UP) is
+                     still affordable — SAT probing is not *)
+                  let d = Deduce.deduce_order (the_enc sess) in
+                  `Stop
+                    (degrade_partial Wall Deduce_p (Deduce.true_values d) ~rounds
+                       ~per_round)
+                else begin
+                  fire sess Faults.Deduce Deduce_p;
+                  if exhausted_now sess then
+                    let d = Deduce.deduce_order (the_enc sess) in
+                    `Stop
+                      (degrade_partial Conflicts Deduce_p (Deduce.true_values d)
+                         ~rounds ~per_round)
+                  else
+                    let d = timed sess Deduce_p (fun () -> deduce_on sess (the_enc sess)) in
+                    if d.Deduce.stats.Deduce.complete then `Go (d, Deduce.true_values d)
+                    else
+                      `Stop
+                        (degrade_partial Conflicts Deduce_p (Deduce.true_values d)
+                           ~rounds ~per_round)
+                end
+        end
+      in
+      let finished = ref None in
+      let d = ref None in
+      let known = ref (Array.make arity None) in
+      let per_round = ref [] in
+      let rounds = ref 0 in
+      (match analyse ~rounds:0 ~per_round:[] with
+      | `Invalid -> finished := Some (invalid_result ~rounds:0 ~per_round:[])
+      | `Stop r -> finished := Some r
+      | `Go (d0, known0) ->
+          d := Some d0;
+          known := known0;
+          per_round := [ count_known known0 ]);
+      while !finished = None do
+        let exact_here () =
+          mk ~resolved:!known ~valid:true ~rounds:!rounds ~per_round:!per_round
+            ~level:Exact ~reason:None
+        in
+        if count_known !known = arity || !rounds >= sess.config.max_rounds then
+          finished := Some (exact_here ())
+        else if wall_tripped sess then
+          finished :=
+            Some (degrade_partial Wall Suggest_p !known ~rounds:!rounds ~per_round:!per_round)
+        else begin
+          fire sess Faults.Maxsat Suggest_p;
+          if exhausted_now sess then
+            finished :=
+              Some
+                (degrade_partial Conflicts Suggest_p !known ~rounds:!rounds
+                   ~per_round:!per_round)
           else begin
-            incr rounds;
-            (* the fresh tuple t_o of the paper's Remark (1): provided
-               values, plus the already-established ones, null elsewhere *)
-            let values =
-              Array.init arity (fun a ->
-                  let name = Schema.name schema a in
-                  match List.assoc_opt name answer with
-                  | Some v -> v
-                  | None -> ( match !known.(a) with Some v -> v | None -> Value.Null))
+            let d0 = match !d with Some d -> d | None -> assert false in
+            let suggestion =
+              timed sess Suggest_p (fun () -> suggest_on sess d0 ~known:!known)
             in
-            let tup = Tuple.of_array schema values in
-            let current_attrs =
-              List.filter_map
-                (fun a ->
-                  if Value.is_null values.(a) then None else Some (Schema.name schema a))
-                (List.init arity Fun.id)
-            in
-            apply_extension sess (Spec.extend_with_tuple sess.spec tup ~current_attrs);
-            match analyse () with
-            | None ->
-                valid := false;
-                stop := true
-            | Some (d', known') ->
-                d := d';
-                known := known';
-                per_round := count_known known' :: !per_round;
-                if count_known known' = arity then stop := true
+            if exhausted_now sess then
+              (* the budget ran out inside the suggestion's MaxSAT layer;
+                 its content is a truncated guess — stop the interaction
+                 instead of asking the user about it *)
+              finished :=
+                Some
+                  (degrade_partial Conflicts Suggest_p !known ~rounds:!rounds
+                     ~per_round:!per_round)
+            else begin
+              let answer = user suggestion ~schema in
+              if answer = [] then finished := Some (exact_here ())
+              else begin
+                incr rounds;
+                (* the fresh tuple t_o of the paper's Remark (1): provided
+                   values, plus the already-established ones, null elsewhere *)
+                let values =
+                  Array.init arity (fun a ->
+                      let name = Schema.name schema a in
+                      match List.assoc_opt name answer with
+                      | Some v -> v
+                      | None -> ( match !known.(a) with Some v -> v | None -> Value.Null))
+                in
+                let tup = Tuple.of_array schema values in
+                let current_attrs =
+                  List.filter_map
+                    (fun a ->
+                      if Value.is_null values.(a) then None
+                      else Some (Schema.name schema a))
+                    (List.init arity Fun.id)
+                in
+                apply_extension sess (Spec.extend_with_tuple sess.spec tup ~current_attrs);
+                match analyse ~rounds:!rounds ~per_round:!per_round with
+                | `Invalid ->
+                    finished :=
+                      Some
+                        (mk ~resolved:!known ~valid:false ~rounds:!rounds
+                           ~per_round:!per_round ~level:Exact ~reason:None)
+                | `Stop r -> finished := Some r
+                | `Go (d', known') ->
+                    d := Some d';
+                    known := known';
+                    per_round := count_known known' :: !per_round
+              end
+            end
           end
-        done;
-        {
-          resolved = !known;
-          valid = !valid;
-          rounds = !rounds;
-          per_round_known = List.rev !per_round;
-        }
+        end
+      done;
+      match !finished with Some r -> r | None -> assert false
+    end
   in
   (outcome, snapshot_stats sess)
 
-let resolve ?config ?cache ~user spec =
-  resolve_session (create_session ?config ?cache spec) ~user
+let resolve ?config ?cache ?label ~user spec =
+  resolve_session (create_session ?config ?cache ?label spec) ~user
 
 (* ---- batches ---- *)
 
 type item = { label : string; spec : Spec.t; user : user }
 
-type item_result = { label : string; result : result; stats : entity_stats }
+type item_result = {
+  label : string;
+  outcome : (result, error_info) Stdlib.result;
+  stats : entity_stats;
+}
 
 type stats = {
   entities : int;
   valid_entities : int;
+  errors : int;
+  degraded_partial : int;
+  degraded_pick : int;
+  budget_exhausted : int;
   total_rounds : int;
   attrs_total : int;
   attrs_resolved : int;
@@ -451,6 +736,7 @@ let throughput st =
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
+     robustness: %d error(s); degraded: %d partial, %d pick; %d budget-exhausted@ \
      phases (ms, summed over %d job(s)%s): lint %.1f | encode %.1f | validity %.1f | \
      deduce %.1f | suggest %.1f@ \
      lint: %d spec(s) rejected before encoding@ \
@@ -460,6 +746,7 @@ let pp_stats ppf st =
      %d rebuild(s) (%d renumbered, %d impure)@ \
      wall: %.1f ms (%.1f entities/s)@]"
     st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
+    st.errors st.degraded_partial st.degraded_pick st.budget_exhausted
     st.jobs
     (if st.jobs_requested <> st.jobs then
        Printf.sprintf ", %d requested" st.jobs_requested
@@ -504,6 +791,10 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   let agg_times = zero_times () in
   let entities = ref 0
   and valid_entities = ref 0
+  and errors = ref 0
+  and degraded_partial = ref 0
+  and degraded_pick = ref 0
+  and budget_exhausted = ref 0
   and total_rounds = ref 0
   and attrs_total = ref 0
   and attrs_resolved = ref 0
@@ -521,12 +812,20 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   and rebuilds_impure = ref 0
   and lint_rejected = ref 0 in
   Array.iter
-    (fun { result; stats = st; _ } ->
+    (fun { outcome; stats = st; _ } ->
       incr entities;
-      if result.valid then incr valid_entities;
-      total_rounds := !total_rounds + result.rounds;
-      attrs_total := !attrs_total + Array.length result.resolved;
-      attrs_resolved := !attrs_resolved + count_known result.resolved;
+      (match outcome with
+      | Error _ -> incr errors
+      | Ok result ->
+          if result.valid then incr valid_entities;
+          (match result.level with
+          | Exact -> ()
+          | PartialDeduce -> incr degraded_partial
+          | PickFallback -> incr degraded_pick);
+          if result.degrade_reason <> None then incr budget_exhausted;
+          total_rounds := !total_rounds + result.rounds;
+          attrs_total := !attrs_total + Array.length result.resolved;
+          attrs_resolved := !attrs_resolved + count_known result.resolved);
       agg_times.lint_ms <- agg_times.lint_ms +. st.times.lint_ms;
       agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
       agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
@@ -550,6 +849,10 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   {
     entities = !entities;
     valid_entities = !valid_entities;
+    errors = !errors;
+    degraded_partial = !degraded_partial;
+    degraded_pick = !degraded_pick;
+    budget_exhausted = !budget_exhausted;
     total_rounds = !total_rounds;
     attrs_total = !attrs_total;
     attrs_resolved = !attrs_resolved;
@@ -591,10 +894,41 @@ let run_batch ?(config = default_config) ?cache ?on_result items =
   let items = Array.of_list (intern_constraint_lists items) in
   let n = Array.length items in
   let results : item_result option array = Array.make n None in
+  (* Fault isolation: one entity's failure must not take down the batch.
+     The session is built and run under a handler; the [track] ref (shared
+     with the session) attributes the exception to the phase that was
+     executing, and whatever statistics the session accumulated before
+     dying are kept. [fail_fast] restores the pre-isolation contract: the
+     first failure propagates (with its original backtrace) out of
+     [run_batch]. *)
   let process i =
     let item = items.(i) in
-    let result, st = resolve ~config ~cache ~user:item.user item.spec in
-    results.(i) <- Some { label = item.label; result; stats = st }
+    let track = ref Lint_p in
+    let sess_cell = ref None in
+    let outcome =
+      try
+        let sess = make_session ~config ~cache ~label:item.label ~track item.spec in
+        sess_cell := Some sess;
+        Ok (resolve_session sess ~user:item.user)
+      with e when not config.fail_fast ->
+        let bt = Printexc.get_raw_backtrace () in
+        Error
+          {
+            exn = Printexc.to_string e;
+            backtrace = Printexc.raw_backtrace_to_string bt;
+            phase = !track;
+          }
+    in
+    match outcome with
+    | Ok (result, st) ->
+        results.(i) <- Some { label = item.label; outcome = Ok result; stats = st }
+    | Error e ->
+        let st =
+          match !sess_cell with
+          | Some sess -> snapshot_stats sess
+          | None -> zero_entity_stats ()
+        in
+        results.(i) <- Some { label = item.label; outcome = Error e; stats = st }
   in
   let the_result i =
     match results.(i) with Some r -> r | None -> assert false

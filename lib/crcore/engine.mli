@@ -29,13 +29,57 @@
     to {!Framework.user}. An empty answer stops the entity's loop. *)
 type user = Rules.suggestion -> schema:Schema.t -> (string * Value.t) list
 
+(** {1 Budgets and graceful degradation}
+
+    Every entity can carry a resource budget; when it runs out, the engine
+    does not fail or block — it walks down a degradation ladder and still
+    returns an answer, labelled with the level that produced it:
+
+    {ol
+    {- {!Exact}: the full pipeline ran to completion (the default when no
+       budget interferes).}
+    {- {!PartialDeduce}: validity was established, but completion was cut
+       short — the answer contains only facts proven before the
+       interruption (unit-propagation seeds and confirmed probes, a sound
+       subset of the full deduction — property-tested).}
+    {- {!PickFallback}: not even validity could be established in budget;
+       the answer is the paper's [Pick] baseline (deterministic currency
+       order heuristic), honest about its confidence level.}} *)
+
+(** The rung of the ladder that produced a {!result}; ordered
+    [Exact < PartialDeduce < PickFallback]. *)
+type degrade_level = Exact | PartialDeduce | PickFallback
+
+val level_rank : degrade_level -> int
+
+val level_to_string : degrade_level -> string
+(** ["exact"], ["partial"], ["pick"] — the CLI's [--max-degrade] words. *)
+
+(** Engine phases, used to attribute budget exhaustion and captured
+    exceptions. *)
+type phase = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
+
+val phase_to_string : phase -> string
+
+(** Which budget ran out. [Conflicts] is the deterministic one (CDCL
+    conflict count, schedule-independent); [Wall] is the soft [budget_ms]
+    deadline, checked only at phase and round boundaries. *)
+type budget_kind = Conflicts | Wall
+
+type degrade_reason = { cause : budget_kind; phase : phase }
+
+val reason_to_string : degrade_reason -> string
+(** e.g. ["conflicts@validity"]. *)
+
 type config = {
   mode : Encode.mode;
-  deduce : ?solver:Sat.Solver.t -> Encode.t -> Deduce.t;
+  deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> Deduce.t;
       (** deduction engine; the session solver (already holding Φ(Se),
           with the validity check's model still saved) is passed in
           incremental mode so SAT-based deducers probe it under
-          assumptions instead of reloading the CNF *)
+          assumptions instead of reloading the CNF. [budget] is the
+          entity's remaining conflict allowance, honoured even by a
+          deducer-private solver. *)
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
@@ -60,13 +104,36 @@ type config = {
           the effective width, [stats.jobs_requested] the request. Off,
           the request is honoured literally (scheduling tests,
           deliberate over-subscription). *)
+  budget_conflicts : int option;
+      (** per-entity CDCL conflict budget, counted across every solver the
+          entity uses (the unit of account survives solver rebuilds).
+          Deterministic: the same spec and budget degrade identically at
+          any [jobs]. [None] (default) = unlimited. *)
+  budget_ms : float option;
+      (** per-entity soft wall-clock budget in milliseconds, measured from
+          session creation and checked at phase and round boundaries only
+          — a phase in flight is never interrupted, and the outcome is
+          schedule-dependent by nature. Prefer [budget_conflicts] when
+          reproducibility matters. [None] (default) = unlimited. *)
+  max_degrade : degrade_level;
+      (** lowest ladder rung the engine may land on. [PickFallback]
+          (default) allows the full ladder; [PartialDeduce] forbids the
+          Pick guess; [Exact] forbids degradation entirely — an exhausted
+          budget then yields a conservative unresolved answer whose
+          [degrade_reason] records why. *)
+  fail_fast : bool;
+      (** [run_batch] only: [true] restores the pre-isolation contract —
+          the first entity exception propagates out of the batch instead
+          of being captured as an [Error] outcome. Default [false]. *)
 }
 
 (** Incremental session + cache + lint pre-phase on; [mode = Paper],
     [deduce = Deduce.backbone] (complete deduction — cheap on the reused
     session, and fewer interaction rounds than unit propagation),
     [repair = Exact_maxsat], [max_rounds = 5], [jobs = 1],
-    [clamp_jobs = true]. *)
+    [clamp_jobs = true]. Budgets off ([budget_conflicts = None],
+    [budget_ms = None]), full ladder allowed
+    ([max_degrade = PickFallback]), [fail_fast = false]. *)
 val default_config : config
 
 (** The literal per-entity behaviour of {!Framework.resolve} before this
@@ -120,13 +187,30 @@ type entity_stats = {
 }
 
 (** Per-entity result; same content as {!Framework.outcome} minus timings
-    (those live in {!entity_stats}). *)
+    (those live in {!entity_stats}), plus the degradation record. *)
 type result = {
   resolved : Value.t option array;
   valid : bool;
   rounds : int;
   per_round_known : int list;
+  level : degrade_level;
+      (** the ladder rung that produced [resolved]; [Exact] whenever no
+          budget interfered *)
+  degrade_reason : degrade_reason option;
+      (** [Some _] iff a budget ran out — even at [level = Exact] under
+          [max_degrade = Exact], distinguishing a budget-truncated
+          conservative answer from a proven one *)
+  conflicts_spent : int;
+      (** CDCL conflicts this entity consumed, across all its solvers and
+          any injected burn — comparable against [budget_conflicts] *)
 }
+
+(** A captured per-entity failure (see {!run_batch}): the exception
+    rendered with [Printexc.to_string], its backtrace, and the engine
+    phase that was executing. The string forms keep {!item_result}
+    comparable across runs (backtraces aside) and printable without
+    re-raising. *)
+type error_info = { exn : string; backtrace : string; phase : phase }
 
 (** A shared encoding cache, safe to reuse across sessions and batches —
     including parallel ones: the table is split into hash-addressed,
@@ -139,24 +223,37 @@ val create_cache : unit -> cache
 
 type session
 
-(** [create_session ?config ?cache spec] encodes [spec] and (in
+(** [create_session ?config ?cache ?label spec] encodes [spec] and (in
     incremental mode) loads the solver session. [cache] defaults to a
-    private one. *)
-val create_session : ?config:config -> ?cache:cache -> Spec.t -> session
+    private one. [label] identifies the entity to the {!Faults} injection
+    plan (and is set automatically by {!run_batch}); it has no effect
+    otherwise. The wall budget, when configured, starts here. *)
+val create_session : ?config:config -> ?cache:cache -> ?label:string -> Spec.t -> session
 
 (** [resolve_session s ~user] runs the full interactive loop of Fig. 4 on
-    the session. *)
+    the session, degrading per the config's budgets rather than running
+    unbounded. *)
 val resolve_session : session -> user:user -> result * entity_stats
 
-(** [resolve ?config ?cache ~user spec] is a one-shot
-    [create_session] + [resolve_session]. *)
-val resolve : ?config:config -> ?cache:cache -> user:user -> Spec.t -> result * entity_stats
+(** [resolve ?config ?cache ?label ~user spec] is a one-shot
+    [create_session] + [resolve_session]. Exceptions propagate — fault
+    isolation is a batch concern. *)
+val resolve :
+  ?config:config -> ?cache:cache -> ?label:string -> user:user -> Spec.t ->
+  result * entity_stats
 
 (** {1 Batches} *)
 
 type item = { label : string; spec : Spec.t; user : user }
 
-type item_result = { label : string; result : result; stats : entity_stats }
+(** [outcome] is [Error info] when the entity raised and the batch ran
+    with [fail_fast = false]: the batch completed anyway, and [stats]
+    holds whatever the entity accumulated before dying. *)
+type item_result = {
+  label : string;
+  outcome : (result, error_info) Stdlib.result;
+  stats : entity_stats;
+}
 
 (** Aggregate batch statistics. Phase times are wall milliseconds summed
     over entities — under a parallel batch they exceed [wall_ms] (the
@@ -166,6 +263,12 @@ type item_result = { label : string; result : result; stats : entity_stats }
 type stats = {
   entities : int;
   valid_entities : int;
+  errors : int;  (** entities whose outcome is [Error] (captured raises) *)
+  degraded_partial : int;  (** entities that landed on {!PartialDeduce} *)
+  degraded_pick : int;  (** entities that landed on {!PickFallback} *)
+  budget_exhausted : int;
+      (** entities with a [degrade_reason] — includes budget-truncated
+          answers pinned at [Exact] by [max_degrade] *)
   total_rounds : int;
   attrs_total : int;
   attrs_resolved : int;
@@ -205,7 +308,14 @@ val pp_stats : Format.formatter -> stats -> unit
     {!item_result} in input order too (under parallelism, as the finished
     prefix grows). Structurally equal Σ/Γ lists are interned across items
     first, so compiled constraint forms and cache-key comparisons are
-    shared batch-wide. *)
+    shared batch-wide.
+
+    {b Fault isolation}: an exception raised while resolving one entity
+    (a crashing [user] callback, a spec that trips an internal invariant,
+    an injected {!Faults} fault) is captured as that entity's [Error]
+    outcome — with backtrace and the phase it escaped from — and every
+    other entity still completes. Set [config.fail_fast] to propagate the
+    first failure instead (its original backtrace intact). *)
 val run_batch :
   ?config:config ->
   ?cache:cache ->

@@ -1,0 +1,54 @@
+type point = Encode | Solve | Deduce | Maxsat
+
+type action = Raise of string | Burn of int | Exhaust
+
+type rule = { label : string option; point : point; nth : int; action : action }
+
+exception Injected of string
+
+(* The armed plan is global and read-only while a batch runs: [arm] and
+   [disarm] happen on the test's main domain before/after run_batch, and
+   workers only [Atomic.get]. The empty list doubles as the disarmed
+   fast path, so production batches pay one atomic read per phase. *)
+let plan : rule list Atomic.t = Atomic.make []
+
+let arm rules = Atomic.set plan rules
+
+let disarm () = Atomic.set plan []
+
+let armed () = Atomic.get plan <> []
+
+let point_to_string = function
+  | Encode -> "encode"
+  | Solve -> "solve"
+  | Deduce -> "deduce"
+  | Maxsat -> "maxsat"
+
+(* Hit counters live in the per-entity context, never in the global plan:
+   each entity is processed by exactly one domain, so counting is
+   race-free and — crucially — independent of how entities are scheduled
+   across domains. The same batch therefore fires the same faults at
+   jobs = 1 and jobs = 4. *)
+type ctx = { label : string option; counts : int array }
+
+let n_points = 4
+
+let point_index = function Encode -> 0 | Solve -> 1 | Deduce -> 2 | Maxsat -> 3
+
+let make ~label = { label; counts = Array.make n_points 0 }
+
+let fire ctx point =
+  match Atomic.get plan with
+  | [] -> None
+  | rules ->
+      let i = point_index point in
+      ctx.counts.(i) <- ctx.counts.(i) + 1;
+      let n = ctx.counts.(i) in
+      List.find_map
+        (fun r ->
+          if
+            r.point = point && r.nth = n
+            && (match r.label with None -> true | Some l -> ctx.label = Some l)
+          then Some r.action
+          else None)
+        rules

@@ -1,0 +1,60 @@
+(** Deterministic fault injection at the engine's phase boundaries.
+
+    Test-only hooks, compiled in unconditionally: the disarmed fast path
+    is a single atomic read per phase, so production batches pay nothing
+    measurable. The {!Engine} consults this module immediately before its
+    encode / solve / deduce / maxsat phases; an armed plan can make the
+    Nth such crossing of a given entity raise, burn conflict budget, or
+    force a budget-[Unknown] answer.
+
+    Determinism is the design constraint (the [test_robustness] suite
+    requires identical outcomes at [jobs = 1] and [jobs = 4]): hit
+    counters are kept per entity (keyed by the batch label), never
+    globally, so firing does not depend on how entities interleave across
+    domains. *)
+
+(** Injection points — one per engine phase that does real work. *)
+type point = Encode | Solve | Deduce | Maxsat
+
+type action =
+  | Raise of string
+      (** raise {!Injected} with this message (simulates a crash) *)
+  | Burn of int
+      (** consume this many conflicts of the entity's budget without
+          solving (simulates pathological solver work); a no-op when the
+          entity has no conflict budget *)
+  | Exhaust
+      (** make the phase answer as if its conflict budget were spent
+          (simulates a hang cut short by the budget), whether or not a
+          budget is configured *)
+
+(** A planned fault: fire [action] on the [nth] (1-based) crossing of
+    [point] by the entity labelled [label] ([None] matches any entity,
+    including single {!Engine.resolve} calls that have no label). *)
+type rule = { label : string option; point : point; nth : int; action : action }
+
+(** The exception raised by [Raise] actions. *)
+exception Injected of string
+
+(** [arm rules] installs the plan (replacing any previous one). Call from
+    the main domain before starting a batch; the plan must not change
+    while a batch runs. *)
+val arm : rule list -> unit
+
+(** [disarm ()] removes the plan; always pair with [arm] (e.g. via
+    [Fun.protect]) so a failing test cannot poison later ones. *)
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+(** Per-entity hit counters; created by the engine for each resolution. *)
+type ctx
+
+val make : label:string option -> ctx
+
+(** [fire ctx point] records one crossing of [point] and returns the
+    action to perform, if any. [None] (the common case, and always when
+    disarmed) means proceed normally. *)
+val fire : ctx -> point -> action option
+
+val point_to_string : point -> string

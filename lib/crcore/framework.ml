@@ -37,6 +37,10 @@ let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.backbone)
       lint = false;
       jobs = 1;
       clamp_jobs = true;
+      budget_conflicts = None;
+      budget_ms = None;
+      max_degrade = Engine.PickFallback;
+      fail_fast = false;
     }
   in
   let r, st = Engine.resolve ~config ~user spec in

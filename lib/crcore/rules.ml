@@ -6,6 +6,8 @@ type suggestion = {
   derivable : int list;
   clique_size : int;
   repaired_clique_size : int;
+  clique_optimal : bool;
+  repair_optimal : bool;
 }
 
 type repair = Exact_maxsat | Walksat
@@ -184,11 +186,16 @@ let repair_clique ?solver repair enc clique_rules =
         s
   in
   let assumptions = List.map (fun c -> c.(0)) (List.concat groups) in
-  if clique_rules = [] then []
+  if clique_rules = [] then ([], true)
   else
-    match Sat.Solver.solve ~assumptions s with
-    | Sat.Solver.Sat -> List.mapi (fun i _ -> i) clique_rules
-    | Sat.Solver.Unsat -> (
+    match Sat.Solver.solve_limited ~assumptions s with
+    | Sat.Solver.Limited.Sat -> (List.mapi (fun i _ -> i) clique_rules, true)
+    | Sat.Solver.Limited.Unknown ->
+        (* conflict budget spent before the consistency of the embedded
+           values could be confirmed: keep nothing rather than guess — the
+           engine's ladder then stops the interaction round anyway *)
+        ([], false)
+    | Sat.Solver.Limited.Unsat -> (
         match repair with
         | Exact_maxsat -> (
             (* layer the relaxation/totalizer onto [s] itself — the
@@ -198,16 +205,18 @@ let repair_clique ?solver repair enc clique_rules =
                validity/deduce solves), and the lex-first kept subset is
                deterministic whichever solver served the call *)
             match Maxsat.Exact.solve_groups_on ~solver:s ~groups with
-            | Some kept -> kept
-            | None -> [])
+            | Some (kept, optimal) -> (kept, optimal)
+            | None -> ([], true))
         | Walksat -> (
             match Maxsat.Walksat.solve ~hard:enc.Encode.cnf ~soft:(List.concat groups) () with
-            | None -> []
+            | None -> ([], false)
             | Some { Maxsat.Walksat.model; _ } ->
-                List.mapi (fun i g -> (i, g)) groups
-                |> List.filter (fun (_, g) ->
-                       List.for_all (fun c -> Sat.Cnf.eval_clause model c) g)
-                |> List.map fst))
+                ( List.mapi (fun i g -> (i, g)) groups
+                  |> List.filter (fun (_, g) ->
+                         List.for_all (fun c -> Sat.Cnf.eval_clause model c) g)
+                  |> List.map fst,
+                  (* local search: no optimality certificate *)
+                  false )))
 
 let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) ?solver d ~known =
   let enc = d.Deduce.enc in
@@ -215,10 +224,11 @@ let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) ?solver d ~known 
   let arity = Schema.arity (Coding.schema coding) in
   let rules = derive_rules d ~known in
   let g = compatibility_graph rules in
-  let clique_ids = Clique.Maxclique.find ~exact_threshold:clique_threshold g in
+  let clique_r = Clique.Maxclique.find_r ~exact_threshold:clique_threshold g in
+  let clique_ids = clique_r.Clique.Maxclique.clique in
   let arr = Array.of_list rules in
   let clique_rules = List.map (fun i -> arr.(i)) clique_ids in
-  let kept = repair_clique ?solver repair enc clique_rules in
+  let kept, repair_optimal = repair_clique ?solver repair enc clique_rules in
   let kept_rules = List.map (fun i -> List.nth clique_rules i) kept in
   let derivable = List.sort_uniq compare (List.map (fun r -> r.b) kept_rules) in
   let unknown =
@@ -238,6 +248,8 @@ let suggest ?(repair = Exact_maxsat) ?(clique_threshold = 400) ?solver d ~known 
     derivable;
     clique_size = List.length clique_rules;
     repaired_clique_size = List.length kept_rules;
+    clique_optimal = clique_r.Clique.Maxclique.optimal;
+    repair_optimal;
   }
 
 let pp_rule d ppf r =

@@ -21,6 +21,12 @@ type suggestion = {
           validated *)
   clique_size : int;        (** size of the clique before MaxSAT repair *)
   repaired_clique_size : int;  (** after conflict repair *)
+  clique_optimal : bool;
+      (** the max-clique search was exhaustive (node budget not spent,
+          exact rather than greedy — see {!Clique.Maxclique.find_r}) *)
+  repair_optimal : bool;
+      (** the conflict repair is certified maximum: [false] under a spent
+          conflict budget or the [Walksat] local-search repair *)
 }
 
 (** How [GetSug] repairs a clique that conflicts with the specification. *)

@@ -35,9 +35,10 @@ let solve ~(hard : Sat.Cnf.t) ~(soft : Sat.Cnf.clause list) =
         let continue_search = ref (!best_violated > 0) in
         while !continue_search do
           let k = !best_violated - 1 in
-          match Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
-          | Sat.Solver.Unsat -> continue_search := false
-          | Sat.Solver.Sat ->
+          match Sat.Solver.solve_limited ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
+          | Sat.Solver.Limited.Unsat -> continue_search := false
+          | Sat.Solver.Limited.Unknown -> continue_search := false
+          | Sat.Solver.Limited.Sat ->
               let m = Sat.Solver.model s in
               let v = nsoft - count_satisfied m soft in
               (* assuming ¬outs.(k) forces at most k violations, so progress
@@ -70,9 +71,10 @@ let solve ~(hard : Sat.Cnf.t) ~(soft : Sat.Cnf.clause list) =
    from-scratch configurations agree. *)
 let solve_groups_on ~solver:s ~(groups : Sat.Cnf.clause list list) =
   let ngroups = List.length groups in
-  if ngroups = 0 then (match Sat.Solver.solve s with
-    | Sat.Solver.Unsat -> None
-    | Sat.Solver.Sat -> Some [])
+  if ngroups = 0 then (match Sat.Solver.solve_limited s with
+    | Sat.Solver.Limited.Unsat -> None
+    | Sat.Solver.Limited.Sat -> Some ([], true)
+    | Sat.Solver.Limited.Unknown -> Some ([], false))
   else begin
     let sels =
       List.map
@@ -93,9 +95,13 @@ let solve_groups_on ~solver:s ~(groups : Sat.Cnf.clause list list) =
         sels
     in
     let outs = Totalizer.encode s relax in
-    match Sat.Solver.solve s with
-    | Sat.Solver.Unsat -> None
-    | Sat.Solver.Sat ->
+    match Sat.Solver.solve_limited s with
+    | Sat.Solver.Limited.Unsat -> None
+    | Sat.Solver.Limited.Unknown ->
+        (* budget spent before any model: keep nothing, avowedly suboptimal *)
+        Some ([], false)
+    | Sat.Solver.Limited.Sat ->
+        let optimal = ref true in
         let sel_arr = Array.of_list sels in
         let violated_in m =
           Array.fold_left (fun n sv -> if m.(sv) then n else n + 1) 0 sel_arr
@@ -104,9 +110,13 @@ let solve_groups_on ~solver:s ~(groups : Sat.Cnf.clause list list) =
         let continue_search = ref (!best_violated > 0) in
         while !continue_search do
           let k = !best_violated - 1 in
-          match Sat.Solver.solve ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
-          | Sat.Solver.Unsat -> continue_search := false
-          | Sat.Solver.Sat ->
+          match Sat.Solver.solve_limited ~assumptions:[ Sat.Lit.negate outs.(k) ] s with
+          | Sat.Solver.Limited.Unsat -> continue_search := false
+          | Sat.Solver.Limited.Unknown ->
+              (* anytime: stop tightening, extract under the incumbent bound *)
+              optimal := false;
+              continue_search := false
+          | Sat.Solver.Limited.Sat ->
               let v = violated_in (Sat.Solver.model s) in
               (* ¬outs.(k) forces at most k violations, so progress is
                  guaranteed; guard against non-termination anyway *)
@@ -117,25 +127,30 @@ let solve_groups_on ~solver:s ~(groups : Sat.Cnf.clause list list) =
               end
         done;
         let max_kept = ngroups - !best_violated in
-        if max_kept = 0 then Some []
-        else if !best_violated = 0 then Some (List.init ngroups Fun.id)
+        if max_kept = 0 then Some ([], !optimal)
+        else if !best_violated = 0 then Some (List.init ngroups Fun.id, !optimal)
         else begin
           let bound = Sat.Lit.negate outs.(!best_violated) in
           let kept = ref [] in
           let n_kept = ref 0 in
-          for i = 0 to ngroups - 1 do
-            if !n_kept < max_kept then begin
-              let assumptions =
-                bound :: List.rev_map (fun j -> Sat.Lit.pos sel_arr.(j)) (i :: !kept)
-              in
-              match Sat.Solver.solve ~assumptions s with
-              | Sat.Solver.Sat ->
-                  kept := i :: !kept;
-                  incr n_kept
-              | Sat.Solver.Unsat -> ()
-            end
+          let i = ref 0 in
+          while !i < ngroups && !n_kept < max_kept do
+            let assumptions =
+              bound :: List.rev_map (fun j -> Sat.Lit.pos sel_arr.(j)) (!i :: !kept)
+            in
+            (match Sat.Solver.solve_limited ~assumptions s with
+            | Sat.Solver.Limited.Sat ->
+                kept := !i :: !kept;
+                incr n_kept
+            | Sat.Solver.Limited.Unsat -> ()
+            | Sat.Solver.Limited.Unknown ->
+                (* stop extending deterministically: remaining groups are
+                   dropped rather than probed with no budget left *)
+                optimal := false;
+                i := ngroups);
+            incr i
           done;
-          Some (List.rev !kept)
+          Some (List.rev !kept, !optimal)
         end
   end
 

@@ -32,12 +32,22 @@ val solve_groups :
     only, so later solves on the same session — validity re-checks,
     backbone deduction — still answer for the original formula.
 
-    Returns the indices of a maximum subset of groups whose clauses are
-    all simultaneously satisfiable with the hard clauses, or [None] when
-    the hard clauses alone are unsatisfiable. The kept subset is the
-    lexicographically first optimal one (greedy extraction under the
-    optimal bound), hence deterministic regardless of the solver's
-    history — a session that has already served other phases returns the
-    same answer a fresh solver would. *)
+    Returns [Some (kept, optimal)] — the indices of a maximum subset of
+    groups whose clauses are all simultaneously satisfiable with the hard
+    clauses — or [None] when the hard clauses alone are unsatisfiable. The
+    kept subset is the lexicographically first optimal one (greedy
+    extraction under the optimal bound), hence deterministic regardless of
+    the solver's history — a session that has already served other phases
+    returns the same answer a fresh solver would.
+
+    All internal solves go through {!Sat.Solver.solve_limited}, so a
+    conflict budget armed on [solver] by the caller
+    ({!Sat.Solver.set_budget}) is honoured with anytime semantics: when
+    the budget runs out, tightening and extraction stop deterministically
+    and [optimal] is [false]; the kept list is then a consistent (but
+    possibly smaller than maximum) subset. [optimal = true] certifies the
+    exact group-MaxSAT answer. *)
 val solve_groups_on :
-  solver:Sat.Solver.t -> groups:Sat.Cnf.clause list list -> int list option
+  solver:Sat.Solver.t ->
+  groups:Sat.Cnf.clause list list ->
+  (int list * bool) option

@@ -86,7 +86,10 @@ let reraise (i, e, bt) =
   ignore i;
   Printexc.raise_with_backtrace e bt
 
-let run ?chunk pool ~n f =
+(* the raw loop: per-item exceptions are recorded (lowest index wins) and
+   re-raised after the drain — the backstop for closures that raise, which
+   [run_collect]'s wrapper never does *)
+let run_raw ?chunk pool ~n f =
   if n > 0 then begin
     let chunk =
       match chunk with
@@ -119,6 +122,31 @@ let run ?chunk pool ~n f =
       match job.failure with None -> () | Some fl -> reraise fl
     end
   end
+
+type exn_info = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+let run_collect ?chunk pool ~n f =
+  let out = Array.make (max n 0) None in
+  let g i =
+    out.(i) <-
+      Some
+        (try Ok (f i)
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Error { index = i; exn = e; backtrace = bt })
+  in
+  run_raw ?chunk pool ~n g;
+  Array.map (function Some r -> r | None -> assert false) out
+
+(* fail-fast view of [run_collect]: every item still runs, then the
+   lowest-index failure is re-raised with its original backtrace *)
+let run ?chunk pool ~n f =
+  let results = run_collect ?chunk pool ~n f in
+  Array.iter
+    (function
+      | Ok () -> ()
+      | Error e -> Printexc.raise_with_backtrace e.exn e.backtrace)
+    results
 
 let shutdown pool =
   Mutex.lock pool.m;

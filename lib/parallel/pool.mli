@@ -6,18 +6,25 @@
     are claimed in contiguous chunks from a shared counter, so workers
     stay busy even when per-item cost is skewed.
 
-    [f] receives only the item index: workers communicate results by
-    writing to disjoint indices of a caller-owned array, which is
-    race-free (no two invocations share an index) and publication-safe
-    (joining the job happens-before [run] returning).
+    [f] receives only the item index: with [run], workers communicate
+    results by writing to disjoint indices of a caller-owned array, which
+    is race-free (no two invocations share an index) and publication-safe
+    (joining the job happens-before [run] returning); [run_collect] does
+    that bookkeeping itself and returns the per-item results.
 
-    Exceptions raised by [f] are caught per item; after the loop drains,
-    the exception of the lowest raising index is re-raised in the caller —
-    deterministic regardless of scheduling. Remaining items still run
-    (item independence means a failure cannot poison its neighbours).
+    {b Failure contract} (changed when per-item collection was added):
+    {!run_collect} is the primitive — every item runs to completion
+    whatever its neighbours do, and each item's outcome, value or
+    exception, is returned in its slot. {!run} is a thin fail-fast wrapper
+    over it: it drains all items, then re-raises the exception of the
+    {e lowest} raising index with its original backtrace — deterministic
+    regardless of scheduling, and exactly the historical behaviour. Code
+    that wants to survive item failures should call [run_collect] and
+    inspect the [result]s instead of catching around [run].
 
-    The pool is itself domain-safe for sequential reuse but [run] must not
-    be called concurrently from two domains, nor from inside [f]. *)
+    The pool is itself domain-safe for sequential reuse but [run] /
+    [run_collect] must not be called concurrently from two domains, nor
+    from inside [f]. *)
 
 type t
 
@@ -29,8 +36,23 @@ val create : jobs:int -> t
 (** Number of domains executing a [run], caller included. *)
 val jobs : t -> int
 
-(** [run pool ~n f] — see module doc. [chunk] overrides the claiming
-    granularity (default: [n] split 8 ways per worker, at least 1). *)
+(** A captured per-item failure: the item's index, the exception, and the
+    backtrace it was caught with. *)
+type exn_info = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+(** [run_collect pool ~n f] evaluates [f i] for every [i] in [0..n-1] on
+    the pool and returns the outcomes in index order: [Ok (f i)], or
+    [Error info] when item [i] raised. Every item runs regardless of
+    failures elsewhere (item independence means a failure cannot poison
+    its neighbours). [chunk] overrides the claiming granularity (default:
+    [n] split 8 ways per worker, at least 1). *)
+val run_collect :
+  ?chunk:int -> t -> n:int -> (int -> 'a) -> ('a, exn_info) result array
+
+(** [run pool ~n f] is [run_collect] specialised to [unit] items with a
+    fail-fast surface: after all items drain, the lowest raising index's
+    exception is re-raised with its original backtrace (see the module
+    doc's failure contract). *)
 val run : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
 
 (** Joins the worker domains. The pool must not be used afterwards;

@@ -43,6 +43,10 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
+  (* resource budgets: absolute counter targets, -1 = no limit. Only
+     [solve_limited] consults them; [solve] always runs to completion. *)
+  mutable conflict_limit : int;
+  mutable propagation_limit : int;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -75,6 +79,8 @@ let create () =
       decisions = 0;
       propagations = 0;
       restarts = 0;
+      conflict_limit = -1;
+      propagation_limit = -1;
     }
   in
   s.order <- Idx_heap.create ~score:(fun v -> s.activity.(v));
@@ -424,7 +430,27 @@ let pick_branch_var s =
   in
   go ()
 
-type search_outcome = S_sat | S_unsat_global | S_unsat_assump | S_restart
+(* ---- budgets (MiniSat setConfBudget / budgetOff lineage) ---- *)
+
+let set_budget ?conflicts ?propagations s =
+  (match conflicts with
+  | Some n -> s.conflict_limit <- s.conflicts + max 0 n
+  | None -> ());
+  match propagations with
+  | Some n -> s.propagation_limit <- s.propagations + max 0 n
+  | None -> ()
+
+let clear_budget s =
+  s.conflict_limit <- -1;
+  s.propagation_limit <- -1
+
+let within_budget s =
+  (s.conflict_limit < 0 || s.conflicts < s.conflict_limit)
+  && (s.propagation_limit < 0 || s.propagations < s.propagation_limit)
+
+let budget_exhausted s = not (within_budget s)
+
+type search_outcome = S_sat | S_unsat_global | S_unsat_assump | S_restart | S_unknown
 
 let record_learnt s lits =
   if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
@@ -436,7 +462,7 @@ let record_learnt s lits =
     enqueue s lits.(0) c
   end
 
-let search s ~nof_conflicts ~max_learnts ~assumptions =
+let search s ~respect_budget ~nof_conflicts ~max_learnts ~assumptions =
   let conflict_c = ref 0 in
   let outcome = ref None in
   while !outcome = None do
@@ -445,6 +471,10 @@ let search s ~nof_conflicts ~max_learnts ~assumptions =
         s.conflicts <- s.conflicts + 1;
         incr conflict_c;
         if decision_level s = 0 then outcome := Some S_unsat_global
+        else if respect_budget && not (within_budget s) then
+          (* budget spent mid-search: the conflict is left unresolved; the
+             caller cancels to level 0, keeping the solver reusable *)
+          outcome := Some S_unknown
         else begin
           let learnt, bt = analyze s confl in
           cancel_until s bt;
@@ -453,7 +483,11 @@ let search s ~nof_conflicts ~max_learnts ~assumptions =
           clause_decay_activity s
         end
     | None ->
-        if !conflict_c >= nof_conflicts then begin
+        if respect_budget && not (within_budget s) then begin
+          cancel_until s 0;
+          outcome := Some S_unknown
+        end
+        else if !conflict_c >= nof_conflicts then begin
           cancel_until s 0;
           s.restarts <- s.restarts + 1;
           outcome := Some S_restart
@@ -489,9 +523,13 @@ let search s ~nof_conflicts ~max_learnts ~assumptions =
   done;
   match !outcome with Some o -> o | None -> assert false
 
-let solve ?(assumptions = []) s =
+module Limited = struct
+  type t = Sat | Unsat | Unknown
+end
+
+let solve_driver ~respect_budget ~assumptions s =
   s.model_valid <- false;
-  if not s.ok then Unsat
+  if not s.ok then Limited.Unsat
   else begin
     cancel_until s 0;
     List.iter
@@ -507,15 +545,19 @@ let solve ?(assumptions = []) s =
       let budget =
         int_of_float (luby 2.0 !curr_restarts *. float_of_int restart_base)
       in
-      (match search s ~nof_conflicts:budget ~max_learnts:!max_learnts ~assumptions with
+      (match
+         search s ~respect_budget ~nof_conflicts:budget ~max_learnts:!max_learnts
+           ~assumptions
+       with
       | S_sat ->
           s.saved_model <- Array.init s.nvars (fun v -> value_var s v = 1);
           s.model_valid <- true;
-          result := Some Sat
+          result := Some Limited.Sat
       | S_unsat_global ->
           s.ok <- false;
-          result := Some Unsat
-      | S_unsat_assump -> result := Some Unsat
+          result := Some Limited.Unsat
+      | S_unsat_assump -> result := Some Limited.Unsat
+      | S_unknown -> result := Some Limited.Unknown
       | S_restart ->
           incr curr_restarts;
           max_learnts := !max_learnts + (!max_learnts / 10));
@@ -524,6 +566,14 @@ let solve ?(assumptions = []) s =
     cancel_until s 0;
     match !result with Some r -> r | None -> assert false
   end
+
+let solve ?(assumptions = []) s =
+  match solve_driver ~respect_budget:false ~assumptions s with
+  | Limited.Sat -> Sat
+  | Limited.Unsat -> Unsat
+  | Limited.Unknown -> assert false (* unreachable: budgets not consulted *)
+
+let solve_limited ?(assumptions = []) s = solve_driver ~respect_budget:true ~assumptions s
 
 let model_value s v =
   if not s.model_valid then invalid_arg "Solver.model_value: no model";

@@ -36,8 +36,43 @@ val add_clause_a : t -> Lit.t array -> unit
 val add_cnf : t -> Cnf.t -> unit
 
 (** [solve ?assumptions s] decides satisfiability of the clause set under
-    the given assumption literals (default none). *)
+    the given assumption literals (default none). Budgets set with
+    {!set_budget} are ignored: [solve] always runs to completion (use
+    {!solve_limited} for interruptible solving). *)
 val solve : ?assumptions:Lit.t list -> t -> result
+
+(** Three-valued answer of a budget-respecting solve. *)
+module Limited : sig
+  type t = Sat | Unsat | Unknown
+end
+
+(** [set_budget ?conflicts ?propagations s] arms resource budgets relative
+    to the solver's current counters (MiniSat's [setConfBudget] /
+    [setPropBudget]): the next {!solve_limited} calls may spend at most
+    that many further conflicts / propagated literals before answering
+    [Unknown]. Omitted budgets are left unchanged; a budget of [0] makes
+    the next [solve_limited] return [Unknown] immediately unless the
+    clause set is already known unsatisfiable. Budgets persist across
+    calls until re-armed or cleared with {!clear_budget}. *)
+val set_budget : ?conflicts:int -> ?propagations:int -> t -> unit
+
+(** [clear_budget s] removes all budgets. *)
+val clear_budget : t -> unit
+
+(** [budget_exhausted s] is [true] when an armed budget has been spent —
+    i.e. the next [solve_limited] would answer [Unknown] without working. *)
+val budget_exhausted : t -> bool
+
+(** [solve_limited ?assumptions s] is {!solve}, except that the CDCL search
+    loop checks the armed budgets at every conflict and decision point and
+    answers [Limited.Unknown] deterministically when one is spent (no
+    wall-clock signals involved, so results are reproducible across
+    schedules and domains). On [Unknown] the trail is cancelled back to
+    level 0 and the solver stays fully usable: clauses learnt before the
+    interrupt are kept, and a later call with a larger budget can finish
+    the job. The saved model is invalidated on every call and only valid
+    again after [Limited.Sat]. *)
+val solve_limited : ?assumptions:Lit.t list -> t -> Limited.t
 
 (** [model_value s v] is the truth of variable [v] in the model found by the
     last successful [solve]. Unassigned variables (possible after

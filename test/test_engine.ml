@@ -10,6 +10,11 @@ let same_outcome (o : F.outcome) (r : E.result) =
   && o.F.rounds = r.E.rounds
   && o.F.per_round_known = r.E.per_round_known
 
+let the_ok (ir : E.item_result) =
+  match ir.E.outcome with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: unexpected batch error: %s" ir.E.label e.E.exn
+
 let check_same_outcome msg o r =
   Alcotest.(check bool) (msg ^ ": resolved") true (o.F.resolved = r.E.resolved);
   Alcotest.(check bool) (msg ^ ": valid") o.F.valid r.E.valid;
@@ -75,7 +80,7 @@ let test_run_batch_matches_per_entity () =
       in
       let truth = if ir.E.label = "edith" then Fixtures.edith_truth else Fixtures.george_truth in
       let o = F.resolve ~user:(F.oracle truth) spec in
-      check_same_outcome ir.E.label o ir.E.result)
+      check_same_outcome ir.E.label o (the_ok ir))
     results
 
 let test_batch_streaming_order () =
@@ -165,7 +170,7 @@ let prop_engine_equals_framework_on_datasets =
              let o =
                F.resolve ~user:(F.oracle c.Datagen.Types.truth) (Datagen.Types.spec_of ds c)
              in
-             same_outcome o ir.E.result)
+             same_outcome o (the_ok ir))
            ds.Datagen.Types.cases results)
 
 let prop_exact_mode_configs_agree =

@@ -60,6 +60,42 @@ let test_pool_lowest_failure_wins () =
             (Some "7") raised))
     [ 1; 4 ]
 
+let test_pool_run_collect () =
+  List.iter
+    (fun jobs ->
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let results =
+            Parallel.Pool.run_collect pool ~n:20 (fun i ->
+                if i mod 7 = 3 then failwith (string_of_int i) else i * 10)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d result count" jobs)
+            20 (Array.length results);
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok v ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "jobs=%d item %d ok" jobs i)
+                    true
+                    (i mod 7 <> 3 && v = i * 10)
+              | Error e ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "jobs=%d item %d error" jobs i)
+                    true
+                    (i mod 7 = 3
+                    && e.Parallel.Pool.index = i
+                    && (match e.Parallel.Pool.exn with
+                       | Failure m -> m = string_of_int i
+                       | _ -> false)))
+            results))
+    [ 1; 4 ]
+
+let test_pool_run_collect_empty () =
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      let results = Parallel.Pool.run_collect pool ~n:0 (fun i -> i) in
+      Alcotest.(check int) "n=0 collects nothing" 0 (Array.length results))
+
 let test_pool_clamps_jobs () =
   Parallel.Pool.with_pool ~jobs:0 (fun pool ->
       Alcotest.(check int) "jobs clamped to 1" 1 (Parallel.Pool.jobs pool);
@@ -103,7 +139,7 @@ let same_item_results (a : E.item_result list) (b : E.item_result list) =
   List.length a = List.length b
   && List.for_all2
        (fun (x : E.item_result) (y : E.item_result) ->
-         x.E.label = y.E.label && x.E.result = y.E.result)
+         x.E.label = y.E.label && x.E.outcome = y.E.outcome)
        a b
 
 (* The headline property: 25 batches x 20 specs = 500 random specs, each
@@ -241,6 +277,8 @@ let () =
           Alcotest.test_case "chunk sizes" `Quick test_pool_chunk_sizes;
           Alcotest.test_case "reuse and empty" `Quick test_pool_reuse_and_empty;
           Alcotest.test_case "lowest failure wins" `Quick test_pool_lowest_failure_wins;
+          Alcotest.test_case "run_collect isolates failures" `Quick test_pool_run_collect;
+          Alcotest.test_case "run_collect empty" `Quick test_pool_run_collect_empty;
           Alcotest.test_case "clamps jobs" `Quick test_pool_clamps_jobs;
         ] );
       ( "engine",

@@ -1,0 +1,384 @@
+(* Budgeted solving and fault isolation: the graceful-degradation ladder
+   (Exact → PartialDeduce → PickFallback), solver conflict budgets, the
+   deterministic fault-injection harness, and per-entity error capture in
+   run_batch — all verified at jobs = 1 and jobs = 4. *)
+
+module F = Crcore.Framework
+module E = Crcore.Engine
+module Faults = Crcore.Faults
+module S = Sat.Solver
+
+(* ---- Sat.Solver budget units ---- *)
+
+let edith_cnf () =
+  (Crcore.Encode.encode ~mode:Crcore.Encode.Paper (Fixtures.edith_spec ())).Crcore.Encode.cnf
+
+let test_solver_budget_zero_unknown () =
+  let s = S.create () in
+  S.add_cnf s (edith_cnf ());
+  S.set_budget ~conflicts:0 s;
+  Alcotest.(check bool) "budget 0 → Unknown" true (S.solve_limited s = S.Limited.Unknown);
+  Alcotest.(check bool) "budget reported spent" true (S.budget_exhausted s)
+
+let test_solver_resumable_after_unknown () =
+  let s = S.create () in
+  S.add_cnf s (edith_cnf ());
+  S.set_budget ~conflicts:0 s;
+  let first = S.solve_limited s in
+  S.clear_budget s;
+  let second = S.solve_limited s in
+  Alcotest.(check bool) "interrupted first" true (first = S.Limited.Unknown);
+  (* Φ(Se) of the running example is satisfiable: the solver must finish
+     the job once the budget is lifted, and its model must be usable *)
+  Alcotest.(check bool) "finishes after clear_budget" true (second = S.Limited.Sat);
+  Alcotest.(check bool) "model available" true (Array.length (S.model s) > 0)
+
+let test_solver_budget_generous_agrees () =
+  let s1 = S.create () in
+  S.add_cnf s1 (edith_cnf ());
+  let reference = S.solve s1 in
+  let s2 = S.create () in
+  S.add_cnf s2 (edith_cnf ());
+  S.set_budget ~conflicts:1_000_000 s2;
+  let limited = S.solve_limited s2 in
+  Alcotest.(check bool) "unhit budget changes nothing" true
+    (match (reference, limited) with
+    | S.Sat, S.Limited.Sat | S.Unsat, S.Limited.Unsat -> true
+    | _ -> false)
+
+let test_solver_solve_ignores_budget () =
+  let s = S.create () in
+  S.add_cnf s (edith_cnf ());
+  S.set_budget ~conflicts:0 s;
+  Alcotest.(check bool) "solve runs to completion despite budget" true (S.solve s = S.Sat)
+
+(* ---- soundness under degradation: budgeted deduction ⊆ unbudgeted ---- *)
+
+let subset_of (cut : Value.t option array) (full : Value.t option array) =
+  Array.length cut = Array.length full
+  && Array.for_all2 (fun c f -> c = None || c = f) cut full
+
+let prop_budgeted_backbone_subset =
+  QCheck.Test.make ~count:80
+    ~name:"budgeted backbone facts are a sound subset of the unbudgeted run"
+    QCheck.(pair Fixtures.qcheck_spec (int_bound 40))
+    (fun (spec, budget) ->
+      let enc = Crcore.Encode.encode ~mode:Crcore.Encode.Paper spec in
+      let full = Crcore.Deduce.backbone enc in
+      let cut = Crcore.Deduce.backbone ~budget enc in
+      let fv = Crcore.Deduce.true_values full in
+      let cv = Crcore.Deduce.true_values cut in
+      subset_of cv fv
+      (* an uninterrupted budgeted run is the unbudgeted run *)
+      && (not cut.Crcore.Deduce.stats.Crcore.Deduce.complete || cv = fv))
+
+let prop_engine_degraded_facts_sound =
+  (* engine-level: under max_degrade = PartialDeduce, every fact a
+     budget-degraded run reports for a genuinely valid spec is one the
+     exact run also proves (PickFallback is excluded by construction —
+     its values are heuristic picks, not proofs) *)
+  QCheck.Test.make ~count:50
+    ~name:"degraded engine facts ⊆ exact facts (max_degrade = partial)"
+    QCheck.(pair Fixtures.qcheck_spec (int_bound 30))
+    (fun (spec, budget) ->
+      let exact, _ = E.resolve ~user:F.silent spec in
+      let cut, _ =
+        E.resolve
+          ~config:
+            {
+              E.default_config with
+              budget_conflicts = Some budget;
+              max_degrade = E.PartialDeduce;
+            }
+          ~user:F.silent spec
+      in
+      E.level_rank cut.E.level <= E.level_rank E.PartialDeduce
+      && ((not exact.E.valid) || (not cut.E.valid)
+         || subset_of cut.E.resolved exact.E.resolved))
+
+(* ---- the ladder under a spent budget ---- *)
+
+let budget0 max_degrade =
+  { E.default_config with budget_conflicts = Some 0; max_degrade }
+
+let test_ladder_pick_fallback () =
+  let r, _ = E.resolve ~config:(budget0 E.PickFallback) ~user:F.silent (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "level pick" true (r.E.level = E.PickFallback);
+  Alcotest.(check bool) "reason conflicts@validity" true
+    (r.E.degrade_reason = Some { E.cause = E.Conflicts; phase = E.Validity_p });
+  Alcotest.(check bool) "valid (heuristic answer)" true r.E.valid;
+  Alcotest.(check bool) "Pick resolves every attribute" true
+    (Array.for_all (fun v -> v <> None) r.E.resolved);
+  (* Pick is seeded deterministically: the fallback answer is reproducible *)
+  let r2, _ =
+    E.resolve ~config:(budget0 E.PickFallback) ~user:F.silent (Fixtures.edith_spec ())
+  in
+  Alcotest.(check bool) "fallback deterministic" true (r.E.resolved = r2.E.resolved)
+
+let test_ladder_partial_cap () =
+  let r, _ =
+    E.resolve ~config:(budget0 E.PartialDeduce) ~user:F.silent (Fixtures.edith_spec ())
+  in
+  Alcotest.(check bool) "level partial" true (r.E.level = E.PartialDeduce);
+  Alcotest.(check bool) "reason recorded" true (r.E.degrade_reason <> None);
+  (* the partial answer must be sound: a subset of the exact run's facts *)
+  let exact, _ = E.resolve ~user:F.silent (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "partial facts ⊆ exact facts" true
+    (subset_of r.E.resolved exact.E.resolved)
+
+let test_ladder_exact_cap () =
+  let r, _ = E.resolve ~config:(budget0 E.Exact) ~user:F.silent (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "level stays exact" true (r.E.level = E.Exact);
+  Alcotest.(check bool) "reason distinguishes from proven invalidity" true
+    (r.E.degrade_reason <> None);
+  Alcotest.(check bool) "conservative: nothing claimed" true
+    ((not r.E.valid) && Array.for_all (fun v -> v = None) r.E.resolved)
+
+let test_wall_budget_degrades () =
+  let config = { E.default_config with budget_ms = Some 0. } in
+  let r, _ = E.resolve ~config ~user:F.silent (Fixtures.edith_spec ()) in
+  Alcotest.(check bool) "wall reason" true
+    (match r.E.degrade_reason with Some { E.cause = E.Wall; _ } -> true | _ -> false);
+  Alcotest.(check bool) "degraded to pick" true (r.E.level = E.PickFallback)
+
+let prop_never_below_max_degrade =
+  QCheck.Test.make ~count:60 ~name:"achieved level never exceeds max_degrade"
+    QCheck.(triple Fixtures.qcheck_spec (int_bound 25) (int_bound 2))
+    (fun (spec, budget, cap) ->
+      let max_degrade =
+        match cap with 0 -> E.Exact | 1 -> E.PartialDeduce | _ -> E.PickFallback
+      in
+      let r, _ =
+        E.resolve
+          ~config:{ E.default_config with budget_conflicts = Some budget; max_degrade }
+          ~user:F.silent spec
+      in
+      E.level_rank r.E.level <= E.level_rank max_degrade
+      (* degraded levels always carry their reason *)
+      && (r.E.level = E.Exact || r.E.degrade_reason <> None))
+
+(* ---- fault injection and per-entity isolation ---- *)
+
+let batch n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        { E.label = Printf.sprintf "e%d" i;
+          spec = Fixtures.edith_spec ();
+          user = F.oracle Fixtures.edith_truth }
+      else
+        { E.label = Printf.sprintf "e%d" i;
+          spec = Fixtures.george_spec ();
+          user = F.oracle Fixtures.george_truth })
+
+(* outcome modulo backtrace (raise sites differ between domains) and
+   per-entity stats (timings are never comparable) *)
+let outcome_key (ir : E.item_result) =
+  ( ir.E.label,
+    match ir.E.outcome with
+    | Ok r -> Ok r
+    | Error e -> Error (e.E.exn, e.E.phase) )
+
+let run_jobs items ~jobs config =
+  let results, stats =
+    E.run_batch ~config:{ config with E.jobs; clamp_jobs = false } items
+  in
+  (List.map outcome_key results, stats)
+
+let test_injected_raise_per_point () =
+  let clean, _ = run_jobs (batch 6) ~jobs:1 E.default_config in
+  (* target e1 (George): his resolution needs interaction rounds, so all
+     four phases — including the suggestion's MaxSAT layer — actually run *)
+  List.iter
+    (fun (point, expected_phase) ->
+      Faults.arm
+        [ { Faults.label = Some "e1"; point; nth = 1; action = Faults.Raise "boom" } ];
+      Fun.protect ~finally:Faults.disarm (fun () ->
+          let per_jobs =
+            List.map
+              (fun jobs ->
+                let keys, stats = run_jobs (batch 6) ~jobs E.default_config in
+                Alcotest.(check int)
+                  (Printf.sprintf "%s jobs=%d: one error" (Faults.point_to_string point)
+                     jobs)
+                  1 stats.E.errors;
+                List.iter2
+                  (fun (label, outcome) (clabel, clean_outcome) ->
+                    Alcotest.(check string) "label order" clabel label;
+                    if label = "e1" then
+                      match outcome with
+                      | Error (exn, phase) ->
+                          Alcotest.(check bool)
+                            (Printf.sprintf "%s: phase attributed"
+                               (Faults.point_to_string point))
+                            true
+                            (phase = expected_phase
+                            && String.length exn > 0)
+                      | Ok _ ->
+                          Alcotest.failf "%s: e1 should have errored"
+                            (Faults.point_to_string point)
+                    else
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s jobs=%d: %s isolated"
+                           (Faults.point_to_string point) jobs label)
+                        true
+                        (outcome = clean_outcome))
+                  keys clean;
+                keys)
+              [ 1; 4 ]
+          in
+          match per_jobs with
+          | [ k1; k4 ] ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: jobs=1 ≡ jobs=4" (Faults.point_to_string point))
+                true (k1 = k4)
+          | _ -> assert false))
+    [
+      (Faults.Encode, E.Encode_p);
+      (Faults.Solve, E.Validity_p);
+      (Faults.Deduce, E.Deduce_p);
+      (Faults.Maxsat, E.Suggest_p);
+    ]
+
+let test_injected_burn_consumes_budget () =
+  (* a Burn of the whole allowance at the solve boundary must trip the
+     conflict checkpoint exactly like real solver work would *)
+  Faults.arm
+    [ { Faults.label = Some "e0"; point = Faults.Solve; nth = 1; action = Faults.Burn 500 } ];
+  Fun.protect ~finally:Faults.disarm (fun () ->
+      let config = { E.default_config with budget_conflicts = Some 500 } in
+      let results, stats = E.run_batch ~config (batch 4) in
+      Alcotest.(check int) "no errors" 0 stats.E.errors;
+      match (List.hd results).E.outcome with
+      | Ok r ->
+          Alcotest.(check bool) "e0 degraded to pick" true (r.E.level = E.PickFallback);
+          Alcotest.(check bool) "burnt conflicts are accounted" true
+            (r.E.conflicts_spent >= 500)
+      | Error _ -> Alcotest.fail "burn must degrade, not crash")
+
+let test_fail_fast_propagates () =
+  List.iter
+    (fun jobs ->
+      Faults.arm
+        [ { Faults.label = Some "e1"; point = Faults.Solve; nth = 1; action = Faults.Raise "fatal" } ];
+      Fun.protect ~finally:Faults.disarm (fun () ->
+          let config =
+            { E.default_config with fail_fast = true; jobs; clamp_jobs = false }
+          in
+          let raised =
+            try
+              ignore (E.run_batch ~config (batch 4));
+              false
+            with Faults.Injected "fatal" -> true
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: fail_fast re-raises" jobs)
+            true raised))
+    [ 1; 4 ]
+
+(* ---- the acceptance scenario: a poisoned batch completes ---- *)
+
+let test_poisoned_batch_completes () =
+  (* e7 "hangs" (injected budget exhaustion at the solve boundary — the
+     stand-in for a solve that would blow way past its conflict budget)
+     and e13 crashes outright; all 18 other entities must finish exactly
+     as in a clean run, at jobs = 1 and jobs = 4 with the same outcomes *)
+  let config = { E.default_config with budget_conflicts = Some 20_000 } in
+  let clean, _ = run_jobs (batch 20) ~jobs:1 config in
+  Faults.arm
+    [
+      { Faults.label = Some "e7"; point = Faults.Solve; nth = 1; action = Faults.Exhaust };
+      { Faults.label = Some "e13"; point = Faults.Solve; nth = 1; action = Faults.Raise "crash" };
+    ];
+  Fun.protect ~finally:Faults.disarm (fun () ->
+      let per_jobs =
+        List.map
+          (fun jobs ->
+            let keys, stats = run_jobs (batch 20) ~jobs config in
+            Alcotest.(check int) (Printf.sprintf "jobs=%d: all entities" jobs) 20
+              stats.E.entities;
+            Alcotest.(check int) (Printf.sprintf "jobs=%d: one error" jobs) 1 stats.E.errors;
+            Alcotest.(check int)
+              (Printf.sprintf "jobs=%d: one pick degradation" jobs)
+              1 stats.E.degraded_pick;
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d: budget exhaustion counted" jobs)
+              true
+              (stats.E.budget_exhausted >= 1);
+            List.iter2
+              (fun (label, outcome) (_, clean_outcome) ->
+                match label with
+                | "e7" -> (
+                    match outcome with
+                    | Ok r ->
+                        Alcotest.(check bool) "e7 fell to Pick" true
+                          (r.E.level = E.PickFallback
+                          && r.E.degrade_reason
+                             = Some { E.cause = E.Conflicts; phase = E.Validity_p })
+                    | Error _ -> Alcotest.fail "e7 should degrade, not error")
+                | "e13" -> (
+                    match outcome with
+                    | Error (_, phase) ->
+                        Alcotest.(check bool) "e13 errored in validity" true
+                          (phase = E.Validity_p)
+                    | Ok _ -> Alcotest.fail "e13 should have errored")
+                | _ ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "jobs=%d: %s untouched" jobs label)
+                      true (outcome = clean_outcome))
+              keys clean;
+            keys)
+          [ 1; 4 ]
+      in
+      match per_jobs with
+      | [ k1; k4 ] ->
+          Alcotest.(check bool) "poisoned batch: jobs=1 ≡ jobs=4" true (k1 = k4)
+      | _ -> assert false)
+
+let test_disarmed_batches_unaffected () =
+  (* armed-then-disarmed plans must leave no residue *)
+  Faults.arm
+    [ { Faults.label = None; point = Faults.Solve; nth = 1; action = Faults.Raise "x" } ];
+  Faults.disarm ();
+  Alcotest.(check bool) "disarmed" false (Faults.armed ());
+  let _, stats = E.run_batch (batch 4) in
+  Alcotest.(check int) "no errors" 0 stats.E.errors;
+  Alcotest.(check int) "no degradations" 0
+    (stats.E.degraded_partial + stats.E.degraded_pick)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "solver budgets",
+        [
+          Alcotest.test_case "budget 0 → Unknown" `Quick test_solver_budget_zero_unknown;
+          Alcotest.test_case "resumable after Unknown" `Quick
+            test_solver_resumable_after_unknown;
+          Alcotest.test_case "generous budget agrees" `Quick
+            test_solver_budget_generous_agrees;
+          Alcotest.test_case "solve ignores budgets" `Quick test_solver_solve_ignores_budget;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "pick fallback" `Quick test_ladder_pick_fallback;
+          Alcotest.test_case "partial cap" `Quick test_ladder_partial_cap;
+          Alcotest.test_case "exact cap" `Quick test_ladder_exact_cap;
+          Alcotest.test_case "wall budget degrades" `Quick test_wall_budget_degrades;
+        ] );
+      ( "fault isolation",
+        [
+          Alcotest.test_case "raise at each point, jobs in {1,4}" `Quick
+            test_injected_raise_per_point;
+          Alcotest.test_case "burn consumes budget" `Quick test_injected_burn_consumes_budget;
+          Alcotest.test_case "fail_fast propagates" `Quick test_fail_fast_propagates;
+          Alcotest.test_case "poisoned batch completes" `Quick test_poisoned_batch_completes;
+          Alcotest.test_case "disarm leaves no residue" `Quick
+            test_disarmed_batches_unaffected;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_budgeted_backbone_subset;
+            prop_engine_degraded_facts_sound;
+            prop_never_below_max_degrade;
+          ] );
+    ]
