@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par deduce lint robustness fmt clean
+.PHONY: all build test check bench batch par deduce lint robustness daemon fmt clean
 
 all: build
 
@@ -47,6 +47,14 @@ lint: build
 robustness: build
 	dune exec test/test_robustness.exe
 	dune exec bench/main.exe -- robustness_smoke
+
+# Session layer + crsolved daemon: the test suite (interleaved-arrival
+# parity, store bounds, budgets, socket round trip) plus the streaming
+# bench smoke (incremental vs cold over an update log, a real daemon on a
+# Unix socket); writes BENCH_daemon.json.
+daemon: build
+	dune exec test/test_session.exe
+	dune exec bench/main.exe -- daemon_smoke
 
 # Requires ocamlformat (see .ocamlformat for the pinned profile); not part
 # of `check` so the gate works on toolchains without it.

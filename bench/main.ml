@@ -1182,6 +1182,325 @@ let robustness_smoke () =
   robustness_sized ~n_entities:24 ~poison_period:8 ~json:(Some "BENCH_robustness.json") ()
 
 (* ---------------------------------------------------------------- *)
+(* Daemon: streaming delta re-resolution vs cold re-encode          *)
+(* ---------------------------------------------------------------- *)
+
+(* The crsolved workload: an interleaved multi-entity update log (tuple
+   arrivals in history order plus user-asserted currency edges, from
+   Datagen.Update_log) served two ways over the SAME schedule:
+
+     incremental — a Session.Store keeps every active entity's encoding
+       and solver session hot; arrivals stream through Encode.extend
+       (delta clauses on unchanged universes, Σ-sweep reuse otherwise)
+       and each resolve point re-runs the loop on the live session;
+     cold — every resolve point rebuilds the accumulated specification
+       and re-resolves from scratch, cache off (the pre-daemon cost of
+       answering the same stream of requests).
+
+   Results must match at every resolve point; the JSON reports sustained
+   throughput and per-request latency percentiles for both sides. The
+   stream is replayed in chunks of [chunk] entities (one shared store;
+   finished entities are closed and retired) so the hot set — and the
+   store's memory — stays bounded while the total entity count scales to
+   10k+. A socket round trip through a real crsolved instance smokes the
+   wire path. Emits BENCH_daemon.json. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let daemon_person ~n_entities ~seed =
+  Datagen.Person.generate
+    {
+      Datagen.Person.default_params with
+      n_status_chains = 8;
+      n_job_chains = 8;
+      n_cities = 12;
+      n_entities;
+      (* larger entities than the micro scenarios: cold re-encode is
+         quadratic in the tuple count while a coalesced delta extension
+         is linear, so this is where keeping the encoding hot pays *)
+      size_min = 8;
+      size_max = 16;
+      seed;
+    }
+
+let daemon_socket_smoke (ds : Datagen.Types.dataset) =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crsolved-bench-%d.sock" (Unix.getpid ()))
+  in
+  let d =
+    Crserver.Daemon.create ~sigma:ds.Datagen.Types.sigma ~gamma:ds.Datagen.Types.gamma ()
+  in
+  let server = Thread.create (fun () -> Crserver.Daemon.serve d ~socket_path) () in
+  (* wait for the listener *)
+  let rec await n =
+    if n = 0 then failwith "daemon socket never appeared"
+    else if Sys.file_exists socket_path then ()
+    else (Thread.delay 0.02; await (n - 1))
+  in
+  await 250;
+  let case = List.hd ds.Datagen.Types.cases in
+  let schema = ds.Datagen.Types.schema in
+  let csv_line values = String.trim (Csv.to_string [ values ]) in
+  let header = csv_line (Schema.attr_names schema) in
+  let rows =
+    Entity.tuples case.Datagen.Types.entity
+    |> List.map (fun t -> csv_line (List.map Value.to_string (Tuple.values t)))
+  in
+  let requests =
+    [ "PING"; Printf.sprintf "OPEN smoke|%s" header ]
+    @ List.map (fun r -> Printf.sprintf "INGEST smoke|%s" r) rows
+    @ [ "RESOLVE smoke"; "BASELINE smoke|lww"; "STATS"; "SHUTDOWN" ]
+  in
+  let responses = Crserver.Daemon.request_many ~socket_path requests in
+  Thread.join server;
+  let all_ok =
+    List.length responses = List.length requests
+    && List.for_all
+         (fun r -> String.length r >= 10 && String.sub r 0 10 = {|{"ok":true|})
+         responses
+  in
+  (List.length requests, all_ok)
+
+let daemon_sized ~n_entities ~chunk ~check_speedup ~json () =
+  section
+    (Printf.sprintf "Daemon: streaming re-resolution, %d Person entities (chunks of %d)"
+       n_entities chunk);
+  let module Cr = Conflict_resolution in
+  let ds = daemon_person ~n_entities ~seed:2013 in
+  let sigma = ds.Datagen.Types.sigma and gamma = ds.Datagen.Types.gamma in
+  (* one store for the whole run: chunking bounds live sessions, not the
+     cache or the retired counters *)
+  let store = Cr.Session.Store.create ~config:Cr.Config.(default |> with_session_cap (chunk * 2)) () in
+  let cold_config = Cr.Config.(default |> with_cache false |> to_engine) in
+  let chunks =
+    let rec split acc cases =
+      match cases with
+      | [] -> List.rev acc
+      | _ ->
+          let take = List.filteri (fun i _ -> i < chunk) cases in
+          let rest = List.filteri (fun i _ -> i >= chunk) cases in
+          split (take :: acc) rest
+    in
+    split [] ds.Datagen.Types.cases
+  in
+  let inc_lat = ref [] and cold_lat = ref [] in
+  let inc_ms = ref 0. and cold_ms = ref 0. in
+  let n_arrivals = ref 0 and n_orders = ref 0 and n_resolves = ref 0 in
+  let mismatches = ref 0 in
+  let now_ms () = Unix.gettimeofday () *. 1000. in
+  List.iteri
+    (fun ci cases ->
+      let sub = { ds with Datagen.Types.cases = cases } in
+      let log =
+        Datagen.Update_log.replay
+          ~params:{ Datagen.Update_log.default_params with seed = 77 + ci }
+          sub
+      in
+      n_arrivals := !n_arrivals + log.Datagen.Update_log.n_arrivals;
+      n_orders := !n_orders + log.Datagen.Update_log.n_orders;
+      n_resolves := !n_resolves + log.Datagen.Update_log.n_resolves;
+      (* last event index per label: closing point for session retirement *)
+      let last = Hashtbl.create 64 in
+      List.iteri
+        (fun i ev ->
+          let label =
+            match ev with
+            | Datagen.Update_log.Arrival { label; _ } -> label
+            | Datagen.Update_log.Assert_order { label; _ } -> label
+            | Datagen.Update_log.Resolve label -> label
+          in
+          Hashtbl.replace last label i)
+        log.Datagen.Update_log.events;
+      (* --- incremental pass: live sessions over the event stream ---
+         Mirrors the daemon: arrivals before the first resolve buffer in a
+         pending table and the session materialises — with everything seen
+         so far — at the first RESOLVE; later arrivals stream into the
+         live session (coalesced per resolve point by the Session layer). *)
+      let inc_results = Hashtbl.create 64 in
+      let pending : (string, Tuple.t list * Cr.Spec.order_edge list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let t0 = now_ms () in
+      List.iteri
+        (fun i ev ->
+          let label =
+            match ev with
+            | Datagen.Update_log.Arrival { label; tuple } -> (
+                (match Cr.Session.Store.find store label with
+                | Some h -> Cr.Session.ingest h ~tuples:[ tuple ] ()
+                | None ->
+                    let ts, os =
+                      try Hashtbl.find pending label with Not_found -> ([], [])
+                    in
+                    Hashtbl.replace pending label (tuple :: ts, os));
+                label)
+            | Datagen.Update_log.Assert_order { label; order } ->
+                (match Cr.Session.Store.find store label with
+                | Some h -> Cr.Session.ingest h ~orders:[ order ] ()
+                | None ->
+                    let ts, os = Hashtbl.find pending label in
+                    Hashtbl.replace pending label (ts, order :: os));
+                label
+            | Datagen.Update_log.Resolve label ->
+                let t = now_ms () in
+                let h =
+                  match Cr.Session.Store.find store label with
+                  | Some h -> h
+                  | None ->
+                      let ts, os = Hashtbl.find pending label in
+                      Hashtbl.remove pending label;
+                      let h, _ =
+                        Cr.Session.Store.get_or_create store label ~spec:(fun () ->
+                            Cr.Spec.make
+                              (Entity.make ds.Datagen.Types.schema (List.rev ts))
+                              ~orders:(List.rev os) ~sigma ~gamma)
+                      in
+                      h
+                in
+                let r, _ = Cr.Session.resolve h in
+                inc_lat := (now_ms () -. t) :: !inc_lat;
+                Hashtbl.replace inc_results label
+                  ((r.Cr.Engine.resolved, r.Cr.Engine.valid)
+                  :: (try Hashtbl.find inc_results label with Not_found -> []));
+                label
+          in
+          if Hashtbl.find last label = i then begin
+            ignore (Cr.Session.Store.remove store label);
+            Hashtbl.remove pending label
+          end)
+        log.Datagen.Update_log.events;
+      inc_ms := !inc_ms +. (now_ms () -. t0);
+      (* --- cold pass: rebuild + re-resolve at every resolve point --- *)
+      let acc : (string, Tuple.t list * Cr.Spec.order_edge list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let cold_results = Hashtbl.create 64 in
+      let t0 = now_ms () in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Datagen.Update_log.Arrival { label; tuple } ->
+              let ts, os =
+                try Hashtbl.find acc label with Not_found -> ([], [])
+              in
+              Hashtbl.replace acc label (tuple :: ts, os)
+          | Datagen.Update_log.Assert_order { label; order } ->
+              let ts, os = Hashtbl.find acc label in
+              Hashtbl.replace acc label (ts, order :: os)
+          | Datagen.Update_log.Resolve label ->
+              let ts, os = Hashtbl.find acc label in
+              let t = now_ms () in
+              let spec =
+                Cr.Spec.make
+                  (Entity.make ds.Datagen.Types.schema (List.rev ts))
+                  ~orders:os ~sigma ~gamma
+              in
+              let r, _ =
+                Cr.Engine.resolve ~config:cold_config ~user:Cr.Framework.silent spec
+              in
+              cold_lat := (now_ms () -. t) :: !cold_lat;
+              Hashtbl.replace cold_results label
+                ((r.Cr.Engine.resolved, r.Cr.Engine.valid)
+                :: (try Hashtbl.find cold_results label with Not_found -> [])))
+        log.Datagen.Update_log.events;
+      cold_ms := !cold_ms +. (now_ms () -. t0);
+      Hashtbl.iter
+        (fun label inc ->
+          let cold = try Hashtbl.find cold_results label with Not_found -> [] in
+          if inc <> cold then incr mismatches)
+        inc_results)
+    chunks;
+  let stats = Cr.Session.Store.stats store in
+  let identical = !mismatches = 0 in
+  claim "daemon: incremental == cold re-resolve at every resolve point" identical;
+  claim "daemon: delta extensions > 0" (stats.Cr.Session.Store.delta_extensions > 0);
+  let speedup = if !inc_ms > 0. then !cold_ms /. !inc_ms else 0. in
+  if check_speedup then
+    claim "daemon: session-incremental beats cold re-encode" (speedup > 1.0);
+  let inc_sorted = Array.of_list !inc_lat and cold_sorted = Array.of_list !cold_lat in
+  Array.sort compare inc_sorted;
+  Array.sort compare cold_sorted;
+  let events = !n_arrivals + !n_orders + !n_resolves in
+  Printf.printf
+    "  stream: %d event(s) over %d entities (%d arrivals, %d asserted orders, %d resolves)\n"
+    events n_entities !n_arrivals !n_orders !n_resolves;
+  Printf.printf
+    "  incremental: %.1f ms (%.0f req/s, resolve p50 %.3f ms, p99 %.3f ms)\n"
+    !inc_ms
+    (1000. *. float_of_int events /. !inc_ms)
+    (percentile inc_sorted 0.50) (percentile inc_sorted 0.99);
+  Printf.printf "  cold:        %.1f ms (resolve p50 %.3f ms, p99 %.3f ms)\n" !cold_ms
+    (percentile cold_sorted 0.50) (percentile cold_sorted 0.99);
+  Printf.printf
+    "  speedup %.2fx; delta extensions %d, rebuilds %d+%d, solvers built %d, identical: %b\n"
+    speedup stats.Cr.Session.Store.delta_extensions
+    stats.Cr.Session.Store.rebuilds_renumbered stats.Cr.Session.Store.rebuilds_impure
+    stats.Cr.Session.Store.solvers_built identical;
+  let smoke_requests, smoke_ok = daemon_socket_smoke ds in
+  Printf.printf "  socket smoke: %d request(s), all ok: %b\n" smoke_requests smoke_ok;
+  claim "daemon: socket round trip all ok" smoke_ok;
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "daemon",
+  "dataset": "Person",
+  "n_entities": %d,
+  "chunk": %d,
+  "arrivals": %d,
+  "asserted_orders": %d,
+  "resolve_requests": %d,
+  "incremental": {
+    "wall_ms": %.3f,
+    "requests_per_sec": %.1f,
+    "resolves_per_sec": %.1f,
+    "latency_ms": { "p50": %.4f, "p90": %.4f, "p99": %.4f },
+    "delta_extensions": %d,
+    "rebuilds_renumbered": %d,
+    "rebuilds_impure": %d,
+    "solvers_built": %d,
+    "sessions_created": %d,
+    "evicted_lru": %d,
+    "evicted_ttl": %d
+  },
+  "cold": {
+    "wall_ms": %.3f,
+    "resolves_per_sec": %.1f,
+    "latency_ms": { "p50": %.4f, "p90": %.4f, "p99": %.4f }
+  },
+  "speedup": %.3f,
+  "identical_results": %b,
+  "socket_smoke_ok": %b
+}
+|}
+        n_entities chunk !n_arrivals !n_orders !n_resolves !inc_ms
+        (1000. *. float_of_int events /. !inc_ms)
+        (1000. *. float_of_int !n_resolves /. !inc_ms)
+        (percentile inc_sorted 0.50) (percentile inc_sorted 0.90) (percentile inc_sorted 0.99)
+        stats.Cr.Session.Store.delta_extensions stats.Cr.Session.Store.rebuilds_renumbered
+        stats.Cr.Session.Store.rebuilds_impure stats.Cr.Session.Store.solvers_built
+        stats.Cr.Session.Store.created stats.Cr.Session.Store.evicted_lru
+        stats.Cr.Session.Store.evicted_ttl !cold_ms
+        (1000. *. float_of_int !n_resolves /. !cold_ms)
+        (percentile cold_sorted 0.50) (percentile cold_sorted 0.90)
+        (percentile cold_sorted 0.99) speedup identical smoke_ok;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path
+
+let daemon () =
+  daemon_sized ~n_entities:10_000 ~chunk:1000 ~check_speedup:true
+    ~json:(Some "BENCH_daemon.json") ()
+
+let daemon_smoke () =
+  daemon_sized ~n_entities:300 ~chunk:100 ~check_speedup:false
+    ~json:(Some "BENCH_daemon.json") ()
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -1239,6 +1558,8 @@ let experiments =
     ("lint_smoke", lint_smoke);
     ("robustness", robustness);
     ("robustness_smoke", robustness_smoke);
+    ("daemon", daemon);
+    ("daemon_smoke", daemon_smoke);
     ("ablation_encoding", ablation_encoding);
     ("ablation_clique", ablation_clique);
     ("ablation_maxsat", ablation_maxsat);
@@ -1253,7 +1574,7 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke"
-            && n <> "deduce_smoke" && n <> "robustness_smoke")
+            && n <> "deduce_smoke" && n <> "robustness_smoke" && n <> "daemon_smoke")
           experiments
     | names ->
         List.map

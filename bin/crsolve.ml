@@ -405,17 +405,20 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
       "crsolve: warning: -j %d exceeds the %d available core(s); running %d job(s) \
        (over-subscribing domains only slows batches down)\n%!"
       jobs cores (min jobs cores);
+  let base =
+    if naive then Conflict_resolution.Config.naive else Conflict_resolution.Config.default
+  in
   let config =
-    {
-      (if naive then Crcore.Engine.naive_config else Crcore.Engine.default_config) with
-      Crcore.Engine.mode = mode_of_exact exact;
-      max_rounds;
-      jobs;
-      budget_conflicts;
-      budget_ms;
-      max_degrade;
-      fail_fast;
-    }
+    Conflict_resolution.Config.(
+      base
+      |> with_mode (mode_of_exact exact)
+      |> with_max_rounds max_rounds
+      |> with_jobs jobs
+      |> with_budget_conflicts budget_conflicts
+      |> with_budget_ms budget_ms
+      |> with_max_degrade max_degrade
+      |> with_fail_fast fail_fast
+      |> to_engine)
   in
   let on_result (r : Crcore.Engine.item_result) =
     match r.Crcore.Engine.outcome with
@@ -461,6 +464,32 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
   if stats.Crcore.Engine.errors > 0 then 2
   else if stats.Crcore.Engine.valid_entities = stats.Crcore.Engine.entities then 0
   else 1
+
+(* ---- client ---- *)
+
+let run_client socket requests =
+  let lines =
+    if requests <> [] then requests
+    else
+      let rec slurp acc =
+        match In_channel.input_line stdin with
+        | None -> List.rev acc
+        | Some "" -> slurp acc
+        | Some l -> slurp (l :: acc)
+      in
+      slurp []
+  in
+  if lines = [] then failwith "client: no requests (pass them as arguments or on stdin)";
+  let responses = Crserver.Daemon.request_many ~socket_path:socket lines in
+  List.iter print_endline responses;
+  (* any {"ok":false,...} response fails the invocation *)
+  if
+    List.exists
+      (fun r ->
+        String.length r >= 11 && String.sub r 0 11 = {|{"ok":false|})
+      responses
+  then 1
+  else 0
 
 (* ---- cmdliner wiring ---- *)
 
@@ -620,6 +649,29 @@ let batch_cmd =
       $ jobs_a $ key_a $ truth_arg $ max_rounds_arg $ budget_conflicts_a $ budget_ms_a
       $ max_degrade_a $ fail_fast_a $ out_a)
 
+let client_cmd =
+  let socket_a =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the crsolved daemon listens on.")
+  in
+  let requests_a =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Protocol request lines (e.g. $(b,'RESOLVE e1'), \
+             $(b,'INGEST e1|Alice,NYC,10001')). With none, requests are read from stdin, \
+             one per line.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send protocol requests to a running crsolved daemon and print the JSON \
+          responses. Exits 1 if any request failed.")
+    Term.(const run_client $ socket_a $ requests_a)
+
 let main =
   Cmd.group
     (Cmd.info "crsolve" ~version:"1.0.0"
@@ -633,6 +685,7 @@ let main =
       implication_cmd;
       coverage_cmd;
       repair_cmd;
+      client_cmd;
     ]
 
 let () =

@@ -101,3 +101,89 @@ module Metrics = Crcore.Metrics
 (** The encoding mode, re-exported for convenience: [Paper] is the
     heuristic reduction of Lemma 5, [Exact] adds totality clauses. *)
 type mode = Crcore.Encode.mode = Paper | Exact
+
+(** {1 Configuration} *)
+
+module Config = struct
+  type t = {
+    engine : Crcore.Engine.config;
+    max_sessions : int;
+    ttl_s : float option;
+  }
+
+  let default =
+    { engine = Crcore.Engine.default_config; max_sessions = 1024; ttl_s = None }
+
+  let naive = { default with engine = Crcore.Engine.naive_config }
+
+  let with_mode mode t = { t with engine = { t.engine with Crcore.Engine.mode } }
+  let with_repair repair t = { t with engine = { t.engine with Crcore.Engine.repair } }
+
+  let with_max_rounds max_rounds t =
+    { t with engine = { t.engine with Crcore.Engine.max_rounds } }
+
+  let with_incremental incremental t =
+    { t with engine = { t.engine with Crcore.Engine.incremental } }
+
+  let with_cache cache t = { t with engine = { t.engine with Crcore.Engine.cache } }
+  let with_lint lint t = { t with engine = { t.engine with Crcore.Engine.lint } }
+  let with_jobs jobs t = { t with engine = { t.engine with Crcore.Engine.jobs } }
+
+  let with_clamp_jobs clamp_jobs t =
+    { t with engine = { t.engine with Crcore.Engine.clamp_jobs } }
+
+  let with_budget_conflicts budget_conflicts t =
+    { t with engine = { t.engine with Crcore.Engine.budget_conflicts } }
+
+  let with_budget_ms budget_ms t =
+    { t with engine = { t.engine with Crcore.Engine.budget_ms } }
+
+  let with_max_degrade max_degrade t =
+    { t with engine = { t.engine with Crcore.Engine.max_degrade } }
+
+  let with_pick pick_strategy t =
+    { t with engine = { t.engine with Crcore.Engine.pick_strategy } }
+
+  let with_fail_fast fail_fast t =
+    { t with engine = { t.engine with Crcore.Engine.fail_fast } }
+
+  let with_session_cap max_sessions t = { t with max_sessions = max 1 max_sessions }
+  let with_session_ttl ttl_s t = { t with ttl_s }
+  let to_engine t = t.engine
+  let max_sessions t = t.max_sessions
+  let session_ttl t = t.ttl_s
+end
+
+(** {1 Sessions} *)
+
+module Session = struct
+  type handle = Crcore.Session.handle
+
+  let create ?(config = Config.default) ?cache ?label spec =
+    Crcore.Session.create ~config:(Config.to_engine config) ?cache ?label spec
+
+  let label = Crcore.Session.label
+  let spec = Crcore.Session.spec
+  let ingest = Crcore.Session.ingest
+  let resolve = Crcore.Session.resolve
+  let baseline = Crcore.Session.baseline
+  let last_result = Crcore.Session.last_result
+  let stats = Crcore.Session.stats
+  let resolves = Crcore.Session.resolves
+  let close = Crcore.Session.close
+  let is_closed = Crcore.Session.is_closed
+
+  module Store = struct
+    include Crcore.Session.Store
+
+    let create ?(config = Config.default) ?cache () =
+      Crcore.Session.Store.create ~config:(Config.to_engine config) ?cache
+        ~max_sessions:(Config.max_sessions config) ?ttl_s:(Config.session_ttl config) ()
+  end
+end
+
+(** {1 One-shot resolution} *)
+
+let resolve ?(config = Config.default) ?(user = Crcore.Framework.silent) ?label spec =
+  let h = Session.create ~config ?label spec in
+  Fun.protect ~finally:(fun () -> Session.close h) (fun () -> Session.resolve ~user h)

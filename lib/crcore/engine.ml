@@ -40,6 +40,7 @@ type config = {
   budget_conflicts : int option;
   budget_ms : float option;
   max_degrade : degrade_level;
+  pick_strategy : Pick.strategy;
   fail_fast : bool;
 }
 
@@ -57,6 +58,7 @@ let default_config =
     budget_conflicts = None;
     budget_ms = None;
     max_degrade = PickFallback;
+    pick_strategy = Pick.Favoured;
     fail_fast = false;
   }
 
@@ -173,7 +175,10 @@ type session = {
   times : phase_times;
   track : phase ref;  (* last phase entered; attributes exceptions and faults *)
   faults : Faults.ctx;
-  deadline : float option;  (* absolute [now_ms] bound from [budget_ms] *)
+  mutable deadline : float option;  (* absolute [now_ms] bound from [budget_ms] *)
+  mutable spent_base : int;
+      (* conflicts accrued before the current request: [refresh_budget]
+         moves it so long-lived sessions get a full budget per request *)
   mutable spec : Spec.t;
   mutable enc : Encode.t option;  (* [None] iff the lint pre-phase rejected the spec *)
   mutable solver : Sat.Solver.t option;  (* the incremental session *)
@@ -275,8 +280,12 @@ let live_conflicts sess =
   | Some s -> (Sat.Solver.stats s).Sat.Solver.conflicts
   | None -> 0
 
-let conflicts_spent sess =
+(* total conflicts the session ever accrued, baseline included *)
+let conflicts_accrued sess =
   sess.retired.Sat.Solver.conflicts + live_conflicts sess + sess.burnt
+
+(* conflicts charged against the current request's budget *)
+let conflicts_spent sess = conflicts_accrued sess - sess.spent_base
 
 let conflicts_remaining sess =
   Option.map (fun b -> max 0 (b - conflicts_spent sess)) sess.config.budget_conflicts
@@ -348,6 +357,7 @@ let make_session ?(config = default_config) ?cache ?label ~track spec =
       track;
       faults;
       deadline = Option.map (fun ms -> now_ms () +. ms) config.budget_ms;
+      spent_base = 0;
       spec;
       enc;
       solver = None;
@@ -476,6 +486,37 @@ let snapshot_stats sess =
     lint_rejected = sess.lint_rejected;
   }
 
+(* ---- streaming hooks: the long-lived session layer (Crcore.Session /
+   crsolved) keeps engine sessions alive across requests ---- *)
+
+let session_spec sess = sess.spec
+
+let session_rejected sess = sess.lint_rejected
+
+let session_stats = snapshot_stats
+
+let refresh_budget sess =
+  sess.deadline <- Option.map (fun ms -> now_ms () +. ms) sess.config.budget_ms;
+  sess.spent_base <- conflicts_accrued sess
+
+let ingest_session sess ?(orders = []) ?(tuples = []) () =
+  if sess.lint_rejected then
+    invalid_arg "Engine.ingest_session: session was rejected by the lint pre-phase";
+  if orders <> [] || tuples <> [] then begin
+    let spec = sess.spec in
+    let entity =
+      if tuples = [] then spec.Spec.entity
+      else Entity.make (Spec.schema spec) (Entity.tuples spec.Spec.entity @ tuples)
+    in
+    (* tuples appended, order edges prepended: exactly the pure-extension
+       shape {!Encode.extend} serves with a Delta or Renumbered encoding *)
+    let spec' =
+      Spec.make entity ~orders:(orders @ spec.Spec.orders) ~sigma:spec.Spec.sigma
+        ~gamma:spec.Spec.gamma
+    in
+    apply_extension sess spec'
+  end
+
 let count_known known = Array.fold_left (fun n v -> if v = None then n else n + 1) 0 known
 
 (* The graceful-degradation ladder (Exact → PartialDeduce → PickFallback),
@@ -526,7 +567,9 @@ let resolve_session sess ~user =
     let reason = Some { cause; phase = Validity_p } in
     match land_at PickFallback with
     | PickFallback ->
-        let resolved = Array.map Option.some (Pick.run sess.spec) in
+        let resolved =
+          Array.map Option.some (Pick.run ~strategy:sess.config.pick_strategy sess.spec)
+        in
         mk ~resolved ~valid:true ~rounds
           ~per_round:(count_known resolved :: per_round)
           ~level:PickFallback ~reason

@@ -121,6 +121,10 @@ type config = {
           Pick guess; [Exact] forbids degradation entirely — an exhausted
           budget then yields a conservative unresolved answer whose
           [degrade_reason] records why. *)
+  pick_strategy : Pick.strategy;
+      (** the baseline the {!PickFallback} rung runs — the paper's
+          [Favoured] by default; [Last_update_wins]/[Accept_local] give
+          the BDR-style replication policies instead. *)
   fail_fast : bool;
       (** [run_batch] only: [true] restores the pre-isolation contract —
           the first entity exception propagates out of the batch instead
@@ -241,6 +245,47 @@ val resolve_session : session -> user:user -> result * entity_stats
 val resolve :
   ?config:config -> ?cache:cache -> ?label:string -> user:user -> Spec.t ->
   result * entity_stats
+
+(** {1 Streaming hooks}
+
+    {!Crcore.Session} (and the [crsolved] daemon above it) keeps sessions
+    alive {e between} resolves: new tuples or asserted orders arrive for
+    an already-resolved entity, the live encoding and solver absorb them
+    through {!Encode.extend}, and {!resolve_session} runs again —
+    re-resolution without re-encoding whenever the extension is pure and
+    the value universes are unchanged. *)
+
+(** The session's current (accumulated) specification. *)
+val session_spec : session -> Spec.t
+
+(** [true] when the lint pre-phase rejected the spec at creation: the
+    session holds no encoding and {!ingest_session} refuses it — rebuild
+    from the accumulated spec instead. *)
+val session_rejected : session -> bool
+
+(** A snapshot of the session's statistics so far; the same record
+    {!resolve_session} returns, readable between resolves. *)
+val session_stats : session -> entity_stats
+
+(** [refresh_budget s] re-arms the per-request budgets on a long-lived
+    session: the wall deadline restarts from now, and conflicts accrued by
+    earlier requests no longer count against [budget_conflicts] (each
+    request gets the full configured budget; [result.conflicts_spent] is
+    per-request). Call before each {!resolve_session} on a reused
+    session. *)
+val refresh_budget : session -> unit
+
+(** [ingest_session s ?orders ?tuples ()] extends the session's
+    specification in place — the streaming [Se ⊕ arrivals] step: [tuples]
+    are appended to the entity (arrival order preserved), [orders] are
+    prepended to the currency orders. Pure extensions ride
+    {!Encode.extend}: unchanged value universes feed only delta clauses
+    to the live solver ([delta_extensions]); a grown universe reloads the
+    solver but reuses the Σ instance sweep ([rebuilds_renumbered]).
+    Raises [Invalid_argument] on a lint-rejected session (see
+    {!session_rejected}) and propagates [Spec.make] validation errors. *)
+val ingest_session :
+  session -> ?orders:Spec.order_edge list -> ?tuples:Tuple.t list -> unit -> unit
 
 (** {1 Batches} *)
 

@@ -40,6 +40,7 @@ let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.backbone)
       budget_conflicts = None;
       budget_ms = None;
       max_degrade = Engine.PickFallback;
+      pick_strategy = Pick.Favoured;
       fail_fast = false;
     }
   in

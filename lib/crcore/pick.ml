@@ -1,4 +1,23 @@
-type strategy = Random | Favoured | Max | Min | First
+type strategy = Random | Favoured | Max | Min | First | Last_update_wins | Accept_local
+
+let strategy_to_string = function
+  | Random -> "random"
+  | Favoured -> "favoured"
+  | Max -> "max"
+  | Min -> "min"
+  | First -> "first"
+  | Last_update_wins -> "last_update_wins"
+  | Accept_local -> "accept_local"
+
+let strategy_of_string = function
+  | "random" -> Some Random
+  | "favoured" -> Some Favoured
+  | "max" -> Some Max
+  | "min" -> Some Min
+  | "first" -> Some First
+  | "last_update_wins" | "lww" -> Some Last_update_wins
+  | "accept_local" | "local" -> Some Accept_local
+  | _ -> None
 
 let comparison_only (c : Currency.Constraint_ast.t) =
   List.for_all
@@ -94,3 +113,23 @@ let run ?(seed = 17) ?(strategy = Favoured) spec =
           | v :: rest ->
               List.fold_left (fun acc w -> if Value.total_compare w acc < 0 then w else acc) v rest)
   | First -> Array.init arity (fun a -> Entity.value entity 0 a)
+  | Last_update_wins ->
+      (* tuple order is arrival order: per attribute, the newest non-null
+         occurrence wins (falling back to null when the column is empty) *)
+      let newest_first = List.rev (Entity.tuples entity) in
+      Array.init arity (fun a ->
+          match
+            List.find_opt (fun t -> not (Value.is_null (Tuple.get t a))) newest_first
+          with
+          | Some t -> Tuple.get t a
+          | None -> Value.Null)
+  | Accept_local ->
+      (* the first-arrived (local) tuple wins; nulls fall through to the
+         next arrival, as a replica would fill columns it never wrote *)
+      let oldest_first = Entity.tuples entity in
+      Array.init arity (fun a ->
+          match
+            List.find_opt (fun t -> not (Value.is_null (Tuple.get t a))) oldest_first
+          with
+          | Some t -> Tuple.get t a
+          | None -> Value.Null)

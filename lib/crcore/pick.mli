@@ -13,6 +13,23 @@ type strategy =
   | Max           (** the largest value ({!Value.total_compare}) *)
   | Min           (** the smallest value *)
   | First         (** the first occurrence *)
+  | Last_update_wins
+      (** the BDR/PGD multi-master default: tuple order is arrival order,
+          and the newest arrival's value wins — per attribute, the last
+          non-null occurrence. No currency inference at all; the cheap
+          baseline conflict streams are usually resolved with. *)
+  | Accept_local
+      (** BDR's [accept_local]/first-writer policy: the first-arrived
+          (local) tuple's value wins per attribute, falling through to the
+          next arrival only where the local value is null. *)
+
+(** Protocol/CLI names: ["random"], ["favoured"], ["max"], ["min"],
+    ["first"], ["last_update_wins"], ["accept_local"]. *)
+val strategy_to_string : strategy -> string
+
+val strategy_of_string : string -> strategy option
+(** Accepts the {!strategy_to_string} names plus the BDR shorthands
+    ["lww"] and ["local"]. *)
 
 (** [run ?seed ?strategy spec] resolves every attribute; never interacts,
     never fails. Default strategy [Favoured], the paper's baseline. *)

@@ -1,0 +1,363 @@
+open Conflict_resolution
+
+(* Per-entity bookkeeping outside the session store: the schema (from
+   OPEN), arrivals buffered before the session materialises (entities
+   cannot be empty, so creation waits for the first RESOLVE/BASELINE),
+   and whether a session ever existed — distinguishing "not yet
+   materialised" from "evicted, state gone". *)
+type entry = {
+  schema : Schema.t;
+  mutable pending_tuples : Tuple.t list;  (* reversed arrival order *)
+  mutable pending_orders : Spec.order_edge list;
+  mutable materialised : bool;
+}
+
+type t = {
+  config : Config.t;
+  sigma : Constraint_ast.t list;
+  gamma : Constant_cfd.t list;
+  store : Session.Store.t;
+  entries : (string, entry) Hashtbl.t;
+  m : Mutex.t;
+  (* command counters for STATS *)
+  mutable n_requests : int;
+  mutable n_resolves : int;
+  mutable n_ingests : int;
+  baselines : (string, int) Hashtbl.t;  (* per-policy counts *)
+}
+
+let create ?(config = Config.default) ~sigma ~gamma () =
+  {
+    config;
+    sigma;
+    gamma;
+    store = Session.Store.create ~config ();
+    entries = Hashtbl.create 64;
+    m = Mutex.create ();
+    n_requests = 0;
+    n_resolves = 0;
+    n_ingests = 0;
+    baselines = Hashtbl.create 8;
+  }
+
+let store t = t.store
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+exception Reply of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Reply (Protocol.error msg))) fmt
+
+let find_entry t label =
+  match Hashtbl.find_opt t.entries label with
+  | Some e -> e
+  | None -> fail "unknown entity %s: OPEN it first" label
+
+(* Accumulated spec of everything the daemon has seen for the entry —
+   live session state plus any still-buffered arrivals. *)
+let effective_spec t label entry =
+  let base =
+    match Session.Store.find t.store label with
+    | Some h -> Some (Session.spec h)
+    | None ->
+        if entry.materialised then
+          fail "entity %s was evicted (LRU/TTL); re-OPEN and replay" label
+        else None
+  in
+  let tuples = List.rev entry.pending_tuples in
+  match base with
+  | Some spec when tuples = [] && entry.pending_orders = [] -> spec
+  | Some spec ->
+      let entity = Entity.make entry.schema (Entity.tuples spec.Spec.entity @ tuples) in
+      Spec.make entity
+        ~orders:(entry.pending_orders @ spec.Spec.orders)
+        ~sigma:spec.Spec.sigma ~gamma:spec.Spec.gamma
+  | None ->
+      if tuples = [] then fail "entity %s has no tuples yet" label
+      else
+        let entity = Entity.make entry.schema tuples in
+        Spec.make entity ~orders:entry.pending_orders ~sigma:t.sigma ~gamma:t.gamma
+
+(* Live session for the entry, creating it from (or flushing into it) the
+   buffered arrivals. Caller holds [t.m]. *)
+let materialise t label entry =
+  let flush h =
+    let tuples = List.rev entry.pending_tuples and orders = entry.pending_orders in
+    if tuples <> [] || orders <> [] then Session.ingest h ~orders ~tuples ();
+    entry.pending_tuples <- [];
+    entry.pending_orders <- []
+  in
+  match Session.Store.find t.store label with
+  | Some h ->
+      flush h;
+      h
+  | None ->
+      if entry.materialised then
+        fail "entity %s was evicted (LRU/TTL); re-OPEN and replay" label;
+      if entry.pending_tuples = [] then fail "entity %s has no tuples yet" label;
+      let spec () =
+        let entity = Entity.make entry.schema (List.rev entry.pending_tuples) in
+        match
+          Spec.make_res entity ~orders:entry.pending_orders ~sigma:t.sigma ~gamma:t.gamma
+        with
+        | Ok s -> s
+        | Error e -> failwith (Format.asprintf "bad specification: %a" Spec.pp_error e)
+      in
+      let h, created = Session.Store.get_or_create t.store label ~spec in
+      if created then begin
+        entry.pending_tuples <- [];
+        entry.pending_orders <- [];
+        entry.materialised <- true
+      end
+      else flush h;
+      h
+
+let json_of_value = function
+  | Value.Null -> "null"
+  | Value.Int i -> Protocol.jint i
+  | Value.Float f -> Protocol.jnum f
+  | Value.Str s -> Protocol.jstr s
+
+let resolved_json schema resolved =
+  Protocol.obj
+    (List.mapi
+       (fun i v ->
+         (Schema.name schema i, match v with None -> "null" | Some v -> json_of_value v))
+       (Array.to_list resolved))
+
+let values_json schema values =
+  Protocol.obj
+    (List.mapi
+       (fun i v -> (Schema.name schema i, json_of_value v))
+       (Array.to_list values))
+
+let result_json label schema (r : Engine.result) (st : Engine.entity_stats) resolves =
+  Protocol.ok
+    [
+      ("label", Protocol.jstr label);
+      ("valid", Protocol.jbool r.Engine.valid);
+      ("level", Protocol.jstr (Engine.level_to_string r.Engine.level));
+      ( "degrade_reason",
+        match r.Engine.degrade_reason with
+        | None -> "null"
+        | Some reason -> Protocol.jstr (Engine.reason_to_string reason) );
+      ("rounds", Protocol.jint r.Engine.rounds);
+      ("conflicts_spent", Protocol.jint r.Engine.conflicts_spent);
+      ("resolved", resolved_json schema r.Engine.resolved);
+      ("resolves", Protocol.jint resolves);
+      ("delta_extensions", Protocol.jint st.Engine.delta_extensions);
+      ("rebuilds", Protocol.jint st.Engine.rebuilds);
+      ("solvers_built", Protocol.jint st.Engine.solvers_built);
+    ]
+
+let stats_json t =
+  let s = Session.Store.stats t.store in
+  let baselines =
+    Hashtbl.fold (fun p n acc -> (p, Protocol.jint n) :: acc) t.baselines []
+    |> List.sort compare
+  in
+  Protocol.ok
+    [
+      ("live", Protocol.jint s.Session.Store.live);
+      ("created", Protocol.jint s.Session.Store.created);
+      ("reused", Protocol.jint s.Session.Store.reused);
+      ("evicted_lru", Protocol.jint s.Session.Store.evicted_lru);
+      ("evicted_ttl", Protocol.jint s.Session.Store.evicted_ttl);
+      ("removed", Protocol.jint s.Session.Store.removed);
+      ("resolves", Protocol.jint s.Session.Store.resolves);
+      ("delta_extensions", Protocol.jint s.Session.Store.delta_extensions);
+      ( "rebuilds",
+        Protocol.jint
+          (s.Session.Store.rebuilds_renumbered + s.Session.Store.rebuilds_impure) );
+      ("solvers_built", Protocol.jint s.Session.Store.solvers_built);
+      ("requests", Protocol.jint t.n_requests);
+      ("resolve_requests", Protocol.jint t.n_resolves);
+      ("ingest_requests", Protocol.jint t.n_ingests);
+      ("baselines", Protocol.obj baselines);
+    ]
+
+let run_command t (cmd : Protocol.command) =
+  match cmd with
+  | Protocol.Ping -> Protocol.ok [ ("pong", "true") ]
+  | Protocol.Shutdown -> Protocol.ok [ ("stopping", "true") ]
+  | Protocol.Stats -> locked t (fun () -> stats_json t)
+  | Protocol.Sweep ->
+      let evicted = Session.Store.sweep t.store in
+      Protocol.ok [ ("evicted", Protocol.jint evicted) ]
+  | Protocol.Open { label; header } ->
+      locked t (fun () ->
+          let schema =
+            try Schema.make header
+            with Invalid_argument m -> fail "OPEN %s: %s" label m
+          in
+          (* reopening resets the entity: fresh schema, no arrivals, and
+             any live session is dropped *)
+          ignore (Session.Store.remove t.store label);
+          Hashtbl.replace t.entries label
+            { schema; pending_tuples = []; pending_orders = []; materialised = false };
+          Protocol.ok
+            [ ("label", Protocol.jstr label); ("arity", Protocol.jint (Schema.arity schema)) ])
+  | Protocol.Ingest { label; row } ->
+      locked t (fun () ->
+          let entry = find_entry t label in
+          if List.length row <> Schema.arity entry.schema then
+            fail "INGEST %s: row arity %d, schema arity %d" label (List.length row)
+              (Schema.arity entry.schema);
+          let tuple = Tuple.make entry.schema (List.map Value.of_string row) in
+          t.n_ingests <- t.n_ingests + 1;
+          (match Session.Store.find t.store label with
+          | Some h -> Session.ingest h ~tuples:[ tuple ] ()
+          | None ->
+              if entry.materialised then
+                fail "entity %s was evicted (LRU/TTL); re-OPEN and replay" label;
+              entry.pending_tuples <- tuple :: entry.pending_tuples);
+          Protocol.ok [ ("label", Protocol.jstr label) ])
+  | Protocol.Order { label; attr; lo; hi } ->
+      locked t (fun () ->
+          let entry = find_entry t label in
+          if not (Schema.mem entry.schema attr) then fail "ORDER %s: unknown attribute %s" label attr;
+          let edge = { Spec.attr; lo; hi } in
+          (match Session.Store.find t.store label with
+          | Some h -> Session.ingest h ~orders:[ edge ] ()
+          | None ->
+              if entry.materialised then
+                fail "entity %s was evicted (LRU/TTL); re-OPEN and replay" label;
+              entry.pending_orders <- edge :: entry.pending_orders);
+          Protocol.ok [ ("label", Protocol.jstr label) ])
+  | Protocol.Resolve label ->
+      let h = locked t (fun () -> materialise t label (find_entry t label)) in
+      (* the solve itself runs outside the daemon lock: the handle has its
+         own mutex, so other connections keep streaming meanwhile *)
+      let r, st = Session.resolve h in
+      locked t (fun () -> t.n_resolves <- t.n_resolves + 1);
+      result_json label (Spec.schema (Session.spec h)) r st (Session.resolves h)
+  | Protocol.Baseline { label; policy } ->
+      let strategy =
+        match policy with
+        | None -> (Config.to_engine t.config).Engine.pick_strategy
+        | Some p -> (
+            match Pick.strategy_of_string p with
+            | Some s -> s
+            | None -> fail "BASELINE %s: unknown policy %s" label p)
+      in
+      locked t (fun () ->
+          let entry = find_entry t label in
+          (* no solver, no materialisation: Pick policies answer from the
+             accumulated spec directly — the cheap BDR-style path *)
+          let spec = effective_spec t label entry in
+          let values = Pick.run ~strategy spec in
+          let name = Pick.strategy_to_string strategy in
+          Hashtbl.replace t.baselines name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.baselines name));
+          Protocol.ok
+            [
+              ("label", Protocol.jstr label);
+              ("policy", Protocol.jstr name);
+              ("values", values_json (Spec.schema spec) values);
+            ])
+  | Protocol.Close label ->
+      locked t (fun () ->
+          let existed = Session.Store.remove t.store label in
+          let known = Hashtbl.mem t.entries label in
+          Hashtbl.remove t.entries label;
+          Protocol.ok [ ("label", Protocol.jstr label); ("existed", Protocol.jbool (existed || known)) ])
+
+let handle_line t line =
+  match Protocol.parse line with
+  | Error msg -> (Protocol.error msg, false)
+  | Ok cmd ->
+      locked t (fun () -> t.n_requests <- t.n_requests + 1);
+      let response =
+        try run_command t cmd with
+        | Reply r -> r
+        | Invalid_argument msg | Failure msg -> Protocol.error msg
+      in
+      (response, cmd = Protocol.Shutdown)
+
+(* {1 Socket serving} *)
+
+let request_many ~socket_path lines =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX socket_path);
+      let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
+      List.map
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          input_line ic)
+        lines)
+
+let request ~socket_path line =
+  match request_many ~socket_path [ line ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let serve ?(backlog = 64) t ~socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener backlog;
+  let stopping = ref false in
+  let set_stop () =
+    if not !stopping then begin
+      stopping := true;
+      (* wake the accept loop with a throwaway connection so it can
+         observe [stopping] — portable, unlike shutdown on a listener *)
+      try
+        let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+          (fun () -> Unix.connect s (Unix.ADDR_UNIX socket_path))
+      with Unix.Unix_error _ -> ()
+    end
+  in
+  let sweeper =
+    match Config.session_ttl t.config with
+    | None -> None
+    | Some ttl ->
+        Some
+          (Thread.create
+             (fun () ->
+               let period = Float.max 0.05 (ttl /. 2.) in
+               while not !stopping do
+                 Thread.delay period;
+                 if not !stopping then ignore (Session.Store.sweep t.store)
+               done)
+             ())
+  in
+  let handle_conn fd =
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    (try
+       let connected = ref true in
+       while !connected do
+         match input_line ic with
+         | exception End_of_file -> connected := false
+         | line ->
+             let response, stop = handle_line t line in
+             output_string oc response;
+             output_char oc '\n';
+             flush oc;
+             if stop then begin
+               connected := false;
+               set_stop ()
+             end
+       done
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  while not !stopping do
+    match Unix.accept listener with
+    | fd, _ ->
+        if !stopping then ( try Unix.close fd with Unix.Unix_error _ -> ())
+        else ignore (Thread.create handle_conn fd)
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+  done;
+  Option.iter Thread.join sweeper;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,57 @@
+(** The [crsolved] server: resolution-as-a-service on a Unix socket.
+
+    A daemon holds one {!Conflict_resolution.Session.Store} — engine
+    configuration, the shared sharded encoding cache and every live
+    per-entity solver session — plus the Σ/Γ constraint sets, loaded once
+    at startup and shared by all entities. Clients speak {!Protocol} over
+    a Unix-domain stream socket; each connection gets its own thread, and
+    {!handle_line} is safe to call from many threads (and directly, for
+    in-process tests and benchmarks — the protocol without the socket).
+
+    Entity lifecycle: [OPEN] registers the schema; arrivals buffer until
+    the first [RESOLVE]/[BASELINE] materialises the session (entities
+    cannot be empty); from then on arrivals stream into the live session
+    through the incremental [Encode.extend] path and every [RESOLVE]
+    re-resolves with budgets re-armed. If the store evicts an idle entity
+    (LRU cap or TTL), its accumulated state is gone — commands on the
+    label then answer with an error naming the eviction, and the client
+    re-opens and replays from its own log, exactly as a replication
+    consumer would. *)
+
+type t
+
+(** [create ?config ~sigma ~gamma ()] — configuration defaults to
+    {!Conflict_resolution.Config.default}; the store capacity and TTL come
+    from it ({!Conflict_resolution.Config.with_session_cap} /
+    [with_session_ttl]). *)
+val create :
+  ?config:Conflict_resolution.Config.t ->
+  sigma:Conflict_resolution.Constraint_ast.t list ->
+  gamma:Conflict_resolution.Constant_cfd.t list ->
+  unit ->
+  t
+
+val store : t -> Conflict_resolution.Session.Store.t
+
+(** [handle_line t line] executes one protocol request and returns the
+    JSON response plus [true] when the request was a [SHUTDOWN]. Never
+    raises on malformed or failing requests — those produce
+    [{"ok":false,...}] responses. *)
+val handle_line : t -> string -> string * bool
+
+(** [serve t ~socket_path] binds the Unix-domain socket (unlinking any
+    stale file first), accepts connections until a client sends
+    [SHUTDOWN], then closes the listener and removes the socket file.
+    Each connection runs in its own thread; when the configuration has a
+    session TTL, a background thread sweeps idle sessions at half-TTL
+    intervals. Blocks until shutdown. *)
+val serve : ?backlog:int -> t -> socket_path:string -> unit
+
+(** [request ~socket_path line] — a one-connection client round trip:
+    connect, send [line], read the response line. Used by
+    [crsolve client] and the tests. *)
+val request : socket_path:string -> string -> string
+
+(** [request_many ~socket_path lines] pipelines several requests over one
+    connection and returns the responses in order. *)
+val request_many : socket_path:string -> string list -> string list

@@ -1,0 +1,106 @@
+open Conflict_resolution
+
+type command =
+  | Ping
+  | Open of { label : string; header : string list }
+  | Ingest of { label : string; row : string list }
+  | Order of { label : string; attr : string; lo : int; hi : int }
+  | Resolve of string
+  | Baseline of { label : string; policy : string option }
+  | Close of string
+  | Stats
+  | Sweep
+  | Shutdown
+
+let fields rest = String.split_on_char '|' rest
+
+let csv_record s =
+  match Csv.parse_string s with
+  | [ record ] -> Ok record
+  | [] -> Error "empty CSV record"
+  | _ -> Error "CSV record spans multiple rows"
+
+let parse line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) |> String.trim )
+    | None -> (line, "")
+  in
+  let with_label k = if rest = "" then Error (word ^ ": missing label") else k rest in
+  match String.uppercase_ascii word with
+  | "PING" -> Ok Ping
+  | "STATS" -> Ok Stats
+  | "SWEEP" -> Ok Sweep
+  | "SHUTDOWN" -> Ok Shutdown
+  | "RESOLVE" -> with_label (fun l -> Ok (Resolve l))
+  | "CLOSE" -> with_label (fun l -> Ok (Close l))
+  | "OPEN" ->
+      with_label (fun r ->
+          match fields r with
+          | [ label; header ] when label <> "" -> (
+              match csv_record header with
+              | Ok names -> Ok (Open { label; header = names })
+              | Error e -> Error ("OPEN: " ^ e))
+          | _ -> Error "OPEN expects <label>|<csv-header>")
+  | "INGEST" ->
+      with_label (fun r ->
+          match String.index_opt r '|' with
+          | Some i when i > 0 -> (
+              let label = String.sub r 0 i in
+              let row = String.sub r (i + 1) (String.length r - i - 1) in
+              match csv_record row with
+              | Ok values -> Ok (Ingest { label; row = values })
+              | Error e -> Error ("INGEST: " ^ e))
+          | _ -> Error "INGEST expects <label>|<csv-row>")
+  | "ORDER" ->
+      with_label (fun r ->
+          match fields r with
+          | [ label; attr; lo; hi ] when label <> "" && attr <> "" -> (
+              match (int_of_string_opt lo, int_of_string_opt hi) with
+              | Some lo, Some hi -> Ok (Order { label; attr; lo; hi })
+              | _ -> Error "ORDER: tuple indices must be integers")
+          | _ -> Error "ORDER expects <label>|<attr>|<lo>|<hi>")
+  | "BASELINE" ->
+      with_label (fun r ->
+          match fields r with
+          | [ label ] when label <> "" -> Ok (Baseline { label; policy = None })
+          | [ label; policy ] when label <> "" -> Ok (Baseline { label; policy = Some policy })
+          | _ -> Error "BASELINE expects <label>[|<policy>]")
+  | "" -> Error "empty request"
+  | w -> Error ("unknown command " ^ w)
+
+(* {1 JSON} *)
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let jint = string_of_int
+let jbool b = if b then "true" else "false"
+
+let obj kvs =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) kvs) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+let ok kvs = obj (("ok", "true") :: kvs)
+let error msg = obj [ ("ok", "false"); ("error", jstr msg) ]

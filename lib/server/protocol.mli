@@ -1,0 +1,61 @@
+(** The [crsolved] wire protocol: one request line in, one JSON response
+    line out, over a Unix-domain stream socket.
+
+    Requests are a command word, optionally followed by a space and
+    [|]-separated fields; tuple rows and headers are CSV inside their
+    field (RFC-4180 quoting, so values may contain commas — but not [|]
+    or newlines):
+
+    {v
+    OPEN <label>|<csv-header>       register/reset an entity (schema from header)
+    INGEST <label>|<csv-row>        one tuple arrival
+    ORDER <label>|<attr>|<lo>|<hi>  assert: tuple lo's attr is less current than hi's
+    RESOLVE <label>                 (re-)resolve; incremental on a live session
+    BASELINE <label>[|<policy>]     Pick answer (lww, local, favoured, max, ...)
+    CLOSE <label>                   drop the session and its state
+    STATS                           store + command statistics
+    SWEEP                           evict sessions idle past the TTL
+    PING                            liveness probe
+    SHUTDOWN                        stop the server
+    v}
+
+    Every response is a single-line JSON object with an ["ok"] field;
+    failures are [{"ok":false,"error":"..."}] and never kill the
+    connection. *)
+
+type command =
+  | Ping
+  | Open of { label : string; header : string list }
+  | Ingest of { label : string; row : string list }
+  | Order of { label : string; attr : string; lo : int; hi : int }
+  | Resolve of string
+  | Baseline of { label : string; policy : string option }
+  | Close of string
+  | Stats
+  | Sweep
+  | Shutdown
+
+val parse : string -> (command, string) result
+
+(** {1 JSON building}
+
+    Hand-rolled single-line JSON (the project has no JSON dependency);
+    every builder returns a serialised fragment. *)
+
+val jstr : string -> string
+
+(** [jnum f] renders a float without trailing noise (["12"], ["0.53"]). *)
+val jnum : float -> string
+
+val jint : int -> string
+val jbool : bool -> string
+
+(** [obj [(k, v); ...]] — values must already be serialised fragments. *)
+val obj : (string * string) list -> string
+
+val arr : string list -> string
+
+(** [ok fields] is [obj] with ["ok":true] prepended. *)
+val ok : (string * string) list -> string
+
+val error : string -> string
