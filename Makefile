@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par deduce lint robustness daemon fmt clean
+.PHONY: all build test check bench batch par deduce saturate lint robustness daemon fmt clean
 
 all: build
 
@@ -32,11 +32,25 @@ par:
 deduce:
 	dune exec bench/main.exe -- deduce
 
-# Lint the shipped example data: the clean set must exit 0, the broken
-# set must exit 2 (errors found) — both outcomes are part of the gate.
+# Static saturation pre-phase on vs off on the Person batch; writes
+# BENCH_saturate.json and exits non-zero unless resolutions are identical
+# both ways and the pre-phase avoided at least one deduction probe
+# (the probes_avoided > 0 ratchet).
+saturate:
+	dune exec bench/main.exe -- saturate
+
+# Lint the shipped example data. The paper's own Fig. 3 constraint set
+# carries exactly one true redundancy on this data — W007 on Σ#2
+# ('sailor < veteran' already follows from φ1 + φ5 on George) — so the
+# clean set must exit 1 with precisely that one warning, and the broken
+# set must exit 2 (errors found). Both pinned outcomes are the gate.
 lint: build
 	dune exec bin/crsolve.exe -- lint -e examples/data/photo.csv \
-	  -s examples/data/sigma.txt -g examples/data/gamma.txt
+	  -s examples/data/sigma.txt -g examples/data/gamma.txt \
+	  > /tmp/lint_clean.out; test $$? -eq 1
+	cat /tmp/lint_clean.out
+	test "$$(grep -c '^W' /tmp/lint_clean.out)" = 1
+	grep -q "^W007 .*(Σ#2 " /tmp/lint_clean.out
 	dune exec bin/crsolve.exe -- lint -e examples/data_broken/photo.csv \
 	  -s examples/data_broken/sigma.txt -g examples/data_broken/gamma.txt; \
 	  test $$? -eq 2

@@ -898,6 +898,140 @@ let deduce () = deduce_sized ~n_entities:120 ~json:(Some "BENCH_deduce.json") ()
 let deduce_smoke () = deduce_sized ~n_entities:12 ~json:(Some "BENCH_deduce.json") ()
 
 (* ---------------------------------------------------------------- *)
+(* Saturate pre-phase: static closure replacing deduction probes     *)
+(* ---------------------------------------------------------------- *)
+
+(* The engine with the static saturation pre-phase on vs off: identical
+   resolutions (the closure facts are level-0 implied by Φ), but with the
+   pre-phase on the complete Paper-mode closure is handed to the backbone
+   deducer as pre-confirmed facts, so deduction skips its unit-propagation
+   pass and those probes. Also times raw saturation per encoding against
+   the backbone it provably under-approximates. Emits BENCH_saturate.json. *)
+let saturate_sized ~n_entities ~json () =
+  section
+    (Printf.sprintf "Saturate: %d Person entities, static pre-phase on vs off" n_entities);
+  let ds =
+    Datagen.Person.generate
+      {
+        Datagen.Person.default_params with
+        n_entities;
+        size_min = 4;
+        size_max = 10;
+        extra_events = 2;
+      }
+  in
+  let items =
+    intern_items
+      (List.map
+         (fun (case : Datagen.Types.case) ->
+           {
+             Crcore.Engine.label = string_of_int case.Datagen.Types.id;
+             spec = Datagen.Types.spec_of ds case;
+             user = Crcore.Framework.oracle ~max_answers:1 case.Datagen.Types.truth;
+           })
+         ds.Datagen.Types.cases)
+  in
+  (* interned Σ/Γ: the plan memo keys on physical template identity, as a
+     batch would present it *)
+  let specs = List.map (fun (it : Crcore.Engine.item) -> it.Crcore.Engine.spec) items in
+  (* raw phase cost: saturation closure vs the SAT backbone per encoding *)
+  let sat_ms = ref 0. and bb_ms = ref 0. in
+  let closure_facts = ref 0 and backbone_facts = ref 0 in
+  let complete_closures = ref 0 in
+  let tmpl_h0, tmpl_m0 = Crcore.Saturate.template_stats () in
+  List.iter
+    (fun spec ->
+      let enc = Crcore.Encode.encode spec in
+      let ms, cl = wall_ms (fun () -> Crcore.Saturate.of_encode enc) in
+      sat_ms := !sat_ms +. ms;
+      closure_facts := !closure_facts + Crcore.Saturate.n_facts cl;
+      if Crcore.Saturate.complete cl then incr complete_closures;
+      if Crcore.Saturate.refutation cl = None then begin
+        let ms, b = wall_ms (fun () -> Crcore.Deduce.backbone enc) in
+        bb_ms := !bb_ms +. ms;
+        backbone_facts := !backbone_facts + Crcore.Deduce.n_facts b
+      end)
+    specs;
+  let tmpl_h1, tmpl_m1 = Crcore.Saturate.template_stats () in
+  Printf.printf "  saturation: %8.1f ms  %6d closure fact(s), %d/%d complete\n" !sat_ms
+    !closure_facts !complete_closures (List.length specs);
+  Printf.printf "  backbone:   %8.1f ms  %6d fact(s)\n" !bb_ms !backbone_facts;
+  Printf.printf "  template plan memo: %d hit(s), %d miss(es)\n" (tmpl_h1 - tmpl_h0)
+    (tmpl_m1 - tmpl_m0);
+  claim "saturate: closure never exceeds the backbone" (!closure_facts <= !backbone_facts);
+  (* engine effect: pre-phase on vs off, same oracle-driven batch *)
+  let run saturate =
+    wall_ms (fun () ->
+        Crcore.Engine.run_batch
+          ~config:{ Crcore.Engine.default_config with lint = false; saturate }
+          items)
+  in
+  let on_ms, (on_results, on_stats) = run true in
+  let off_ms, (off_results, off_stats) = run false in
+  let same_resolved =
+    List.for_all2
+      (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+        (ir_result a).Crcore.Engine.resolved = (ir_result b).Crcore.Engine.resolved)
+      on_results off_results
+  in
+  let solve_deduce (st : Crcore.Engine.stats) =
+    st.Crcore.Engine.times.Crcore.Engine.validity_ms
+    +. st.Crcore.Engine.times.Crcore.Engine.deduce_ms
+  in
+  let line name ms (st : Crcore.Engine.stats) =
+    Printf.printf
+      "  engine (%-3s): %8.1f ms, saturate %6.1f ms, solve+deduce %8.1f ms, %d static fact(s), %d probe(s) avoided, %d deduce probe(s)\n"
+      name ms st.Crcore.Engine.times.Crcore.Engine.saturate_ms (solve_deduce st)
+      st.Crcore.Engine.static_facts st.Crcore.Engine.probes_avoided
+      st.Crcore.Engine.deduce_probes
+  in
+  line "on" on_ms on_stats;
+  line "off" off_ms off_stats;
+  Printf.printf "  same final resolutions: %b\n%!" same_resolved;
+  claim "saturate: engine resolutions identical with pre-phase on and off" same_resolved;
+  claim "saturate: static facts derived on the Person batch"
+    (on_stats.Crcore.Engine.static_facts > 0);
+  claim "saturate: probes avoided on the Person batch"
+    (on_stats.Crcore.Engine.probes_avoided > 0);
+  claim "saturate: pre-phase off derives nothing statically"
+    (off_stats.Crcore.Engine.static_facts = 0 && off_stats.Crcore.Engine.probes_avoided = 0);
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "scenario": "saturate",
+  "dataset": "Person",
+  "n_entities": %d,
+  "phase": {
+    "saturation": { "wall_ms": %.3f, "closure_facts": %d, "complete": %d },
+    "backbone": { "wall_ms": %.3f, "facts": %d },
+    "template_memo": { "hits": %d, "misses": %d }
+  },
+  "engine": {
+    "on":  { "wall_ms": %.3f, "saturate_ms": %.3f, "solve_deduce_ms": %.3f, "static_facts": %d, "probes_avoided": %d, "deduce_probes": %d, "deduce_sat_calls": %d },
+    "off": { "wall_ms": %.3f, "saturate_ms": %.3f, "solve_deduce_ms": %.3f, "static_facts": %d, "probes_avoided": %d, "deduce_probes": %d, "deduce_sat_calls": %d },
+    "same_final_resolutions": %b
+  }
+}
+|}
+        n_entities !sat_ms !closure_facts !complete_closures !bb_ms !backbone_facts
+        (tmpl_h1 - tmpl_h0) (tmpl_m1 - tmpl_m0) on_ms
+        on_stats.Crcore.Engine.times.Crcore.Engine.saturate_ms (solve_deduce on_stats)
+        on_stats.Crcore.Engine.static_facts on_stats.Crcore.Engine.probes_avoided
+        on_stats.Crcore.Engine.deduce_probes on_stats.Crcore.Engine.deduce_sat_calls off_ms
+        off_stats.Crcore.Engine.times.Crcore.Engine.saturate_ms (solve_deduce off_stats)
+        off_stats.Crcore.Engine.static_facts off_stats.Crcore.Engine.probes_avoided
+        off_stats.Crcore.Engine.deduce_probes off_stats.Crcore.Engine.deduce_sat_calls
+        same_resolved;
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+
+let saturate () = saturate_sized ~n_entities:120 ~json:(Some "BENCH_saturate.json") ()
+let saturate_smoke () = saturate_sized ~n_entities:12 ~json:(Some "BENCH_saturate.json") ()
+
+(* ---------------------------------------------------------------- *)
 (* Lint pre-phase: statically-unsat specs skip the solver            *)
 (* ---------------------------------------------------------------- *)
 
@@ -1554,6 +1688,8 @@ let experiments =
     ("par_smoke", par_smoke);
     ("deduce", deduce);
     ("deduce_smoke", deduce_smoke);
+    ("saturate", saturate);
+    ("saturate_smoke", saturate_smoke);
     ("lint", lint);
     ("lint_smoke", lint_smoke);
     ("robustness", robustness);
@@ -1574,7 +1710,8 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "micro" && n <> "batch_smoke" && n <> "lint_smoke" && n <> "par_smoke"
-            && n <> "deduce_smoke" && n <> "robustness_smoke" && n <> "daemon_smoke")
+            && n <> "deduce_smoke" && n <> "saturate_smoke" && n <> "robustness_smoke"
+            && n <> "daemon_smoke")
           experiments
     | names ->
         List.map

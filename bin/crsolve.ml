@@ -132,13 +132,20 @@ let run_lint entity_file sigma_file gamma_file json =
   and n_warn = count Crcore.Analyze.Warning
   and n_info = count Crcore.Analyze.Info in
   if json then begin
+    (* spans always point into the Σ file — it is the only spanned input *)
+    let span_file =
+      match sigma_file with
+      | Some f -> Printf.sprintf "\"%s\"" (json_escape f)
+      | None -> "null"
+    in
     let diag_json (d : Crcore.Analyze.diagnostic) =
       let span =
         match d.span with
         | None -> "null"
         | Some sp ->
-            Printf.sprintf "{\"line\":%d,\"col_start\":%d,\"col_end\":%d}"
-              sp.Currency.Parser.line sp.Currency.Parser.col_start sp.Currency.Parser.col_end
+            Printf.sprintf "{\"file\":%s,\"line\":%d,\"col_start\":%d,\"col_end\":%d}"
+              span_file sp.Currency.Parser.line sp.Currency.Parser.col_start
+              sp.Currency.Parser.col_end
       in
       Printf.sprintf
         "{\"code\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\",\"span\":%s}"
@@ -219,6 +226,86 @@ let run_implication entity_file sigma_file gamma_file exact attr lo hi =
   let a = Crcore.Implication.holds ~mode spec f in
   Format.printf "%s ≺ %s in %s: %a@." lo hi attr Crcore.Implication.pp_answer a;
   match a with Crcore.Implication.Implied -> 0 | _ -> 1
+
+(* ---- explain ---- *)
+
+(* Why is NEW preferred over OLD on ATTR? Static answer: the saturation
+   closure contains the fact, and its certificate (a chain of ground
+   constraint instances, independently re-checked against the raw spec)
+   is the explanation. Otherwise the SAT story: a refutation probe
+   Φ(Se) ∧ ¬x decides the fact, with no polynomial derivation to show. *)
+let run_explain entity_file sigma_file gamma_file exact attr lo hi =
+  let spec = load_spec entity_file sigma_file gamma_file in
+  let mode = mode_of_exact exact in
+  let lo_v = Value.of_string lo and hi_v = Value.of_string hi in
+  let cl = Crcore.Saturate.of_spec ~mode spec in
+  let coding = Crcore.Saturate.coding cl in
+  let schema = Crcore.Spec.schema spec in
+  match Crcore.Saturate.refutation cl with
+  | Some _ ->
+      Format.printf
+        "the specification is statically UNSATISFIABLE — no valid completion exists, so \
+         every currency preference holds only vacuously.@.";
+      (match Crcore.Saturate.refutation_certificate cl with
+      | Some cert ->
+          Format.printf "derivation of the contradiction:@.%a@."
+            (Crcore.Saturate.pp_cert spec) cert
+      | None -> ());
+      2
+  | None -> (
+      let static_fact =
+        match Schema.index_opt schema attr with
+        | None -> None
+        | Some a -> (
+            match
+              (Crcore.Coding.vid_opt coding a lo_v, Crcore.Coding.vid_opt coding a hi_v)
+            with
+            | Some l, Some h -> Some { Crcore.Encode.attr = a; lo = l; hi = h }
+            | _ -> None)
+      in
+      match static_fact with
+      | Some f when Crcore.Saturate.mem cl f ->
+          Format.printf
+            "%s is preferred over %s on %s: the fact %s ≺ %s is in the static closure — \
+             certain in every valid completion, no solver needed.@."
+            hi lo attr lo hi;
+          (match Crcore.Saturate.certificate cl f with
+          | Some cert ->
+              Format.printf "derivation:@.%a@." (Crcore.Saturate.pp_cert spec) cert;
+              (match Crcore.Saturate.verify spec cert with
+              | Ok () -> Format.printf "certificate independently verified.@."
+              | Error m ->
+                  Format.printf "CERTIFICATE REJECTED by the independent verifier: %s@." m)
+          | None -> ());
+          0
+      | _ -> (
+          match
+            Crcore.Implication.holds ~mode spec
+              { Crcore.Implication.attr; lo = lo_v; hi = hi_v }
+          with
+          | Crcore.Implication.Implied ->
+              Format.printf
+                "%s is preferred over %s on %s: implied in every valid completion, but only \
+                 a SAT refutation probe shows it — Φ(Se) ∧ ¬(%s ≺ %s) is unsatisfiable. \
+                 The static saturation cannot derive it, so no short certificate exists \
+                 (the implication problem is coNP-complete in general).@."
+                hi lo attr lo hi;
+              0
+          | Crcore.Implication.Not_implied ->
+              Format.printf
+                "%s is NOT certainly preferred over %s on %s: a SAT probe found a valid \
+                 completion ordering them the other way (or leaving them unordered).@."
+                hi lo attr;
+              1
+          | Crcore.Implication.Invalid_spec ->
+              Format.printf "the specification has no valid completion.@.";
+              2
+          | Crcore.Implication.Unknown_value ->
+              Format.printf
+                "value %s or %s does not occur in the entity's %s column — nothing to \
+                 prefer.@."
+                lo hi attr;
+              2))
 
 (* ---- coverage ---- *)
 
@@ -555,6 +642,19 @@ let implication_cmd =
       const run_implication $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ attr_a $ lo_a
       $ hi_a)
 
+let explain_cmd =
+  let attr_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTR") in
+  let lo_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"OLD") in
+  let hi_a = Arg.(required & pos 2 (some string) None & info [] ~docv:"NEW") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why NEW is preferred over OLD on ATTR: print the static derivation \
+             certificate when the saturation closure proves it, or the SAT-probe account \
+             otherwise.")
+    Term.(
+      const run_explain $ entity_arg $ sigma_arg $ gamma_arg $ exact_arg $ attr_a $ lo_a
+      $ hi_a)
+
 let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage"
@@ -683,6 +783,7 @@ let main =
       resolve_cmd;
       batch_cmd;
       implication_cmd;
+      explain_cmd;
       coverage_cmd;
       repair_cmd;
       client_cmd;

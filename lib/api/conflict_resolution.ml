@@ -127,6 +127,10 @@ module Config = struct
 
   let with_cache cache t = { t with engine = { t.engine with Crcore.Engine.cache } }
   let with_lint lint t = { t with engine = { t.engine with Crcore.Engine.lint } }
+
+  let with_saturate saturate t =
+    { t with engine = { t.engine with Crcore.Engine.saturate } }
+
   let with_jobs jobs t = { t with engine = { t.engine with Crcore.Engine.jobs } }
 
   let with_clamp_jobs clamp_jobs t =

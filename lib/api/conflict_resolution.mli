@@ -148,6 +148,13 @@ module Config : sig
   val with_incremental : bool -> t -> t
   val with_cache : bool -> t -> t
   val with_lint : bool -> t -> t
+
+  (** Toggle the {!Crcore.Saturate} static pre-phase (on by default):
+      polynomial closure of certain currency facts, injected into the
+      solver session and used to skip deduction probes. Results are
+      identical either way; only the work split changes. *)
+  val with_saturate : bool -> t -> t
+
   val with_jobs : int -> t -> t
   val with_clamp_jobs : bool -> t -> t
   val with_budget_conflicts : int option -> t -> t

@@ -53,11 +53,10 @@ let pp_diagnostic spec ppf d =
 
 (* ---- the analysis ---- *)
 
-(* A value-currency fact over active-domain value ids, as in
-   {!Encode.fact}; every check below reasons on these. *)
-type fact = { attr : int; lo : int; hi : int }
-
-type ground = { premise : fact list; concl : fact }
+(* A value-currency fact over active-domain value ids; the alias keeps
+   record literals compatible with {!Encode.fact}, so edge facts feed
+   straight into {!Saturate.derives}. *)
+type fact = Encode.fact = { attr : int; lo : int; hi : int }
 
 let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
   let schema = Spec.schema spec in
@@ -114,6 +113,7 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
      implied order edges *)
   let seen_edges = Hashtbl.create 16 in
   let dup_edges = Hashtbl.create 16 in
+  let i003_edges = Hashtbl.create 16 in
   if not errors_only then begin
     List.iteri
       (fun i ((e, f) : Spec.order_edge * fact option) ->
@@ -146,12 +146,14 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
                     Porder.Digraph.add_edge g f'.lo f'.hi
                 | _ -> ())
               edge_facts_a;
-            if Porder.Digraph.has_edge (Porder.Digraph.transitive_closure g) f.lo f.hi then
+            if Porder.Digraph.has_edge (Porder.Digraph.transitive_closure g) f.lo f.hi then begin
+              Hashtbl.replace i003_edges i ();
               emit "I003" Info (Order_edge e)
                 (Printf.sprintf
                    "order edge %s: %d -> %d is implied by the transitive closure of the other \
                     explicit edges"
                    e.Spec.attr e.Spec.lo e.Spec.hi)
+            end
         | _ -> ())
       edge_facts_a
   end;
@@ -302,58 +304,25 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
      unsatisfiable, skip the expensive Σ instantiation and ground-closure
      work — [has_errors] is already decided *)
   if not (errors_only && !diags <> []) then begin
-    (* ---- Σ: ground instances over tuple pairs ---- *)
-    let fact_of (name, v1, v2) =
-      let a = Schema.index schema name in
-      { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }
-    in
-    let sigma_insts = ref [] in
-    let seen_insts = Hashtbl.create 256 in
-    let sigma_fires = Array.make (List.length spec.Spec.sigma) false in
-    (* instantiate over distinct projection representatives, exactly as
-       {!Encode.instantiate_sigma} does: instances depend only on the two
-       tuples' values at the attributes a constraint mentions, so the
-       instance set is the same and this pass stays aligned with the
-       encoding it reasons about *)
-    let reps_of = Encode.reps_memo spec.Spec.entity in
-    List.iteri
-      (fun k c ->
-        let positions =
-          List.map (Schema.index schema) (Currency.Constraint_ast.attrs c)
-        in
-        let reps = reps_of positions in
-        List.iter
-          (fun ((_, s1) : int * Tuple.t) ->
-            List.iter
-              (fun ((_, s2) : int * Tuple.t) ->
-                if not (s1 == s2) then
-                  match Currency.Constraint_ast.instantiate c s1 s2 with
-                  | None -> ()
-                  | Some inst ->
-                      sigma_fires.(k) <- true;
-                      let premise =
-                        List.sort_uniq compare
-                          (List.map fact_of inst.Currency.Constraint_ast.prec_premises)
-                      in
-                      let concl = fact_of inst.Currency.Constraint_ast.conclusion in
-                      if not (Hashtbl.mem seen_insts (premise, concl)) then begin
-                        Hashtbl.add seen_insts (premise, concl) ();
-                        sigma_insts := ({ premise; concl }, k) :: !sigma_insts
-                      end)
-              reps)
-          reps)
-      spec.Spec.sigma;
+    (* ---- Σ/Γ ground instances, shared with the encoding and the
+       saturation engine: {!Encode.parts} instantiates exactly what
+       {!Encode.encode} would (same projection-representative sweep, same
+       null handling), so every diagnostic below reasons about the very
+       instances Φ(Se) is built from. *)
+    let parts = Encode.parts spec in
 
     (* W003: a constraint no tuple pair can instantiate never influences
        this entity — its premise is unsatisfiable over the entity's values,
-       or its conclusion always relates equal values. *)
+       or its conclusion always relates equal values. The flags are
+       pre-deduplication, so a constraint shadowed by an identical
+       instance of another still counts as firing. *)
     if not errors_only then
       Array.iteri
         (fun k fires ->
           if not fires then
             emit "W003" Warning ?span:(span_of k) (Sigma k)
               "vacuous on this entity: no ordered tuple pair yields an instance")
-        sigma_fires;
+        parts.Encode.p_sigma_fired;
 
     (* I001: subsumed Σ-constraints (duplicates included). Only constraints
        with the same conclusion can subsume each other, so pair up within
@@ -420,116 +389,148 @@ let analyze ?(errors_only = false) ?(sigma_spans = [||]) spec =
         sigma_a
     end;
 
-    (* ---- E002: the ground closure ----
+    (* ---- E002 / E005: the saturation fixpoint ----
 
-       Seed per-attribute digraphs with everything that must hold in any
-       valid completion (explicit edges, null-is-lowest, premise-free Σ
-       instances), then repeatedly fire Σ instances and CFD instances whose
-       premises are already in the transitive closure. A derived cycle
+       {!Saturate} closes the units of Ω(Se) (explicit edges,
+       null-is-lowest, premise-free instances) under modus ponens on the
+       Σ/Γ implication instances and transitivity. A derived cycle
        violates asymmetry+transitivity; a fired veto (a CFD whose RHS
        constant the entity never takes, with its "LHS is most current"
        premise derived) violates the veto clause — either way Φ(Se) is
-       unsatisfiable. *)
-    let g = Array.init arity (fun a -> Porder.Digraph.create (univ_len a)) in
-    let add f = if not (Porder.Digraph.has_edge g.(f.attr) f.lo f.hi) then Porder.Digraph.add_edge g.(f.attr) f.lo f.hi in
-    List.iter (fun (_, f) -> match f with Some f -> add f | None -> ()) edge_facts;
-    (* null-lowest over the coding universe, so the reserved null is
-       seeded too — a Γ null constant then derives a cycle in the closure
-       exactly where the encoding's unit clauses make Φ unsatisfiable *)
-    for a = 0 to arity - 1 do
-      let univ = Coding.universe coding a in
-      Array.iteri
-        (fun i v ->
-          if Value.is_null v then
-            Array.iteri
-              (fun j w -> if j <> i && not (Value.is_null w) then add { attr = a; lo = i; hi = j })
-              univ)
-        univ
-    done;
-    (* pending implications: Σ instances with premises, plus CFD instances;
-       vetoes are checked against the final closure *)
-    let pending = ref [] in
-    let vetoes = ref [] in
-    List.iter
-      (fun ((inst : ground), k) ->
-        if inst.premise = [] then add inst.concl
-        else pending := (inst.premise, [ inst.concl ], `Sigma k) :: !pending)
-      !sigma_insts;
+       unsatisfiable. This is the same fixpoint the engine's saturate
+       pre-phase computes, so lint and engine agree by construction. *)
+    let cl =
+      Saturate.of_parts ~mode:Encode.Paper ~plan:(Saturate.plan_for spec.Spec.sigma)
+        parts
+    in
     Array.iteri
-      (fun k (c : Cfd.Constant_cfd.t) ->
-        if lhs_relevant c then begin
-          let premise =
-            List.concat_map
-              (fun (name, v) ->
-                let a = Schema.index schema name in
-                let target = Coding.vid coding a v in
-                List.filter_map
-                  (fun lo -> if lo <> target then Some { attr = a; lo; hi = target } else None)
-                  (List.init (Array.length adom.(a)) Fun.id))
-              c.Cfd.Constant_cfd.lhs
-          in
-          let bname, bval = c.Cfd.Constant_cfd.rhs in
-          let battr = Schema.index schema bname in
-          match Coding.vid_opt coding battr bval with
-          | Some btarget ->
-              let concls =
-                List.filter_map
-                  (fun b -> if b <> btarget then Some { attr = battr; lo = b; hi = btarget } else None)
-                  (List.init (Array.length adom.(battr)) Fun.id)
-              in
-              if premise = [] then List.iter add concls
-              else pending := (premise, concls, `Gamma k) :: !pending
-          | None -> vetoes := (premise, k) :: !vetoes
-        end)
-      gamma_a;
-    let reach = ref (Array.map Porder.Digraph.transitive_closure g) in
-    let holds f = Porder.Digraph.has_edge !reach.(f.attr) f.lo f.hi in
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      let added = ref false in
-      pending :=
-        List.filter
-          (fun (premise, concls, _) ->
-            if List.for_all holds premise then begin
-              List.iter
-                (fun f ->
-                  if not (Porder.Digraph.has_edge g.(f.attr) f.lo f.hi) then begin
-                    add f;
-                    added := true
-                  end)
-                concls;
-              false
-            end
-            else true)
-          !pending;
-      if !added then begin
-        reach := Array.map Porder.Digraph.transitive_closure g;
-        progress := true
-      end
-    done;
-    for a = 0 to arity - 1 do
-      if (not e001.(a)) && Porder.Digraph.has_cycle g.(a) then
-        emit "E002" Error (Attr (Schema.name schema a))
-          (Printf.sprintf
-             "the ground closure of Σ/Γ instances and explicit edges derives a cyclic currency \
-              order on %S"
-             (Schema.name schema a))
-    done;
+      (fun a cyclic ->
+        if cyclic && not e001.(a) then
+          emit "E002" Error (Attr (Schema.name schema a))
+            (Printf.sprintf
+               "the ground closure of Σ/Γ instances and explicit edges derives a cyclic currency \
+                order on %S"
+               (Schema.name schema a)))
+      (Saturate.cyclic_attrs cl);
     List.iter
-      (fun (premise, k) ->
-        if (not gamma_error.(k)) && List.for_all holds premise then begin
-          gamma_error.(k) <- true;
-          emit "E002" Error (Gamma k)
-            "the ground closure forces this CFD's LHS pattern to be most current, but its RHS \
-             constant never occurs in the entity"
-        end)
-      !vetoes
+      (fun (src, _steps) ->
+        match src with
+        | Encode.From_cfd k when not gamma_error.(k) ->
+            gamma_error.(k) <- true;
+            emit "E002" Error (Gamma k)
+              "the ground closure forces this CFD's LHS pattern to be most current, but its RHS \
+               constant never occurs in the entity"
+        | _ -> ())
+      (Saturate.fired_vetoes cl);
+
+    (* E005: the refutation rendered as a checkable derivation — the
+       static unsatisfiability proof behind the E002s above, printed as a
+       certificate ({!Saturate.verify}-checkable) for the whole spec *)
+    if not errors_only then begin
+      (match Saturate.refutation_certificate cl with
+      | Some cert ->
+          emit "E005" Error Whole
+            (Format.asprintf
+               "the specification is unsatisfiable by static derivation:@;<1 2>@[<v>%a@]"
+               (Saturate.pp_cert spec) cert)
+      | None -> ());
+
+      (* a refuted spec derives everything, so the redundancy diagnostics
+         below would be pure noise — only run them on consistent closures *)
+      if Saturate.refutation cl = None then begin
+        (* W007: a Σ-constraint whose every ground instance is derivable
+           from the closure of the *other* constraints (its premises
+           assumed): dropping it changes no certain fact. Bounded: the
+           hypothetical closures are polynomial but not free. *)
+        let insts_of = Hashtbl.create 16 in
+        let add_inst k inst =
+          match Hashtbl.find_opt insts_of k with
+          | Some r -> r := inst :: !r
+          | None -> Hashtbl.add insts_of k (ref [ inst ])
+        in
+        List.iter
+          (fun ((f : fact), src) ->
+            match src with Encode.From_constraint k -> add_inst k ([], f) | _ -> ())
+          parts.Encode.p_units;
+        List.iter
+          (fun (ic : Encode.iconstraint) ->
+            match ic.Encode.source with
+            | Encode.From_constraint k -> add_inst k (ic.Encode.premise, ic.Encode.concl)
+            | _ -> ())
+          parts.Encode.p_implications;
+        let budget = ref 512 in
+        List.iteri
+          (fun k _c ->
+            match Hashtbl.find_opt insts_of k with
+            | Some insts when !budget >= List.length !insts ->
+                budget := !budget - List.length !insts;
+                let covered =
+                  List.for_all
+                    (fun (premise, concl) ->
+                      Saturate.derives ~mode:Encode.Paper
+                        ~drop_source:(fun s -> s = Encode.From_constraint k)
+                        ~assume:premise parts concl)
+                    !insts
+                in
+                if covered then
+                  emit "W007" Warning ?span:(span_of k) (Sigma k)
+                    "subsumed on this entity: every ground instance is derivable from the \
+                     closure of the other constraints and the explicit orders"
+            | _ -> ())
+          spec.Spec.sigma;
+
+        (* I004: an explicit order edge the static closure derives without
+           it — redundant input, beyond what I003's explicit-edge
+           transitivity already reports *)
+        let budget = ref 128 in
+        List.iteri
+          (fun i ((e : Spec.order_edge), f) ->
+            match f with
+            | Some f
+              when !budget > 0
+                   && (not e001.(f.attr))
+                   && (not (Hashtbl.mem dup_edges i))
+                   && not (Hashtbl.mem i003_edges i) ->
+                decr budget;
+                if
+                  Saturate.derives ~mode:Encode.Paper
+                    ~drop_unit:(fun f' src -> src = Encode.From_order && f' = f)
+                    parts f
+                then
+                  emit "I004" Info (Order_edge e)
+                    (Printf.sprintf
+                       "order edge %s: %d -> %d is derivable from Σ/Γ and the remaining \
+                        units: the static closure is unchanged without it"
+                       e.Spec.attr e.Spec.lo e.Spec.hi)
+            | _ -> ())
+          edge_facts
+      end
+    end
   end;
 
+  let ds = List.rev !diags in
+  (* the engine's lint pre-phase only asks "any error?", but callers of
+     [errors_only] still read the list — deduplicate repeated findings
+     (e.g. one CFD conflicting with several forced peers) so each
+     (code, subject) appears once *)
+  let ds =
+    if errors_only then begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun d ->
+          let key = (d.code, d.subject) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        ds
+    end
+    else ds
+  in
   List.stable_sort
     (fun d1 d2 ->
       match compare (severity_rank d1.severity) (severity_rank d2.severity) with
       | 0 -> compare d1.code d2.code
       | c -> c)
-    (List.rev !diags)
+    ds

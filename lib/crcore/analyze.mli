@@ -30,7 +30,10 @@
           the same attribute.}
        {- [E004] — a constant CFD's LHS pattern is forced by singleton
           active domains but its RHS constant never occurs in the entity:
-          the current tuple can never satisfy it.}}
+          the current tuple can never satisfy it.}
+       {- [E005] — the {!Saturate} fixpoint refutes the specification
+          statically; the message carries the full derivation chain
+          (certificate) of the contradiction.}}
     - [W0xx] {b warnings} — likely misuse; the specification may still be
       satisfiable:
       {ul
@@ -50,7 +53,10 @@
        {- [W006] — possibly conflicting CFDs: unifiable LHS patterns over
           the entity's values with contradictory RHS for the same
           attribute (not provably unsatisfiable — the current tuple may
-          avoid the patterns).}}
+          avoid the patterns).}
+       {- [W007] — a Σ-constraint is subsumed on this entity: every one
+          of its ground instances is derivable ({!Saturate.derives}) from
+          the closure of the other constraints and the explicit orders.}}
     - [I0xx] {b info} — redundancy:
       {ul
        {- [I001] — a Σ-constraint is subsumed by another (same conclusion,
@@ -58,7 +64,9 @@
        {- [I002] — a constant CFD is subsumed by another (same RHS
           pattern, sub-pattern LHS; duplicates included).}
        {- [I003] — an order edge is implied by the transitive closure of
-          the remaining explicit edges.}} *)
+          the remaining explicit edges.}
+       {- [I004] — an order edge is derivable from Σ/Γ and the remaining
+          units: the static closure is unchanged without it.}} *)
 
 type severity = Error | Warning | Info
 
@@ -90,8 +98,9 @@ type diagnostic = {
     specification unsatisfiable the expensive Σ-instantiation and
     ground-closure work is skipped too, so the result is a subset of the
     full report's errors that is non-empty exactly when the full report
-    has any — all the {!Engine} pre-phase needs. Polynomial in the size
-    of the specification. *)
+    has any — all the {!Engine} pre-phase needs; the error list is also
+    deduplicated to one diagnostic per [(code, subject)] pair.
+    Polynomial in the size of the specification. *)
 val analyze :
   ?errors_only:bool ->
   ?sigma_spans:Currency.Parser.span option array ->

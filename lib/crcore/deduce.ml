@@ -3,6 +3,7 @@ type stats = {
   probes : int;
   model_prunes : int;
   seeded : int;
+  probes_avoided : int;
   reused_solver : bool;
   built_solver : bool;
   complete : bool;
@@ -13,6 +14,7 @@ let no_stats = {
   probes = 0;
   model_prunes = 0;
   seeded = 0;
+  probes_avoided = 0;
   reused_solver = false;
   built_solver = false;
   complete = true;
@@ -101,7 +103,7 @@ let unit_conflict enc =
   let _assigns, conflict = unit_propagate enc.Encode.cnf in
   conflict
 
-let deduce_order ?solver:_ ?budget:_ enc =
+let deduce_order ?solver:_ ?budget:_ ?static:_ enc =
   let assigns, _conflict = unit_propagate enc.Encode.cnf in
   let od = empty_od enc in
   Array.iteri
@@ -123,7 +125,7 @@ let deduction_solver solver enc =
 
 (* ---- NaiveDeduce: one SAT call per variable ---- *)
 
-let naive_deduce ?solver ?budget enc =
+let naive_deduce ?solver ?budget ?static:_ enc =
   let s, reused = deduction_solver solver enc in
   (match budget with Some b -> Sat.Solver.set_budget ~conflicts:b s | None -> ());
   let od = empty_od enc in
@@ -148,6 +150,7 @@ let naive_deduce ?solver ?budget enc =
         probes = !sat_calls;
         model_prunes = 0;
         seeded = 0;
+        probes_avoided = 0;
         reused_solver = reused;
         built_solver = not reused;
         complete = !complete;
@@ -172,7 +175,7 @@ let naive_deduce ?solver ?budget enc =
    selectors/relaxation from {!Maxsat.Exact.solve_groups_on}); all are
    satisfiable extensions of Φ(Se), so probe answers and model
    restrictions agree with Φ(Se) alone. *)
-let backbone ?solver ?budget enc =
+let backbone ?solver ?budget ?static enc =
   let cnf = enc.Encode.cnf in
   let nvars = cnf.Sat.Cnf.nvars in
   let s, reused = deduction_solver solver enc in
@@ -189,19 +192,36 @@ let backbone ?solver ?budget enc =
   match initial with
   | Sat.Solver.Limited.Sat ->
       let cand = Array.init nvars (Sat.Solver.model_value s) in
-      let assigns, conflict = unit_propagate cnf in
-      let seeded = ref 0 in
-      if not conflict then
-        Array.iteri
-          (fun v a ->
-            if a = 1 then begin
-              (* unit-propagation facts are backbone: adopt without a probe *)
+      let seeded = ref 0 and probes_avoided = ref 0 in
+      (match static with
+      | Some facts ->
+          (* the caller's static saturation proved these level-0: adopt
+             without probes and skip the whole unit-propagation pass (the
+             O(|Φ|) occurrence-list build). Sound whenever every given
+             variable is backbone; results match the propagation path
+             exactly when the closure is complete (it then contains every
+             unit-propagation fact, and propagation-refuted variables are
+             false in the initial model, so they were never candidates) *)
+          List.iter
+            (fun v ->
               add_literal_to_od enc od (Sat.Lit.pos v);
               incr seeded;
-              cand.(v) <- false
-            end
-            else if a = -1 then cand.(v) <- false)
-          assigns;
+              cand.(v) <- false)
+            facts;
+          probes_avoided := !seeded
+      | None ->
+          let assigns, conflict = unit_propagate cnf in
+          if not conflict then
+            Array.iteri
+              (fun v a ->
+                if a = 1 then begin
+                  (* unit-propagation facts are backbone: adopt without a probe *)
+                  add_literal_to_od enc od (Sat.Lit.pos v);
+                  incr seeded;
+                  cand.(v) <- false
+                end
+                else if a = -1 then cand.(v) <- false)
+              assigns);
       let probes = ref 0 and model_prunes = ref 0 in
       let complete = ref true in
       let v = ref 0 in
@@ -240,6 +260,7 @@ let backbone ?solver ?budget enc =
             probes = !probes;
             model_prunes = !model_prunes;
             seeded = !seeded;
+            probes_avoided = !probes_avoided;
             reused_solver = reused;
             built_solver = not reused;
             complete = !complete;

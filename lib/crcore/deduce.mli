@@ -23,7 +23,11 @@ type stats = {
   model_prunes : int;
       (** candidates eliminated by intersecting a probe's model, beyond
           the probed variable itself *)
-  seeded : int;  (** facts adopted from unit propagation without a probe *)
+  seeded : int;  (** facts adopted without a probe (unit propagation or a
+                     caller-supplied static closure) *)
+  probes_avoided : int;
+      (** of [seeded], facts adopted from the [static] closure — work the
+          static saturation pre-phase saved this call *)
   reused_solver : bool;  (** the caller's session solver served the calls *)
   built_solver : bool;  (** a private solver was created (one CNF load) *)
   complete : bool;
@@ -46,18 +50,20 @@ type t = {
 val unit_conflict : Encode.t -> bool
 
 (** [deduce_order enc] is the paper's [DeduceOrder] (linear-time unit
-    propagation). The specification must be valid. [solver] and [budget]
-    are accepted for interface uniformity and ignored — no SAT call is
-    made, so the answer is always complete. *)
-val deduce_order : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
+    propagation). The specification must be valid. [solver], [budget] and
+    [static] are accepted for interface uniformity and ignored — no SAT
+    call is made, so the answer is always complete. *)
+val deduce_order :
+  ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> t
 
 (** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. With
     [solver] the calls run as assumption solves on the given session.
     [budget] arms a conflict budget on the solver ({!Sat.Solver.set_budget});
     when it runs out the probe loop stops and [stats.complete] is [false].
     A budget already armed on a passed-in [solver] is honoured the same
-    way. *)
-val naive_deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
+    way. [static] is ignored (every variable is probed regardless). *)
+val naive_deduce :
+  ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> t
 
 (** [backbone enc] deduces exactly the facts of {!naive_deduce} — the
     positive backbone of Φ(Se) — by model intersection: variables false
@@ -78,8 +84,17 @@ val naive_deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
     [Unknown] the loop stops with [stats.complete = false]. Facts are only
     ever adopted from a unit-propagation seed or an [Unsat] probe, so a
     truncated run returns a sound subset (a prefix of the probe order) of
-    the unbudgeted fact set. *)
-val backbone : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> t
+    the unbudgeted fact set.
+
+    [static] hands over a list of variables a static saturation
+    ({!Saturate}) already proved backbone: they are adopted outright —
+    with [stats.probes_avoided] counting them — and the unit-propagation
+    pass (the costly occurrence-list build over all of Φ) is skipped
+    entirely. The caller must only pass a {e complete} closure
+    ({!Saturate.complete}); the deduced set is then identical to the
+    propagation path's. *)
+val backbone :
+  ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> t
 
 (** [lt d ~attr lo hi] is [true] when [Od] orders value [lo] before [hi]. *)
 val lt : t -> attr:int -> int -> int -> bool

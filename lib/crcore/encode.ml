@@ -244,7 +244,7 @@ let inst_compiled coding cc s1 s2 =
       in
       Some (key, { premise; concl; source = From_constraint cc.c_idx })
 
-let instantiate_sigma sigma_c spec coding =
+let instantiate_sigma ?fired sigma_c spec coding =
   let reps_of = reps_memo spec.Spec.entity in
   let out = Hashtbl.create 256 in
   let insts = ref [] in
@@ -268,6 +268,11 @@ let instantiate_sigma sigma_c spec coding =
                   match inst_compiled coding cc s1 s2 with
                   | None -> ()
                   | Some (key, inst) ->
+                      (* pre-dedup: a constraint "fires" even when another
+                         constraint already produced the same ground instance *)
+                      (match fired with
+                      | Some fd -> fd.(cc.c_idx) <- true
+                      | None -> ());
                       if not (Hashtbl.mem out key) then begin
                         Hashtbl.add out key ();
                         insts := inst :: !insts
@@ -490,6 +495,47 @@ let structural_clauses coding mode =
     done
   done;
   (!clauses, !n_structural)
+
+(* The ground-instance part of Φ(Se) without any clause rendering: what a
+   purely static analysis (Saturate, Analyze) needs. [p_sigma_fired.(k)]
+   records whether constraint k produced any instance before global
+   deduplication — distinct constraints can ground to identical instances,
+   and "did σ_k fire at all" must not depend on which one won the dedup. *)
+type parts = {
+  p_coding : Coding.t;
+  p_units : (fact * source) list;
+  p_implications : iconstraint list;
+  p_vetoes : (fact list * source) list;
+  p_sigma_fired : bool array;
+}
+
+let parts ?sigma_c ?gamma_c spec =
+  let schema = Spec.schema spec in
+  let sigma_c = sigma_c_for schema spec sigma_c in
+  let gamma_c = gamma_c_for schema spec gamma_c in
+  let coding = Coding.build spec.Spec.entity [] in
+  let fired = Array.make (List.length spec.Spec.sigma) false in
+  let sigma_insts = instantiate_sigma ~fired sigma_c spec coding in
+  let gamma_imps, gvetoes = instantiate_gamma gamma_c coding in
+  let units, implications, vetoes =
+    assemble_parts spec coding ~sigma_insts ~gamma_imps ~vetoes:gvetoes
+  in
+  {
+    p_coding = coding;
+    p_units = units;
+    p_implications = implications;
+    p_vetoes = vetoes;
+    p_sigma_fired = fired;
+  }
+
+let parts_of_t enc =
+  {
+    p_coding = enc.coding;
+    p_units = enc.units;
+    p_implications = enc.implications;
+    p_vetoes = enc.vetoes;
+    p_sigma_fired = Array.make (List.length enc.spec.Spec.sigma) false;
+  }
 
 let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
   let schema = Spec.schema spec in

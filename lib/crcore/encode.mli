@@ -84,6 +84,30 @@ type t = {
           the cubic transitivity block *)
 }
 
+(** The ground-instance part of Ω(Se) without any clause rendering — what
+    a purely static analysis ({!Saturate}, {!Analyze}) consumes. *)
+type parts = {
+  p_coding : Coding.t;
+  p_units : (fact * source) list;
+  p_implications : iconstraint list;
+  p_vetoes : (fact list * source) list;
+  p_sigma_fired : bool array;
+      (** [p_sigma_fired.(k)]: constraint [k] produced at least one ground
+          instance {e before} global deduplication (distinct constraints
+          can ground to identical instances, and "did σ_k fire" must not
+          depend on which one won the dedup) *)
+}
+
+(** [parts ?sigma_c ?gamma_c spec] instantiates Ω(Se) without building any
+    clauses: same units/implications/vetoes a full {!encode} would carry,
+    at a fraction of the cost (no cubic structural block, no CNF). *)
+val parts : ?sigma_c:sigma_c -> ?gamma_c:gamma_c -> Spec.t -> parts
+
+(** [parts_of_t enc] views an existing encoding as {!parts} for free.
+    [p_sigma_fired] is {e not} recovered (all [false]) — the encoding
+    deduplicated globally; use {!parts} when firing flags matter. *)
+val parts_of_t : t -> parts
+
 (** [encode ?mode ?sigma_c ?gamma_c spec] computes Ω(Se) and Φ(Se).
     Default mode [Paper]. Pass [?sigma_c]/[?gamma_c] (from
     {!compile_sigma}/{!compile_gamma}) to share the compiled constraint

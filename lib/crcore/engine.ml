@@ -9,11 +9,12 @@ let level_to_string = function
   | PartialDeduce -> "partial"
   | PickFallback -> "pick"
 
-type phase = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
+type phase = Lint_p | Encode_p | Saturate_p | Validity_p | Deduce_p | Suggest_p
 
 let phase_to_string = function
   | Lint_p -> "lint"
   | Encode_p -> "encode"
+  | Saturate_p -> "saturate"
   | Validity_p -> "validity"
   | Deduce_p -> "deduce"
   | Suggest_p -> "suggest"
@@ -29,12 +30,14 @@ let reason_to_string r =
 
 type config = {
   mode : Encode.mode;
-  deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> Deduce.t;
+  deduce :
+    ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> Deduce.t;
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
   cache : bool;
   lint : bool;
+  saturate : bool;
   jobs : int;
   clamp_jobs : bool;
   budget_conflicts : int option;
@@ -53,6 +56,7 @@ let default_config =
     incremental = true;
     cache = true;
     lint = true;
+    saturate = true;
     jobs = 1;
     clamp_jobs = true;
     budget_conflicts = None;
@@ -63,18 +67,32 @@ let default_config =
   }
 
 let naive_config =
-  { default_config with incremental = false; cache = false; lint = false }
+  {
+    default_config with
+    incremental = false;
+    cache = false;
+    lint = false;
+    saturate = false;
+  }
 
 type phase_times = {
   mutable lint_ms : float;
   mutable encode_ms : float;
+  mutable saturate_ms : float;
   mutable validity_ms : float;
   mutable deduce_ms : float;
   mutable suggest_ms : float;
 }
 
 let zero_times () =
-  { lint_ms = 0.; encode_ms = 0.; validity_ms = 0.; deduce_ms = 0.; suggest_ms = 0. }
+  {
+    lint_ms = 0.;
+    encode_ms = 0.;
+    saturate_ms = 0.;
+    validity_ms = 0.;
+    deduce_ms = 0.;
+    suggest_ms = 0.;
+  }
 
 type entity_stats = {
   times : phase_times;
@@ -85,6 +103,8 @@ type entity_stats = {
   deduce_probes : int;
   deduce_model_prunes : int;
   deduce_seeded : int;
+  static_facts : int;
+  probes_avoided : int;
   cache_hits : int;
   cache_misses : int;
   delta_extensions : int;
@@ -116,6 +136,8 @@ let zero_entity_stats () =
     deduce_probes = 0;
     deduce_model_prunes = 0;
     deduce_seeded = 0;
+    static_facts = 0;
+    probes_avoided = 0;
     cache_hits = 0;
     cache_misses = 0;
     delta_extensions = 0;
@@ -181,6 +203,10 @@ type session = {
          moves it so long-lived sessions get a full budget per request *)
   mutable spec : Spec.t;
   mutable enc : Encode.t option;  (* [None] iff the lint pre-phase rejected the spec *)
+  mutable closure : Saturate.t option;
+      (* the static closure of the current encoding (saturate pre-phase) *)
+  mutable static_facts : int;
+  mutable probes_avoided : int;
   mutable solver : Sat.Solver.t option;  (* the incremental session *)
   mutable retired : Sat.Solver.stats;    (* stats of replaced/one-shot solvers *)
   mutable burnt : int;           (* injected conflict-budget consumption *)
@@ -211,6 +237,7 @@ let timed_t times slot f =
   (match slot with
   | Lint_p -> times.lint_ms <- times.lint_ms +. dt
   | Encode_p -> times.encode_ms <- times.encode_ms +. dt
+  | Saturate_p -> times.saturate_ms <- times.saturate_ms +. dt
   | Validity_p -> times.validity_ms <- times.validity_ms +. dt
   | Deduce_p -> times.deduce_ms <- times.deduce_ms +. dt
   | Suggest_p -> times.suggest_ms <- times.suggest_ms +. dt);
@@ -262,8 +289,25 @@ let encode_spec sess spec =
 let fresh_solver sess enc =
   let s = Sat.Solver.create () in
   Sat.Solver.add_cnf s enc.Encode.cnf;
+  (* seed the static closure as unit clauses. Each fact is already level-0
+     implied by Φ(Se) — every saturation rule is the unit-propagation
+     reflection of a clause family of Φ — so seeding cannot change any
+     answer; it pins the facts as explicit units for robustness against
+     future clause-DB simplification. *)
+  (match sess.closure with
+  | Some cl -> Sat.Solver.add_units s (Saturate.unit_lits cl)
+  | None -> ());
   sess.solvers_built <- sess.solvers_built + 1;
   s
+
+(* the saturate pre-phase: (re)compute the static closure of the session's
+   current encoding — polynomial, no solver *)
+let saturate_session sess =
+  if sess.config.saturate && not sess.lint_rejected then begin
+    let cl = timed sess Saturate_p (fun () -> Saturate.of_encode (the_enc sess)) in
+    sess.closure <- Some cl;
+    sess.static_facts <- sess.static_facts + Saturate.n_facts cl
+  end
 
 let retire sess s = sess.retired <- Sat.Solver.add_stats sess.retired (Sat.Solver.stats s)
 
@@ -360,6 +404,9 @@ let make_session ?(config = default_config) ?cache ?label ~track spec =
       spent_base = 0;
       spec;
       enc;
+      closure = None;
+      static_facts = 0;
+      probes_avoided = 0;
       solver = None;
       retired = Sat.Solver.zero_stats;
       burnt = !pending_burn;
@@ -378,6 +425,7 @@ let make_session ?(config = default_config) ?cache ?label ~track spec =
       lint_rejected;
     }
   in
+  saturate_session sess;
   if config.incremental && not lint_rejected then
     sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess (the_enc sess)));
   sess
@@ -422,12 +470,24 @@ let suggest_on sess d ~known =
    deducer-private solver (naive mode) is bounded too. *)
 let deduce_on sess enc =
   (match sess.solver with Some s -> arm_budget sess s | None -> ());
-  let d = sess.config.deduce ?solver:sess.solver ?budget:(conflicts_remaining sess) enc in
+  (* hand the static closure to the deducer only when it is provably the
+     whole positive backbone ({!Saturate.complete}): the deducer then
+     adopts it outright and skips its unit-propagation pass *)
+  let static =
+    match sess.closure with
+    | Some cl when Saturate.complete cl -> Some (Saturate.fact_vars cl)
+    | _ -> None
+  in
+  let d =
+    sess.config.deduce ?solver:sess.solver ?budget:(conflicts_remaining sess)
+      ?static enc
+  in
   let st = d.Deduce.stats in
   sess.deduce_sat_calls <- sess.deduce_sat_calls + st.Deduce.sat_calls;
   sess.deduce_probes <- sess.deduce_probes + st.Deduce.probes;
   sess.deduce_model_prunes <- sess.deduce_model_prunes + st.Deduce.model_prunes;
   sess.deduce_seeded <- sess.deduce_seeded + st.Deduce.seeded;
+  sess.probes_avoided <- sess.probes_avoided + st.Deduce.probes_avoided;
   if st.Deduce.built_solver then sess.solvers_built <- sess.solvers_built + 1;
   if st.Deduce.reused_solver then sess.solvers_reused <- sess.solvers_reused + 1;
   d
@@ -436,22 +496,32 @@ let deduce_on sess enc =
 let apply_extension sess spec' =
   fire sess Faults.Encode Encode_p;
   sess.spec <- spec';
-  if not sess.config.incremental then
-    sess.enc <- Some (timed sess Encode_p (fun () -> encode_spec sess spec'))
+  if not sess.config.incremental then begin
+    sess.enc <- Some (timed sess Encode_p (fun () -> encode_spec sess spec'));
+    saturate_session sess
+  end
   else
     match timed sess Encode_p (fun () -> Encode.extend (the_enc sess) spec') with
     | Some (Encode.Delta (enc', delta)) ->
         sess.enc <- Some enc';
         sess.delta_extensions <- sess.delta_extensions + 1;
         cache_store ~config:sess.config ~cache:sess.cache spec' enc';
+        (* re-close over the extended encoding before touching the solver,
+           so the fresh closure rides in with the delta clauses *)
+        saturate_session sess;
         let s = match sess.solver with Some s -> s | None -> assert false in
-        timed sess Validity_p (fun () -> List.iter (Sat.Solver.add_clause_a s) delta)
+        timed sess Validity_p (fun () ->
+            List.iter (Sat.Solver.add_clause_a s) delta;
+            match sess.closure with
+            | Some cl -> Sat.Solver.add_units s (Saturate.unit_lits cl)
+            | None -> ())
     | Some (Encode.Renumbered enc') ->
         (* a value universe grew: the Σ instances were still reused, but
            variable numbers shifted, so the solver session restarts *)
         sess.rebuilds_renumbered <- sess.rebuilds_renumbered + 1;
         sess.enc <- Some enc';
         cache_store ~config:sess.config ~cache:sess.cache spec' enc';
+        saturate_session sess;
         (match sess.solver with Some s -> retire sess s | None -> ());
         sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess enc'))
     | None ->
@@ -460,6 +530,7 @@ let apply_extension sess spec' =
         (match sess.solver with Some s -> retire sess s | None -> ());
         let enc' = timed sess Encode_p (fun () -> encode_spec sess spec') in
         sess.enc <- Some enc';
+        saturate_session sess;
         sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess enc'))
 
 let snapshot_stats sess =
@@ -477,6 +548,8 @@ let snapshot_stats sess =
     deduce_probes = sess.deduce_probes;
     deduce_model_prunes = sess.deduce_model_prunes;
     deduce_seeded = sess.deduce_seeded;
+    static_facts = sess.static_facts;
+    probes_avoided = sess.probes_avoided;
     cache_hits = sess.cache_hits;
     cache_misses = sess.cache_misses;
     delta_extensions = sess.delta_extensions;
@@ -758,6 +831,8 @@ type stats = {
   deduce_probes : int;
   deduce_model_prunes : int;
   deduce_seeded : int;
+  static_facts : int;
+  probes_avoided : int;
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;
@@ -780,11 +855,12 @@ let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>entities: %d (%d valid), %d interaction round(s), %d/%d attrs resolved@ \
      robustness: %d error(s); degraded: %d partial, %d pick; %d budget-exhausted@ \
-     phases (ms, summed over %d job(s)%s): lint %.1f | encode %.1f | validity %.1f | \
-     deduce %.1f | suggest %.1f@ \
+     phases (ms, summed over %d job(s)%s): lint %.1f | encode %.1f | saturate %.1f | \
+     validity %.1f | deduce %.1f | suggest %.1f@ \
      lint: %d spec(s) rejected before encoding@ \
      solver: %a; %d CNF load(s), %d phase(s) on live sessions@ \
      deduce: %d SAT call(s) (%d probe(s), %d model-prune(s), %d seeded)@ \
+     saturate: %d static fact(s) derived, %d probe(s) avoided@ \
      encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), \
      %d rebuild(s) (%d renumbered, %d impure)@ \
      wall: %.1f ms (%.1f entities/s)@]"
@@ -794,10 +870,11 @@ let pp_stats ppf st =
     (if st.jobs_requested <> st.jobs then
        Printf.sprintf ", %d requested" st.jobs_requested
      else "")
-    st.times.lint_ms st.times.encode_ms st.times.validity_ms st.times.deduce_ms
-    st.times.suggest_ms st.lint_rejected Sat.Solver.pp_stats st.solver st.solvers_built
+    st.times.lint_ms st.times.encode_ms st.times.saturate_ms st.times.validity_ms
+    st.times.deduce_ms st.times.suggest_ms st.lint_rejected Sat.Solver.pp_stats
+    st.solver st.solvers_built
     st.solvers_reused st.deduce_sat_calls st.deduce_probes st.deduce_model_prunes
-    st.deduce_seeded st.cache_hits st.cache_misses
+    st.deduce_seeded st.static_facts st.probes_avoided st.cache_hits st.cache_misses
     (100. *. st.hit_ratio)
     st.delta_extensions st.rebuilds st.rebuilds_renumbered st.rebuilds_impure st.wall_ms
     (throughput st)
@@ -848,6 +925,8 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   and deduce_probes = ref 0
   and deduce_model_prunes = ref 0
   and deduce_seeded = ref 0
+  and static_facts = ref 0
+  and probes_avoided = ref 0
   and cache_hits = ref 0
   and cache_misses = ref 0
   and delta_extensions = ref 0
@@ -871,6 +950,7 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
           attrs_resolved := !attrs_resolved + count_known result.resolved);
       agg_times.lint_ms <- agg_times.lint_ms +. st.times.lint_ms;
       agg_times.encode_ms <- agg_times.encode_ms +. st.times.encode_ms;
+      agg_times.saturate_ms <- agg_times.saturate_ms +. st.times.saturate_ms;
       agg_times.validity_ms <- agg_times.validity_ms +. st.times.validity_ms;
       agg_times.deduce_ms <- agg_times.deduce_ms +. st.times.deduce_ms;
       agg_times.suggest_ms <- agg_times.suggest_ms +. st.times.suggest_ms;
@@ -881,6 +961,8 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
       deduce_probes := !deduce_probes + st.deduce_probes;
       deduce_model_prunes := !deduce_model_prunes + st.deduce_model_prunes;
       deduce_seeded := !deduce_seeded + st.deduce_seeded;
+      static_facts := !static_facts + st.static_facts;
+      probes_avoided := !probes_avoided + st.probes_avoided;
       cache_hits := !cache_hits + st.cache_hits;
       cache_misses := !cache_misses + st.cache_misses;
       delta_extensions := !delta_extensions + st.delta_extensions;
@@ -907,6 +989,8 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
     deduce_probes = !deduce_probes;
     deduce_model_prunes = !deduce_model_prunes;
     deduce_seeded = !deduce_seeded;
+    static_facts = !static_facts;
+    probes_avoided = !probes_avoided;
     cache_hits = !cache_hits;
     cache_misses = !cache_misses;
     hit_ratio =

@@ -57,7 +57,7 @@ val level_to_string : degrade_level -> string
 
 (** Engine phases, used to attribute budget exhaustion and captured
     exceptions. *)
-type phase = Lint_p | Encode_p | Validity_p | Deduce_p | Suggest_p
+type phase = Lint_p | Encode_p | Saturate_p | Validity_p | Deduce_p | Suggest_p
 
 val phase_to_string : phase -> string
 
@@ -73,13 +73,17 @@ val reason_to_string : degrade_reason -> string
 
 type config = {
   mode : Encode.mode;
-  deduce : ?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> Deduce.t;
+  deduce :
+    ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> Deduce.t;
       (** deduction engine; the session solver (already holding Φ(Se),
           with the validity check's model still saved) is passed in
           incremental mode so SAT-based deducers probe it under
           assumptions instead of reloading the CNF. [budget] is the
           entity's remaining conflict allowance, honoured even by a
-          deducer-private solver. *)
+          deducer-private solver. [static] is the saturate pre-phase's
+          closure, passed only when {!Saturate.complete} certifies it as
+          the whole positive backbone — the deducer may then adopt the
+          facts without probing. *)
   repair : Rules.repair;
   max_rounds : int;
   incremental : bool;
@@ -90,6 +94,16 @@ type config = {
       (** run the {!Analyze} pre-phase: specifications with an E-level
           diagnostic (provably unsatisfiable) skip encoding and the
           solver entirely and report the invalid outcome directly *)
+  saturate : bool;
+      (** run the {!Saturate} pre-phase after each (re-)encoding: the
+          polynomial static closure of certain currency facts is injected
+          into the solver session as unit clauses (a semantic no-op —
+          every derived fact is level-0 implied by Φ(Se) — but it pins
+          them explicitly), and when the closure is provably complete
+          ({!Saturate.complete}) it is handed to the [deduce] hook so
+          {!Deduce.backbone} adopts the facts without probes
+          ([probes_avoided]). Results are bit-identical with the phase on
+          or off — property-tested. *)
   jobs : int;
       (** domains {!run_batch} resolves entities on (clamped to at least
           1). Results and aggregate counters are identical to [jobs = 1] —
@@ -155,6 +169,7 @@ val naive_config : config
 type phase_times = {
   mutable lint_ms : float;
   mutable encode_ms : float;
+  mutable saturate_ms : float;
   mutable validity_ms : float;
   mutable deduce_ms : float;
   mutable suggest_ms : float;
@@ -174,6 +189,12 @@ type entity_stats = {
   deduce_model_prunes : int;
       (** candidates {!Deduce.backbone} eliminated by model intersection *)
   deduce_seeded : int;  (** facts adopted from unit propagation, no probe *)
+  static_facts : int;
+      (** facts the saturate pre-phase derived statically (summed over
+          re-saturations after extensions) *)
+  probes_avoided : int;
+      (** of [deduce_seeded], facts adopted from the static closure — the
+          deduction work the saturate pre-phase saved *)
   cache_hits : int;
   cache_misses : int;
   delta_extensions : int;  (** [Se ⊕ Ot] rounds served by {!Encode.extend} *)
@@ -325,6 +346,8 @@ type stats = {
   deduce_probes : int;
   deduce_model_prunes : int;
   deduce_seeded : int;
+  static_facts : int;  (** statically derived facts, batch-wide *)
+  probes_avoided : int;  (** probes the saturate pre-phase saved, batch-wide *)
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;  (** hits / (hits + misses), 0 with no lookups *)

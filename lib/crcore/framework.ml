@@ -35,6 +35,9 @@ let resolve ?(mode = Encode.Paper) ?(deduce = Deduce.backbone)
       incremental = false;
       cache = false;
       lint = false;
+      (* saturate off too: this path must stay the static-free reference
+         the saturation pre-phase is property-tested against *)
+      saturate = false;
       jobs = 1;
       clamp_jobs = true;
       budget_conflicts = None;

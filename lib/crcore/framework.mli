@@ -41,7 +41,8 @@ type outcome = {
     defaults to 5. *)
 val resolve :
   ?mode:Encode.mode ->
-  ?deduce:(?solver:Sat.Solver.t -> ?budget:int -> Encode.t -> Deduce.t) ->
+  ?deduce:
+    (?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> Deduce.t) ->
   ?repair:Rules.repair ->
   ?max_rounds:int ->
   user:user ->

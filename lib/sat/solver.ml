@@ -3,7 +3,7 @@
    0 = unassigned, so that the value of a literal is [assigns.(var) * sgn]. *)
 
 type clause = {
-  mutable lits : Lit.t array; (* lits.(0) and lits.(1) are the watched pair *)
+  lits : Lit.t array; (* lits.(0) and lits.(1) are the watched pair *)
   learnt : bool;
   mutable activity : float;
   mutable deleted : bool;
@@ -301,6 +301,8 @@ let add_clause s lits = add_clause_a s (Array.of_list lits)
 let add_cnf s (f : Cnf.t) =
   ensure_nvars s f.Cnf.nvars;
   List.iter (fun c -> add_clause_a s c) f.Cnf.clauses
+
+let add_units s lits = List.iter (fun l -> add_clause s [ l ]) lits
 
 (* ---- conflict analysis (first UIP) ---- *)
 

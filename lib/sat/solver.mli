@@ -35,6 +35,13 @@ val add_clause_a : t -> Lit.t array -> unit
 (** [add_cnf s f] allocates variables for [f] and adds all its clauses. *)
 val add_cnf : t -> Cnf.t -> unit
 
+(** [add_units s lits] adds each literal as a unit clause — the entry
+    point for seeding externally-proven facts (e.g. a static saturation's
+    closure) into a session. Units are enqueued and propagated at level 0
+    immediately, so a literal the clause set already implies is a no-op
+    on the solver state. *)
+val add_units : t -> Lit.t list -> unit
+
 (** [solve ?assumptions s] decides satisfiability of the clause set under
     the given assumption literals (default none). Budgets set with
     {!set_budget} are ignored: [solve] always runs to completion (use

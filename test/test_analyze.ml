@@ -102,6 +102,37 @@ let test_w006 () =
   check_not "disjoint LHS patterns" "W006"
     (mk ~gamma:[ mk_cfd [ ("AC", "213") ] ("city", "LA"); mk_cfd [ ("AC", "212") ] ("city", "NY") ] ())
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec has i = i + m <= n && (String.sub s i m = sub || has (i + 1)) in
+  has 0
+
+let test_e005 () =
+  (* the saturation fixpoint proves unsatisfiability and the report
+     carries the derivation chain *)
+  let contradictory = mk ~sigma:[ phi; phi_mirror ] () in
+  let ds = A.analyze contradictory in
+  (match List.find_opt (fun (d : A.diagnostic) -> d.A.code = "E005") ds with
+  | None -> Alcotest.fail "expected an E005 static refutation"
+  | Some d ->
+      Alcotest.(check bool) "severity" true (d.A.severity = A.Error);
+      Alcotest.(check bool) "certificate chain printed" true (contains d.A.message "sigma["));
+  check_not "satisfiable spec" "E005" (mk ~sigma:[ phi ] ())
+
+let test_w007 () =
+  (* semantic subsumption across distinct constraints: the direct
+     status->job shortcut is implied by phi composed with phi5 *)
+  let phi5 = parse {|prec(status) -> prec(job)|} in
+  let shortcut = parse {|t1[status] = "working" & t2[status] = "retired" -> prec(job)|} in
+  let spec = mk ~sigma:[ phi; phi5; shortcut ] () in
+  (match
+     List.find_opt (fun (d : A.diagnostic) -> d.A.code = "W007") (A.analyze spec)
+   with
+  | None -> Alcotest.fail "expected the shortcut to be flagged W007"
+  | Some d -> Alcotest.(check bool) "flagged at the shortcut" true (d.A.subject = A.Sigma 2));
+  check_not "lone constraint carries its instances" "W007" (mk ~sigma:[ phi ] ());
+  check_not "composition members are not subsumed" "W007" (mk ~sigma:[ phi; phi5 ] ())
+
 (* ---- info ---- *)
 
 let test_i001 () =
@@ -122,6 +153,16 @@ let test_i003 () =
   check_has "transitively implied edge" "I003"
     (mk ~orders:[ edge "status" 0 1; edge "status" 1 2; edge "status" 0 2 ] ());
   check_not "chain only" "I003" (mk ~orders:[ edge "status" 0 1; edge "status" 1 2 ] ())
+
+let test_i004 () =
+  (* the explicit working < retired edge restates what phi derives *)
+  check_has "edge derivable from Σ" "I004" (mk ~orders:[ edge "status" 0 1 ] ~sigma:[ phi ] ());
+  check_not "novel edge" "I004" (mk ~orders:[ edge "status" 0 1 ] ());
+  (* an edge already flagged as a duplicate is not double-reported: only
+     the first copy gets the derivability note *)
+  let dup = mk ~orders:[ edge "status" 0 1; edge "status" 0 1 ] ~sigma:[ phi ] () in
+  Alcotest.(check int) "one I004 for the duplicated edge" 1
+    (List.length (List.filter (fun c -> c = "I004") (codes dup)))
 
 (* ---- report shape ---- *)
 
@@ -154,6 +195,9 @@ let test_errors_only_unit () =
   Alcotest.(check bool) "non-empty" true (eo <> []);
   Alcotest.(check bool) "only E codes" true
     (List.for_all (fun (d : A.diagnostic) -> d.A.severity = A.Error) eo);
+  let keys = List.map (fun (d : A.diagnostic) -> (d.A.code, d.A.subject)) eo in
+  Alcotest.(check bool) "one diagnostic per (code, subject)" true
+    (List.length keys = List.length (List.sort_uniq compare keys));
   Alcotest.(check (list string)) "clean spec" []
     (List.map (fun (d : A.diagnostic) -> d.A.code) (A.analyze ~errors_only:true (mk ())))
 
@@ -194,13 +238,15 @@ let prop_errors_sound =
 
 let prop_errors_only_agrees =
   QCheck.Test.make ~count:500
-    ~name:"errors_only: same has_errors verdict, subset of the full report's errors"
+    ~name:"errors_only: same has_errors verdict, deduped subset of the full report's errors"
     Fixtures.qcheck_spec (fun spec ->
       let full = A.analyze spec in
       let eo = A.analyze ~errors_only:true spec in
+      let keys = List.map (fun (d : A.diagnostic) -> (d.A.code, d.A.subject)) eo in
       A.has_errors eo = A.has_errors full
       && List.for_all (fun (d : A.diagnostic) -> d.A.severity = A.Error) eo
-      && List.for_all (fun d -> List.mem d full) eo)
+      && List.for_all (fun d -> List.mem d full) eo
+      && List.length keys = List.length (List.sort_uniq compare keys))
 
 let prop_lint_never_changes_results =
   (* clean specs are never rejected for lint-covered reasons: switching
@@ -226,6 +272,7 @@ let () =
           Alcotest.test_case "E002 contradictory closure" `Quick test_e002;
           Alcotest.test_case "E003 forced CFD conflict" `Quick test_e003;
           Alcotest.test_case "E004 forced dead-end CFD" `Quick test_e004;
+          Alcotest.test_case "E005 static refutation" `Quick test_e005;
         ] );
       ( "warnings",
         [
@@ -235,12 +282,14 @@ let () =
           Alcotest.test_case "W004 duplicate edge" `Quick test_w004;
           Alcotest.test_case "W005 equal-value edge" `Quick test_w005;
           Alcotest.test_case "W006 possible CFD conflict" `Quick test_w006;
+          Alcotest.test_case "W007 subsumed by closure" `Quick test_w007;
         ] );
       ( "info",
         [
           Alcotest.test_case "I001 subsumed constraint" `Quick test_i001;
           Alcotest.test_case "I002 subsumed CFD" `Quick test_i002;
           Alcotest.test_case "I003 implied edge" `Quick test_i003;
+          Alcotest.test_case "I004 derivable edge" `Quick test_i004;
         ] );
       ( "report",
         [
