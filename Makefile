@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par deduce saturate lint robustness daemon fmt clean
+.PHONY: all build test check bench batch par templates deduce saturate lint robustness daemon fmt clean
 
 all: build
 
@@ -25,6 +25,14 @@ batch:
 # writes BENCH_par.json and requires identical results.
 par:
 	dune exec bench/main.exe -- par
+
+# The template-compilation headline runs: the distinct-entity Person
+# batch (120 and 2000 entities; template_hit_ratio >= 0.9 ratchet) and
+# the multi-core scaling curve (jobs in {1,2,4,8}; summed encode phase
+# at jobs=4 bounded by 1.5x the sequential sum). Writes BENCH_batch.json,
+# BENCH_batch2k.json and BENCH_par.json.
+templates:
+	dune exec bench/main.exe -- batch batch2k par
 
 # Backbone vs naive vs unit-prop deduction on the Person batch; writes
 # BENCH_deduce.json and exits non-zero if backbone and naive_deduce ever

@@ -512,6 +512,22 @@ let batch_sized ~n_entities ~json () =
       ds.Datagen.Types.cases
   in
   let items = intern_items items in
+  (* Warm-up: run both sides once untimed. The first pass through either
+     path pays one-time process costs — heap expansion, page faults — that
+     land on whichever side runs first and on whatever phase allocates
+     most; warming both and compacting before each timed run measures the
+     steady state the comparison is actually about. run_batch creates a
+     fresh spec-keyed cache per call, so no per-spec encoding survives
+     into the timed run; the shape-template layer is process-global by
+     design, so the timed run serves from compiled templates — exactly
+     the steady state a long-lived resolver sits in. *)
+  List.iter
+    (fun (it : Crcore.Engine.item) ->
+      ignore (Crcore.Framework.resolve ~user:it.Crcore.Engine.user it.Crcore.Engine.spec))
+    items;
+  ignore
+    (Crcore.Engine.run_batch ~config:{ Crcore.Engine.default_config with lint = false } items);
+  Gc.compact ();
   let naive_ms, naive_outcomes =
     wall_ms (fun () ->
         List.map
@@ -522,6 +538,7 @@ let batch_sized ~n_entities ~json () =
   (* lint off on both sides: this scenario isolates incremental sessions +
      the encoding cache against the naive loop (which never lints); the
      lint pre-phase has its own off-vs-on scenario below *)
+  Gc.compact ();
   let engine_ms, (results, stats) =
     wall_ms (fun () ->
         Crcore.Engine.run_batch ~config:{ Crcore.Engine.default_config with lint = false } items)
@@ -544,6 +561,22 @@ let batch_sized ~n_entities ~json () =
   Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup equivalent;
   claim "batch: engine == naive Framework loop" equivalent;
   Format.printf "  %a@." Crcore.Engine.pp_stats stats;
+  (* Template ratchet: the batch is n distinct entities of one shape
+     (same schema, same interned Σ/Γ), so every initial encoding after
+     the first must instantiate the shared compiled template — the
+     fingerprint layer scores (n-1)/n even though the spec-keyed layer
+     scores 0. Enforced on full-size runs; smoke batches are too small
+     for a meaningful ratio. *)
+  Printf.printf
+    "  templates: %d hit(s) / %d miss(es), hit_ratio %.3f, %d instantiation(s)\n"
+    stats.Crcore.Engine.template_hits stats.Crcore.Engine.template_misses
+    stats.Crcore.Engine.template_hit_ratio stats.Crcore.Engine.instantiations;
+  Printf.printf "  encode alloc: %.0f minor words (%.0f words/entity)\n"
+    stats.Crcore.Engine.encode_alloc_words
+    (stats.Crcore.Engine.encode_alloc_words /. float_of_int n_entities);
+  if n_entities >= 100 then
+    claim "batch: template_hit_ratio >= 0.9 on distinct same-shape entities"
+      (stats.Crcore.Engine.template_hit_ratio >= 0.9);
   (* Repeated-specs cache case: the second copy of every item resolves a
      structurally identical spec, so its initial encoding must come from
      the spec-keyed cache rather than a fresh Encode.encode. *)
@@ -583,6 +616,7 @@ let batch_sized ~n_entities ~json () =
   "scenario": "batch",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "total_rounds": %d,
   "attrs_resolved": %d,
   "attrs_total": %d,
@@ -596,6 +630,11 @@ let batch_sized ~n_entities ~json () =
     "cache_hits": %d,
     "cache_misses": %d,
     "hit_ratio": %.3f,
+    "template_hits": %d,
+    "template_misses": %d,
+    "template_hit_ratio": %.3f,
+    "instantiations": %d,
+    "encode_alloc_words": %.0f,
     "delta_extensions": %d,
     "rebuilds": %d,
     "rebuilds_renumbered": %d,
@@ -612,7 +651,9 @@ let batch_sized ~n_entities ~json () =
   "identical_results": %b
 }
 |}
-        n_entities st.Crcore.Engine.total_rounds st.Crcore.Engine.attrs_resolved
+        n_entities
+        (Parallel.Pool.recommended_jobs ())
+        st.Crcore.Engine.total_rounds st.Crcore.Engine.attrs_resolved
         st.Crcore.Engine.attrs_total naive_ms (per_sec naive_ms) engine_ms (per_sec engine_ms)
         st.Crcore.Engine.times.Crcore.Engine.lint_ms
         st.Crcore.Engine.times.Crcore.Engine.encode_ms
@@ -622,7 +663,10 @@ let batch_sized ~n_entities ~json () =
         sv.Sat.Solver.decisions sv.Sat.Solver.propagations sv.Sat.Solver.restarts
         st.Crcore.Engine.solvers_built st.Crcore.Engine.cache_hits
         st.Crcore.Engine.cache_misses st.Crcore.Engine.hit_ratio
-        st.Crcore.Engine.delta_extensions st.Crcore.Engine.rebuilds
+        st.Crcore.Engine.template_hits st.Crcore.Engine.template_misses
+        st.Crcore.Engine.template_hit_ratio st.Crcore.Engine.instantiations
+        st.Crcore.Engine.encode_alloc_words st.Crcore.Engine.delta_extensions
+        st.Crcore.Engine.rebuilds
         st.Crcore.Engine.rebuilds_renumbered st.Crcore.Engine.rebuilds_impure
         (2 * n_entities) rep_stats.Crcore.Engine.cache_hits
         rep_stats.Crcore.Engine.cache_misses rep_stats.Crcore.Engine.hit_ratio rep_equivalent
@@ -631,6 +675,10 @@ let batch_sized ~n_entities ~json () =
       Printf.printf "  wrote %s\n%!" path)
 
 let batch () = batch_sized ~n_entities:120 ~json:(Some "BENCH_batch.json") ()
+
+(* the same head-to-head at scale: 2000 distinct Person entities — the
+   regime where template sharing and per-entity allocation dominate *)
+let batch2k () = batch_sized ~n_entities:2000 ~json:(Some "BENCH_batch2k.json") ()
 let batch_smoke () = batch_sized ~n_entities:12 ~json:None ()
 
 (* ---------------------------------------------------------------- *)
@@ -682,30 +730,94 @@ let par_sized ~n_entities ~jobs ~json () =
   let seq_ms, (seq_results, seq_stats) =
     best_of_3 (fun () -> Crcore.Engine.run_batch ~config:no_lint items)
   in
-  let par_ms, (par_results, par_stats) =
-    (* clamp off: the scenario measures the requested width as-is, so a
-       1-core host honestly shows the over-subscription penalty *)
-    best_of_3 (fun () ->
-        Crcore.Engine.run_batch ~config:{ no_lint with jobs; clamp_jobs = false } items)
+  (* scaling curve: the requested width plus the standard 1/2/4/8 points;
+     clamp off so a narrow host honestly shows the over-subscription
+     penalty rather than silently shrinking the width *)
+  let widths = List.sort_uniq compare (jobs :: [ 1; 2; 4; 8 ]) in
+  let curve =
+    List.map
+      (fun j ->
+        let ms, (results, stats) =
+          best_of_3 (fun () ->
+              Crcore.Engine.run_batch
+                ~config:{ no_lint with Crcore.Engine.jobs = j; clamp_jobs = false }
+                items)
+        in
+        let identical =
+          List.for_all2
+            (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
+              a.Crcore.Engine.label = b.Crcore.Engine.label
+              && a.Crcore.Engine.outcome = b.Crcore.Engine.outcome)
+            seq_results results
+        in
+        (j, ms, stats, identical))
+      widths
   in
-  let identical =
+  let cores = Parallel.Pool.recommended_jobs () in
+  (* Headline: the engine as configured in production, i.e. with the
+     default clamp in force — requesting jobs=4 on a narrower host runs
+     min(jobs, cores) domains. "No parallel self-sabotage" is a property
+     of the engine's actual scheduling decision, so the ratchets below
+     apply to this run; the forced-width curve above records what
+     over-subscription would have cost. *)
+  let jobs_effective = min jobs cores in
+  let par_ms, (par_results, par_stats) =
+    best_of_3 (fun () ->
+        Crcore.Engine.run_batch ~config:{ no_lint with Crcore.Engine.jobs } items)
+  in
+  let headline_identical =
     List.for_all2
       (fun (a : Crcore.Engine.item_result) (b : Crcore.Engine.item_result) ->
         a.Crcore.Engine.label = b.Crcore.Engine.label
         && a.Crcore.Engine.outcome = b.Crcore.Engine.outcome)
       seq_results par_results
   in
-  let cores = Parallel.Pool.recommended_jobs () in
-  let speedup = if par_ms <= 0. then 0. else seq_ms /. par_ms in
-  Printf.printf "  sequential (jobs=1):  %8.1f ms\n" seq_ms;
-  Printf.printf "  parallel   (jobs=%d):  %8.1f ms   (%d core(s) available)\n" jobs par_ms cores;
-  Printf.printf "  speedup: %.2fx   identical results: %b\n" speedup identical;
+  let identical = headline_identical && List.for_all (fun (_, _, _, i) -> i) curve in
+  let speedup_of ms = if ms <= 0. then 0. else seq_ms /. ms in
+  let speedup = speedup_of par_ms in
+  let encode_sum (st : Crcore.Engine.stats) = st.Crcore.Engine.times.Crcore.Engine.encode_ms in
+  Printf.printf "  sequential (jobs=1):  %8.1f ms   (%d core(s) available)\n" seq_ms cores;
+  List.iter
+    (fun (j, ms, st, _) ->
+      Printf.printf
+        "  jobs=%d: %8.1f ms  speedup %.2fx  encode sum %7.1f ms  encode alloc %.0f words\n" j
+        ms (speedup_of ms) (encode_sum st) st.Crcore.Engine.encode_alloc_words)
+    curve;
+  Printf.printf
+    "  headline (jobs=%d requested, %d effective): %8.1f ms  speedup %.2fx   identical results \
+     (all widths): %b\n"
+    jobs jobs_effective par_ms speedup identical;
   claim "par: parallel results == sequential results" identical;
   Format.printf "  %a@." Crcore.Engine.pp_stats par_stats;
+  (* Parallel-overhead ratchets (full-size runs only), on the headline
+     (clamped) run: per-domain scratch arenas and the pool's enlarged
+     minor heap must keep the summed encode phase at the effective width
+     within 1.5x the sequential sum, and the wall clock no worse than
+     ~sequential even on a single-core host — on 1 core the clamp makes
+     jobs=4 run one domain, so anything below ~1.0x would mean the
+     parallel plumbing itself taxes the sequential path. *)
+  if n_entities >= 100 then begin
+    claim
+      (Printf.sprintf "par: jobs=%d summed encode phase <= 1.5x sequential" jobs)
+      (encode_sum par_stats <= (1.5 *. encode_sum seq_stats) +. 1e-9);
+    claim (Printf.sprintf "par: jobs=%d speedup >= 0.9x" jobs) (speedup >= 0.9)
+  end;
   match json with
   | None -> ()
   | Some path ->
       let pt (st : Crcore.Engine.stats) = st.Crcore.Engine.times in
+      let scaling_json =
+        String.concat ",\n"
+          (List.map
+             (fun (j, ms, st, ident) ->
+               Printf.sprintf
+                 "    { \"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \
+                  \"encode_ms_sum\": %.3f, \"encode_alloc_words\": %.0f, \
+                  \"identical_results\": %b }"
+                 j ms (speedup_of ms) (encode_sum st) st.Crcore.Engine.encode_alloc_words
+                 ident)
+             curve)
+      in
       let oc = open_out path in
       Printf.fprintf oc
         {|{
@@ -713,35 +825,46 @@ let par_sized ~n_entities ~jobs ~json () =
   "dataset": "Person",
   "n_entities": %d,
   "jobs": %d,
+  "jobs_effective": %d,
   "cores_available": %d,
   "sequential": {
     "wall_ms": %.3f,
-    "phase_ms_sum": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f }
+    "phase_ms_sum": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
+    "encode_alloc_words": %.0f
   },
   "parallel": {
     "wall_ms": %.3f,
     "phase_ms_sum": { "lint": %.3f, "encode": %.3f, "validity": %.3f, "deduce": %.3f, "suggest": %.3f },
+    "encode_alloc_words": %.0f,
     "hit_ratio": %.3f,
+    "template_hit_ratio": %.3f,
     "rebuilds_renumbered": %d,
     "rebuilds_impure": %d
   },
+  "scaling": [
+%s
+  ],
   "speedup": %.3f,
   "identical_results": %b
 }
 |}
-        n_entities jobs cores seq_ms (pt seq_stats).Crcore.Engine.lint_ms
+        n_entities jobs jobs_effective cores seq_ms (pt seq_stats).Crcore.Engine.lint_ms
         (pt seq_stats).Crcore.Engine.encode_ms (pt seq_stats).Crcore.Engine.validity_ms
-        (pt seq_stats).Crcore.Engine.deduce_ms (pt seq_stats).Crcore.Engine.suggest_ms par_ms
+        (pt seq_stats).Crcore.Engine.deduce_ms (pt seq_stats).Crcore.Engine.suggest_ms
+        seq_stats.Crcore.Engine.encode_alloc_words par_ms
         (pt par_stats).Crcore.Engine.lint_ms (pt par_stats).Crcore.Engine.encode_ms
         (pt par_stats).Crcore.Engine.validity_ms (pt par_stats).Crcore.Engine.deduce_ms
-        (pt par_stats).Crcore.Engine.suggest_ms par_stats.Crcore.Engine.hit_ratio
+        (pt par_stats).Crcore.Engine.suggest_ms par_stats.Crcore.Engine.encode_alloc_words
+        par_stats.Crcore.Engine.hit_ratio par_stats.Crcore.Engine.template_hit_ratio
         par_stats.Crcore.Engine.rebuilds_renumbered par_stats.Crcore.Engine.rebuilds_impure
-        speedup identical;
+        scaling_json speedup identical;
       close_out oc;
       Printf.printf "  wrote %s\n%!" path
 
 let par () = par_sized ~n_entities:120 ~jobs:(par_jobs_default ()) ~json:(Some "BENCH_par.json") ()
-let par_smoke () = par_sized ~n_entities:12 ~jobs:(par_jobs_default ()) ~json:None ()
+
+let par_smoke () =
+  par_sized ~n_entities:12 ~jobs:(par_jobs_default ()) ~json:(Some "BENCH_par_smoke.json") ()
 
 (* ---------------------------------------------------------------- *)
 (* Deduce: backbone vs naive vs unit propagation                     *)
@@ -862,6 +985,7 @@ let deduce_sized ~n_entities ~json () =
   "scenario": "deduce",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "nvars_total": %d,
   "unit_prop": { "wall_ms": %.3f, "sat_calls": 0, "facts": %d },
   "naive": { "wall_ms": %.3f, "sat_calls": %d, "facts": %d },
@@ -882,7 +1006,9 @@ let deduce_sized ~n_entities ~json () =
   }
 }
 |}
-        n_entities !nvars_total !u_ms !u_facts !n_ms !n_calls !n_facts !b_ms !b_calls
+        n_entities
+        (Parallel.Pool.recommended_jobs ())
+        !nvars_total !u_ms !u_facts !n_ms !n_calls !n_facts !b_ms !b_calls
         !b_probes !b_prunes !b_seeded !b_facts ratio !identical up_ms
         up_stats.Crcore.Engine.total_rounds up_stats.Crcore.Engine.solvers_built
         up_stats.Crcore.Engine.rebuilds_renumbered up_stats.Crcore.Engine.delta_extensions
@@ -1004,6 +1130,7 @@ let saturate_sized ~n_entities ~json () =
   "scenario": "saturate",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "phase": {
     "saturation": { "wall_ms": %.3f, "closure_facts": %d, "complete": %d },
     "backbone": { "wall_ms": %.3f, "facts": %d },
@@ -1016,7 +1143,9 @@ let saturate_sized ~n_entities ~json () =
   }
 }
 |}
-        n_entities !sat_ms !closure_facts !complete_closures !bb_ms !backbone_facts
+        n_entities
+        (Parallel.Pool.recommended_jobs ())
+        !sat_ms !closure_facts !complete_closures !bb_ms !backbone_facts
         (tmpl_h1 - tmpl_h0) (tmpl_m1 - tmpl_m0) on_ms
         on_stats.Crcore.Engine.times.Crcore.Engine.saturate_ms (solve_deduce on_stats)
         on_stats.Crcore.Engine.static_facts on_stats.Crcore.Engine.probes_avoided
@@ -1117,6 +1246,7 @@ let lint_sized ~n_entities ~size_min ~size_max ~extra_events ~json () =
   "scenario": "lint",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "broken_entities": %d,
   "lint_off": { "wall_ms": %.3f, "valid_entities": %d },
   "lint_on": {
@@ -1130,7 +1260,9 @@ let lint_sized ~n_entities ~size_min ~size_max ~extra_events ~json () =
   "identical_results": %b
 }
 |}
-        n_entities (n_entities / 2) off_ms off_stats.Crcore.Engine.valid_entities on_ms
+        n_entities
+        (Parallel.Pool.recommended_jobs ())
+        (n_entities / 2) off_ms off_stats.Crcore.Engine.valid_entities on_ms
         on_stats.Crcore.Engine.valid_entities on_stats.Crcore.Engine.lint_rejected
         on_stats.Crcore.Engine.times.Crcore.Engine.lint_ms
         on_stats.Crcore.Engine.solvers_built speedup equivalent;
@@ -1285,6 +1417,7 @@ let robustness_sized ~n_entities ~poison_period ~json () =
   "scenario": "robustness",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "poisoned": { "hangs": %d, "crashes": %d },
   "budget_conflicts": 20000,
   "isolation": {
@@ -1301,7 +1434,9 @@ let robustness_sized ~n_entities ~poison_period ~json () =
   "jobs_deterministic": %b
 }
 |}
-            n_entities (List.length exhaust_labels) (List.length raise_labels) iso_ms
+            n_entities
+            (Parallel.Pool.recommended_jobs ())
+            (List.length exhaust_labels) (List.length raise_labels) iso_ms
             (per_sec iso_ms) (List.length results) !errors
             stats.Crcore.Engine.budget_exhausted stats.Crcore.Engine.degraded_partial
             stats.Crcore.Engine.degraded_pick !hist_exact !hist_partial !hist_pick !errors
@@ -1585,6 +1720,7 @@ let daemon_sized ~n_entities ~chunk ~check_speedup ~json () =
   "scenario": "daemon",
   "dataset": "Person",
   "n_entities": %d,
+  "cores_available": %d,
   "chunk": %d,
   "arrivals": %d,
   "asserted_orders": %d,
@@ -1612,7 +1748,9 @@ let daemon_sized ~n_entities ~chunk ~check_speedup ~json () =
   "socket_smoke_ok": %b
 }
 |}
-        n_entities chunk !n_arrivals !n_orders !n_resolves !inc_ms
+        n_entities
+        (Parallel.Pool.recommended_jobs ())
+        chunk !n_arrivals !n_orders !n_resolves !inc_ms
         (1000. *. float_of_int events /. !inc_ms)
         (1000. *. float_of_int !n_resolves /. !inc_ms)
         (percentile inc_sorted 0.50) (percentile inc_sorted 0.90) (percentile inc_sorted 0.99)
@@ -1683,6 +1821,7 @@ let experiments =
     ("fig8m", fig8m); ("fig8n", fig8n); ("fig8o", fig8o); ("fig8p", fig8p);
     ("summary", summary);
     ("batch", batch);
+    ("batch2k", batch2k);
     ("batch_smoke", batch_smoke);
     ("par", par);
     ("par_smoke", par_smoke);

@@ -264,6 +264,9 @@ module Session : sig
       rebuilds_renumbered : int;
       rebuilds_impure : int;
       solvers_built : int;
+      template_hits : int;
+      template_misses : int;
+      instantiations : int;
     }
 
     val stats : t -> stats

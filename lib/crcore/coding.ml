@@ -57,6 +57,8 @@ let universe c a = c.universes.(a)
 
 let adom_size c a = c.adom_sizes.(a)
 
+let sizes c = Array.map Array.length c.universes
+
 let vid c a v =
   match VMap.find_opt v c.ids.(a) with Some i -> i | None -> raise Not_found
 

@@ -31,6 +31,12 @@ val universe : t -> int -> Value.t array
     the entity (a prefix of {!universe}), counting the reserved null. *)
 val adom_size : t -> int -> int
 
+(** [sizes c] is the per-attribute universe sizes, freshly allocated. The
+    variable numbering (offsets, {!nvars}, {!var_of}) is a pure function
+    of this vector, which is what lets structural clause blocks be shared
+    across codings of equal sizes (see [Encode.template]). *)
+val sizes : t -> int array
+
 (** [vid c a v] is the id of value [v] within attribute [a]'s universe.
     Raises [Not_found] for foreign values. *)
 val vid : t -> int -> Value.t -> int

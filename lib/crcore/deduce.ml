@@ -113,6 +113,17 @@ let deduce_order ?solver:_ ?budget:_ ?static:_ enc =
     assigns;
   { enc; od; stats = no_stats }
 
+let deduce_units enc =
+  let assigns, _conflict = unit_propagate enc.Encode.cnf in
+  let od = empty_od enc in
+  Array.iteri
+    (fun v a -> if a = 1 then add_literal_to_od enc od (Sat.Lit.pos v))
+    assigns;
+  (* complete = false: the positive units are a strict subset of the
+     backbone in general, so consumers must stick to certain-value
+     claims (true_value_id routes there on incomplete deductions) *)
+  { enc; od; stats = { no_stats with complete = false } }
+
 (* ---- shared solver plumbing for the SAT-based deducers ---- *)
 
 let deduction_solver solver enc =
@@ -295,27 +306,56 @@ let candidates d a =
   let nadom = Coding.adom_size d.enc.Encode.coding a in
   List.filter (fun v -> v < nadom) (universe_maximal d a)
 
-let true_value_id d a =
+(* [v] is proven above EVERY other universe value — a claim that survives
+   any extension of the fact set (at most one value can qualify in a
+   strict order), unlike active-domain domination, where a fact missing
+   from an interrupted deduction can hide a second incomparable maximal
+   (a CFD repair constant) that a completed run would surface. *)
+let certain_value_id d a =
   let coding = d.enc.Encode.coding in
-  let nadom = Coding.adom_size coding a in
+  let n = Array.length (Coding.universe coding a) in
   let dominating v =
     let ok = ref true in
-    for u = 0 to nadom - 1 do
+    for u = 0 to n - 1 do
       if u <> v && not (lt d ~attr:a u v) then ok := false
     done;
     !ok
   in
-  (* the true value may be a repair constant outside the active domain, so
-     search all universe-maximal values, not just V(A) *)
   match List.filter dominating (universe_maximal d a) with
   | [ v ] -> Some v
   | _ -> None
+
+let true_value_id d a =
+  if not d.stats.complete then
+    (* interrupted deduction: only universe-certain claims are sound *)
+    certain_value_id d a
+  else
+    let coding = d.enc.Encode.coding in
+    let nadom = Coding.adom_size coding a in
+    let dominating v =
+      let ok = ref true in
+      for u = 0 to nadom - 1 do
+        if u <> v && not (lt d ~attr:a u v) then ok := false
+      done;
+      !ok
+    in
+    (* the true value may be a repair constant outside the active domain,
+       so search all universe-maximal values, not just V(A) *)
+    match List.filter dominating (universe_maximal d a) with
+    | [ v ] -> Some v
+    | _ -> None
 
 let true_values d =
   let coding = d.enc.Encode.coding in
   let arity = Schema.arity (Coding.schema coding) in
   Array.init arity (fun a ->
       Option.map (fun id -> Coding.value coding a id) (true_value_id d a))
+
+let certain_values d =
+  let coding = d.enc.Encode.coding in
+  let arity = Schema.arity (Coding.schema coding) in
+  Array.init arity (fun a ->
+      Option.map (fun id -> Coding.value coding a id) (certain_value_id d a))
 
 let known_attrs d =
   let tv = true_values d in

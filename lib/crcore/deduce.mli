@@ -56,6 +56,17 @@ val unit_conflict : Encode.t -> bool
 val deduce_order :
   ?solver:Sat.Solver.t -> ?budget:int -> ?static:int list -> Encode.t -> t
 
+(** [deduce_units enc] is {!deduce_order} restricted to {e positive}
+    units: every adopted fact is in the positive backbone of Φ(Se), so
+    the result is a sound subset of what {!backbone}/{!naive_deduce}
+    deduce — the right deducer when a budget forces a degraded answer
+    that must stay inside the exact engine's fact set. (The reversed
+    reading of negative units, while sound under total-order completion
+    semantics, can claim facts the backbone never contains.) The result
+    carries [stats.complete = false], routing {!true_value_id} to the
+    monotone {!certain_value_id}. *)
+val deduce_units : Encode.t -> t
+
 (** [naive_deduce enc] is [NaiveDeduce]: one SAT call per variable. With
     [solver] the calls run as assumption solves on the given session.
     [budget] arms a conflict budget on the solver ({!Sat.Solver.set_budget});
@@ -109,11 +120,26 @@ val candidates : t -> int -> int list
 
 (** [true_value_id d a] is the id of the true value of attribute [a] when
     [Od] determines one: the unique candidate that dominates every other
-    active-domain value. *)
+    active-domain value. When the deduction was interrupted
+    ([stats.complete = false]) this falls back to {!certain_value_id} —
+    active-domain domination is not monotone in the fact set (a missing
+    fact can hide a second incomparable maximal, typically a CFD repair
+    constant), so only universe-certain claims are sound there. *)
 val true_value_id : t -> int -> int option
+
+(** [certain_value_id d a] is the id of the value proven above {e every}
+    other universe value of [a] — a claim monotone in the fact set, hence
+    sound for any partial deduction regardless of how it was produced
+    (budget-interrupted backbone, plain unit propagation). At most one
+    value can qualify. *)
+val certain_value_id : t -> int -> int option
 
 (** [true_values d] is the per-attribute true values determined so far. *)
 val true_values : t -> Value.t option array
+
+(** [certain_values d] is {!certain_value_id} per attribute — what a
+    degraded engine answer may soundly report. *)
+val certain_values : t -> Value.t option array
 
 (** [known_attrs d] is the positions whose true value is determined. *)
 val known_attrs : t -> int list

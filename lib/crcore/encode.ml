@@ -39,12 +39,44 @@ type gamma_c = {
   g_cs : cgamma list;
 }
 
+(* ---- per-shape templates ----
+
+   Everything about an encoding that does not depend on the concrete
+   entity: the compiled Σ/Γ (a function of the schema and the interned
+   constraint lists) and the structural-axiom clause blocks, which are a
+   pure function of (mode, per-attribute universe sizes) — the variable
+   numbering is offsets + d·(d-1) arithmetic over the size vector alone.
+   One template serves every entity of a spec shape; the size-keyed store
+   lets entities (and Renumbered re-encodes) of equal universe sizes share
+   the cubic transitivity block outright. Sharing the clause arrays is
+   safe: [Sat.Solver.add_clause_a] copies before sorting, and [Sat.Cnf.t]
+   is immutable. *)
+
+type structural_block = { sb_clauses : Sat.Lit.t array list; sb_count : int }
+
+module Size_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = (( = ) : int array -> int array -> bool)
+  let hash (a : int array) = Hashtbl.hash a
+end)
+
+type template = {
+  t_mode : mode;
+  t_schema : Schema.t;
+  t_sigma_c : sigma_c;
+  t_gamma_c : gamma_c;
+  t_lock : Mutex.t;  (* guards [t_structural]; build happens outside it *)
+  t_structural : structural_block Size_tbl.t;
+}
+
 type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
   sigma_c : sigma_c;
   gamma_c : gamma_c;
+  template : template option;
   sigma_insts : iconstraint list;
   gamma_imps : iconstraint list;
   units : (fact * source) list;
@@ -195,48 +227,113 @@ let reps_memo entity =
         Hashtbl.add memo positions reps;
         reps
 
-let sat_consts tup preds =
-  List.for_all (fun (a, op, cst) -> Value.eval op (Tuple.get tup a) cst) preds
+(* ---- the per-entity instantiation stage ----
+
+   Tuples are lowered once into a value-id matrix ([vids.(i).(a)] is the
+   universe id of tuple [i]'s value at attribute [a]); everything after
+   that is integer compares and array reads. This rests on two facts:
+   value ids are assigned by [Value.total_compare], which identifies two
+   values exactly when [Value.equal] does (numerically equal Int/Float
+   included), so id equality IS value equality over universe members; and
+   [Value.eval] is built on [equal]/[compare_opt], so evaluating an
+   operator on the universe representative ([Coding.value]) is evaluating
+   it on the tuple's own value. Projection representatives keyed on id
+   lists coincide with the value-keyed ones up to [Value.equal]-classes,
+   which is the exact equivalence instance generation factors through —
+   the instance set (and the [fired] flags) is unchanged. *)
+
+(* Per-domain scratch tables, reused across encodes: [Hashtbl.clear] keeps
+   the grown bucket array, so steady-state instantiation allocates no
+   fresh tables. Never live across calls — membership only, no escape. *)
+type scratch = {
+  sc_dedup : (int list, unit) Hashtbl.t;  (* packed instance keys *)
+  sc_proj : (int list, unit) Hashtbl.t;   (* projected id keys *)
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { sc_dedup = Hashtbl.create 1024; sc_proj = Hashtbl.create 64 })
+
+let vid_matrix coding entity =
+  let arity = Schema.arity (Coding.schema coding) in
+  Array.of_list
+    (List.map
+       (fun tup -> Array.init arity (fun a -> Coding.vid coding a (Tuple.get tup a)))
+       (Entity.tuples entity))
+
+(* the reserved null's id per attribute ({!Coding.build} guarantees one) *)
+let null_ids coding =
+  let arity = Schema.arity (Coding.schema coding) in
+  Array.init arity (fun a -> Coding.vid coding a Value.Null)
+
+(* first-occurrence representative tuple indices of the distinct
+   projections onto [positions], over the id matrix *)
+let projection_reps_v vids positions =
+  let seen = (Domain.DLS.get scratch_key).sc_proj in
+  Hashtbl.clear seen;
+  let reps = ref [] in
+  Array.iteri
+    (fun i v ->
+      let key = List.map (fun a -> v.(a)) positions in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        reps := i :: !reps
+      end)
+    vids;
+  List.rev !reps
+
+let reps_memo_v vids =
+  let memo = Hashtbl.create 16 in
+  fun positions ->
+    match Hashtbl.find_opt memo positions with
+    | Some reps -> reps
+    | None ->
+        let reps = projection_reps_v vids positions in
+        Hashtbl.add memo positions reps;
+        reps
+
+let sat_consts_v coding vids i preds =
+  List.for_all
+    (fun (a, op, cst) -> Value.eval op (Coding.value coding a vids.(i).(a)) cst)
+    preds
 
 (* the [Constraint_ast.instantiate] semantics on a compiled constraint whose
    single-tuple constant predicates already held: evaluate the pair
    predicates, collect the residual prec conjuncts as coded facts.
    Returns the packed dedup key ([concl var :: sorted premise vars]) and
    the instance, or [None] when some conjunct is vacuous-making. *)
-let inst_compiled coding cc s1 s2 =
+let inst_compiled_v coding nulls cc v1 v2 =
   let vacuous = ref false in
   let residual = ref [] in
   List.iter
     (fun p ->
       if not !vacuous then
         match p with
-        | CPrec a -> (
-            let v1 = Tuple.get s1 a and v2 = Tuple.get s2 a in
+        | CPrec a ->
+            let i1 = v1.(a) and i2 = v2.(a) in
             (* nulls rank lowest: null ≺ v always holds (drop the conjunct),
                v ≺ null never does (the whole constraint is vacuous) *)
-            match (Value.is_null v1, Value.is_null v2) with
-            | true, false -> ()
-            | _, true -> vacuous := true
-            | false, false ->
-                if Value.equal v1 v2 then vacuous := true
-                else
-                  residual :=
-                    { attr = a; lo = Coding.vid coding a v1; hi = Coding.vid coding a v2 }
-                    :: !residual)
+            if i2 = nulls.(a) then vacuous := true
+            else if i1 = nulls.(a) then ()
+            else if i1 = i2 then vacuous := true
+            else residual := { attr = a; lo = i1; hi = i2 } :: !residual
         | CCmp2 (a, op) ->
-            if not (Value.eval op (Tuple.get s1 a) (Tuple.get s2 a)) then vacuous := true)
+            if
+              not
+                (Value.eval op (Coding.value coding a v1.(a)) (Coding.value coding a v2.(a)))
+            then vacuous := true)
     cc.c_pair;
   if !vacuous then None
   else
     let a = cc.c_concl in
-    let w1 = Tuple.get s1 a and w2 = Tuple.get s2 a in
+    let i1 = v1.(a) and i2 = v2.(a) in
     (* equal-valued conclusions hold trivially; a null on either side of
        the conclusion carries no value-level currency information (a null
        already ranks lowest; a more-current-but-unknown value constrains
        nothing) *)
-    if Value.equal w1 w2 || Value.is_null w1 || Value.is_null w2 then None
+    if i1 = i2 || i1 = nulls.(a) || i2 = nulls.(a) then None
     else
-      let concl = { attr = a; lo = Coding.vid coding a w1; hi = Coding.vid coding a w2 } in
+      let concl = { attr = a; lo = i1; hi = i2 } in
       let premise = List.sort_uniq compare !residual in
       let key =
         var_of_fact_c coding concl
@@ -245,27 +342,30 @@ let inst_compiled coding cc s1 s2 =
       Some (key, { premise; concl; source = From_constraint cc.c_idx })
 
 let instantiate_sigma ?fired sigma_c spec coding =
-  let reps_of = reps_memo spec.Spec.entity in
-  let out = Hashtbl.create 256 in
+  let vids = vid_matrix coding spec.Spec.entity in
+  let nulls = null_ids coding in
+  let reps_of = reps_memo_v vids in
+  let out = (Domain.DLS.get scratch_key).sc_dedup in
+  Hashtbl.clear out;
   let insts = ref [] in
   List.iter
     (fun cc ->
       let reps = reps_of cc.c_positions in
       let cand1 =
         if cc.c_t1 = [] then reps
-        else List.filter (fun (_, s) -> sat_consts s cc.c_t1) reps
+        else List.filter (fun i -> sat_consts_v coding vids i cc.c_t1) reps
       in
       if cand1 <> [] then begin
         let cand2 =
           if cc.c_t2 = [] then reps
-          else List.filter (fun (_, s) -> sat_consts s cc.c_t2) reps
+          else List.filter (fun i -> sat_consts_v coding vids i cc.c_t2) reps
         in
         List.iter
-          (fun (_, s1) ->
+          (fun i1 ->
             List.iter
-              (fun (_, s2) ->
-                if not (s1 == s2) then
-                  match inst_compiled coding cc s1 s2 with
+              (fun i2 ->
+                if i1 <> i2 then
+                  match inst_compiled_v coding nulls cc vids.(i1) vids.(i2) with
                   | None -> ()
                   | Some (key, inst) ->
                       (* pre-dedup: a constraint "fires" even when another
@@ -290,8 +390,11 @@ let instantiate_sigma ?fired sigma_c spec coding =
    framework's one-fresh-tuple extensions this is O(reps) instantiation
    calls per constraint instead of O(reps²). *)
 let instantiate_sigma_delta sigma_c spec coding ~base_insts ~n_base =
-  let reps_of = reps_memo spec.Spec.entity in
-  let seen = Hashtbl.create 1024 in
+  let vids = vid_matrix coding spec.Spec.entity in
+  let nulls = null_ids coding in
+  let reps_of = reps_memo_v vids in
+  let seen = (Domain.DLS.get scratch_key).sc_dedup in
+  Hashtbl.clear seen;
   List.iter
     (fun ic ->
       let key =
@@ -304,11 +407,15 @@ let instantiate_sigma_delta sigma_c spec coding ~base_insts ~n_base =
   List.iter
     (fun cc ->
       let reps = reps_of cc.c_positions in
-      let news = List.filter (fun (i, _) -> i >= n_base) reps in
+      let news = List.filter (fun i -> i >= n_base) reps in
       if news <> [] then begin
-        let try_pair s1 s2 =
-          if (not (s1 == s2)) && sat_consts s1 cc.c_t1 && sat_consts s2 cc.c_t2 then
-            match inst_compiled coding cc s1 s2 with
+        let try_pair i1 i2 =
+          if
+            i1 <> i2
+            && sat_consts_v coding vids i1 cc.c_t1
+            && sat_consts_v coding vids i2 cc.c_t2
+          then
+            match inst_compiled_v coding nulls cc vids.(i1) vids.(i2) with
             | None -> ()
             | Some (key, inst) ->
                 if not (Hashtbl.mem seen key) then begin
@@ -316,9 +423,9 @@ let instantiate_sigma_delta sigma_c spec coding ~base_insts ~n_base =
                   out := inst :: !out
                 end
         in
-        let olds = List.filter (fun (i, _) -> i < n_base) reps in
-        List.iter (fun (_, o) -> List.iter (fun (_, n) -> try_pair o n) news) olds;
-        List.iter (fun (_, n) -> List.iter (fun (_, r) -> try_pair n r) reps) news
+        let olds = List.filter (fun i -> i < n_base) reps in
+        List.iter (fun o -> List.iter (fun n -> try_pair o n) news) olds;
+        List.iter (fun n -> List.iter (fun r -> try_pair n r) reps) news
       end)
     sigma_c.s_cs;
   (* canonical order: the delta clauses a live session receives must not
@@ -537,10 +644,35 @@ let parts_of_t enc =
     p_sigma_fired = Array.make (List.length enc.spec.Spec.sigma) false;
   }
 
-let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
-  let schema = Spec.schema spec in
-  let sigma_c = sigma_c_for schema spec sigma_c in
-  let gamma_c = gamma_c_for schema spec gamma_c in
+(* [structural_for tpl coding] is the structural-axiom block for [coding]'s
+   universe sizes, from the template's size-keyed store. Built outside the
+   lock on a miss; first-in wins (racing builders produce equal blocks: the
+   block is a pure function of (mode, sizes)). *)
+let structural_for tpl coding =
+  let key = Coding.sizes coding in
+  let found =
+    Mutex.lock tpl.t_lock;
+    let r = Size_tbl.find_opt tpl.t_structural key in
+    Mutex.unlock tpl.t_lock;
+    r
+  in
+  match found with
+  | Some b -> (b.sb_clauses, b.sb_count)
+  | None ->
+      let clauses, count = structural_clauses coding tpl.t_mode in
+      Mutex.lock tpl.t_lock;
+      let b =
+        match Size_tbl.find_opt tpl.t_structural key with
+        | Some b -> b
+        | None ->
+            let b = { sb_clauses = clauses; sb_count = count } in
+            Size_tbl.add tpl.t_structural key b;
+            b
+      in
+      Mutex.unlock tpl.t_lock;
+      (b.sb_clauses, b.sb_count)
+
+let build_t ~mode ~sigma_c ~gamma_c ~template spec =
   let coding = Coding.build spec.Spec.entity [] in
   let sigma_insts = instantiate_sigma sigma_c spec coding in
   let gamma_imps, gvetoes = instantiate_gamma gamma_c coding in
@@ -548,16 +680,23 @@ let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
     assemble_parts spec coding ~sigma_insts ~gamma_imps ~vetoes:gvetoes
   in
   let inst = instance_clauses coding parts in
-  let structural, n_structural = structural_clauses coding mode in
+  let structural, n_structural =
+    match template with
+    | Some tpl -> structural_for tpl coding
+    | None -> structural_clauses coding mode
+  in
   (* all literals are in range by construction: facts are coded over the
-     very universes the variable space is built from *)
-  let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (structural @ inst) in
+     very universes the variable space is built from. Instance clauses
+     first: the structural block is then a shared physical tail — a
+     template-served batch allocates no cons cells for it per entity. *)
+  let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (inst @ structural) in
   {
     spec;
     coding;
     mode;
     sigma_c;
     gamma_c;
+    template;
     sigma_insts;
     gamma_imps;
     units;
@@ -567,6 +706,44 @@ let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
     n_structural;
     structural;
   }
+
+let encode ?(mode = Paper) ?sigma_c ?gamma_c spec =
+  let schema = Spec.schema spec in
+  let sigma_c = sigma_c_for schema spec sigma_c in
+  let gamma_c = gamma_c_for schema spec gamma_c in
+  build_t ~mode ~sigma_c ~gamma_c ~template:None spec
+
+let template ?(mode = Paper) spec =
+  let schema = Spec.schema spec in
+  (* compile against the canonical interned lists, so [template_matches]
+     reduces to two physical comparisons whatever spec the template was
+     cut from *)
+  let sigma, _ = Spec.intern_sigma spec.Spec.sigma in
+  let gamma, _ = Spec.intern_gamma spec.Spec.gamma in
+  {
+    t_mode = mode;
+    t_schema = schema;
+    t_sigma_c = compile_sigma schema sigma;
+    t_gamma_c = compile_gamma schema gamma;
+    t_lock = Mutex.create ();
+    t_structural = Size_tbl.create 8;
+  }
+
+let template_mode tpl = tpl.t_mode
+
+let template_matches tpl spec =
+  Schema.equal tpl.t_schema (Spec.schema spec)
+  && fst (Spec.intern_sigma spec.Spec.sigma) == tpl.t_sigma_c.s_src
+  && fst (Spec.intern_gamma spec.Spec.gamma) == tpl.t_gamma_c.g_src
+
+let instantiate tpl spec =
+  if template_matches tpl spec then
+    build_t ~mode:tpl.t_mode ~sigma_c:tpl.t_sigma_c ~gamma_c:tpl.t_gamma_c
+      ~template:(Some tpl) spec
+  else
+    (* a template for some other shape: fall back to direct compilation
+       rather than produce a wrong encoding *)
+    encode ~mode:tpl.t_mode spec
 
 (* ---- incremental re-encoding for Se ⊕ Ot extensions ---- *)
 
@@ -710,6 +887,7 @@ let extend base spec =
                  mode = base.mode;
                  sigma_c;
                  gamma_c;
+                 template = base.template;
                  sigma_insts;
                  gamma_imps;
                  units;
@@ -725,10 +903,15 @@ let extend base spec =
         (* a universe grew (e.g. the fresh tuple carries a value, or a
            null, the entity never took): variable numbers shift globally,
            so solvers must reload — but the Σ instances still carried
-           over; only the (cheap, small-domain) structural axioms are
-           regenerated *)
-        let structural, n_structural = structural_clauses coding base.mode in
-        let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (structural @ inst) in
+           over; the structural axioms come from the template's size-keyed
+           store when there is one (batches of same-schema entities land
+           on the same few size vectors), else are regenerated *)
+        let structural, n_structural =
+          match base.template with
+          | Some tpl -> structural_for tpl coding
+          | None -> structural_clauses coding base.mode
+        in
+        let cnf = Sat.Cnf.unsafe_make ~nvars:(Coding.nvars coding) (inst @ structural) in
         Some
           (Renumbered
              {
@@ -737,6 +920,7 @@ let extend base spec =
                mode = base.mode;
                sigma_c;
                gamma_c;
+               template = base.template;
                sigma_insts;
                gamma_imps;
                units;

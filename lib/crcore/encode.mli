@@ -56,12 +56,38 @@ val compile_sigma : Schema.t -> Currency.Constraint_ast.t list -> sigma_c
 (** [compile_gamma schema gamma] — as {!compile_sigma}, for Γ. *)
 val compile_gamma : Schema.t -> Cfd.Constant_cfd.t list -> gamma_c
 
+(** A compiled spec {e shape}: everything about an encoding that does not
+    depend on the concrete entity. Holds the compiled Σ/Γ (a function of
+    the schema and the interned constraint lists) and a size-keyed store
+    of structural-axiom clause blocks — the variable numbering is pure
+    arithmetic over the per-attribute universe sizes, so the cubic
+    transitivity block is shared across every entity (and {!extend}
+    renumbering) whose universes have equal sizes. One template serves a
+    whole batch of same-shape specs, from any domain (the store is
+    mutex-guarded; blocks are built outside the lock, first-in wins). *)
+type template
+
+(** [template ?mode spec] compiles [spec]'s shape: its schema and its
+    (canonical, interned — see {!Spec.intern_sigma}) Σ/Γ lists. Default
+    mode [Paper]. *)
+val template : ?mode:mode -> Spec.t -> template
+
+val template_mode : template -> mode
+
+(** [template_matches tpl spec] — [spec] has exactly the shape [tpl] was
+    compiled from (same schema, same interned Σ/Γ). *)
+val template_matches : template -> Spec.t -> bool
+
 type t = {
   spec : Spec.t;
   coding : Coding.t;
   mode : mode;
   sigma_c : sigma_c;   (** compiled Σ, reused across {!extend} steps *)
   gamma_c : gamma_c;   (** compiled Γ, reused across {!extend} steps *)
+  template : template option;
+      (** the template this encoding was instantiated from, when it came
+          from {!instantiate}; lets {!extend}'s [Renumbered] path fetch
+          the new size vector's structural block from the shared store *)
   sigma_insts : iconstraint list;
       (** the instances of Σ alone, in a canonical order independent of
           which tuple pairs produced them — the part {!extend} updates
@@ -115,6 +141,16 @@ val parts_of_t : t -> parts
     form whose source list is not physically the spec's is recompiled, so
     passing a stale one is safe. *)
 val encode : ?mode:mode -> ?sigma_c:sigma_c -> ?gamma_c:gamma_c -> Spec.t -> t
+
+(** [instantiate tpl spec] is the thin per-entity stage: stamp the
+    concrete entity into the precompiled shape without re-walking the
+    constraint AST. Produces a result bit-identical to
+    [encode ~mode:(template_mode tpl) spec] — same clauses in the same
+    order, same numbering, same universes (property-tested in
+    test_encode) — reusing [tpl]'s compiled Σ/Γ and structural blocks.
+    Falls back to direct compilation when [not (template_matches tpl
+    spec)], so a stale template is safe, merely useless. *)
+val instantiate : template -> Spec.t -> t
 
 (** How an incremental re-encode relates to its base. *)
 type extension =

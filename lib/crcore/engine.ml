@@ -107,6 +107,10 @@ type entity_stats = {
   probes_avoided : int;
   cache_hits : int;
   cache_misses : int;
+  template_hits : int;
+  template_misses : int;
+  instantiations : int;
+  encode_alloc_words : float;
   delta_extensions : int;
   rebuilds : int;
   rebuilds_renumbered : int;
@@ -140,6 +144,10 @@ let zero_entity_stats () =
     probes_avoided = 0;
     cache_hits = 0;
     cache_misses = 0;
+    template_hits = 0;
+    template_misses = 0;
+    instantiations = 0;
+    encode_alloc_words = 0.;
     delta_extensions = 0;
     rebuilds = 0;
     rebuilds_renumbered = 0;
@@ -170,16 +178,38 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
+(* The template fingerprint: the spec with the entity, the constants and
+   the tuple ids abstracted away — mode, interned Σ/Γ ids (see
+   {!Spec.sigma_id}) and the schema. Distinct entities of one shape share
+   the fingerprint, so the template layer hits where the spec-keyed layer
+   above cannot; hashing is O(1) (two ints and the mode). *)
+module TKey = struct
+  type t = Encode.mode * int * int * Schema.t
+
+  let equal ((m1, s1, g1, c1) : t) ((m2, s2, g2, c2) : t) =
+    m1 = m2 && s1 = s2 && g1 = g2 && Schema.equal c1 c2
+
+  let hash ((m, s, g, _) : t) = Hashtbl.hash (m, s, g)
+end
+
+module TTbl = Hashtbl.Make (TKey)
+
 (* Sharded for domain-parallel batches: a lookup locks only the shard its
    key hashes to, and encoding on a miss runs outside any lock, so domains
-   resolving distinct specs never serialise on the cache. *)
+   resolving distinct specs never serialise on the cache. The template
+   shards share the lock array (a lock guards both tables of its index). *)
 let n_shards = 16
 
-type cache = { shards : Encode.t Tbl.t array; locks : Mutex.t array }
+type cache = {
+  shards : Encode.t Tbl.t array;          (* spec-keyed: exact repeats *)
+  tshards : Encode.template TTbl.t array; (* fingerprint-keyed: shapes *)
+  locks : Mutex.t array;
+}
 
 let create_cache () =
   {
     shards = Array.init n_shards (fun _ -> Tbl.create 8);
+    tshards = Array.init n_shards (fun _ -> TTbl.create 4);
     locks = Array.init n_shards (fun _ -> Mutex.create ());
   }
 
@@ -188,6 +218,46 @@ let with_shard cache key f =
   let lock = cache.locks.(i) in
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f cache.shards.(i))
+
+(* the last template this domain served, keyed by fingerprint: a batch of
+   same-shape entities takes the lock once per domain, not per entity *)
+let tmemo : (TKey.t * Encode.template) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* [true] iff the template already existed (a template hit) *)
+let template_for ~(config : config) ~cache spec =
+  let key =
+    (config.mode, Spec.sigma_id spec, Spec.gamma_id spec, Spec.schema spec)
+  in
+  let slot = Domain.DLS.get tmemo in
+  match !slot with
+  | Some (k, tpl) when TKey.equal k key -> (tpl, true)
+  | _ ->
+      let i = TKey.hash key land (n_shards - 1) in
+      let lock = cache.locks.(i) in
+      Mutex.lock lock;
+      let found = TTbl.find_opt cache.tshards.(i) key in
+      Mutex.unlock lock;
+      let tpl, hit =
+        match found with
+        | Some tpl -> (tpl, true)
+        | None ->
+            (* compile outside the lock; racing domains compile twice and
+               first-in wins, as with the encoding shards *)
+            let tpl = Encode.template ~mode:config.mode spec in
+            Mutex.lock lock;
+            let tpl =
+              match TTbl.find_opt cache.tshards.(i) key with
+              | Some existing -> existing
+              | None ->
+                  TTbl.replace cache.tshards.(i) key tpl;
+                  tpl
+            in
+            Mutex.unlock lock;
+            (tpl, false)
+      in
+      slot := Some (key, tpl);
+      (tpl, hit)
 
 (* ---- sessions ---- *)
 
@@ -219,6 +289,10 @@ type session = {
   mutable deduce_seeded : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable template_hits : int;
+  mutable template_misses : int;
+  mutable instantiations : int;
+  mutable encode_alloc_words : float;
   mutable delta_extensions : int;
   mutable rebuilds_renumbered : int;
   mutable rebuilds_impure : int;
@@ -245,25 +319,45 @@ let timed_t times slot f =
 
 let timed sess slot f =
   sess.track := slot;
-  timed_t sess.times slot f
+  match slot with
+  | Encode_p ->
+      (* [Gc.minor_words] counts the calling domain's allocation, and a
+         session runs a phase on one domain, so the delta is this encode
+         work's own words — the per-domain contention signal the par
+         bench reports *)
+      let w0 = Gc.minor_words () in
+      let r = timed_t sess.times slot f in
+      sess.encode_alloc_words <- sess.encode_alloc_words +. (Gc.minor_words () -. w0);
+      r
+  | _ -> timed_t sess.times slot f
 
 let the_enc sess =
   match sess.enc with
   | Some enc -> enc
   | None -> invalid_arg "Engine: session was rejected by the lint pre-phase"
 
+(* what a cache lookup did, for the counters *)
+type lookup_outcome =
+  | L_direct  (* [config.cache = false]: plain encode, uncounted *)
+  | L_hit  (* spec-keyed exact repeat *)
+  | L_inst of bool  (* instantiated from a template; [true] = template hit *)
+
 let lookup ~(config : config) ~cache spec =
-  if not config.cache then (Encode.encode ~mode:config.mode spec, false)
+  if not config.cache then (Encode.encode ~mode:config.mode spec, L_direct)
   else
     let key = (config.mode, spec) in
     match with_shard cache key (fun tbl -> Tbl.find_opt tbl key) with
-    | Some enc -> (enc, true)
+    | Some enc -> (enc, L_hit)
     | None ->
-        (* encode outside the shard lock: misses on distinct specs must
-           not serialise. A racing domain encoding the same spec does the
-           work twice; both land on equal encodings (encoding is a pure
-           function of the spec), and first-in wins the slot. *)
-        let enc = Encode.encode ~mode:config.mode spec in
+        (* an exact-repeat miss falls through to the template layer: the
+           shape compiles once per batch, and the entity is stamped into
+           it by the thin instantiation stage. Instantiation runs outside
+           the shard lock: misses on distinct specs must not serialise. A
+           racing domain instantiating the same spec does the work twice;
+           both land on equal encodings (instantiation is a pure function
+           of the spec and the shape), and first-in wins the slot. *)
+        let tpl, thit = template_for ~config ~cache spec in
+        let enc = Encode.instantiate tpl spec in
         let enc =
           with_shard cache key (fun tbl ->
               match Tbl.find_opt tbl key with
@@ -272,18 +366,26 @@ let lookup ~(config : config) ~cache spec =
                   Tbl.replace tbl key enc;
                   enc)
         in
-        (enc, false)
+        (enc, L_inst thit)
 
 let cache_store ~(config : config) ~cache spec enc =
   if config.cache then
     let key = (config.mode, spec) in
     with_shard cache key (fun tbl -> Tbl.replace tbl key enc)
 
+let count_lookup sess outcome =
+  match outcome with
+  | L_direct -> ()
+  | L_hit -> sess.cache_hits <- sess.cache_hits + 1
+  | L_inst thit ->
+      sess.cache_misses <- sess.cache_misses + 1;
+      sess.instantiations <- sess.instantiations + 1;
+      if thit then sess.template_hits <- sess.template_hits + 1
+      else sess.template_misses <- sess.template_misses + 1
+
 let encode_spec sess spec =
-  let enc, hit = lookup ~config:sess.config ~cache:sess.cache spec in
-  if sess.config.cache then
-    if hit then sess.cache_hits <- sess.cache_hits + 1
-    else sess.cache_misses <- sess.cache_misses + 1;
+  let enc, outcome = lookup ~config:sess.config ~cache:sess.cache spec in
+  count_lookup sess outcome;
   enc
 
 let fresh_solver sess enc =
@@ -387,11 +489,15 @@ let make_session ?(config = default_config) ?cache ?label ~track spec =
     | Some (Faults.Burn n) -> pending_burn := max 0 n
     | Some Faults.Exhaust -> pending_exhaust := true
   end;
-  let enc, hit =
-    if lint_rejected then (None, false)
-    else
-      let enc, hit = timed_t times Encode_p (fun () -> lookup ~config ~cache spec) in
-      (Some enc, hit)
+  let enc_alloc = ref 0. in
+  let enc, outcome =
+    if lint_rejected then (None, L_direct)
+    else begin
+      let w0 = Gc.minor_words () in
+      let enc, o = timed_t times Encode_p (fun () -> lookup ~config ~cache spec) in
+      enc_alloc := Gc.minor_words () -. w0;
+      (Some enc, o)
+    end
   in
   let sess =
     {
@@ -417,14 +523,19 @@ let make_session ?(config = default_config) ?cache ?label ~track spec =
       deduce_probes = 0;
       deduce_model_prunes = 0;
       deduce_seeded = 0;
-      cache_hits = (if config.cache && hit then 1 else 0);
-      cache_misses = (if config.cache && (not hit) && not lint_rejected then 1 else 0);
+      cache_hits = 0;
+      cache_misses = 0;
+      template_hits = 0;
+      template_misses = 0;
+      instantiations = 0;
+      encode_alloc_words = !enc_alloc;
       delta_extensions = 0;
       rebuilds_renumbered = 0;
       rebuilds_impure = 0;
       lint_rejected;
     }
   in
+  count_lookup sess outcome;
   saturate_session sess;
   if config.incremental && not lint_rejected then
     sess.solver <- Some (timed sess Validity_p (fun () -> fresh_solver sess (the_enc sess)));
@@ -552,6 +663,10 @@ let snapshot_stats sess =
     probes_avoided = sess.probes_avoided;
     cache_hits = sess.cache_hits;
     cache_misses = sess.cache_misses;
+    template_hits = sess.template_hits;
+    template_misses = sess.template_misses;
+    instantiations = sess.instantiations;
+    encode_alloc_words = sess.encode_alloc_words;
     delta_extensions = sess.delta_extensions;
     rebuilds = sess.rebuilds_renumbered + sess.rebuilds_impure;
     rebuilds_renumbered = sess.rebuilds_renumbered;
@@ -653,8 +768,10 @@ let resolve_session sess ~user =
              cheaper than the interrupted solve *)
           invalid_result ~rounds ~per_round
         else
-          let d = Deduce.deduce_order enc in
-          let resolved = Deduce.true_values d in
+          (* the degraded answer must stay inside the exact engine's fact
+             set: positive units only, universe-certain values only *)
+          let d = Deduce.deduce_units enc in
+          let resolved = Deduce.certain_values d in
           mk ~resolved ~valid:true ~rounds
             ~per_round:(count_known resolved :: per_round)
             ~level:PartialDeduce ~reason
@@ -693,16 +810,16 @@ let resolve_session sess ~user =
                 if wall_tripped sess then
                   (* validity known; the cheapest sound deduction (UP) is
                      still affordable — SAT probing is not *)
-                  let d = Deduce.deduce_order (the_enc sess) in
+                  let d = Deduce.deduce_units (the_enc sess) in
                   `Stop
-                    (degrade_partial Wall Deduce_p (Deduce.true_values d) ~rounds
+                    (degrade_partial Wall Deduce_p (Deduce.certain_values d) ~rounds
                        ~per_round)
                 else begin
                   fire sess Faults.Deduce Deduce_p;
                   if exhausted_now sess then
-                    let d = Deduce.deduce_order (the_enc sess) in
+                    let d = Deduce.deduce_units (the_enc sess) in
                     `Stop
-                      (degrade_partial Conflicts Deduce_p (Deduce.true_values d)
+                      (degrade_partial Conflicts Deduce_p (Deduce.certain_values d)
                          ~rounds ~per_round)
                   else
                     let d = timed sess Deduce_p (fun () -> deduce_on sess (the_enc sess)) in
@@ -836,6 +953,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;
+  template_hits : int;
+  template_misses : int;
+  template_hit_ratio : float;
+  instantiations : int;
+  encode_alloc_words : float;
   delta_extensions : int;
   rebuilds : int;
   rebuilds_renumbered : int;
@@ -861,7 +983,9 @@ let pp_stats ppf st =
      solver: %a; %d CNF load(s), %d phase(s) on live sessions@ \
      deduce: %d SAT call(s) (%d probe(s), %d model-prune(s), %d seeded)@ \
      saturate: %d static fact(s) derived, %d probe(s) avoided@ \
-     encode cache: %d hit(s) / %d miss(es) (%.0f%%); %d delta extension(s), \
+     encode cache: %d hit(s) / %d miss(es) (%.0f%%); templates: %d hit(s) / \
+     %d miss(es) (%.0f%%), %d instantiation(s)@ \
+     encode alloc: %.0f minor words; %d delta extension(s), \
      %d rebuild(s) (%d renumbered, %d impure)@ \
      wall: %.1f ms (%.1f entities/s)@]"
     st.entities st.valid_entities st.total_rounds st.attrs_resolved st.attrs_total
@@ -876,33 +1000,24 @@ let pp_stats ppf st =
     st.solvers_reused st.deduce_sat_calls st.deduce_probes st.deduce_model_prunes
     st.deduce_seeded st.static_facts st.probes_avoided st.cache_hits st.cache_misses
     (100. *. st.hit_ratio)
+    st.template_hits st.template_misses
+    (100. *. st.template_hit_ratio)
+    st.instantiations st.encode_alloc_words
     st.delta_extensions st.rebuilds st.rebuilds_renumbered st.rebuilds_impure st.wall_ms
     (throughput st)
 
-(* Batch items routinely carry structurally equal Σ/Γ lists that are not
-   physically shared (each built by its own producer). {!Encode} reuses
-   compiled constraint forms by physical identity, so intern the lists:
-   one deep comparison per distinct list per item, against compiling
-   (name resolution over hundreds of constraints) once per item. *)
+(* Constraint-list interning now happens at spec construction
+   ({!Spec.make_res} routes every list through the global pool), so this
+   pass is a no-op for specs built through [Spec.make]. It is kept for
+   items whose specs were assembled as record literals: {!Encode} reuses
+   compiled forms by physical identity and the template cache keys on the
+   intern ids, so canonicalising here still pays once per item. *)
 let intern_constraint_lists items =
-  let intern pool l =
-    if l == [] then l
-    else
-      match List.find_opt (fun c -> c == l) !pool with
-      | Some c -> c
-      | None -> (
-          match List.find_opt (fun c -> c = l) !pool with
-          | Some c -> c
-          | None ->
-              pool := l :: !pool;
-              l)
-  in
-  let sigmas = ref [] and gammas = ref [] in
   List.map
     (fun it ->
       let s = it.spec in
-      let sigma = intern sigmas s.Spec.sigma in
-      let gamma = intern gammas s.Spec.gamma in
+      let sigma, _ = Spec.intern_sigma s.Spec.sigma in
+      let gamma, _ = Spec.intern_gamma s.Spec.gamma in
       if sigma == s.Spec.sigma && gamma == s.Spec.gamma then it
       else { it with spec = { s with Spec.sigma; gamma } })
     items
@@ -929,6 +1044,10 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
   and probes_avoided = ref 0
   and cache_hits = ref 0
   and cache_misses = ref 0
+  and template_hits = ref 0
+  and template_misses = ref 0
+  and instantiations = ref 0
+  and encode_alloc_words = ref 0.
   and delta_extensions = ref 0
   and rebuilds_renumbered = ref 0
   and rebuilds_impure = ref 0
@@ -965,12 +1084,17 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
       probes_avoided := !probes_avoided + st.probes_avoided;
       cache_hits := !cache_hits + st.cache_hits;
       cache_misses := !cache_misses + st.cache_misses;
+      template_hits := !template_hits + st.template_hits;
+      template_misses := !template_misses + st.template_misses;
+      instantiations := !instantiations + st.instantiations;
+      encode_alloc_words := !encode_alloc_words +. st.encode_alloc_words;
       delta_extensions := !delta_extensions + st.delta_extensions;
       rebuilds_renumbered := !rebuilds_renumbered + st.rebuilds_renumbered;
       rebuilds_impure := !rebuilds_impure + st.rebuilds_impure;
       if st.lint_rejected then incr lint_rejected)
     results;
   let lookups = !cache_hits + !cache_misses in
+  let tlookups = !template_hits + !template_misses in
   {
     entities = !entities;
     valid_entities = !valid_entities;
@@ -995,6 +1119,13 @@ let aggregate ~jobs ~jobs_requested ~wall_ms (results : item_result array) =
     cache_misses = !cache_misses;
     hit_ratio =
       (if lookups = 0 then 0. else float_of_int !cache_hits /. float_of_int lookups);
+    template_hits = !template_hits;
+    template_misses = !template_misses;
+    template_hit_ratio =
+      (if tlookups = 0 then 0.
+       else float_of_int !template_hits /. float_of_int tlookups);
+    instantiations = !instantiations;
+    encode_alloc_words = !encode_alloc_words;
     delta_extensions = !delta_extensions;
     rebuilds = !rebuilds_renumbered + !rebuilds_impure;
     rebuilds_renumbered = !rebuilds_renumbered;

@@ -195,8 +195,18 @@ type entity_stats = {
   probes_avoided : int;
       (** of [deduce_seeded], facts adopted from the static closure — the
           deduction work the saturate pre-phase saved *)
-  cache_hits : int;
+  cache_hits : int;  (** spec-keyed exact-repeat hits *)
   cache_misses : int;
+  template_hits : int;
+      (** exact-repeat misses served by an already-compiled shape template
+          (the fingerprint layer: mode + interned Σ/Γ ids + schema) *)
+  template_misses : int;  (** lookups that had to compile the shape *)
+  instantiations : int;
+      (** encodings produced by the thin per-entity stage
+          ({!Encode.instantiate}) — every exact-repeat miss is one *)
+  encode_alloc_words : float;
+      (** minor-heap words the encode phase allocated on this entity's
+          domain — the per-domain contention signal of the par bench *)
   delta_extensions : int;  (** [Se ⊕ Ot] rounds served by {!Encode.extend} *)
   rebuilds : int;  (** rounds the solver session could not survive:
                        [rebuilds_renumbered + rebuilds_impure] *)
@@ -351,6 +361,15 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   hit_ratio : float;  (** hits / (hits + misses), 0 with no lookups *)
+  template_hits : int;  (** shape-template hits, batch-wide *)
+  template_misses : int;  (** shape compilations, batch-wide *)
+  template_hit_ratio : float;
+      (** template hits / template lookups, 0 with no lookups. A batch of
+          [n] distinct same-shape entities scores [(n-1)/n] where the
+          spec-keyed [hit_ratio] scores 0 — the headline of the template
+          layer *)
+  instantiations : int;  (** thin per-entity instantiations, batch-wide *)
+  encode_alloc_words : float;  (** encode-phase minor words, summed *)
   delta_extensions : int;
   rebuilds : int;  (** [rebuilds_renumbered + rebuilds_impure] *)
   rebuilds_renumbered : int;

@@ -105,6 +105,24 @@ let template_stats () =
 
 (* ---- the fixpoint ---- *)
 
+(* Per-domain scratch for the tables that never escape a [saturate] call
+   (the fact index does — it is part of the result — so it stays fresh).
+   [Hashtbl.clear] keeps the grown bucket arrays, so a session re-chasing
+   after every delta extension stops paying the table setup each time. *)
+type scratch = {
+  sc_succ : (int * int, (int * int) list ref) Hashtbl.t;
+  sc_pred : (int * int, (int * int) list ref) Hashtbl.t;
+  sc_watch : (fact, (int * int) list ref) Hashtbl.t;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sc_succ = Hashtbl.create 64;
+        sc_pred = Hashtbl.create 64;
+        sc_watch = Hashtbl.create 256;
+      })
+
 let saturate ~mode ?plan ~certain ~assume (parts : Encode.parts) =
   let coding = parts.Encode.p_coding in
   let arity = Schema.arity (Coding.schema coding) in
@@ -117,7 +135,10 @@ let saturate ~mode ?plan ~certain ~assume (parts : Encode.parts) =
      semi-naive transitive join registers each fact once and joins each
      pair of chainable facts exactly once (when the later of the two is
      processed against the earlier's registration) *)
-  let succ = Hashtbl.create 64 and pred = Hashtbl.create 64 in
+  let sc = Domain.DLS.get scratch_key in
+  let succ = sc.sc_succ and pred = sc.sc_pred in
+  Hashtbl.clear succ;
+  Hashtbl.clear pred;
   let adj tbl key =
     match Hashtbl.find_opt tbl key with Some l -> !l | None -> []
   in
@@ -148,7 +169,8 @@ let saturate ~mode ?plan ~certain ~assume (parts : Encode.parts) =
   let prem_steps =
     Array.map (fun ic -> Array.make (List.length ic.Encode.premise) (-1)) imps
   in
-  let watch = Hashtbl.create 256 in
+  let watch = sc.sc_watch in
+  Hashtbl.clear watch;
   Array.iteri
     (fun i ic ->
       List.iteri (fun slot f -> adj_add watch f (i, slot)) ic.Encode.premise)

@@ -25,7 +25,22 @@ type handle = {
   mutable carried_renumbered : int;
   mutable carried_impure : int;
   mutable carried_solvers : int;
+  mutable carried_thits : int;
+  mutable carried_tmisses : int;
+  mutable carried_insts : int;
   mutable closed : bool;
+}
+
+(* lifetime totals of a handle, engine-session rebuilds included *)
+type counters = {
+  c_delta : int;
+  c_renumbered : int;
+  c_impure : int;
+  c_solvers : int;
+  c_thits : int;
+  c_tmisses : int;
+  c_insts : int;
+  c_resolves : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -53,6 +68,9 @@ let create ?(config = Engine.default_config) ?cache ?(label = "session") spec =
     carried_renumbered = 0;
     carried_impure = 0;
     carried_solvers = 0;
+    carried_thits = 0;
+    carried_tmisses = 0;
+    carried_insts = 0;
     closed = false;
   }
 
@@ -85,6 +103,9 @@ let flush h =
       h.carried_renumbered <- h.carried_renumbered + st.Engine.rebuilds_renumbered;
       h.carried_impure <- h.carried_impure + st.Engine.rebuilds_impure + 1;
       h.carried_solvers <- h.carried_solvers + st.Engine.solvers_built;
+      h.carried_thits <- h.carried_thits + st.Engine.template_hits;
+      h.carried_tmisses <- h.carried_tmisses + st.Engine.template_misses;
+      h.carried_insts <- h.carried_insts + st.Engine.instantiations;
       h.eng <- Engine.create_session ~config:h.config ~cache:h.cache ~label:h.label spec'
     end
     else Engine.ingest_session h.eng ~orders ~tuples ()
@@ -138,11 +159,16 @@ let is_closed h = locked h (fun () -> h.closed)
    used (under the handle lock) by Store accounting *)
 let counters_unlocked h =
   let st = Engine.session_stats h.eng in
-  ( h.carried_delta + st.Engine.delta_extensions,
-    h.carried_renumbered + st.Engine.rebuilds_renumbered,
-    h.carried_impure + st.Engine.rebuilds_impure,
-    h.carried_solvers + st.Engine.solvers_built,
-    h.resolves )
+  {
+    c_delta = h.carried_delta + st.Engine.delta_extensions;
+    c_renumbered = h.carried_renumbered + st.Engine.rebuilds_renumbered;
+    c_impure = h.carried_impure + st.Engine.rebuilds_impure;
+    c_solvers = h.carried_solvers + st.Engine.solvers_built;
+    c_thits = h.carried_thits + st.Engine.template_hits;
+    c_tmisses = h.carried_tmisses + st.Engine.template_misses;
+    c_insts = h.carried_insts + st.Engine.instantiations;
+    c_resolves = h.resolves;
+  }
 
 let create_handle = create
 
@@ -173,6 +199,9 @@ module Store = struct
     mutable retired_renumbered : int;
     mutable retired_impure : int;
     mutable retired_solvers : int;
+    mutable retired_thits : int;
+    mutable retired_tmisses : int;
+    mutable retired_insts : int;
   }
 
   type stats = {
@@ -187,6 +216,9 @@ module Store = struct
     rebuilds_renumbered : int;
     rebuilds_impure : int;
     solvers_built : int;
+    template_hits : int;
+    template_misses : int;
+    instantiations : int;
   }
 
   let create ?(config = Engine.default_config) ?cache ?(max_sessions = 1024) ?ttl_s () =
@@ -210,6 +242,9 @@ module Store = struct
       retired_renumbered = 0;
       retired_impure = 0;
       retired_solvers = 0;
+      retired_thits = 0;
+      retired_tmisses = 0;
+      retired_insts = 0;
     }
 
   let config t = t.config
@@ -226,13 +261,16 @@ module Store = struct
 
   (* store lock held; takes the handle lock (never the reverse order) *)
   let retire t e =
-    let d, rn, ri, s, rv = locked e.h (fun () -> counters_unlocked e.h) in
+    let c = locked e.h (fun () -> counters_unlocked e.h) in
     close e.h;
-    t.retired_delta <- t.retired_delta + d;
-    t.retired_renumbered <- t.retired_renumbered + rn;
-    t.retired_impure <- t.retired_impure + ri;
-    t.retired_solvers <- t.retired_solvers + s;
-    t.retired_resolves <- t.retired_resolves + rv
+    t.retired_delta <- t.retired_delta + c.c_delta;
+    t.retired_renumbered <- t.retired_renumbered + c.c_renumbered;
+    t.retired_impure <- t.retired_impure + c.c_impure;
+    t.retired_solvers <- t.retired_solvers + c.c_solvers;
+    t.retired_thits <- t.retired_thits + c.c_thits;
+    t.retired_tmisses <- t.retired_tmisses + c.c_tmisses;
+    t.retired_insts <- t.retired_insts + c.c_insts;
+    t.retired_resolves <- t.retired_resolves + c.c_resolves
 
   let evict_lru t =
     let rec pop () =
@@ -329,15 +367,21 @@ module Store = struct
         and rn = ref t.retired_renumbered
         and ri = ref t.retired_impure
         and s = ref t.retired_solvers
+        and th = ref t.retired_thits
+        and tm = ref t.retired_tmisses
+        and ins = ref t.retired_insts
         and rv = ref t.retired_resolves in
         Hashtbl.iter
           (fun _ e ->
-            let ed, ern, eri, es, erv = locked e.h (fun () -> counters_unlocked e.h) in
-            d := !d + ed;
-            rn := !rn + ern;
-            ri := !ri + eri;
-            s := !s + es;
-            rv := !rv + erv)
+            let c = locked e.h (fun () -> counters_unlocked e.h) in
+            d := !d + c.c_delta;
+            rn := !rn + c.c_renumbered;
+            ri := !ri + c.c_impure;
+            s := !s + c.c_solvers;
+            th := !th + c.c_thits;
+            tm := !tm + c.c_tmisses;
+            ins := !ins + c.c_insts;
+            rv := !rv + c.c_resolves)
           t.tbl;
         {
           live = Hashtbl.length t.tbl;
@@ -351,15 +395,19 @@ module Store = struct
           rebuilds_renumbered = !rn;
           rebuilds_impure = !ri;
           solvers_built = !s;
+          template_hits = !th;
+          template_misses = !tm;
+          instantiations = !ins;
         })
 
   let pp_stats ppf s =
     Format.fprintf ppf
       "@[<v>live %d (created %d, reused %d)@,evicted: lru %d, ttl %d, removed %d@,\
        resolves %d@,delta extensions %d, rebuilds %d (renumbered %d, impure %d)@,\
-       solvers built %d@]"
+       solvers built %d@,templates: %d hit(s) / %d miss(es), %d instantiation(s)@]"
       s.live s.created s.reused s.evicted_lru s.evicted_ttl s.removed s.resolves
       s.delta_extensions
       (s.rebuilds_renumbered + s.rebuilds_impure)
-      s.rebuilds_renumbered s.rebuilds_impure s.solvers_built
+      s.rebuilds_renumbered s.rebuilds_impure s.solvers_built s.template_hits
+      s.template_misses s.instantiations
 end

@@ -149,6 +149,11 @@ module Store : sig
     rebuilds_renumbered : int;
     rebuilds_impure : int;
     solvers_built : int;
+    template_hits : int;
+        (** encodings instantiated from an already-compiled template
+            (see {!Encode.template}) *)
+    template_misses : int;  (** instantiations that compiled the template first *)
+    instantiations : int;  (** template-stage encodings built (hits + misses) *)
   }
 
   val stats : t -> stats

@@ -29,6 +29,67 @@ let pp_error ppf = function
 
 exception Spec_error of error
 
+(* ---- Σ/Γ interning ----
+
+   Every spec of the same *shape* (same constraint lists up to structural
+   equality) should carry the very same list values: Encode's compiled-
+   constraint memos, Saturate.plan_for and the engine's template cache all
+   key on physical identity (or on the integer ids handed out here), and a
+   batch of distinct entities over one schema must share them. The pool
+   maps each distinct list to a canonical representative and a dense id.
+
+   The pool is global and mutex-guarded; a domain-local one-slot memo in
+   front of it makes re-interning the canonical list (the overwhelmingly
+   common case once [make_res] has interned a batch's specs) lock-free. *)
+module Intern (X : sig
+  type elt
+end) =
+struct
+  type entry = { canon : X.elt list; id : int }
+
+  let tbl : (int, entry list) Hashtbl.t = Hashtbl.create 64
+  let next = ref 0
+  let lock = Mutex.create ()
+
+  let slot : (X.elt list * entry) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let intern l =
+    let cell = Domain.DLS.get slot in
+    match !cell with
+    | Some (src, e) when src == l -> (e.canon, e.id)
+    | _ ->
+        let h = Hashtbl.hash_param 100 200 l in
+        Mutex.lock lock;
+        let entries = Option.value (Hashtbl.find_opt tbl h) ~default:[] in
+        let e =
+          match List.find_opt (fun e -> e.canon == l) entries with
+          | Some e -> e
+          | None -> (
+              match List.find_opt (fun e -> e.canon = l) entries with
+              | Some e -> e
+              | None ->
+                  let e = { canon = l; id = !next } in
+                  incr next;
+                  Hashtbl.replace tbl h (e :: entries);
+                  e)
+        in
+        Mutex.unlock lock;
+        cell := Some (l, e);
+        (e.canon, e.id)
+end
+
+module Sigma_pool = Intern (struct
+  type elt = Currency.Constraint_ast.t
+end)
+
+module Gamma_pool = Intern (struct
+  type elt = Cfd.Constant_cfd.t
+end)
+
+let intern_sigma = Sigma_pool.intern
+let intern_gamma = Gamma_pool.intern
+
 let make_res entity ~orders ~sigma ~gamma =
   let schema = Entity.schema entity in
   let n = Entity.size entity in
@@ -57,6 +118,8 @@ let make_res entity ~orders ~sigma ~gamma =
         | Ok () -> ()
         | Error a -> raise (Spec_error (Unknown_cfd_attribute { cfd_index = k; attr = a })))
       gamma;
+    let sigma, _ = intern_sigma sigma in
+    let gamma, _ = intern_gamma gamma in
     Ok { entity; orders; sigma; gamma }
   with Spec_error e -> Error e
 
@@ -64,6 +127,9 @@ let make entity ~orders ~sigma ~gamma =
   match make_res entity ~orders ~sigma ~gamma with
   | Ok s -> s
   | Error e -> invalid_arg (Format.asprintf "Spec.make: %a" pp_error e)
+
+let sigma_id s = snd (intern_sigma s.sigma)
+let gamma_id s = snd (intern_gamma s.gamma)
 
 let schema s = Entity.schema s.entity
 

@@ -51,6 +51,31 @@ val make :
 val schema : t -> Schema.t
 val size : t -> int
 
+(** {2 Σ/Γ interning}
+
+    {!make_res} (and hence {!make}) interns the constraint lists in a
+    global pool: structurally equal Σ (resp. Γ) lists are replaced by one
+    canonical physical list and assigned a dense integer id. This is what
+    lets a batch of distinct same-shape specs share {!Encode}'s compiled
+    constraint forms, {!Saturate}'s fixpoint plans (both keyed on physical
+    identity) and the engine's compiled templates (keyed on the ids). *)
+
+(** [intern_sigma l] is the canonical list structurally equal to [l] and
+    its intern id. Interns [l] if it is new. *)
+val intern_sigma :
+  Currency.Constraint_ast.t list -> Currency.Constraint_ast.t list * int
+
+(** [intern_gamma l] — as {!intern_sigma}, for Γ. *)
+val intern_gamma : Cfd.Constant_cfd.t list -> Cfd.Constant_cfd.t list * int
+
+(** [sigma_id s] is the intern id of [s.sigma] (interning on demand for
+    specs built as record literals, which bypass {!make_res}). Specs
+    share an id iff their Σ lists are structurally equal. *)
+val sigma_id : t -> int
+
+(** [gamma_id s] — as {!sigma_id}, for Γ. *)
+val gamma_id : t -> int
+
 (** [add_order_edges s edges] extends the partial orders ([Se ⊕ Ot] with a
     pure order extension). *)
 val add_order_edges : t -> order_edge list -> t

@@ -172,6 +172,9 @@ let stats_json t =
         Protocol.jint
           (s.Session.Store.rebuilds_renumbered + s.Session.Store.rebuilds_impure) );
       ("solvers_built", Protocol.jint s.Session.Store.solvers_built);
+      ("template_hits", Protocol.jint s.Session.Store.template_hits);
+      ("template_misses", Protocol.jint s.Session.Store.template_misses);
+      ("instantiations", Protocol.jint s.Session.Store.instantiations);
       ("requests", Protocol.jint t.n_requests);
       ("resolve_requests", Protocol.jint t.n_resolves);
       ("ingest_requests", Protocol.jint t.n_ingests);

@@ -231,6 +231,40 @@ let prop_cnf_well_formed =
                enc.E.cnf.Sat.Cnf.clauses)
         [ E.Paper; E.Exact ])
 
+(* The template contract: the two-stage pipeline (compile the spec's
+   shape once, stamp the entity in) yields exactly the encoding the
+   one-stage [encode] builds — same universes, numbering, clauses and
+   instance lists, in the same order — so the engine may serve any
+   same-shape entity from a template without changing a single answer. *)
+let same_encoding (a : E.t) (b : E.t) =
+  a.E.cnf.Sat.Cnf.nvars = b.E.cnf.Sat.Cnf.nvars
+  && a.E.cnf.Sat.Cnf.clauses = b.E.cnf.Sat.Cnf.clauses
+  && a.E.units = b.E.units
+  && a.E.implications = b.E.implications
+  && a.E.sigma_insts = b.E.sigma_insts
+  && a.E.gamma_imps = b.E.gamma_imps
+  && a.E.vetoes = b.E.vetoes
+  && a.E.n_structural = b.E.n_structural
+  &&
+  let arity = Schema.arity (Crcore.Coding.schema a.E.coding) in
+  List.for_all
+    (fun at ->
+      Crcore.Coding.universe a.E.coding at = Crcore.Coding.universe b.E.coding at)
+    (List.init arity Fun.id)
+
+let prop_template_instantiate_bit_identical =
+  QCheck.Test.make ~count:500
+    ~name:"template + instantiate bit-identical to direct encode (both modes)"
+    Fixtures.qcheck_spec
+    (fun spec ->
+      List.for_all
+        (fun mode ->
+          let direct = E.encode ~mode spec in
+          let tpl = E.template ~mode spec in
+          let staged = E.instantiate tpl spec in
+          E.template_matches tpl spec && same_encoding direct staged)
+        [ E.Paper; E.Exact ])
+
 let prop_exact_has_more_clauses =
   QCheck.Test.make ~count:100 ~name:"exact mode adds clauses" Fixtures.qcheck_spec (fun spec ->
       let p = E.encode ~mode:E.Paper spec in
@@ -259,5 +293,10 @@ let () =
           Alcotest.test_case "fact/var round trip" `Quick test_var_fact_roundtrip;
         ] );
       ( "property",
-        List.map QCheck_alcotest.to_alcotest [ prop_cnf_well_formed; prop_exact_has_more_clauses ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cnf_well_formed;
+            prop_exact_has_more_clauses;
+            prop_template_instantiate_bit_identical;
+          ] );
     ]

@@ -234,6 +234,51 @@ let prop_solver_reuse_identical_under_jobs =
           same_item_results base_results r)
         [ 1; 4 ])
 
+(* The engine's cached path instantiates every encoding from a shared
+   template; the naive config compiles each directly. The two must agree
+   on every spec whatever the domain count or the saturate pre-phase —
+   the batch-level restatement of test_encode's bit-identity property. *)
+(* Answers only: [conflicts_spent] legitimately differs between solver
+   strategies (how many conflicts a run burns is an accounting detail of
+   the path taken, not part of the resolution), so unlike
+   [same_item_results] this ignores it. *)
+let same_answers (a : E.item_result list) (b : E.item_result list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : E.item_result) (y : E.item_result) ->
+         x.E.label = y.E.label
+         &&
+         match (x.E.outcome, y.E.outcome) with
+         | Ok rx, Ok ry ->
+             rx.E.resolved = ry.E.resolved
+             && rx.E.valid = ry.E.valid
+             && rx.E.level = ry.E.level
+         | Error _, Error _ -> true
+         | _ -> false)
+       a b
+
+let prop_template_path_identical =
+  QCheck.Test.make ~count:10
+    ~name:"template-instantiated engine == naive at jobs in {1,4}, saturate on/off"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let items = batch_of_seed seed in
+      let base_results, _ = E.run_batch ~config:E.naive_config items in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun saturate ->
+              let r, st =
+                E.run_batch
+                  ~config:
+                    { E.default_config with jobs; clamp_jobs = false; saturate }
+                  items
+              in
+              same_answers base_results r
+              && st.E.instantiations = st.E.template_hits + st.E.template_misses)
+            [ true; false ])
+        [ 1; 4 ])
+
 (* By default the engine caps the batch width at the machine's core
    count: over-subscribing domains is a pure slowdown, and BENCH_par
    showed a 3x one on a 1-core host. The request is still recorded. *)
@@ -291,5 +336,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           (prop_parallel_equals_sequential
            :: prop_solver_reuse_identical_under_jobs
+           :: prop_template_path_identical
            :: env_jobs_tests) );
     ]
