@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par templates deduce saturate lint robustness daemon fmt clean
+.PHONY: all build test check bench batch par templates deduce saturate satcore lint robustness daemon fmt clean
 
 all: build
 
@@ -46,6 +46,14 @@ deduce:
 # (the probes_avoided > 0 ratchet).
 saturate:
 	dune exec bench/main.exe -- saturate
+
+# SAT-core ablation: clause-DB management (LBD reduction + inprocessing)
+# on vs off over Person entities with linearly-growing histories; writes
+# BENCH_satcore.json and exits non-zero unless resolutions are identical
+# both ways and solve+deduce beats the grow-forever baseline at the
+# largest size.
+satcore:
+	dune exec bench/main.exe -- satcore
 
 # Lint the shipped example data. The paper's own Fig. 3 constraint set
 # carries exactly one true redundancy on this data — W007 on Σ#2

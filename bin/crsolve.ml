@@ -410,7 +410,7 @@ let default_jobs () =
   | None -> 1
 
 let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_file max_rounds
-    budget_conflicts budget_ms max_degrade fail_fast output =
+    budget_conflicts budget_ms max_degrade fail_fast dump_dimacs output =
   let sigma, gamma = parse_sigma_gamma sigma_file gamma_file in
   let mk_label_spec label entity =
     match Crcore.Spec.make_res entity ~orders:[] ~sigma ~gamma with
@@ -507,12 +507,40 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
       |> with_fail_fast fail_fast
       |> to_engine)
   in
+  let dumped = ref 0 in
+  let dump_failure label =
+    match dump_dimacs with
+    | None -> ()
+    | Some path -> (
+        (* Rebuild the failing entity's post-simplification clause DB in a
+           throwaway solver: the engine's own solver may be gone (or in a
+           worker domain), and a standalone reconstruction is exactly what an
+           external SAT tool needs to reproduce the formula. *)
+        let path = if !dumped = 0 then path else Printf.sprintf "%s.%d" path !dumped in
+        incr dumped;
+        match List.assoc_opt label labelled with
+        | None -> Printf.eprintf "[%s] dump-dimacs: no such entity\n%!" label
+        | Some spec -> (
+            try
+              let enc = Crcore.Encode.encode ~mode:(mode_of_exact exact) spec in
+              let s = Sat.Solver.create () in
+              Sat.Solver.add_cnf s enc.Crcore.Encode.cnf;
+              Sat.Solver.freeze_all s;
+              Sat.Solver.simplify s;
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Sat.Dimacs.of_solver s));
+              Printf.eprintf "[%s] post-simplify DIMACS written to %s\n%!" label path
+            with exn ->
+              Printf.eprintf "[%s] dump-dimacs failed: %s\n%!" label
+                (Printexc.to_string exn)))
+  in
   let on_result (r : Crcore.Engine.item_result) =
     match r.Crcore.Engine.outcome with
     | Error e ->
         Printf.printf "[%s] ERROR in %s: %s\n%!" r.Crcore.Engine.label
           (Crcore.Engine.phase_to_string e.Crcore.Engine.phase)
-          e.Crcore.Engine.exn
+          e.Crcore.Engine.exn;
+        dump_failure r.Crcore.Engine.label
     | Ok res ->
         let known =
           Array.fold_left (fun n v -> if v = None then n else n + 1) 0 res.Crcore.Engine.resolved
@@ -741,13 +769,24 @@ let batch_cmd =
             "Abort the whole batch on the first entity failure instead of isolating it as \
              that entity's ERROR outcome.")
   in
+  let dump_dimacs_a =
+    (* hidden debug flag: not listed in the manpage *)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dimacs" ] ~docv:"PATH" ~docs:Manpage.s_none
+          ~doc:
+            "Debug: on an entity failure, write that entity's post-simplification clause \
+             database (level-0 units, binary layer, surviving long clauses) as DIMACS CNF \
+             to $(docv); further failures go to $(docv).1, $(docv).2, ...")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Resolve a whole collection of entities with the incremental batch engine")
     Term.(
       const run_batch $ entity_a $ dir_a $ sigma_arg $ gamma_arg $ exact_arg $ naive_a
       $ jobs_a $ key_a $ truth_arg $ max_rounds_arg $ budget_conflicts_a $ budget_ms_a
-      $ max_degrade_a $ fail_fast_a $ out_a)
+      $ max_degrade_a $ fail_fast_a $ dump_dimacs_a $ out_a)
 
 let client_cmd =
   let socket_a =

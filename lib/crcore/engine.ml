@@ -45,6 +45,7 @@ type config = {
   max_degrade : degrade_level;
   pick_strategy : Pick.strategy;
   fail_fast : bool;
+  simplify : bool;
 }
 
 let default_config =
@@ -64,6 +65,7 @@ let default_config =
     max_degrade = PickFallback;
     pick_strategy = Pick.Favoured;
     fail_fast = false;
+    simplify = true;
   }
 
 let naive_config =
@@ -73,6 +75,7 @@ let naive_config =
     cache = false;
     lint = false;
     saturate = false;
+    simplify = false;
   }
 
 type phase_times = {
@@ -399,6 +402,14 @@ let fresh_solver sess enc =
   (match sess.closure with
   | Some cl -> Sat.Solver.add_units s (Saturate.unit_lits cl)
   | None -> ());
+  (* frozen-variable contract: every Φ(Se) variable may be probed later
+     (backbone deduction reads the whole model; delta extensions add
+     clauses over existing numbering), so BVE must not eliminate any of
+     them. Freeze first, then simplify — the saturation units just landed,
+     so the static closure feeds satisfied-clause removal and stripping. *)
+  Sat.Solver.freeze_all s;
+  if sess.config.simplify then Sat.Solver.simplify s
+  else Sat.Solver.set_reduce s false;
   sess.solvers_built <- sess.solvers_built + 1;
   s
 
@@ -623,9 +634,14 @@ let apply_extension sess spec' =
         let s = match sess.solver with Some s -> s | None -> assert false in
         timed sess Validity_p (fun () ->
             List.iter (Sat.Solver.add_clause_a s) delta;
-            match sess.closure with
+            (match sess.closure with
             | Some cl -> Sat.Solver.add_units s (Saturate.unit_lits cl)
-            | None -> ())
+            | None -> ());
+            (* inprocessing point: the delta clauses and refreshed closure
+               are in; re-freeze (covers any variables a later MaxSAT round
+               allocated on this solver) and simplify again *)
+            Sat.Solver.freeze_all s;
+            if sess.config.simplify then Sat.Solver.simplify s)
     | Some (Encode.Renumbered enc') ->
         (* a value universe grew: the Σ instances were still reused, but
            variable numbers shifted, so the solver session restarts *)

@@ -28,6 +28,7 @@ type handle = {
   mutable carried_thits : int;
   mutable carried_tmisses : int;
   mutable carried_insts : int;
+  mutable carried_sat : Sat.Solver.stats;
   mutable closed : bool;
 }
 
@@ -41,6 +42,7 @@ type counters = {
   c_tmisses : int;
   c_insts : int;
   c_resolves : int;
+  c_sat : Sat.Solver.stats;
 }
 
 let now () = Unix.gettimeofday ()
@@ -71,6 +73,7 @@ let create ?(config = Engine.default_config) ?cache ?(label = "session") spec =
     carried_thits = 0;
     carried_tmisses = 0;
     carried_insts = 0;
+    carried_sat = Sat.Solver.zero_stats;
     closed = false;
   }
 
@@ -106,6 +109,7 @@ let flush h =
       h.carried_thits <- h.carried_thits + st.Engine.template_hits;
       h.carried_tmisses <- h.carried_tmisses + st.Engine.template_misses;
       h.carried_insts <- h.carried_insts + st.Engine.instantiations;
+      h.carried_sat <- Sat.Solver.add_stats h.carried_sat st.Engine.solver;
       h.eng <- Engine.create_session ~config:h.config ~cache:h.cache ~label:h.label spec'
     end
     else Engine.ingest_session h.eng ~orders ~tuples ()
@@ -168,6 +172,7 @@ let counters_unlocked h =
     c_tmisses = h.carried_tmisses + st.Engine.template_misses;
     c_insts = h.carried_insts + st.Engine.instantiations;
     c_resolves = h.resolves;
+    c_sat = Sat.Solver.add_stats h.carried_sat st.Engine.solver;
   }
 
 let create_handle = create
@@ -202,6 +207,7 @@ module Store = struct
     mutable retired_thits : int;
     mutable retired_tmisses : int;
     mutable retired_insts : int;
+    mutable retired_sat : Sat.Solver.stats;
   }
 
   type stats = {
@@ -219,6 +225,7 @@ module Store = struct
     template_hits : int;
     template_misses : int;
     instantiations : int;
+    sat : Sat.Solver.stats;
   }
 
   let create ?(config = Engine.default_config) ?cache ?(max_sessions = 1024) ?ttl_s () =
@@ -245,6 +252,7 @@ module Store = struct
       retired_thits = 0;
       retired_tmisses = 0;
       retired_insts = 0;
+      retired_sat = Sat.Solver.zero_stats;
     }
 
   let config t = t.config
@@ -270,7 +278,8 @@ module Store = struct
     t.retired_thits <- t.retired_thits + c.c_thits;
     t.retired_tmisses <- t.retired_tmisses + c.c_tmisses;
     t.retired_insts <- t.retired_insts + c.c_insts;
-    t.retired_resolves <- t.retired_resolves + c.c_resolves
+    t.retired_resolves <- t.retired_resolves + c.c_resolves;
+    t.retired_sat <- Sat.Solver.add_stats t.retired_sat c.c_sat
 
   let evict_lru t =
     let rec pop () =
@@ -370,7 +379,8 @@ module Store = struct
         and th = ref t.retired_thits
         and tm = ref t.retired_tmisses
         and ins = ref t.retired_insts
-        and rv = ref t.retired_resolves in
+        and rv = ref t.retired_resolves
+        and sa = ref t.retired_sat in
         Hashtbl.iter
           (fun _ e ->
             let c = locked e.h (fun () -> counters_unlocked e.h) in
@@ -381,7 +391,8 @@ module Store = struct
             th := !th + c.c_thits;
             tm := !tm + c.c_tmisses;
             ins := !ins + c.c_insts;
-            rv := !rv + c.c_resolves)
+            rv := !rv + c.c_resolves;
+            sa := Sat.Solver.add_stats !sa c.c_sat)
           t.tbl;
         {
           live = Hashtbl.length t.tbl;
@@ -398,16 +409,18 @@ module Store = struct
           template_hits = !th;
           template_misses = !tm;
           instantiations = !ins;
+          sat = !sa;
         })
 
   let pp_stats ppf s =
     Format.fprintf ppf
       "@[<v>live %d (created %d, reused %d)@,evicted: lru %d, ttl %d, removed %d@,\
        resolves %d@,delta extensions %d, rebuilds %d (renumbered %d, impure %d)@,\
-       solvers built %d@,templates: %d hit(s) / %d miss(es), %d instantiation(s)@]"
+       solvers built %d@,templates: %d hit(s) / %d miss(es), %d instantiation(s)@,\
+       sat: %a@]"
       s.live s.created s.reused s.evicted_lru s.evicted_ttl s.removed s.resolves
       s.delta_extensions
       (s.rebuilds_renumbered + s.rebuilds_impure)
       s.rebuilds_renumbered s.rebuilds_impure s.solvers_built s.template_hits
-      s.template_misses s.instantiations
+      s.template_misses s.instantiations Sat.Solver.pp_stats s.sat
 end

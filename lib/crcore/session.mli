@@ -154,6 +154,11 @@ module Store : sig
             (see {!Encode.template}) *)
     template_misses : int;  (** instantiations that compiled the template first *)
     instantiations : int;  (** template-stage encodings built (hits + misses) *)
+    sat : Sat.Solver.stats;
+        (** solver counters summed the same way — conflicts and
+            propagations, plus the clause-database management counters
+            (learnt clauses kept/deleted, average LBD, binary-layer size,
+            clauses subsumed, variables eliminated, simplify time) *)
   }
 
   val stats : t -> stats

@@ -46,3 +46,5 @@ let parse_file path =
       parse_string s)
 
 let to_string f = Format.asprintf "%a" Cnf.pp f
+
+let of_solver s = to_string (Solver.export_cnf s)

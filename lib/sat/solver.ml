@@ -1,15 +1,26 @@
 (* CDCL solver. Variables are ints; literals use the packed encoding of
    [Lit]. Truth values are represented as ints: 1 = true, -1 = false,
-   0 = unassigned, so that the value of a literal is [assigns.(var) * sgn]. *)
+   0 = unassigned, so that the value of a literal is [assigns.(var) * sgn].
+
+   Clause-database layout: unit facts live on the level-0 trail, binary
+   clauses live in a dedicated implication layer ([bin], flat per-literal
+   vectors of the implied literal), and only clauses of three or more
+   literals enter the general watch lists. Learnt clauses carry an LBD
+   ("glue") score and are periodically halved by [reduce_db]; [simplify]
+   runs SatELite-style pre/inprocessing at decision level 0, restricted
+   by the frozen-variable contract. *)
 
 type clause = {
-  lits : Lit.t array; (* lits.(0) and lits.(1) are the watched pair *)
+  mutable lits : Lit.t array; (* lits.(0) and lits.(1) are the watched pair *)
   learnt : bool;
   mutable activity : float;
+  mutable lbd : int; (* distinct decision levels at learn time; <= 2 = glue *)
   mutable deleted : bool;
+  mutable sig_ : int; (* subsumption signature; scratch, valid inside simplify *)
 }
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = false }
+let dummy_clause =
+  { lits = [||]; learnt = false; activity = 0.; lbd = 0; deleted = false; sig_ = 0 }
 
 type result = Sat | Unsat
 
@@ -18,11 +29,25 @@ type t = {
   mutable assigns : int array;          (* 1 / -1 / 0 *)
   mutable level : int array;
   mutable reason : clause array;        (* dummy_clause = no reason *)
+  mutable binreason : int array;        (* other (false) literal of a binary
+                                           reason; -1 = none. Exactly one of
+                                           reason/binreason is live per var. *)
   mutable activity : float array;
   mutable polarity : bool array;        (* saved phase *)
   mutable seen : bool array;            (* scratch for analyze *)
+  mutable frozen : bool array;          (* BVE must not eliminate these *)
+  mutable elimd : bool array;           (* eliminated by BVE *)
+  mutable repr : Lit.t array;           (* literal-indexed substitution map from
+                                           equivalent-literal classes (binary
+                                           implication SCCs); identity when the
+                                           literal is its own representative *)
+  mutable has_subst : bool;             (* fast path: repr is all-identity *)
+  mutable lbd_seen : int array;         (* scratch, indexed by decision level *)
+  mutable lbd_ctr : int;
   (* per-literal state *)
-  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable watches : clause Vec.t array; (* indexed by literal; clauses len >= 3 *)
+  mutable bin : Lit.t Vec.t array;      (* bin.(p) = implied literals o of the
+                                           binary clauses (negate p \/ o) *)
   (* trail *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
@@ -30,6 +55,7 @@ type t = {
   (* clause database *)
   clauses : clause Vec.t;
   learnts : clause Vec.t;
+  mutable elim_stack : (Lit.t * Lit.t array list) list; (* head = most recent *)
   (* heuristics *)
   mutable order : Idx_heap.t;
   mutable var_inc : float;
@@ -38,11 +64,28 @@ type t = {
   mutable ok : bool;
   mutable model_valid : bool;
   mutable saved_model : bool array;
+  (* learnt-DB reduction schedule *)
+  mutable reduce_enabled : bool;
+  mutable reduce_interval : int;        (* conflicts between reductions *)
+  mutable next_reduce : int;            (* absolute conflict-count target *)
+  (* inprocessing schedule: clause load (longs + binary pairs) right after
+     the last full simplify pass; -1 = never simplified *)
+  mutable simplify_marker : int;
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
+  mutable learned : int;                (* clauses ever learnt (incl. binaries) *)
+  mutable lbd_sum : float;              (* sum of learn-time LBDs *)
+  mutable learnts_kept : int;           (* survivors of the last reduce_db *)
+  mutable learnts_deleted : int;
+  mutable n_binaries : int;             (* live pairs in the binary layer *)
+  mutable subsumed : int;               (* clauses removed by (self-)subsumption *)
+  mutable vars_eliminated : int;
+  mutable n_subst : int;                (* variables substituted away by
+                                           equivalent-literal classes *)
+  mutable simplify_ms : float;
   (* resource budgets: absolute counter targets, -1 = no limit. Only
      [solve_limited] consults them; [solve] always runs to completion. *)
   mutable conflict_limit : int;
@@ -52,6 +95,13 @@ type t = {
 let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
 let restart_base = 100
+let default_reduce_interval = 2000
+
+(* simplification bounds: BVE skips variables with more total occurrences
+   than [elim_occ_lim] or producing a resolvent longer than
+   [elim_clause_lim]; both keep simplify linear-ish on pathological inputs *)
+let elim_occ_lim = 16
+let elim_clause_lim = 24
 
 let create () =
   let s =
@@ -59,15 +109,24 @@ let create () =
       assigns = [||];
       level = [||];
       reason = [||];
+      binreason = [||];
       activity = [||];
       polarity = [||];
       seen = [||];
+      frozen = [||];
+      elimd = [||];
+      repr = [||];
+      has_subst = false;
+      lbd_seen = [||];
+      lbd_ctr = 0;
       watches = [||];
+      bin = [||];
       trail = Vec.create ~dummy:0;
       trail_lim = Vec.create ~dummy:0;
       qhead = 0;
       clauses = Vec.create ~dummy:dummy_clause;
       learnts = Vec.create ~dummy:dummy_clause;
+      elim_stack = [];
       order = Idx_heap.create ~score:(fun _ -> 0.);
       var_inc = 1.0;
       cla_inc = 1.0;
@@ -75,10 +134,23 @@ let create () =
       ok = true;
       model_valid = false;
       saved_model = [||];
+      reduce_enabled = true;
+      reduce_interval = default_reduce_interval;
+      next_reduce = default_reduce_interval;
+      simplify_marker = -1;
       conflicts = 0;
       decisions = 0;
       propagations = 0;
       restarts = 0;
+      learned = 0;
+      lbd_sum = 0.;
+      learnts_kept = 0;
+      learnts_deleted = 0;
+      n_binaries = 0;
+      subsumed = 0;
+      vars_eliminated = 0;
+      n_subst = 0;
+      simplify_ms = 0.;
       conflict_limit = -1;
       propagation_limit = -1;
     }
@@ -100,16 +172,33 @@ let grow_arrays s n =
     s.assigns <- grow s.assigns 0;
     s.level <- grow s.level (-1);
     s.reason <- grow s.reason dummy_clause;
+    s.binreason <- grow s.binreason (-1);
     s.activity <- grow s.activity 0.;
     s.polarity <- grow s.polarity false;
     s.seen <- grow s.seen false;
+    s.frozen <- grow s.frozen false;
+    s.elimd <- grow s.elimd false;
+    (* literal-indexed; fresh entries are their own representatives *)
+    let oldr = Array.length s.repr in
+    s.repr <- Array.init (2 * cap) (fun i -> if i < oldr then s.repr.(i) else i);
+    (* indexed by decision level, which can reach nvars *)
+    let lbd' = Array.make (cap + 1) 0 in
+    Array.blit s.lbd_seen 0 lbd' 0 (Array.length s.lbd_seen);
+    s.lbd_seen <- lbd';
     let oldw = Array.length s.watches in
     let w' = Array.make (2 * cap) (Vec.create ~dummy:dummy_clause) in
     Array.blit s.watches 0 w' 0 oldw;
     for i = oldw to (2 * cap) - 1 do
       w'.(i) <- Vec.create ~dummy:dummy_clause
     done;
-    s.watches <- w'
+    s.watches <- w';
+    let oldb = Array.length s.bin in
+    let b' = Array.make (2 * cap) (Vec.create ~dummy:0) in
+    Array.blit s.bin 0 b' 0 oldb;
+    for i = oldb to (2 * cap) - 1 do
+      b'.(i) <- Vec.create ~dummy:0
+    done;
+    s.bin <- b'
   end
 
 let new_var s =
@@ -134,6 +223,37 @@ let value_lit s l =
 
 let decision_level s = Vec.size s.trail_lim
 
+(* Map a caller-facing literal onto its equivalence-class representative.
+   Identity until the first substitution, and maps are kept fully collapsed
+   (no chains), so a single lookup suffices. *)
+let subst_lit s l = if s.has_subst then s.repr.(l) else l
+
+(* ---- frozen / eliminated variables ---- *)
+
+let check_var name s v =
+  if v < 0 || v >= s.nvars then invalid_arg ("Solver." ^ name ^ ": bad variable")
+
+let freeze s v =
+  check_var "freeze" s v;
+  s.frozen.(v) <- true;
+  (* a substituted variable stays expressible only through its class
+     representative, so the representative must outlive BVE too *)
+  let r = subst_lit s (Lit.pos v) in
+  s.frozen.(Lit.var r) <- true
+
+let freeze_all s =
+  for v = 0 to s.nvars - 1 do
+    s.frozen.(v) <- true
+  done
+
+let is_frozen s v =
+  check_var "is_frozen" s v;
+  s.frozen.(v)
+
+let is_eliminated s v =
+  check_var "is_eliminated" s v;
+  s.elimd.(v)
+
 (* ---- activity ---- *)
 
 let var_bump s v =
@@ -157,6 +277,28 @@ let clause_bump s (c : clause) =
 
 let clause_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
+(* ---- LBD ---- *)
+
+let compute_lbd s lits =
+  s.lbd_ctr <- s.lbd_ctr + 1;
+  let ctr = s.lbd_ctr in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 && s.lbd_seen.(lv) <> ctr then begin
+        s.lbd_seen.(lv) <- ctr;
+        incr n
+      end)
+    lits;
+  !n
+
+(* re-score a learnt clause when it takes part in conflict analysis; LBD
+   only ever improves (Glucose's dynamic glue update) *)
+let maybe_update_lbd s (c : clause) =
+  let lbd = compute_lbd s c.lits in
+  if lbd < c.lbd then c.lbd <- lbd
+
 (* ---- assignment ---- *)
 
 let enqueue s l reason =
@@ -165,6 +307,17 @@ let enqueue s l reason =
   s.assigns.(v) <- (if Lit.sign l then 1 else -1);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
+  s.binreason.(v) <- -1;
+  Vec.push s.trail l
+
+(* [l] is implied by the binary clause (l \/ other) with [other] false *)
+let enqueue_bin s l other =
+  assert (value_lit s l = 0);
+  let v = Lit.var l in
+  s.assigns.(v) <- (if Lit.sign l then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- dummy_clause;
+  s.binreason.(v) <- other;
   Vec.push s.trail l
 
 let cancel_until s lvl =
@@ -176,6 +329,7 @@ let cancel_until s lvl =
       s.assigns.(v) <- 0;
       s.polarity.(v) <- Lit.sign l;
       s.reason.(v) <- dummy_clause;
+      s.binreason.(v) <- -1;
       Idx_heap.insert s.order v
     done;
     Vec.shrink s.trail bound;
@@ -183,61 +337,97 @@ let cancel_until s lvl =
     s.qhead <- Vec.size s.trail
   end
 
-(* ---- watches ---- *)
+(* ---- watches / binary layer ---- *)
 
 let attach_clause s c =
   assert (Array.length c.lits >= 2);
   Vec.push s.watches.(Lit.negate c.lits.(0)) c;
   Vec.push s.watches.(Lit.negate c.lits.(1)) c
 
-(* Propagate all enqueued facts; returns the conflicting clause if any. *)
+(* record the binary clause (a \/ b) in the implication layer: enqueueing
+   the negation of either literal implies the other *)
+let add_binary s a b =
+  Vec.push s.bin.(Lit.negate a) b;
+  Vec.push s.bin.(Lit.negate b) a;
+  s.n_binaries <- s.n_binaries + 1
+
+(* Propagate all enqueued facts; returns the conflicting clause if any.
+   For each dequeued literal the binary layer fires first — a flat scan of
+   implied literals, no clause records touched — then the long clauses. *)
 let propagate s =
   let confl = ref None in
   while !confl = None && s.qhead < Vec.size s.trail do
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
-    let ws = s.watches.(p) in
-    let i = ref 0 in
-    while !i < Vec.size ws do
-      let c = Vec.get ws !i in
-      if c.deleted then Vec.swap_remove ws !i
-      else begin
-        let false_lit = Lit.negate p in
-        (* make sure the false literal is at position 1 *)
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
-        end;
-        if value_lit s c.lits.(0) = 1 then incr i (* clause already satisfied *)
+    (* binary pass: every entry of bin.(p) is implied outright *)
+    let bs = s.bin.(p) in
+    let nb = Vec.size bs in
+    let j = ref 0 in
+    while !confl = None && !j < nb do
+      let o = Vec.get bs !j in
+      (match value_lit s o with
+      | 1 -> ()
+      | 0 -> enqueue_bin s o (Lit.negate p)
+      | _ ->
+          (* both literals of (negate p \/ o) are false: materialise the
+             pair as a throwaway clause to seed conflict analysis *)
+          confl :=
+            Some
+              {
+                lits = [| o; Lit.negate p |];
+                learnt = false;
+                activity = 0.;
+                lbd = 2;
+                deleted = false;
+                sig_ = 0;
+              };
+          s.qhead <- Vec.size s.trail);
+      incr j
+    done;
+    if !confl = None then begin
+      let ws = s.watches.(p) in
+      let i = ref 0 in
+      while !i < Vec.size ws do
+        let c = Vec.get ws !i in
+        if c.deleted then Vec.swap_remove ws !i
         else begin
-          (* look for a new literal to watch *)
-          let n = Array.length c.lits in
-          let k = ref 2 in
-          while !k < n && value_lit s c.lits.(!k) = -1 do
-            incr k
-          done;
-          if !k < n then begin
-            (* found: move it to position 1 and update watch lists *)
-            c.lits.(1) <- c.lits.(!k);
-            c.lits.(!k) <- false_lit;
-            Vec.push s.watches.(Lit.negate c.lits.(1)) c;
-            Vec.swap_remove ws !i
-          end
-          else if value_lit s c.lits.(0) = -1 then begin
-            (* conflict *)
-            confl := Some c;
-            s.qhead <- Vec.size s.trail;
-            incr i
-          end
+          let false_lit = Lit.negate p in
+          (* make sure the false literal is at position 1 *)
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          if value_lit s c.lits.(0) = 1 then incr i (* clause already satisfied *)
           else begin
-            (* unit clause: propagate c.lits.(0) *)
-            enqueue s c.lits.(0) c;
-            incr i
+            (* look for a new literal to watch *)
+            let n = Array.length c.lits in
+            let k = ref 2 in
+            while !k < n && value_lit s c.lits.(!k) = -1 do
+              incr k
+            done;
+            if !k < n then begin
+              (* found: move it to position 1 and update watch lists *)
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Vec.push s.watches.(Lit.negate c.lits.(1)) c;
+              Vec.swap_remove ws !i
+            end
+            else if value_lit s c.lits.(0) = -1 then begin
+              (* conflict *)
+              confl := Some c;
+              s.qhead <- Vec.size s.trail;
+              incr i
+            end
+            else begin
+              (* unit clause: propagate c.lits.(0) *)
+              enqueue s c.lits.(0) c;
+              incr i
+            end
           end
         end
-      end
-    done
+      done
+    end
   done;
   !confl
 
@@ -253,8 +443,14 @@ let add_clause_a s lits =
         if Lit.var l >= s.nvars then
           invalid_arg "Solver.add_clause: unallocated variable")
       lits;
+    (* substituted literals enter as their class representatives *)
+    let lits = Array.map (fun l -> subst_lit s l) lits in
+    Array.iter
+      (fun l ->
+        if s.elimd.(Lit.var l) then
+          invalid_arg "Solver.add_clause: eliminated variable (freeze it first)")
+      lits;
     (* sort, dedup, drop false literals, detect tautology / satisfied *)
-    let lits = Array.copy lits in
     Array.sort compare lits;
     let out = ref [] and n = ref 0 and sat = ref false in
     let prev = ref (-1) in
@@ -285,9 +481,17 @@ let add_clause_a s lits =
               s.ok <- false;
               raise Early_unsat
           | None -> ())
+      | [ x; y ] -> add_binary s x y
       | ls ->
           let c =
-            { lits = Array.of_list (List.rev ls); learnt = false; activity = 0.; deleted = false }
+            {
+              lits = Array.of_list (List.rev ls);
+              learnt = false;
+              activity = 0.;
+              lbd = 0;
+              deleted = false;
+              sig_ = 0;
+            }
           in
           Vec.push s.clauses c;
           attach_clause s c
@@ -311,23 +515,24 @@ let analyze s confl =
   Vec.push learnt 0 (* placeholder for the asserting literal *);
   let path_c = ref 0 in
   let p = ref (-1) (* -1 = undefined *) in
-  let confl = ref confl in
   let index = ref (Vec.size s.trail - 1) in
+  let visit q =
+    let v = Lit.var q in
+    if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      var_bump s v;
+      s.seen.(v) <- true;
+      if s.level.(v) >= decision_level s then incr path_c
+      else Vec.push learnt q
+    end
+  in
+  (* seed with the conflict clause, then walk the trail expanding reasons *)
+  if confl.learnt then begin
+    clause_bump s confl;
+    maybe_update_lbd s confl
+  end;
+  Array.iter visit confl.lits;
   let continue_loop = ref true in
   while !continue_loop do
-    let c = !confl in
-    if c.learnt then clause_bump s c;
-    let start = if !p = -1 then 0 else 1 in
-    for j = start to Array.length c.lits - 1 do
-      let q = c.lits.(j) in
-      let v = Lit.var q in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
-        var_bump s v;
-        s.seen.(v) <- true;
-        if s.level.(v) >= decision_level s then incr path_c
-        else Vec.push learnt q
-      end
-    done;
     (* select next literal to expand *)
     while not s.seen.(Lit.var (Vec.get s.trail !index)) do
       decr index
@@ -337,20 +542,38 @@ let analyze s confl =
     let v = Lit.var !p in
     s.seen.(v) <- false;
     decr path_c;
-    if !path_c > 0 then confl := s.reason.(v) else continue_loop := false
+    if !path_c > 0 then begin
+      if s.binreason.(v) >= 0 then visit s.binreason.(v)
+      else begin
+        let c = s.reason.(v) in
+        if c.learnt then begin
+          clause_bump s c;
+          maybe_update_lbd s c
+        end;
+        for j = 1 to Array.length c.lits - 1 do
+          visit c.lits.(j)
+        done
+      end
+    end
+    else continue_loop := false
   done;
   Vec.set learnt 0 (Lit.negate !p);
   (* clause minimisation: drop literals implied by the rest via their reason *)
   let keep q =
     let v = Lit.var q in
-    let r = s.reason.(v) in
-    if r == dummy_clause then true
+    if s.binreason.(v) >= 0 then begin
+      let w = Lit.var s.binreason.(v) in
+      (not s.seen.(w)) && s.level.(w) > 0
+    end
     else
-      Array.exists
-        (fun l ->
-          let w = Lit.var l in
-          w <> v && (not s.seen.(w)) && s.level.(w) > 0)
-        r.lits
+      let r = s.reason.(v) in
+      if r == dummy_clause then true
+      else
+        Array.exists
+          (fun l ->
+            let w = Lit.var l in
+            w <> v && (not s.seen.(w)) && s.level.(w) > 0)
+          r.lits
   in
   let minimized = Vec.create ~dummy:0 in
   Vec.push minimized (Vec.get learnt 0);
@@ -382,28 +605,42 @@ let locked s c =
   && s.reason.(Lit.var c.lits.(0)) == c
   && value_lit s c.lits.(0) = 1
 
+(* Halve the learnt database: glue clauses (LBD <= 2) and clauses locked as
+   reasons survive unconditionally; the rest go worst-first by LBD, ties
+   broken by lower activity. Binary learnts never appear here — they live
+   in the binary layer and are kept forever. Deleted clauses leave their
+   watch lists lazily during propagation. *)
 let reduce_db s =
-  let arr = Array.of_list (Vec.to_list s.learnts) in
-  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
-  let n = Array.length arr in
-  let limit = s.cla_inc /. float_of_int (max n 1) in
-  let removed = ref 0 in
-  Array.iteri
-    (fun i c ->
-      if
-        Array.length c.lits > 2
-        && (not (locked s c))
-        && (i < n / 2 || c.activity < limit)
-        && !removed < n / 2
-      then begin
-        c.deleted <- true;
-        incr removed
+  let cand = ref [] and ncand = ref 0 in
+  Vec.iter
+    (fun (c : clause) ->
+      if (not c.deleted) && c.lbd > 2 && not (locked s c) then begin
+        cand := c :: !cand;
+        incr ncand
       end)
+    s.learnts;
+  let arr = Array.of_list !cand in
+  Array.sort
+    (fun (a : clause) (b : clause) ->
+      if a.lbd <> b.lbd then compare b.lbd a.lbd else compare a.activity b.activity)
     arr;
-  let kept = Vec.create ~dummy:dummy_clause in
-  Vec.iter (fun c -> if not c.deleted then Vec.push kept c) s.learnts;
-  Vec.clear s.learnts;
-  Vec.iter (fun c -> Vec.push s.learnts c) kept
+  let to_delete = !ncand / 2 in
+  for i = 0 to to_delete - 1 do
+    arr.(i).deleted <- true
+  done;
+  Vec.filter_in_place (fun (c : clause) -> not c.deleted) s.learnts;
+  s.learnts_deleted <- s.learnts_deleted + to_delete;
+  s.learnts_kept <- Vec.size s.learnts;
+  (* geometric schedule: each reduction buys a 20%-longer reprieve *)
+  s.reduce_interval <- s.reduce_interval + (s.reduce_interval / 5);
+  s.next_reduce <- s.conflicts + s.reduce_interval
+
+let set_reduce s b = s.reduce_enabled <- b
+
+let set_reduce_interval s n =
+  if n < 1 then invalid_arg "Solver.set_reduce_interval";
+  s.reduce_interval <- n;
+  s.next_reduce <- s.conflicts + n
 
 (* ---- search ---- *)
 
@@ -428,7 +665,11 @@ let pick_branch_var s =
     if Idx_heap.is_empty s.order then -1
     else
       let v = Idx_heap.pop_max s.order in
-      if value_var s v = 0 then v else go ()
+      if
+        value_var s v = 0 && (not s.elimd.(v))
+        && ((not s.has_subst) || s.repr.(Lit.pos v) = Lit.pos v)
+      then v
+      else go ()
   in
   go ()
 
@@ -455,16 +696,28 @@ let budget_exhausted s = not (within_budget s)
 type search_outcome = S_sat | S_unsat_global | S_unsat_assump | S_restart | S_unknown
 
 let record_learnt s lits =
-  if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
+  let n = Array.length lits in
+  if n = 1 then enqueue s lits.(0) dummy_clause
+  else if n = 2 then begin
+    (* learnt binaries go straight to the implication layer and are never
+       reduction candidates *)
+    add_binary s lits.(0) lits.(1);
+    s.learned <- s.learned + 1;
+    s.lbd_sum <- s.lbd_sum +. 2.;
+    enqueue_bin s lits.(0) lits.(1)
+  end
   else begin
-    let c = { lits; learnt = true; activity = 0.; deleted = false } in
+    let lbd = compute_lbd s lits in
+    let c = { lits; learnt = true; activity = 0.; lbd; deleted = false; sig_ = 0 } in
+    s.learned <- s.learned + 1;
+    s.lbd_sum <- s.lbd_sum +. float_of_int lbd;
     Vec.push s.learnts c;
     attach_clause s c;
     clause_bump s c;
     enqueue s lits.(0) c
   end
 
-let search s ~respect_budget ~nof_conflicts ~max_learnts ~assumptions =
+let search s ~respect_budget ~nof_conflicts ~assumptions =
   let conflict_c = ref 0 in
   let outcome = ref None in
   while !outcome = None do
@@ -495,7 +748,7 @@ let search s ~respect_budget ~nof_conflicts ~max_learnts ~assumptions =
           outcome := Some S_restart
         end
         else begin
-          if Vec.size s.learnts - Vec.size s.trail >= max_learnts then reduce_db s;
+          if s.reduce_enabled && s.conflicts >= s.next_reduce then reduce_db s;
           (* place assumptions first, one decision level each *)
           let next = ref (-1) in
           let dl = decision_level s in
@@ -529,30 +782,61 @@ module Limited = struct
   type t = Sat | Unsat | Unknown
 end
 
+(* Extend a model over the variables BVE eliminated: walk the elimination
+   stack most-recent-first; each entry stores the pivot literal and the
+   clauses of its phase that were removed. Default the pivot to false and
+   flip it exactly when one of its stored clauses is otherwise unsatisfied —
+   the resolvents kept in the database guarantee the opposite phase then
+   holds too (standard SatELite reconstruction). *)
+let extend_model s =
+  List.iter
+    (fun (p, cls) ->
+      let v = Lit.var p in
+      s.saved_model.(v) <- not (Lit.sign p);
+      let lit_true l =
+        let w = Lit.var l in
+        if s.saved_model.(w) then Lit.sign l else not (Lit.sign l)
+      in
+      if List.exists (fun c -> not (Array.exists lit_true c)) cls then
+        s.saved_model.(v) <- Lit.sign p)
+    s.elim_stack;
+  (* substituted variables mirror their class representative — read it
+     last, after BVE reconstruction may have decided it *)
+  if s.has_subst then
+    for v = 0 to s.nvars - 1 do
+      let r = s.repr.(Lit.pos v) in
+      if r <> Lit.pos v then
+        s.saved_model.(v) <-
+          (if s.saved_model.(Lit.var r) then Lit.sign r else not (Lit.sign r))
+    done
+
 let solve_driver ~respect_budget ~assumptions s =
   s.model_valid <- false;
   if not s.ok then Limited.Unsat
   else begin
     cancel_until s 0;
-    List.iter
-      (fun l ->
-        if Lit.var l >= s.nvars then
-          invalid_arg "Solver.solve: assumption over unallocated variable")
-      assumptions;
+    let assumptions =
+      List.map
+        (fun l ->
+          if Lit.var l >= s.nvars then
+            invalid_arg "Solver.solve: assumption over unallocated variable";
+          let l = subst_lit s l in
+          if s.elimd.(Lit.var l) then
+            invalid_arg "Solver.solve: assumption over eliminated variable (freeze it)";
+          l)
+        assumptions
+    in
     let assumptions = Array.of_list assumptions in
     let result = ref None in
     let curr_restarts = ref 0 in
-    let max_learnts = ref (max 1000 (Vec.size s.clauses / 3)) in
     while !result = None do
       let budget =
         int_of_float (luby 2.0 !curr_restarts *. float_of_int restart_base)
       in
-      (match
-         search s ~respect_budget ~nof_conflicts:budget ~max_learnts:!max_learnts
-           ~assumptions
-       with
+      (match search s ~respect_budget ~nof_conflicts:budget ~assumptions with
       | S_sat ->
           s.saved_model <- Array.init s.nvars (fun v -> value_var s v = 1);
+          extend_model s;
           s.model_valid <- true;
           result := Some Limited.Sat
       | S_unsat_global ->
@@ -560,9 +844,7 @@ let solve_driver ~respect_budget ~assumptions s =
           result := Some Limited.Unsat
       | S_unsat_assump -> result := Some Limited.Unsat
       | S_unknown -> result := Some Limited.Unknown
-      | S_restart ->
-          incr curr_restarts;
-          max_learnts := !max_learnts + (!max_learnts / 10));
+      | S_restart -> incr curr_restarts);
       ()
     done;
     cancel_until s 0;
@@ -591,9 +873,638 @@ let has_model s = s.model_valid
 
 let value_level0 s v =
   if v < 0 || v >= s.nvars then invalid_arg "Solver.value_level0";
-  if s.assigns.(v) <> 0 && s.level.(v) = 0 then Some (s.assigns.(v) = 1) else None
+  let l = subst_lit s (Lit.pos v) in
+  let w = Lit.var l in
+  if s.assigns.(w) <> 0 && s.level.(w) = 0 then
+    Some (if Lit.sign l then s.assigns.(w) = 1 else s.assigns.(w) = -1)
+  else None
 
 let ok s = s.ok
+
+(* ---- pre/inprocessing at decision level 0 ---- *)
+
+(* Assign a literal at level 0 outside of propagation (watches may be
+   stale while simplify runs, so implications are found by the cleanup
+   fixpoint, not by [propagate]). *)
+let assign_unit s l =
+  match value_lit s l with
+  | 1 -> ()
+  | -1 -> s.ok <- false
+  | _ -> enqueue s l dummy_clause
+
+let clause_sig c =
+  let g = ref 0 in
+  Array.iter (fun l -> g := !g lor (1 lsl (Lit.var l mod 61))) c.lits;
+  c.sig_ <- !g
+
+(* Remove satisfied clauses / binary pairs and strip false literals until
+   no new level-0 unit appears. Runs with stale watch lists (rebuilt by the
+   caller); long clauses shrunk to two literals migrate to the binary
+   layer, to one literal onto the trail. *)
+let cleanup_fixpoint s =
+  let changed = ref true in
+  while s.ok && !changed do
+    changed := false;
+    (* binary layer: the pair at bin.(p) entry o is (negate p \/ o) *)
+    let removed = ref 0 in
+    for p = 0 to (2 * s.nvars) - 1 do
+      let bs = s.bin.(p) in
+      if Vec.size bs > 0 then begin
+        let q = Lit.negate p in
+        Vec.filter_in_place
+          (fun o ->
+            if not s.ok then true
+            else begin
+              (match (value_lit s q, value_lit s o) with
+              | -1, -1 -> s.ok <- false
+              | -1, 0 ->
+                  assign_unit s o;
+                  changed := true
+              | 0, -1 ->
+                  assign_unit s q;
+                  changed := true
+              | _ -> ());
+              if s.ok && (value_lit s q = 1 || value_lit s o = 1) then begin
+                incr removed;
+                false
+              end
+              else true
+            end)
+          bs
+      end
+    done;
+    s.n_binaries <- s.n_binaries - (!removed / 2);
+    (* long clauses, original and learnt alike *)
+    let clean vec =
+      Vec.iter
+        (fun (c : clause) ->
+          if s.ok && not c.deleted then begin
+            if Array.exists (fun l -> value_lit s l = 1) c.lits then c.deleted <- true
+            else if Array.exists (fun l -> value_lit s l = -1) c.lits then begin
+              let lits' =
+                Array.of_list
+                  (List.filter (fun l -> value_lit s l = 0) (Array.to_list c.lits))
+              in
+              match Array.length lits' with
+              | 0 -> s.ok <- false
+              | 1 ->
+                  assign_unit s lits'.(0);
+                  c.deleted <- true;
+                  changed := true
+              | 2 ->
+                  add_binary s lits'.(0) lits'.(1);
+                  c.deleted <- true
+              | _ -> c.lits <- lits'
+            end
+          end)
+        vec
+    in
+    clean s.clauses;
+    clean s.learnts
+  done
+
+(* Equivalent-literal substitution (the decompose step of the Lingeling /
+   CaDiCaL lineage): strongly connected components of the binary
+   implication graph are equivalence classes — every literal in an SCC
+   implies every other — so all members collapse onto one representative.
+   A class containing both a literal and its negation makes the formula
+   unsatisfiable. Frozen variables MAY be substituted (unlike BVE they stay
+   expressible: every API entry point maps through [repr]); their
+   representative inherits the frozen flag so BVE never removes it.
+   Returns [true] when at least one new class was found. *)
+let equiv_pass s =
+  let n2 = 2 * s.nvars in
+  let index = Array.make n2 (-1) in
+  let low = Array.make n2 0 in
+  let onstack = Array.make n2 false in
+  let comp = Array.make n2 (-1) in
+  let stack = Vec.create ~dummy:0 in
+  let ncomp = ref 0 in
+  let counter = ref 0 in
+  (* iterative Tarjan: the work stack holds (node, next successor index) *)
+  let work = Vec.create ~dummy:(0, 0) in
+  for root = 0 to n2 - 1 do
+    if index.(root) < 0 then begin
+      Vec.push work (root, 0);
+      while Vec.size work > 0 do
+        let v, ci = Vec.get work (Vec.size work - 1) in
+        if ci = 0 then begin
+          index.(v) <- !counter;
+          low.(v) <- !counter;
+          incr counter;
+          Vec.push stack v;
+          onstack.(v) <- true
+        end;
+        let succ = s.bin.(v) in
+        if ci < Vec.size succ then begin
+          Vec.set work (Vec.size work - 1) (v, ci + 1);
+          let w = Vec.get succ ci in
+          if index.(w) < 0 then Vec.push work (w, 0)
+          else if onstack.(w) then low.(v) <- min low.(v) index.(w)
+        end
+        else begin
+          ignore (Vec.pop work);
+          if Vec.size work > 0 then begin
+            let p, _ = Vec.get work (Vec.size work - 1) in
+            low.(p) <- min low.(p) low.(v)
+          end;
+          if low.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Vec.pop stack in
+              onstack.(w) <- false;
+              comp.(w) <- !ncomp;
+              if w = v then continue := false
+            done;
+            incr ncomp
+          end
+        end
+      done
+    end
+  done;
+  (* bucket literals by component and install representatives *)
+  let members = Array.make !ncomp [] in
+  for l = n2 - 1 downto 0 do
+    members.(comp.(l)) <- l :: members.(comp.(l))
+  done;
+  let found = ref false in
+  Array.iter
+    (fun ms ->
+      match ms with
+      | [] | [ _ ] -> ()
+      | rep :: rest ->
+          (* members are ascending, so the head is the minimum literal; the
+             complement class independently picks exactly the negated
+             representative (same variable set, opposite signs), keeping
+             [repr l] and [repr (negate l)] negations of each other *)
+          List.iter
+            (fun l ->
+              if comp.(l) = comp.(Lit.negate l) then s.ok <- false
+              else begin
+                s.repr.(l) <- rep;
+                if s.frozen.(Lit.var l) then s.frozen.(Lit.var rep) <- true
+              end)
+            rest;
+          (* each substituted variable sits in exactly one of the two
+             complementary classes with the positive representative *)
+          if Lit.sign rep then s.n_subst <- s.n_subst + List.length rest;
+          found := true)
+    members;
+  if !found && s.ok then begin
+    (* collapse chains left by earlier substitution rounds: a literal that
+       already mapped to [r] must follow [r]'s new mapping (one hop — the
+       old map was chain-free and the new one maps only live literals) *)
+    if s.has_subst then
+      for l = 0 to Array.length s.repr - 1 do
+        let r = s.repr.(l) in
+        if r <> l && r < n2 && s.repr.(r) <> r then s.repr.(l) <- s.repr.(r)
+      done;
+    s.has_subst <- true
+  end;
+  !found && s.ok
+
+(* Rewrite the whole database through [repr]: binary pairs and long
+   clauses alike. Tautologies vanish (the class's own defining binaries),
+   duplicates in the binary layer are deduplicated outright, and clauses
+   shrunk to one literal become level-0 facts. Duplicate LONG clauses are
+   left for the subsumption pass, which deletes exact copies. Watch lists
+   are stale during this pass; the caller rebuilds them. *)
+let apply_subst s =
+  let pairs = ref [] in
+  Array.iteri
+    (fun p bs ->
+      let a = Lit.negate p in
+      Vec.iter (fun o -> if a < o then pairs := (a, o) :: !pairs) bs)
+    s.bin;
+  Array.iter Vec.clear s.bin;
+  s.n_binaries <- 0;
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun (a, b) ->
+      let a = s.repr.(a) and b = s.repr.(b) in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if a = b then assign_unit s a (* (l ∨ l) collapsed to a fact *)
+      else if b = Lit.negate a then () (* tautology *)
+      else if not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.add seen (a, b) ();
+        add_binary s a b
+      end)
+    !pairs;
+  let rewrite vec =
+    Vec.iter
+      (fun (c : clause) ->
+        if (not c.deleted) && Array.exists (fun l -> s.repr.(l) <> l) c.lits then begin
+          let mapped = Array.map (fun l -> s.repr.(l)) c.lits in
+          Array.sort compare mapped;
+          let out = ref [] and n = ref 0 and taut = ref false in
+          let prev = ref (-2) in
+          Array.iter
+            (fun l ->
+              if not !taut then
+                if l = Lit.negate !prev && !prev >= 0 then taut := true
+                else if l <> !prev then begin
+                  out := l :: !out;
+                  incr n;
+                  prev := l
+                end)
+            mapped;
+          if !taut then c.deleted <- true
+          else
+            match !out with
+            | [] -> s.ok <- false
+            | [ l ] ->
+                assign_unit s l;
+                c.deleted <- true
+            | [ x; y ] ->
+                let x, y = if x <= y then (x, y) else (y, x) in
+                if not (Hashtbl.mem seen (x, y)) then begin
+                  Hashtbl.add seen (x, y) ();
+                  add_binary s x y
+                end;
+                c.deleted <- true
+            | ls -> c.lits <- Array.of_list (List.rev ls)
+        end)
+      vec
+  in
+  rewrite s.clauses;
+  rewrite s.learnts;
+  (* reconstruction clauses recorded by earlier BVE rounds must follow the
+     substitution too, or [extend_model] would evaluate a literal whose
+     variable no longer carries a value of its own. Pivots are eliminated
+     variables (never in an SCC), so only the stored occurrences move. *)
+  s.elim_stack <-
+    List.map
+      (fun (p, cls) -> (p, List.map (fun c -> Array.map (fun l -> s.repr.(l)) c) cls))
+      s.elim_stack
+
+(* Backward subsumption and self-subsuming resolution over the original
+   long clauses, using per-variable occurrence lists and 61-bit signatures;
+   the binary layer both subsumes and strengthens long clauses. *)
+let subsumption_pass s occ mark stamp =
+  let next_stamp () =
+    incr stamp;
+    !stamp
+  in
+  (* does c subsume d (return Some None), self-subsume it (Some (Some l):
+     negate l can be stripped from d), or neither (None)? *)
+  let subsumes (c : clause) (d : clause) =
+    let st = next_stamp () in
+    Array.iter (fun l -> mark.(l) <- st) d.lits;
+    let flip = ref None and failed = ref false in
+    Array.iter
+      (fun l ->
+        if not !failed then
+          if mark.(l) = st then ()
+          else if mark.(Lit.negate l) = st && !flip = None then flip := Some l
+          else failed := true)
+      c.lits;
+    if !failed then None else Some !flip
+  in
+  (* strengthen d by dropping literal l; returns false when d left the long
+     database (became binary) *)
+  let strengthen (d : clause) l =
+    d.lits <- Array.of_list (List.filter (fun x -> x <> l) (Array.to_list d.lits));
+    if Array.length d.lits = 2 then begin
+      add_binary s d.lits.(0) d.lits.(1);
+      d.deleted <- true;
+      false
+    end
+    else begin
+      clause_sig d;
+      true
+    end
+  in
+  let work = Vec.create ~dummy:dummy_clause in
+  Vec.iter
+    (fun (c : clause) ->
+      clause_sig c;
+      Vec.push work c)
+    s.clauses;
+  let wi = ref 0 in
+  while !wi < Vec.size work do
+    let c = Vec.get work !wi in
+    incr wi;
+    if not c.deleted then begin
+      (* the binary layer vs c: a pair (l \/ o) with both l and o in c
+         subsumes it; with l in c and negate o in c it strengthens it *)
+      let rescan = ref true in
+      while !rescan && not c.deleted do
+        rescan := false;
+        let st = next_stamp () in
+        Array.iter (fun l -> mark.(l) <- st) c.lits;
+        (try
+           Array.iter
+             (fun l ->
+               Vec.iter
+                 (fun o ->
+                   if o <> l && mark.(o) = st then begin
+                     c.deleted <- true;
+                     s.subsumed <- s.subsumed + 1;
+                     raise Exit
+                   end
+                   else if mark.(Lit.negate o) = st then begin
+                     if strengthen c (Lit.negate o) then rescan := true;
+                     raise Exit
+                   end)
+                 s.bin.(Lit.negate l))
+             c.lits
+         with Exit -> ())
+      done;
+      if not c.deleted then begin
+        (* scan candidates through the occurrence list of c's rarest var *)
+        let best = ref (Lit.var c.lits.(0)) in
+        Array.iter
+          (fun l ->
+            let v = Lit.var l in
+            if Vec.size occ.(v) < Vec.size occ.(!best) then best := v)
+          c.lits;
+        Vec.iter
+          (fun (d : clause) ->
+            if
+              d != c && (not d.deleted) && (not c.deleted)
+              && Array.length d.lits >= Array.length c.lits
+              && c.sig_ land lnot d.sig_ = 0
+            then
+              match subsumes c d with
+              | Some None ->
+                  d.deleted <- true;
+                  s.subsumed <- s.subsumed + 1
+              | Some (Some l) ->
+                  (* self-subsuming resolution: d loses (negate l) *)
+                  if strengthen d (Lit.negate l) then Vec.push work d
+                  else s.subsumed <- s.subsumed + 1
+              | None -> ())
+          occ.(!best)
+      end
+    end
+  done
+
+(* Bounded variable elimination over non-frozen, unassigned variables.
+   Commits only when the resolvents do not outnumber the clauses removed
+   and none exceeds [elim_clause_lim] literals; removed clauses of the
+   pivot's smaller phase go onto the elimination stack for model
+   reconstruction. *)
+let bve_pass s occ mark stamp =
+  let resolve (a : Lit.t array) (b : Lit.t array) pivot =
+    let st =
+      incr stamp;
+      !stamp
+    in
+    let out = ref [] and n = ref 0 and taut = ref false in
+    Array.iter
+      (fun l ->
+        if l <> pivot && mark.(l) <> st then begin
+          mark.(l) <- st;
+          out := l :: !out;
+          incr n
+        end)
+      a;
+    let npiv = Lit.negate pivot in
+    Array.iter
+      (fun l ->
+        if (not !taut) && l <> npiv then
+          if mark.(Lit.negate l) = st then taut := true
+          else if mark.(l) <> st then begin
+            mark.(l) <- st;
+            out := l :: !out;
+            incr n
+          end)
+      b;
+    if !taut then None else Some (Array.of_list !out)
+  in
+  let remove_pair_entry other lit =
+    (* drop one occurrence of [lit] from bin.(negate other) *)
+    let bs = s.bin.(Lit.negate other) in
+    let found = ref false and i = ref 0 in
+    while (not !found) && !i < Vec.size bs do
+      if Vec.get bs !i = lit then begin
+        Vec.swap_remove bs !i;
+        found := true
+      end
+      else incr i
+    done
+  in
+  for v = 0 to s.nvars - 1 do
+    if
+      s.ok && (not s.frozen.(v)) && (not s.elimd.(v)) && s.assigns.(v) = 0
+      (* substituted variables have no occurrences left but must stay
+         expressible through their representative — not BVE candidates *)
+      && ((not s.has_subst) || s.repr.(Lit.pos v) = Lit.pos v)
+    then begin
+      let lp = Lit.make v true in
+      let ln = Lit.negate lp in
+      let gather lit =
+        let longs = ref [] and n = ref 0 in
+        Vec.iter
+          (fun (c : clause) ->
+            if (not c.deleted) && Array.exists (fun l -> l = lit) c.lits then begin
+              longs := c :: !longs;
+              incr n
+            end)
+          occ.(v);
+        (* binaries (lit \/ o) live at bin.(negate lit) *)
+        (!longs, !n)
+      in
+      let pos_long, np_long = gather lp and neg_long, nn_long = gather ln in
+      let pos_bin = Vec.to_list s.bin.(Lit.negate lp)
+      and neg_bin = Vec.to_list s.bin.(Lit.negate ln) in
+      let n_pos = np_long + List.length pos_bin
+      and n_neg = nn_long + List.length neg_bin in
+      if n_pos + n_neg <= elim_occ_lim then begin
+        let pos_side =
+          List.map (fun (c : clause) -> c.lits) pos_long
+          @ List.map (fun o -> [| lp; o |]) pos_bin
+        and neg_side =
+          List.map (fun (c : clause) -> c.lits) neg_long
+          @ List.map (fun o -> [| ln; o |]) neg_bin
+        in
+        (* count/collect resolvents, bailing out on blow-up *)
+        let resolvents = ref [] and n_res = ref 0 and give_up = ref false in
+        List.iter
+          (fun a ->
+            if not !give_up then
+              List.iter
+                (fun b ->
+                  if not !give_up then
+                    match resolve a b lp with
+                    | None -> ()
+                    | Some r ->
+                        if Array.length r > elim_clause_lim then give_up := true
+                        else begin
+                          resolvents := r :: !resolvents;
+                          incr n_res;
+                          if !n_res > n_pos + n_neg then give_up := true
+                        end)
+                neg_side)
+          pos_side;
+        if not !give_up then begin
+          (* commit: store the smaller phase for model reconstruction *)
+          let pivot, stored =
+            if n_pos <= n_neg then (lp, pos_side) else (ln, neg_side)
+          in
+          s.elim_stack <-
+            (pivot, List.map Array.copy stored) :: s.elim_stack;
+          List.iter (fun (c : clause) -> c.deleted <- true) pos_long;
+          List.iter (fun (c : clause) -> c.deleted <- true) neg_long;
+          List.iter
+            (fun o ->
+              remove_pair_entry o lp;
+              s.n_binaries <- s.n_binaries - 1)
+            pos_bin;
+          List.iter
+            (fun o ->
+              remove_pair_entry o ln;
+              s.n_binaries <- s.n_binaries - 1)
+            neg_bin;
+          Vec.clear s.bin.(Lit.negate lp);
+          Vec.clear s.bin.(Lit.negate ln);
+          s.elimd.(v) <- true;
+          s.vars_eliminated <- s.vars_eliminated + 1;
+          (* add the resolvents, normalised against current assignments *)
+          List.iter
+            (fun r ->
+              if s.ok && not (Array.exists (fun l -> value_lit s l = 1) r) then begin
+                let r =
+                  Array.of_list
+                    (List.filter (fun l -> value_lit s l = 0) (Array.to_list r))
+                in
+                match Array.length r with
+                | 0 -> s.ok <- false
+                | 1 -> assign_unit s r.(0)
+                | 2 -> add_binary s r.(0) r.(1)
+                | _ ->
+                    let c =
+                      {
+                        lits = r;
+                        learnt = false;
+                        activity = 0.;
+                        lbd = 0;
+                        deleted = false;
+                        sig_ = 0;
+                      }
+                    in
+                    clause_sig c;
+                    Vec.push s.clauses c;
+                    Array.iter (fun l -> Vec.push occ.(Lit.var l) c) r
+              end)
+            !resolvents
+        end
+      end
+    end
+  done
+
+let clause_load s = Vec.size s.clauses + s.n_binaries
+
+(* Inprocessing scheduling: a full pass costs O(database) — occurrence
+   lists, subsumption scans, a complete watch rebuild — so running it at
+   every incremental extension point would dominate sessions that extend
+   often and grow little (the daemon's delta workload). A pass runs only
+   when the clause load has grown by >= 25% (plus slack) since the last
+   one; calls in between are no-ops. *)
+let simplify_due s =
+  s.simplify_marker < 0
+  || clause_load s > s.simplify_marker + (s.simplify_marker / 4) + 16
+
+let simplify s =
+  if s.ok && decision_level s = 0 && simplify_due s then begin
+    let t0 = Unix.gettimeofday () in
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    if s.ok then begin
+      (* level-0 implications are facts; their reasons are never revisited *)
+      Vec.iter
+        (fun l ->
+          let v = Lit.var l in
+          s.reason.(v) <- dummy_clause;
+          s.binreason.(v) <- -1)
+        s.trail;
+      cleanup_fixpoint s;
+      (* equivalent-literal classes (binary SCCs) collapse onto their
+         representatives before the clause-level passes: the rewrite turns
+         the classes' defining binaries into tautologies and leaves exact
+         duplicate long clauses for the subsumption pass to delete *)
+      if s.ok && equiv_pass s then begin
+        apply_subst s;
+        if s.ok then cleanup_fixpoint s
+      end;
+      if s.ok then begin
+        (* transient occurrence lists over the original long clauses and a
+           literal-indexed mark array shared by the passes *)
+        let occ = Array.init s.nvars (fun _ -> Vec.create ~dummy:dummy_clause) in
+        Vec.iter
+          (fun (c : clause) ->
+            if not c.deleted then
+              Array.iter (fun l -> Vec.push occ.(Lit.var l) c) c.lits)
+          s.clauses;
+        let mark = Array.make (2 * s.nvars) 0 and stamp = ref 0 in
+        subsumption_pass s occ mark stamp;
+        if s.ok then bve_pass s occ mark stamp;
+        (* learnt clauses mentioning an eliminated variable are no longer
+           implied by the reduced formula: drop them *)
+        Vec.iter
+          (fun (c : clause) ->
+            if
+              (not c.deleted)
+              && Array.exists (fun l -> s.elimd.(Lit.var l)) c.lits
+            then c.deleted <- true)
+          s.learnts;
+        (* consume units discovered by strengthening / elimination *)
+        if s.ok then cleanup_fixpoint s
+      end;
+      (* compact the databases and rebuild every watch list: surviving long
+         clauses contain only unassigned literals, so any two positions
+         are valid watches *)
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) s.clauses;
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) s.learnts;
+      Array.iter Vec.clear s.watches;
+      if s.ok then begin
+        Vec.iter (fun c -> attach_clause s c) s.clauses;
+        Vec.iter (fun c -> attach_clause s c) s.learnts;
+        (* re-run propagation from scratch against the rebuilt structures *)
+        s.qhead <- 0;
+        match propagate s with Some _ -> s.ok <- false | None -> ()
+      end
+    end;
+    s.simplify_marker <- clause_load s;
+    s.simplify_ms <- s.simplify_ms +. ((Unix.gettimeofday () -. t0) *. 1000.)
+  end
+
+(* ---- export ---- *)
+
+let export_cnf s =
+  if not s.ok then Cnf.unsafe_make ~nvars:(max s.nvars 1) [ [||] ]
+  else begin
+    let cls = ref [] in
+    (* level-0 facts *)
+    Vec.iter
+      (fun l -> if s.level.(Lit.var l) = 0 then cls := [| l |] :: !cls)
+      s.trail;
+    (* one emission per binary pair: the co-literal of bin.(p) is negate p,
+       so emit only from the side where it is the smaller literal *)
+    Array.iteri
+      (fun p bs ->
+        let a = Lit.negate p in
+        Vec.iter (fun o -> if a < o then cls := [| a; o |] :: !cls) bs)
+      s.bin;
+    (* surviving original long clauses (learnts are implied; skipped) *)
+    Vec.iter
+      (fun (c : clause) -> if not c.deleted then cls := Array.copy c.lits :: !cls)
+      s.clauses;
+    (* frozen substituted variables stay expressible in the export: emit
+       their defining equivalences (non-frozen ones may vanish, exactly as
+       BVE-eliminated variables do) *)
+    if s.has_subst then
+      for v = 0 to s.nvars - 1 do
+        let p = Lit.pos v in
+        let r = s.repr.(p) in
+        if r <> p && s.frozen.(v) then begin
+          cls := [| Lit.negate p; r |] :: !cls;
+          cls := [| p; Lit.negate r |] :: !cls
+        end
+      done;
+    Cnf.unsafe_make ~nvars:s.nvars !cls
+  end
+
+(* ---- statistics ---- *)
 
 type stats = {
   conflicts : int;
@@ -601,6 +1512,15 @@ type stats = {
   propagations : int;
   restarts : int;
   learnts : int;
+  learned : int;
+  lbd_sum : float;
+  learnts_kept : int;
+  learnts_deleted : int;
+  binaries : int;
+  subsumed : int;
+  vars_eliminated : int;
+  vars_substituted : int;
+  simplify_ms : float;
 }
 
 let stats (s : t) =
@@ -610,9 +1530,36 @@ let stats (s : t) =
     propagations = s.propagations;
     restarts = s.restarts;
     learnts = Vec.size s.learnts;
+    learned = s.learned;
+    lbd_sum = s.lbd_sum;
+    learnts_kept = s.learnts_kept;
+    learnts_deleted = s.learnts_deleted;
+    binaries = s.n_binaries;
+    subsumed = s.subsumed;
+    vars_eliminated = s.vars_eliminated;
+    vars_substituted = s.n_subst;
+    simplify_ms = s.simplify_ms;
   }
 
-let zero_stats = { conflicts = 0; decisions = 0; propagations = 0; restarts = 0; learnts = 0 }
+let zero_stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnts = 0;
+    learned = 0;
+    lbd_sum = 0.;
+    learnts_kept = 0;
+    learnts_deleted = 0;
+    binaries = 0;
+    subsumed = 0;
+    vars_eliminated = 0;
+    vars_substituted = 0;
+    simplify_ms = 0.;
+  }
+
+let lbd_avg st = if st.learned = 0 then 0. else st.lbd_sum /. float_of_int st.learned
 
 let add_stats a b =
   {
@@ -621,6 +1568,15 @@ let add_stats a b =
     propagations = a.propagations + b.propagations;
     restarts = a.restarts + b.restarts;
     learnts = b.learnts;
+    learned = a.learned + b.learned;
+    lbd_sum = a.lbd_sum +. b.lbd_sum;
+    learnts_kept = b.learnts_kept;
+    learnts_deleted = a.learnts_deleted + b.learnts_deleted;
+    binaries = b.binaries;
+    subsumed = a.subsumed + b.subsumed;
+    vars_eliminated = a.vars_eliminated + b.vars_eliminated;
+    vars_substituted = a.vars_substituted + b.vars_substituted;
+    simplify_ms = a.simplify_ms +. b.simplify_ms;
   }
 
 let diff_stats a b =
@@ -630,8 +1586,22 @@ let diff_stats a b =
     propagations = a.propagations - b.propagations;
     restarts = a.restarts - b.restarts;
     learnts = a.learnts;
+    learned = a.learned - b.learned;
+    lbd_sum = a.lbd_sum -. b.lbd_sum;
+    learnts_kept = a.learnts_kept;
+    learnts_deleted = a.learnts_deleted - b.learnts_deleted;
+    binaries = a.binaries;
+    subsumed = a.subsumed - b.subsumed;
+    vars_eliminated = a.vars_eliminated - b.vars_eliminated;
+    vars_substituted = a.vars_substituted - b.vars_substituted;
+    simplify_ms = a.simplify_ms -. b.simplify_ms;
   }
 
 let pp_stats ppf st =
-  Format.fprintf ppf "conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d"
-    st.conflicts st.decisions st.propagations st.restarts st.learnts
+  Format.fprintf ppf
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d \
+     learnts_kept=%d learnts_deleted=%d lbd_avg=%.2f binaries=%d subsumed=%d \
+     vars_eliminated=%d vars_substituted=%d simplify_ms=%.1f"
+    st.conflicts st.decisions st.propagations st.restarts st.learnts st.learnts_kept
+    st.learnts_deleted (lbd_avg st) st.binaries st.subsumed st.vars_eliminated
+    st.vars_substituted st.simplify_ms

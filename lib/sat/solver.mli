@@ -1,9 +1,11 @@
 (** A CDCL SAT solver in the MiniSat lineage.
 
-    Features: two-watched-literal propagation, first-UIP conflict analysis
-    with clause learning, VSIDS variable activities with an indexed heap,
-    phase saving, Luby-sequence restarts, activity-based learnt-clause
-    deletion, and incremental solving under assumptions.
+    Features: two-watched-literal propagation with a dedicated binary-clause
+    implication layer, first-UIP conflict analysis with clause learning,
+    LBD ("glue") scoring with periodic learnt-database reduction, VSIDS
+    variable activities with an indexed heap, phase saving, Luby-sequence
+    restarts, incremental solving under assumptions, and SatELite-style
+    pre/inprocessing ({!simplify}) guarded by a frozen-variable contract.
 
     This is the substrate standing in for MiniSat in the paper's [IsValid],
     [NaiveDeduce] and suggestion-repair steps. Clauses may be added between
@@ -25,8 +27,11 @@ val ensure_nvars : t -> int -> unit
 val nvars : t -> int
 
 (** [add_clause s lits] adds a clause. Literals over unallocated variables
-    raise [Invalid_argument]. Adding the empty clause (or a clause falsified
-    at level 0) makes the solver permanently unsatisfiable. *)
+    raise [Invalid_argument]; so do literals over variables eliminated by a
+    previous {!simplify} (freeze anything you may refer to again). Adding
+    the empty clause (or a clause falsified at level 0) makes the solver
+    permanently unsatisfiable. Two-literal clauses go to the binary
+    implication layer, not the general watch lists. *)
 val add_clause : t -> Lit.t list -> unit
 
 (** [add_clause_a s c] is [add_clause] on an array (the array is copied). *)
@@ -39,8 +44,69 @@ val add_cnf : t -> Cnf.t -> unit
     point for seeding externally-proven facts (e.g. a static saturation's
     closure) into a session. Units are enqueued and propagated at level 0
     immediately, so a literal the clause set already implies is a no-op
-    on the solver state. *)
+    on the solver state. Call before {!simplify} so the facts feed the
+    satisfied-clause removal and false-literal stripping. *)
 val add_units : t -> Lit.t list -> unit
+
+(** [freeze s v] exempts variable [v] from bounded variable elimination in
+    {!simplify}, forever. Anything referenced after a simplification —
+    assumption literals, variables probed through {!model_value} or
+    {!value_level0}, variables future clauses mention — must be frozen
+    before the first {!simplify} call that could see them. Frozen
+    variables MAY still be substituted by an equivalent literal (see
+    {!simplify}): every entry point maps them to their representative, so
+    they stay usable in clauses, assumptions and model queries, and
+    {!export_cnf} emits the defining equivalence. *)
+val freeze : t -> int -> unit
+
+(** [freeze_all s] freezes every currently-allocated variable. Variables
+    allocated later are NOT frozen; freeze them explicitly. *)
+val freeze_all : t -> unit
+
+val is_frozen : t -> int -> bool
+
+(** [is_eliminated s v] is [true] once BVE has eliminated [v]. Eliminated
+    variables cannot appear in new clauses or assumptions; their model
+    values are reconstructed from the elimination stack, so {!model_value}
+    stays correct. *)
+val is_eliminated : t -> int -> bool
+
+(** [simplify s] runs pre/inprocessing at decision level 0 (a no-op at a
+    higher level or on an unsat solver): top-level satisfied-clause
+    removal and false-literal stripping; equivalent-literal substitution
+    (strongly connected components of the binary implication graph are
+    collapsed onto one representative literal per class, rewriting the
+    whole clause database — the "decompose" pass of Lingeling/CaDiCaL);
+    backward subsumption and self-subsuming resolution through occurrence
+    lists (the binary layer participates as both subsumer and
+    strengthener); and bounded variable elimination restricted to
+    non-frozen variables. Substitution applies to frozen variables too —
+    unlike elimination it keeps them expressible, because [add_clause],
+    assumptions, {!model_value}, {!value_level0} and {!export_cnf} all
+    map through the substitution. The clause set afterwards is
+    equisatisfiable — and, over frozen variables, equivalent
+    — to the one before. Safe to call between [solve] calls on an
+    incremental session; learnt clauses mentioning an eliminated variable
+    are dropped, all others survive.
+
+    Self-scheduling: a pass costs O(database), so calls are no-ops until
+    the clause load has grown by at least 25% since the previous pass
+    (the first call always runs). Sessions may therefore call [simplify]
+    at every extension point and pay only when the database changed
+    enough to matter. *)
+val simplify : t -> unit
+
+(** [set_reduce s b] enables/disables periodic learnt-clause database
+    reduction (enabled on a fresh solver). With reduction off the learnt
+    database grows without bound — the pre-LBD behaviour, kept as a
+    baseline for benchmarks. *)
+val set_reduce : t -> bool -> unit
+
+(** [set_reduce_interval s n] sets the number of conflicts before the next
+    database reduction to [n] (default 2000); each reduction then grows the
+    interval geometrically. Exposed for tests and benchmarks that need to
+    force reductions on small instances. *)
+val set_reduce_interval : t -> int -> unit
 
 (** [solve ?assumptions s] decides satisfiability of the clause set under
     the given assumption literals (default none). Budgets set with
@@ -60,7 +126,8 @@ end
     [Unknown]. Omitted budgets are left unchanged; a budget of [0] makes
     the next [solve_limited] return [Unknown] immediately unless the
     clause set is already known unsatisfiable. Budgets persist across
-    calls until re-armed or cleared with {!clear_budget}. *)
+    calls until re-armed or cleared with {!clear_budget}, and they survive
+    {!reduce_db}-scheduled reductions and {!simplify} runs unchanged. *)
 val set_budget : ?conflicts:int -> ?propagations:int -> t -> unit
 
 (** [clear_budget s] removes all budgets. *)
@@ -76,15 +143,18 @@ val budget_exhausted : t -> bool
     wall-clock signals involved, so results are reproducible across
     schedules and domains). On [Unknown] the trail is cancelled back to
     level 0 and the solver stays fully usable: clauses learnt before the
-    interrupt are kept, and a later call with a larger budget can finish
+    interrupt are kept (modulo database reduction, which only discards
+    non-reason clauses), and a later call with a larger budget can finish
     the job. The saved model is invalidated on every call and only valid
     again after [Limited.Sat]. *)
 val solve_limited : ?assumptions:Lit.t list -> t -> Limited.t
 
 (** [model_value s v] is the truth of variable [v] in the model found by the
-    last successful [solve]. Unassigned variables (possible after
-    simplification) default to [false]. Raises [Invalid_argument] if the
-    last call did not return [Sat]. *)
+    last successful [solve]. Values of variables eliminated by {!simplify}
+    are reconstructed from the elimination stack, so the returned model
+    satisfies the original clause set. Unassigned variables default to
+    [false]. Raises [Invalid_argument] if the last call did not return
+    [Sat]. *)
 val model_value : t -> int -> bool
 
 (** [model s] is the full model as an array indexed by variable. *)
@@ -105,8 +175,20 @@ val value_level0 : t -> int -> bool option
     assumptions. *)
 val ok : t -> bool
 
-(** Cumulative statistics since [create], in one snapshot: CDCL conflicts,
-    decisions, propagations, restarts, and the current learnt-clause count.
+(** [export_cnf s] is the CURRENT clause database as a [Cnf.t]: the level-0
+    facts as unit clauses, the binary implication layer, and the surviving
+    original long clauses (learnt clauses are implied and skipped). On an
+    unsat solver it is a formula holding just the empty clause. The result
+    is equisatisfiable with everything ever added; eliminated variables do
+    not occur in it. *)
+val export_cnf : t -> Cnf.t
+
+(** Cumulative statistics since [create], in one snapshot. Mixed gauges and
+    counters: [learnts] (current learnt-clause count), [learnts_kept]
+    (survivors of the most recent reduction) and [binaries] (live pairs in
+    the binary layer) are gauges; everything else accumulates. [learned]
+    counts clauses ever learnt and [lbd_sum] their learn-time LBDs, so
+    {!lbd_avg} is exact under [add_stats]/[diff_stats].
     [Crcore.Engine] aggregates these per entity and per batch. *)
 type stats = {
   conflicts : int;
@@ -114,15 +196,28 @@ type stats = {
   propagations : int;
   restarts : int;
   learnts : int;
+  learned : int;
+  lbd_sum : float;
+  learnts_kept : int;
+  learnts_deleted : int;
+  binaries : int;
+  subsumed : int;
+  vars_eliminated : int;
+  vars_substituted : int;
+  simplify_ms : float;
 }
 
 val stats : t -> stats
 
 val zero_stats : stats
 
+(** [lbd_avg st] is the average learn-time LBD over all clauses learnt in
+    the snapshot's window ([0.] when none were). *)
+val lbd_avg : stats -> float
+
 (** [add_stats a b] / [diff_stats a b] combine snapshots field-wise
-    ([learnts] is a gauge, not a counter: [add_stats] and [diff_stats] keep
-    the later snapshot's value). *)
+    (the gauges [learnts], [learnts_kept] and [binaries] keep the later
+    snapshot's value; all other fields add/subtract). *)
 val add_stats : stats -> stats -> stats
 
 val diff_stats : stats -> stats -> stats

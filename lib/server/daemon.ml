@@ -175,6 +175,22 @@ let stats_json t =
       ("template_hits", Protocol.jint s.Session.Store.template_hits);
       ("template_misses", Protocol.jint s.Session.Store.template_misses);
       ("instantiations", Protocol.jint s.Session.Store.instantiations);
+      (* clause-database management counters, summed over live and
+         already-evicted sessions like the rest *)
+      ("sat_conflicts", Protocol.jint s.Session.Store.sat.Sat.Solver.conflicts);
+      ("sat_learnts_kept", Protocol.jint s.Session.Store.sat.Sat.Solver.learnts_kept);
+      ( "sat_learnts_deleted",
+        Protocol.jint s.Session.Store.sat.Sat.Solver.learnts_deleted );
+      ( "sat_lbd_avg",
+        Printf.sprintf "%.3f" (Sat.Solver.lbd_avg s.Session.Store.sat) );
+      ("sat_binaries", Protocol.jint s.Session.Store.sat.Sat.Solver.binaries);
+      ("sat_subsumed", Protocol.jint s.Session.Store.sat.Sat.Solver.subsumed);
+      ( "sat_vars_eliminated",
+        Protocol.jint s.Session.Store.sat.Sat.Solver.vars_eliminated );
+      ( "sat_vars_substituted",
+        Protocol.jint s.Session.Store.sat.Sat.Solver.vars_substituted );
+      ( "sat_simplify_ms",
+        Printf.sprintf "%.3f" s.Session.Store.sat.Sat.Solver.simplify_ms );
       ("requests", Protocol.jint t.n_requests);
       ("resolve_requests", Protocol.jint t.n_resolves);
       ("ingest_requests", Protocol.jint t.n_ingests);

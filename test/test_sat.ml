@@ -146,6 +146,228 @@ let prop_model_count_positive =
       let n = Sat.Brute.count_models f in
       is_sat f = (n > 0))
 
+(* ---- simplify / clause-database management ---- *)
+
+let test_simplify_subsumption () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 4;
+  Sat.Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Alcotest.(check int) "binary layer" 1 (Sat.Solver.stats s).Sat.Solver.binaries;
+  Sat.Solver.add_clause s [ lit 0 true; lit 1 true; lit 2 true ];
+  Sat.Solver.add_clause s [ lit 0 true; lit 2 false; lit 3 true ];
+  Sat.Solver.freeze_all s;
+  Sat.Solver.simplify s;
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "subsumed the long clause" true (st.Sat.Solver.subsumed >= 1);
+  Alcotest.(check int) "frozen: nothing eliminated" 0 st.Sat.Solver.vars_eliminated;
+  Alcotest.(check bool) "still sat" true (Sat.Solver.solve s = Sat.Solver.Sat)
+
+let test_simplify_bve () =
+  (* (x2 | x0) & (~x2 | x1) with x2 unfrozen: BVE resolves x2 away,
+     leaving (x0 | x1); the model must still be reconstructable for x2 *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 3;
+  Sat.Solver.add_clause s [ lit 2 true; lit 0 true ];
+  Sat.Solver.add_clause s [ lit 2 false; lit 1 true ];
+  Sat.Solver.freeze s 0;
+  Sat.Solver.freeze s 1;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "x2 eliminated" true (Sat.Solver.is_eliminated s 2);
+  Alcotest.(check bool) "counter" true
+    ((Sat.Solver.stats s).Sat.Solver.vars_eliminated >= 1);
+  Alcotest.(check bool) "sat under ~x0"
+    (Sat.Solver.solve ~assumptions:[ lit 0 false ] s = Sat.Solver.Sat)
+    true;
+  (* reconstructed x2 must satisfy the original clauses: ~x0 forces x2,
+     which forces x1 *)
+  Alcotest.(check bool) "x2 reconstructed" true (Sat.Solver.model_value s 2);
+  Alcotest.(check bool) "x1 follows" true (Sat.Solver.model_value s 1);
+  Alcotest.check_raises "eliminated vars rejected in new clauses"
+    (Invalid_argument "Solver.add_clause: eliminated variable (freeze it first)")
+    (fun () -> Sat.Solver.add_clause s [ lit 2 true ])
+
+let test_simplify_subst () =
+  (* (a -> b) and (b -> a): one binary SCC, so simplify collapses b onto a
+     while both stay frozen — substituted variables remain expressible *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 3;
+  Sat.Solver.add_clause s [ lit 0 false; lit 1 true ];
+  Sat.Solver.add_clause s [ lit 1 false; lit 0 true ];
+  Sat.Solver.add_clause s [ lit 1 false; lit 2 true ];
+  Sat.Solver.freeze_all s;
+  Sat.Solver.simplify s;
+  let st = Sat.Solver.stats s in
+  Alcotest.(check int) "one variable substituted" 1 st.Sat.Solver.vars_substituted;
+  Alcotest.(check int) "frozen: nothing eliminated" 0 st.Sat.Solver.vars_eliminated;
+  Alcotest.(check bool) "sat under a" true
+    (Sat.Solver.solve ~assumptions:[ lit 0 true ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "model keeps a = b" true
+    (Sat.Solver.model_value s 0 = Sat.Solver.model_value s 1);
+  Alcotest.(check bool) "b -> c survives the rewrite" true (Sat.Solver.model_value s 2);
+  (* contradictory through the substitution: b maps to a *)
+  Alcotest.(check bool) "unsat under a, ~b" true
+    (Sat.Solver.solve ~assumptions:[ lit 0 true; lit 1 false ] s = Sat.Solver.Unsat);
+  (* the export keeps frozen substituted variables expressible *)
+  let f = Sat.Solver.export_cnf s in
+  let f' = Sat.Cnf.add_clause (Sat.Cnf.add_clause f [| lit 0 true |]) [| lit 1 false |] in
+  Alcotest.(check bool) "export keeps a = b" true (Sat.Brute.solve f' = None);
+  (* level-0 facts flow through the substitution in both directions *)
+  Sat.Solver.add_clause s [ lit 1 true ];
+  Alcotest.(check (option bool)) "unit b fixes a" (Some true) (Sat.Solver.value_level0 s 0);
+  Alcotest.(check (option bool)) "and b itself" (Some true) (Sat.Solver.value_level0 s 1)
+
+let test_simplify_subst_contradiction () =
+  (* a = b and a = ~b put a literal and its negation in one SCC: unsat *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 2;
+  Sat.Solver.add_clause s [ lit 0 false; lit 1 true ];
+  Sat.Solver.add_clause s [ lit 1 false; lit 0 true ];
+  Sat.Solver.add_clause s [ lit 0 false; lit 1 false ];
+  Sat.Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Sat.Solver.freeze_all s;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_subst_after_elimination () =
+  (* Regression for the elimination-stack/substitution interleaving: round
+     one BVE-eliminates e from (e | c) & (~e | b), recording (e | c) for
+     model reconstruction; round two substitutes c onto a. The recorded
+     clause must follow the substitution, or reconstruction reads a stale
+     value for c and can flip e against (~e | b). *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_nvars s 4;
+  (* a=0 b=1 c=2 e=3; everything but e frozen *)
+  Sat.Solver.freeze s 0;
+  Sat.Solver.freeze s 1;
+  Sat.Solver.freeze s 2;
+  let round1 = [ [ lit 3 true; lit 2 true ]; [ lit 3 false; lit 1 true ] ] in
+  List.iter (Sat.Solver.add_clause s) round1;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "e eliminated" true (Sat.Solver.is_eliminated s 3);
+  (* round two: the a = c equivalence plus enough filler clauses to clear
+     the 25%-growth inprocessing threshold so simplify runs again *)
+  Sat.Solver.ensure_nvars s 22;
+  let round2 =
+    ref [ [ lit 0 false; lit 2 true ]; [ lit 2 false; lit 0 true ] ]
+  in
+  for v = 4 to 19 do
+    round2 := [ lit v true; lit (v + 1) true; lit (v + 2) true ] :: !round2
+  done;
+  List.iter (Sat.Solver.add_clause s) !round2;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "c substituted" true
+    ((Sat.Solver.stats s).Sat.Solver.vars_substituted >= 1);
+  Alcotest.(check bool) "sat under a" true
+    (Sat.Solver.solve ~assumptions:[ lit 0 true ] s = Sat.Solver.Sat);
+  let original =
+    Sat.Cnf.make ~nvars:22 (List.map Array.of_list (round1 @ !round2))
+  in
+  Alcotest.(check bool) "model satisfies every original clause" true
+    (Sat.Cnf.eval (Sat.Solver.model s) original)
+
+let prop_simplify_parity =
+  QCheck.Test.make ~count:300 ~name:"simplify on/off agree; model satisfies original"
+    qcheck_cnf (fun f ->
+      let _, r_plain = solve_cnf f in
+      let s = Sat.Solver.create () in
+      Sat.Solver.add_cnf s f;
+      (* nothing frozen: BVE runs unrestricted *)
+      Sat.Solver.simplify s;
+      match Sat.Solver.solve s with
+      | Sat.Solver.Unsat -> r_plain = Sat.Solver.Unsat
+      | Sat.Solver.Sat ->
+          (* the model, with eliminated variables reconstructed from the
+             elimination stack, must satisfy the ORIGINAL formula *)
+          r_plain = Sat.Solver.Sat && Sat.Cnf.eval (Sat.Solver.model s) f)
+
+let prop_frozen_never_eliminated =
+  QCheck.Test.make ~count:200 ~name:"frozen variables survive simplify" qcheck_cnf
+    (fun f ->
+      let s = Sat.Solver.create () in
+      Sat.Solver.add_cnf s f;
+      for v = 0 to f.Sat.Cnf.nvars - 1 do
+        if v mod 2 = 0 then Sat.Solver.freeze s v
+      done;
+      Sat.Solver.simplify s;
+      let frozen_intact = ref true in
+      for v = 0 to f.Sat.Cnf.nvars - 1 do
+        if v mod 2 = 0 && Sat.Solver.is_eliminated s v then frozen_intact := false
+      done;
+      (* frozen variables stay legal as assumptions, with the right answer *)
+      let a = lit 0 true in
+      let f' = Sat.Cnf.add_clause f [| a |] in
+      let expect =
+        if Sat.Brute.solve f' <> None then Sat.Solver.Sat else Sat.Solver.Unsat
+      in
+      !frozen_intact && Sat.Solver.solve ~assumptions:[ a ] s = expect)
+
+let prop_multiround_simplify =
+  (* Two inprocessing rounds with elimination and substitution free to
+     interleave: f2 arrives remapped onto the even (frozen) variables, so
+     its late arrival is legal after round one may have eliminated odd
+     ones, and any model returned must satisfy both original formulas. *)
+  QCheck.Test.make ~count:200 ~name:"multi-round simplify stays sound"
+    (QCheck.pair qcheck_cnf qcheck_cnf) (fun (f1, f2) ->
+      let remap (f : Sat.Cnf.t) =
+        List.map
+          (Array.map (fun l -> lit (2 * Sat.Lit.var l) (Sat.Lit.sign l)))
+          f.Sat.Cnf.clauses
+      in
+      let f2' = Sat.Cnf.make ~nvars:(2 * f2.Sat.Cnf.nvars) (remap f2) in
+      let nv = max f1.Sat.Cnf.nvars (max 1 f2'.Sat.Cnf.nvars) in
+      let s = Sat.Solver.create () in
+      Sat.Solver.ensure_nvars s nv;
+      for v = 0 to nv - 1 do
+        if v mod 2 = 0 then Sat.Solver.freeze s v
+      done;
+      Sat.Solver.add_cnf s f1;
+      Sat.Solver.simplify s;
+      ignore (Sat.Solver.solve s);
+      Sat.Solver.add_cnf s f2';
+      Sat.Solver.simplify s;
+      let both = Sat.Cnf.make ~nvars:nv (f1.Sat.Cnf.clauses @ remap f2) in
+      let expect =
+        if Sat.Brute.solve both <> None then Sat.Solver.Sat else Sat.Solver.Unsat
+      in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Unsat -> expect = Sat.Solver.Unsat
+      | Sat.Solver.Sat ->
+          expect = Sat.Solver.Sat && Sat.Cnf.eval (Sat.Solver.model s) both)
+
+let prop_budget_resume_across_reduce =
+  QCheck.Test.make ~count:150 ~name:"budget resume across reduce_db" qcheck_cnf (fun f ->
+      let expect = if Sat.Brute.solve f <> None then Sat.Solver.Sat else Sat.Solver.Unsat in
+      let s = Sat.Solver.create () in
+      Sat.Solver.add_cnf s f;
+      (* force a database reduction at (nearly) every conflict, then solve in
+         tiny budget slices: interrupted runs resumed across reductions must
+         reach the same answer as an uninterrupted solve *)
+      Sat.Solver.set_reduce_interval s 1;
+      let rec go budget rounds =
+        if rounds > 5_000 then None
+        else begin
+          Sat.Solver.set_budget ~conflicts:budget s;
+          match Sat.Solver.solve_limited s with
+          | Sat.Solver.Limited.Unknown -> go (budget + 1) (rounds + 1)
+          | Sat.Solver.Limited.Sat -> Some Sat.Solver.Sat
+          | Sat.Solver.Limited.Unsat -> Some Sat.Solver.Unsat
+        end
+      in
+      match go 1 0 with
+      | None -> false
+      | Some r ->
+          r = expect
+          && (r <> Sat.Solver.Sat || Sat.Cnf.eval (Sat.Solver.model s) f))
+
+let prop_export_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"of_solver DIMACS round-trips equisatisfiably"
+    qcheck_cnf (fun f ->
+      let s = Sat.Solver.create () in
+      Sat.Solver.add_cnf s f;
+      Sat.Solver.simplify s;
+      let f2 = Sat.Dimacs.parse_string (Sat.Dimacs.of_solver s) in
+      is_sat f = is_sat f2)
+
 let () =
   Alcotest.run "sat"
     [
@@ -160,8 +382,24 @@ let () =
           Alcotest.test_case "incremental" `Quick test_incremental;
           Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "simplify: subsumption" `Quick test_simplify_subsumption;
+          Alcotest.test_case "simplify: variable elimination" `Quick test_simplify_bve;
+          Alcotest.test_case "simplify: equivalent literals" `Quick test_simplify_subst;
+          Alcotest.test_case "simplify: contradictory equivalence" `Quick
+            test_simplify_subst_contradiction;
+          Alcotest.test_case "simplify: substitution after elimination" `Quick
+            test_subst_after_elimination;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
           [ prop_agrees_with_brute; prop_assumptions_sound; prop_model_count_positive ] );
+      ( "simplify",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplify_parity;
+            prop_frozen_never_eliminated;
+            prop_multiround_simplify;
+            prop_budget_resume_across_reduce;
+            prop_export_roundtrip;
+          ] );
     ]

@@ -19,7 +19,7 @@ let values_equal a b =
 (* of the accumulated specification.                                    *)
 (* ------------------------------------------------------------------ *)
 
-let replay_parity ~seed ~n_entities ~size =
+let replay_parity ?(simplified_vs_plain = false) ~seed ~n_entities ~size () =
   let ds = Datagen.Person.quick ~seed ~n_entities ~size () in
   let sigma = ds.Datagen.Types.sigma and gamma = ds.Datagen.Types.gamma in
   let log =
@@ -27,6 +27,10 @@ let replay_parity ~seed ~n_entities ~size =
       ~params:{ Datagen.Update_log.default_params with seed = seed + 1000 }
       ds
   in
+  (* the hot side always runs the default config, simplify included; with
+     [simplified_vs_plain] the cold side is the naive, simplify-off config,
+     pitting the inprocessed incremental sessions against plain solvers *)
+  let cold_config = if simplified_vs_plain then E.naive_config else E.default_config in
   let store = S.Store.create ~config:Cr.Config.default () in
   let pending = Hashtbl.create 16 in
   let ok = ref true in
@@ -62,12 +66,17 @@ let replay_parity ~seed ~n_entities ~size =
           (* cold side: re-resolve the session's accumulated spec from
              scratch — S.spec flushes any coalesced pending extension *)
           let cold, _ =
-            E.resolve ~config:E.default_config ~user:Cr.Framework.silent (S.spec h)
+            E.resolve ~config:cold_config ~user:Cr.Framework.silent (S.spec h)
           in
           if
             not
               (values_equal r.E.resolved cold.E.resolved && r.E.valid = cold.E.valid)
-          then ok := false)
+          then ok := false;
+          (* frozen-variable contract: the engine freezes every variable it
+             may reference (Coding variables, backbone-probe assumptions,
+             group-MaxSAT selectors, delta-extension clauses) before each
+             simplify point, so BVE must never eliminate anything here *)
+          if (S.stats h).E.solver.Sat.Solver.vars_eliminated <> 0 then ok := false)
     log.Datagen.Update_log.events;
   S.Store.clear store;
   !ok
@@ -75,7 +84,18 @@ let replay_parity ~seed ~n_entities ~size =
 let prop_interleaved_parity =
   QCheck.Test.make ~count:20 ~name:"session-incremental == cold re-resolve on random schedules"
     QCheck.(int_range 0 1000)
-    (fun seed -> replay_parity ~seed ~n_entities:3 ~size:5)
+    (fun seed -> replay_parity ~seed ~n_entities:3 ~size:5 ())
+
+(* Random interleaved schedules again, but the cold reference is the naive
+   simplify-off config: backbone probes, group-MaxSAT selector assumptions
+   and session delta extensions all land on a solver that has been through
+   pre/inprocessing, and every resolve point must still agree with the
+   plain solver — with no frozen variable ever eliminated (checked above). *)
+let prop_simplified_session_parity =
+  QCheck.Test.make ~count:20
+    ~name:"simplified sessions == plain cold re-resolve; frozen vars survive"
+    QCheck.(int_range 0 1000)
+    (fun seed -> replay_parity ~simplified_vs_plain:true ~seed ~n_entities:3 ~size:5 ())
 
 (* ------------------------------------------------------------------ *)
 (* Session mechanics                                                    *)
@@ -351,7 +371,10 @@ let () =
   Alcotest.run "session"
     [
       ( "parity",
-        [ QCheck_alcotest.to_alcotest prop_interleaved_parity ] );
+        [
+          QCheck_alcotest.to_alcotest prop_interleaved_parity;
+          QCheck_alcotest.to_alcotest prop_simplified_session_parity;
+        ] );
       ( "session",
         [
           Alcotest.test_case "coalesced ingest" `Quick test_coalesced_ingest;
