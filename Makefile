@@ -1,4 +1,4 @@
-.PHONY: all build test check bench batch par templates deduce saturate satcore lint robustness daemon fmt clean
+.PHONY: all build test check bench batch par templates deduce saturate satcore lint robustness daemon recovery fmt clean
 
 all: build
 
@@ -85,6 +85,16 @@ robustness: build
 daemon: build
 	dune exec test/test_session.exe
 	dune exec bench/main.exe -- daemon_smoke
+
+# Durability: the WAL/snapshot/recovery test suite (torn tails, duplicate
+# delivery, kill-point parity properties) plus the crash-injection bench
+# smoke, which kill -9s a real forked crsolved mid-stream, restarts it on
+# the same WAL dir, and fails unless the recovered answers are
+# bit-identical (recovered_parity) with zero lost events and fsync=interval
+# throughput within 0.8x of the no-WAL baseline; writes BENCH_recovery.json.
+recovery: build
+	dune exec test/test_durable.exe
+	dune exec bench/main.exe -- recovery_smoke
 
 # Requires ocamlformat (see .ocamlformat for the pinned profile); not part
 # of `check` so the gate works on toolchains without it.

@@ -582,7 +582,7 @@ let run_batch entity_file dir sigma_file gamma_file exact naive jobs key truth_f
 
 (* ---- client ---- *)
 
-let run_client socket requests =
+let run_client socket requests retries retry_base_ms timeout =
   let lines =
     if requests <> [] then requests
     else
@@ -595,16 +595,22 @@ let run_client socket requests =
       slurp []
   in
   if lines = [] then failwith "client: no requests (pass them as arguments or on stdin)";
-  let responses = Crserver.Daemon.request_many ~socket_path:socket lines in
-  List.iter print_endline responses;
-  (* any {"ok":false,...} response fails the invocation *)
-  if
-    List.exists
-      (fun r ->
-        String.length r >= 11 && String.sub r 0 11 = {|{"ok":false|})
-      responses
-  then 1
-  else 0
+  let client =
+    Crserver.Client.connect ~retries ~retry_base_ms ?deadline:timeout
+      ~socket_path:socket ()
+  in
+  let is_failure r = String.length r >= 11 && String.sub r 0 11 = {|{"ok":false|} in
+  match Crserver.Client.request_many client lines with
+  | Ok responses ->
+      List.iter print_endline responses;
+      Crserver.Client.close client;
+      (* any {"ok":false,...} response fails the invocation *)
+      if List.exists is_failure responses then 1 else 0
+  | Error (partial, msg) ->
+      List.iter print_endline partial;
+      Printf.eprintf "crsolve: %s\n" msg;
+      Crserver.Client.close client;
+      1
 
 (* ---- cmdliner wiring ---- *)
 
@@ -802,14 +808,43 @@ let client_cmd =
           ~doc:
             "Protocol request lines (e.g. $(b,'RESOLVE e1'), \
              $(b,'INGEST e1|Alice,NYC,10001')). With none, requests are read from stdin, \
-             one per line.")
+             one per line. Mutating requests may carry an $(b,@seq) prefix \
+             ($(b,'@3 INGEST e1|...')) so retries after a daemon crash are idempotent.")
+  in
+  let retries_a =
+    Arg.(
+      value & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-attempts per request on connection refused, connection loss, OVERLOADED \
+             replies, or a deadline expiry; exponential backoff with jitter between \
+             attempts (default 4).")
+  in
+  let retry_base_a =
+    Arg.(
+      value & opt float 50.
+      & info [ "retry-base-ms" ] ~docv:"MS"
+          ~doc:
+            "Backoff base: attempt k sleeps roughly $(docv)*2^k ms (jittered, capped at \
+             5 s). Default 50.")
+  in
+  let timeout_a =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Client-side per-request deadline; a hung daemon fails the attempt (and is \
+             retried) instead of wedging the CLI. Default: wait forever.")
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send protocol requests to a running crsolved daemon and print the JSON \
-          responses. Exits 1 if any request failed.")
-    Term.(const run_client $ socket_a $ requests_a)
+          responses. Transient failures (daemon restarting, OVERLOADED, timeouts) are \
+          retried with exponential backoff. Exits 1 if any request failed.")
+    Term.(
+      const run_client $ socket_a $ requests_a $ retries_a $ retry_base_a $ timeout_a)
 
 let main =
   Cmd.group

@@ -109,10 +109,27 @@ module Config = struct
     engine : Crcore.Engine.config;
     max_sessions : int;
     ttl_s : float option;
+    (* durability + overload protection (the crsolved daemon) *)
+    wal_dir : string option;
+    fsync : Durable.Wal.fsync;
+    snapshot_every : int;
+    max_inflight : int;
+    request_deadline : float option;
+    idle_timeout : float option;
   }
 
   let default =
-    { engine = Crcore.Engine.default_config; max_sessions = 1024; ttl_s = None }
+    {
+      engine = Crcore.Engine.default_config;
+      max_sessions = 1024;
+      ttl_s = None;
+      wal_dir = None;
+      fsync = Durable.Wal.Interval 0.05;
+      snapshot_every = 10_000;
+      max_inflight = 0;
+      request_deadline = None;
+      idle_timeout = None;
+    }
 
   let naive = { default with engine = Crcore.Engine.naive_config }
 
@@ -156,9 +173,37 @@ module Config = struct
 
   let with_session_cap max_sessions t = { t with max_sessions = max 1 max_sessions }
   let with_session_ttl ttl_s t = { t with ttl_s }
-  let to_engine t = t.engine
+  let with_wal_dir wal_dir t = { t with wal_dir }
+  let with_fsync fsync t = { t with fsync }
+  let with_snapshot_every snapshot_every t = { t with snapshot_every = max 0 snapshot_every }
+  let with_max_inflight max_inflight t = { t with max_inflight = max 0 max_inflight }
+  let with_request_deadline request_deadline t = { t with request_deadline }
+  let with_idle_timeout idle_timeout t = { t with idle_timeout }
+
+  (* The request deadline is enforced through the engine's per-request
+     wall-clock budget: each resolve re-arms [budget_ms] capped by the
+     deadline, so a deadline bounds solver time rather than interrupting
+     I/O mid-reply (it is a soft bound — see DESIGN §15). *)
+  let to_engine t =
+    match t.request_deadline with
+    | None -> t.engine
+    | Some d ->
+        let cap = d *. 1000. in
+        let budget_ms =
+          match t.engine.Crcore.Engine.budget_ms with
+          | None -> Some cap
+          | Some b -> Some (Float.min b cap)
+        in
+        { t.engine with Crcore.Engine.budget_ms }
+
   let max_sessions t = t.max_sessions
   let session_ttl t = t.ttl_s
+  let wal_dir t = t.wal_dir
+  let fsync t = t.fsync
+  let snapshot_every t = t.snapshot_every
+  let max_inflight t = t.max_inflight
+  let request_deadline t = t.request_deadline
+  let idle_timeout t = t.idle_timeout
 end
 
 (** {1 Sessions} *)

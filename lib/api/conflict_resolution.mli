@@ -178,9 +178,46 @@ module Config : sig
   (** {!Session.Store} idle TTL in seconds ([None] = keep forever). *)
   val with_session_ttl : float option -> t -> t
 
+  (** {2 Durability and overload protection (the [crsolved] daemon)} *)
+
+  (** Directory for the write-ahead log and snapshots. [None] (the
+      default) disables durability entirely — no WAL, no recovery. *)
+  val with_wal_dir : string option -> t -> t
+
+  (** WAL fsync policy (see {!Durable.Wal.fsync}); default
+      [Interval 0.05]. *)
+  val with_fsync : Durable.Wal.fsync -> t -> t
+
+  (** Take a snapshot (and compact the WAL) every N applied mutating
+      events; [0] disables periodic snapshots (one is still taken on
+      graceful drain). Default 10000. *)
+  val with_snapshot_every : int -> t -> t
+
+  (** Admission control: at most N requests executing concurrently —
+      beyond it the daemon answers [OVERLOADED] instead of queueing
+      ([PING]/[HEALTH]/[READY] are exempt). [0] (default) = unbounded. *)
+  val with_max_inflight : int -> t -> t
+
+  (** Per-request deadline in seconds, enforced through the engine's
+      re-armed per-resolve [budget_ms] (a soft bound on solver time). *)
+  val with_request_deadline : float option -> t -> t
+
+  (** Close daemon connections idle longer than this many seconds.
+      [None] (default) keeps them forever. *)
+  val with_idle_timeout : float option -> t -> t
+
+  (** The engine projection; folds the request deadline into
+      [budget_ms]. *)
   val to_engine : t -> Engine.config
+
   val max_sessions : t -> int
   val session_ttl : t -> float option
+  val wal_dir : t -> string option
+  val fsync : t -> Durable.Wal.fsync
+  val snapshot_every : t -> int
+  val max_inflight : t -> int
+  val request_deadline : t -> float option
+  val idle_timeout : t -> float option
 end
 
 (** {1 Sessions}

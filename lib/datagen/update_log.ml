@@ -146,6 +146,22 @@ let replay ?(params = default_params) (ds : Types.dataset) =
     n_resolves = !n_resolves;
   }
 
+let open_seq = 1
+
+let with_seqs log =
+  let counters = Hashtbl.create 16 in
+  let next label =
+    let n = Option.value ~default:open_seq (Hashtbl.find_opt counters label) + 1 in
+    Hashtbl.replace counters label n;
+    n
+  in
+  List.map
+    (fun e ->
+      match e with
+      | Arrival { label; _ } | Assert_order { label; _ } -> (Some (next label), e)
+      | Resolve _ -> (None, e))
+    log.events
+
 let case_for log label =
   match
     List.find_opt (fun c -> String.equal (label_of c) label) log.dataset.Types.cases

@@ -59,6 +59,20 @@ type t = {
     [ds]. Entity labels are ["e<id>"]. *)
 val replay : ?params:params -> Types.dataset -> t
 
+(** The sequence number a client should stamp on the synthetic [OPEN]
+    that precedes an entity's first arrival (the generators emit no
+    explicit open event). Always 1 — {!with_seqs} numbers the mutating
+    events from 2 so the whole per-entity stream is strictly monotone. *)
+val open_seq : int
+
+(** [with_seqs log] pairs every event with the [@seq] sequence number an
+    at-least-once client would stamp it with: per-entity, strictly
+    monotone from [open_seq + 1] for arrivals and asserted orders;
+    [None] for resolves (reads are never deduplicated). Replaying a
+    stamped prefix twice against a durable daemon must coalesce to the
+    same state — the crash-recovery redelivery contract. *)
+val with_seqs : t -> (int option * event) list
+
 (** [case_for log label] is the generator case behind [label] (for ground
     truth / accuracy checks). Raises [Not_found] on unknown labels. *)
 val case_for : t -> string -> Types.case

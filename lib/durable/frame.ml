@@ -1,0 +1,86 @@
+let magic = '\xD7'
+let header_bytes = 9
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logxor !c (Int32.of_int (Char.code ch))) land 0xff in
+      c := Int32.logxor (Int32.shift_right_logical !c 8) t.(idx))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let put_u32le b off v =
+  Bytes.set b off (Char.chr (Int32.to_int (Int32.logand v 0xffl)));
+  Bytes.set b (off + 1)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xffl)));
+  Bytes.set b (off + 2)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xffl)));
+  Bytes.set b (off + 3)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xffl)))
+
+let get_u32le s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let write fd payload =
+  let len = String.length payload in
+  let frame = Bytes.create (header_bytes + len) in
+  Bytes.set frame 0 magic;
+  put_u32le frame 1 (Int32.of_int len);
+  put_u32le frame 5 (crc32 payload);
+  Bytes.blit_string payload 0 frame header_bytes len;
+  (* a single write: on a process kill the record is either fully handed
+     to the OS or is the torn tail the reader truncates *)
+  let total = Bytes.length frame in
+  let off = ref 0 in
+  while !off < total do
+    off := !off + Unix.write fd frame !off (total - !off)
+  done;
+  total
+
+type scan = { payloads : string list; valid_bytes : int; torn : bool }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let n = String.length data in
+  let payloads = ref [] in
+  let off = ref 0 in
+  let ok = ref true in
+  while !ok && !off + header_bytes <= n do
+    if data.[!off] <> magic then ok := false
+    else begin
+      let len = Int32.to_int (get_u32le data (!off + 1)) in
+      if len < 0 || !off + header_bytes + len > n then ok := false
+      else
+        let crc = get_u32le data (!off + 5) in
+        let payload = String.sub data (!off + header_bytes) len in
+        if crc32 payload <> crc then ok := false
+        else begin
+          payloads := payload :: !payloads;
+          off := !off + header_bytes + len
+        end
+    end
+  done;
+  { payloads = List.rev !payloads; valid_bytes = !off; torn = !off < n }

@@ -1,0 +1,37 @@
+(** Length-prefixed, CRC-checked record framing — the byte layout shared
+    by the {!Wal} segments and {!Snapshot} files.
+
+    One frame on disk is
+
+    {v
+    +------+-------------+-------------+------------------+
+    | 0xD7 | len u32 LE  | crc32 u32 LE| payload (len B)  |
+    +------+-------------+-------------+------------------+
+    v}
+
+    where [crc32] is the IEEE CRC-32 of the payload bytes. A reader
+    stops at the first frame whose magic, length, or checksum does not
+    hold — everything before that point is trusted, everything after is
+    the torn tail of an interrupted write. *)
+
+(** IEEE CRC-32 (the zlib/Ethernet polynomial) of a whole string. *)
+val crc32 : string -> int32
+
+(** Frame header size in bytes (magic + length + checksum). *)
+val header_bytes : int
+
+(** [write fd payload] appends one framed record; the frame is assembled
+    in memory and handed to the OS as a single [write]. Returns the frame
+    size in bytes. *)
+val write : Unix.file_descr -> string -> int
+
+(** Result of scanning a framed file. [valid_bytes] is the offset just
+    past the last intact frame — the truncation point that repairs a torn
+    tail; [torn] is set when trailing bytes past that offset exist (a
+    partial or corrupt final record). *)
+type scan = { payloads : string list; valid_bytes : int; torn : bool }
+
+(** [read_file path] scans the whole file, returning intact payloads in
+    order and the torn-tail verdict. Raises [Sys_error] if the file
+    cannot be read. *)
+val read_file : string -> scan

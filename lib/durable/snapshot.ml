@@ -1,0 +1,232 @@
+type state =
+  | Evicted
+  | Replayable of {
+      tuples : Value.t list list;
+      orders : (string * int * int) list;
+    }
+
+type entry = {
+  label : string;
+  header : string list;
+  last_seq : int;
+  state : state;
+}
+
+type t = { upto : int; events_applied : int; entries : entry list }
+
+let prefix = "snap-"
+let suffix = ".snap"
+let path dir upto = Filename.concat dir (Printf.sprintf "snap-%08d.snap" upto)
+
+(* ----------------------------------------------------------- value codec *)
+
+let encode_value = function
+  | Value.Null -> "n"
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Float f -> Printf.sprintf "f%h" f
+  | Value.Str s -> "s" ^ s
+
+let decode_value cell =
+  if cell = "" then Error "empty value cell"
+  else
+    let payload = String.sub cell 1 (String.length cell - 1) in
+    match cell.[0] with
+    | 'n' when payload = "" -> Ok Value.Null
+    | 'i' -> (
+        match int_of_string_opt payload with
+        | Some i -> Ok (Value.Int i)
+        | None -> Error ("bad int cell " ^ cell))
+    | 'f' -> (
+        match float_of_string_opt payload with
+        | Some f -> Ok (Value.Float f)
+        | None -> Error ("bad float cell " ^ cell))
+    | 's' -> Ok (Value.Str payload)
+    | _ -> Error ("bad value tag in " ^ cell)
+
+(* ---------------------------------------------------------- record lines *)
+
+let csv_cell fields =
+  let s = Csv.to_string [ fields ] in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+
+let parse_csv_cell cell =
+  match Csv.parse_string cell with
+  | [ fields ] -> Ok fields
+  | [] -> Ok []
+  | _ -> Error "multi-row CSV cell"
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+(* Record payloads, one per frame:
+     S <upto>|<events_applied>|<n_entries>     header, first frame
+     E <label>|<evicted01>|<last_seq>|<csv>    entry start (csv = schema)
+     T <csv of tagged cells>                   one arrival row
+     D <attr>|<lo>|<hi>                        one order edge
+     Z                                         end marker, last frame *)
+
+let write_frames fd t =
+  let put line = ignore (Frame.write fd line) in
+  put
+    (Printf.sprintf "S %d|%d|%d" t.upto t.events_applied (List.length t.entries));
+  List.iter
+    (fun e ->
+      let evicted = match e.state with Evicted -> 1 | Replayable _ -> 0 in
+      put
+        (Printf.sprintf "E %s|%d|%d|%s" e.label evicted e.last_seq
+           (csv_cell e.header));
+      match e.state with
+      | Evicted -> ()
+      | Replayable { tuples; orders } ->
+          List.iter
+            (fun row -> put ("T " ^ csv_cell (List.map encode_value row)))
+            tuples;
+          List.iter
+            (fun (attr, lo, hi) -> put (Printf.sprintf "D %s|%d|%d" attr lo hi))
+            orders)
+    t.entries;
+  put "Z"
+
+let save ~dir t =
+  Wal.mkdir_p dir;
+  let final = path dir t.upto in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_frames fd t;
+      Unix.fsync fd);
+  Sys.rename tmp final;
+  final
+
+(* ----------------------------------------------------------------- load *)
+
+let split3 line =
+  match String.split_on_char '|' line with
+  | [ a; b; c ] -> Ok (a, b, c)
+  | _ -> Error ("expected 3 fields in " ^ line)
+
+let int_field s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error ("bad integer field " ^ s)
+
+let parse_entry body =
+  match String.split_on_char '|' body with
+  | [ label; evicted; last_seq; csv ] ->
+      let* evicted = int_field evicted in
+      let* last_seq = int_field last_seq in
+      let* header = parse_csv_cell csv in
+      let state =
+        if evicted = 1 then Evicted else Replayable { tuples = []; orders = [] }
+      in
+      Ok { label; header; last_seq; state }
+  | _ -> Error ("bad entry record " ^ body)
+
+(* Entries accumulate T/D records in reverse; flip both lists when the
+   entry ends so tuples come back in arrival order and order edges in the
+   order they were captured. *)
+let finish e =
+  match e.state with
+  | Evicted -> e
+  | Replayable { tuples; orders } ->
+      { e with state = Replayable { tuples = List.rev tuples; orders = List.rev orders } }
+
+let add_tuple e row =
+  match e.state with
+  | Evicted -> Error "arrival row on evicted entry"
+  | Replayable r -> Ok { e with state = Replayable { r with tuples = row :: r.tuples } }
+
+let add_order e edge =
+  match e.state with
+  | Evicted -> Error "order edge on evicted entry"
+  | Replayable r -> Ok { e with state = Replayable { r with orders = edge :: r.orders } }
+
+let parse_frames payloads =
+  let split_tag line =
+    if line = "Z" then Ok ('Z', "")
+    else if String.length line >= 2 && line.[1] = ' ' then
+      Ok (line.[0], String.sub line 2 (String.length line - 2))
+    else Error ("bad snapshot record " ^ line)
+  in
+  let* header, rest =
+    match payloads with
+    | [] -> Error "empty snapshot"
+    | h :: rest -> (
+        let* tag, body = split_tag h in
+        match tag with
+        | 'S' ->
+            let* upto, applied, count = split3 body in
+            let* upto = int_field upto in
+            let* applied = int_field applied in
+            let* count = int_field count in
+            Ok ((upto, applied, count), rest)
+        | _ -> Error "snapshot does not start with a header record")
+  in
+  let rec go current acc sealed = function
+    | [] -> Error "snapshot missing end marker"
+    | line :: rest -> (
+        let* tag, body = split_tag line in
+        match (tag, current) with
+        | 'Z', _ ->
+            if rest <> [] then Error "records past the end marker"
+            else if sealed then Error "duplicate end marker"
+            else
+              let acc = match current with None -> acc | Some e -> finish e :: acc in
+              Ok (List.rev acc)
+        | 'E', _ ->
+            let acc = match current with None -> acc | Some e -> finish e :: acc in
+            let* e = parse_entry body in
+            go (Some e) acc sealed rest
+        | 'T', Some e ->
+            let* cells = parse_csv_cell body in
+            let* row = map_result decode_value cells in
+            let* e = add_tuple e row in
+            go (Some e) acc sealed rest
+        | 'D', Some e ->
+            let* attr, lo, hi = split3 body in
+            let* lo = int_field lo in
+            let* hi = int_field hi in
+            let* e = add_order e (attr, lo, hi) in
+            go (Some e) acc sealed rest
+        | ('T' | 'D'), None -> Error "row/order record before any entry"
+        | _ -> Error ("unknown snapshot record tag " ^ String.make 1 tag))
+  in
+  let upto, events_applied, count = header in
+  let* entries = go None [] false rest in
+  if List.length entries <> count then
+    Error
+      (Printf.sprintf "snapshot declares %d entries, found %d" count
+         (List.length entries))
+  else Ok { upto; events_applied; entries }
+
+let load file =
+  match Frame.read_file file with
+  | exception Sys_error e -> Error e
+  | scan ->
+      if scan.Frame.torn then Error "torn snapshot file"
+      else parse_frames scan.Frame.payloads
+
+let indices ~dir = List.map fst (Wal.indexed_files ~dir ~prefix ~suffix)
+
+let load_latest ~dir =
+  let files = List.rev (Wal.indexed_files ~dir ~prefix ~suffix) in
+  List.find_map
+    (fun (_, file) -> match load file with Ok t -> Some t | Error _ -> None)
+    files
+
+let remove_except ~dir ~keep =
+  let victims =
+    Wal.indexed_files ~dir ~prefix ~suffix
+    |> List.filter (fun (i, _) -> i <> keep)
+  in
+  List.iter (fun (_, p) -> try Sys.remove p with Sys_error _ -> ()) victims;
+  List.length victims

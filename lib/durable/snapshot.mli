@@ -1,0 +1,62 @@
+(** Point-in-time serialization of the daemon's {e replayable} state —
+    per-entity schemas, applied arrivals, asserted orders, and dedup
+    cursors, never solver internals — so recovery replays
+    snapshot + WAL-tail instead of the full history, and WAL segments the
+    snapshot covers can be deleted (compaction).
+
+    A snapshot is taken just after a {!Wal.rotate}: it covers every
+    segment up to and including the one that rotation closed ([upto]),
+    and the file is named for that index ([snap-%08d.snap]). Recovery
+    loads the newest intact snapshot and replays only segments with
+    index > [upto].
+
+    Files are written atomically (temp file, fsync, rename) and use the
+    same {!Frame} CRC framing as the WAL, terminated by an explicit
+    end-marker record — a snapshot missing its marker, or failing any
+    CRC, is ignored and recovery falls back to the next older one (or to
+    full-log replay).
+
+    Values are encoded losslessly — [Value.to_string]/[of_string] does
+    not round-trip ([Str "123"] would come back [Int 123]) — with a tag
+    byte per cell: [n] null, [i<dec>] int, [f<hexfloat>] float
+    ([%h]-printed, so NaN/inf and every bit pattern survive), [s<raw>]
+    string. *)
+
+(** What an entity's state replays to. [Evicted] marks an entity whose
+    session was LRU/TTL-evicted with no buffered tail — the tombstone
+    preserves the daemon's "was evicted; re-OPEN" error behaviour across
+    restarts. [Replayable] holds arrivals in arrival order and order
+    edges exactly as they would be passed to the spec builder. *)
+type state =
+  | Evicted
+  | Replayable of {
+      tuples : Value.t list list;
+      orders : (string * int * int) list;  (** (attr, lo, hi) *)
+    }
+
+type entry = {
+  label : string;
+  header : string list;  (** schema attribute names, in order *)
+  last_seq : int;  (** highest applied [@seq]; 0 when none seen *)
+  state : state;
+}
+
+type t = {
+  upto : int;  (** WAL segments with index <= [upto] are covered *)
+  events_applied : int;  (** unique mutating events folded into this state *)
+  entries : entry list;
+}
+
+(** [save ~dir t] atomically writes [snap-<upto>.snap]; returns its path. *)
+val save : dir:string -> t -> string
+
+(** Newest snapshot that passes all integrity checks, if any; corrupt or
+    unfinished files are skipped (not deleted). *)
+val load_latest : dir:string -> t option
+
+(** Snapshot indices present, ascending. *)
+val indices : dir:string -> int list
+
+(** [remove_except ~dir ~keep] deletes every snapshot except index
+    [keep]; returns how many were removed. *)
+val remove_except : dir:string -> keep:int -> int

@@ -1,0 +1,47 @@
+(** Retrying [crsolved] client: the {!Daemon.request} round trip wrapped
+    in bounded exponential backoff with jitter, reconnection, and a
+    client-side per-request deadline — so a daemon that is restarting
+    (crash recovery), shedding load ([OVERLOADED]) or wedged cannot hang
+    or fail the caller on the first transient.
+
+    Retried failures are: connection refused / missing socket (daemon
+    restarting), connection reset / EOF mid-request, a request deadline
+    expiring, and [OVERLOADED] replies. Protocol-level errors
+    ([{"ok":false,...}] other than [OVERLOADED]) are {e answers}, not
+    failures — they are returned as-is and never retried.
+
+    A retried request may have been applied by a daemon that crashed
+    between applying and replying: stamp mutating requests with [@seq]
+    sequence numbers (see {!Protocol}) to make such redelivery
+    idempotent. *)
+
+type t
+
+(** [connect ?retries ?retry_base_ms ?deadline ~socket_path ()] — no I/O
+    happens until the first {!request}. [retries] (default 4) is the
+    number of {e re}-attempts after the first try; [retry_base_ms]
+    (default 50) the backoff base: attempt [k] sleeps
+    [base * 2^k * (0.5 + jitter)] ms, capped at 5 s; [deadline] bounds
+    each attempt's wait for a response, in seconds (default: wait
+    forever). *)
+val connect :
+  ?retries:int ->
+  ?retry_base_ms:float ->
+  ?deadline:float ->
+  socket_path:string ->
+  unit ->
+  t
+
+(** One request line, retried per the policy. [Error msg] after the
+    attempts are exhausted (the connection is left closed). *)
+val request : t -> string -> (string, string) result
+
+(** Pipelines the lines in order, stopping at the first exhausted one:
+    [Ok responses] when every line got an answer, otherwise
+    [Error (responses_so_far, msg)]. *)
+val request_many : t -> string list -> (string list, string list * string) result
+
+(** Transient failures absorbed so far (reconnects, backoffs, overloads). *)
+val retries_used : t -> int
+
+val close : t -> unit

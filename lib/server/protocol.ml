@@ -9,8 +9,18 @@ type command =
   | Baseline of { label : string; policy : string option }
   | Close of string
   | Stats
+  | Health
+  | Ready
   | Sweep
-  | Shutdown
+  | Shutdown of { drain : bool }
+
+type request = { seq : int option; cmd : command }
+
+let mutating = function
+  | Open _ | Ingest _ | Order _ | Close _ -> true
+  | Ping | Resolve _ | Baseline _ | Stats | Health | Ready | Sweep | Shutdown _
+    ->
+      false
 
 let fields rest = String.split_on_char '|' rest
 
@@ -20,21 +30,39 @@ let csv_record s =
   | [] -> Error "empty CSV record"
   | _ -> Error "CSV record spans multiple rows"
 
+let split_word line =
+  match String.index_opt line ' ' with
+  | Some i ->
+      ( String.sub line 0 i,
+        String.sub line (i + 1) (String.length line - i - 1) |> String.trim )
+  | None -> (line, "")
+
 let parse line =
   let line = String.trim line in
-  let word, rest =
-    match String.index_opt line ' ' with
-    | Some i ->
-        ( String.sub line 0 i,
-          String.sub line (i + 1) (String.length line - i - 1) |> String.trim )
-    | None -> (line, "")
+  (* optional "@<seq> " prefix: client-assigned per-entity sequence
+     number for idempotent at-least-once redelivery *)
+  let seq, line =
+    if String.length line > 0 && line.[0] = '@' then
+      let tok, rest = split_word line in
+      match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+      | Some n when n >= 0 && rest <> "" -> (Some n, rest)
+      | _ -> (None, line) (* fall through: the verb match rejects it *)
+    else (None, line)
   in
+  let word, rest = split_word line in
   let with_label k = if rest = "" then Error (word ^ ": missing label") else k rest in
-  match String.uppercase_ascii word with
+  let cmd =
+    match String.uppercase_ascii word with
   | "PING" -> Ok Ping
   | "STATS" -> Ok Stats
+  | "HEALTH" -> Ok Health
+  | "READY" -> Ok Ready
   | "SWEEP" -> Ok Sweep
-  | "SHUTDOWN" -> Ok Shutdown
+  | "SHUTDOWN" -> (
+      match String.lowercase_ascii rest with
+      | "" -> Ok (Shutdown { drain = false })
+      | "drain" -> Ok (Shutdown { drain = true })
+      | other -> Error ("SHUTDOWN: unknown mode " ^ other))
   | "RESOLVE" -> with_label (fun l -> Ok (Resolve l))
   | "CLOSE" -> with_label (fun l -> Ok (Close l))
   | "OPEN" ->
@@ -71,6 +99,12 @@ let parse line =
           | _ -> Error "BASELINE expects <label>[|<policy>]")
   | "" -> Error "empty request"
   | w -> Error ("unknown command " ^ w)
+  in
+  match cmd with
+  | Error _ as e -> e
+  | Ok cmd when seq <> None && not (mutating cmd) ->
+      Error "@seq only applies to OPEN/INGEST/ORDER/CLOSE"
+  | Ok cmd -> Ok { seq; cmd }
 
 (* {1 JSON} *)
 
@@ -104,3 +138,8 @@ let obj kvs =
 let arr items = "[" ^ String.concat "," items ^ "]"
 let ok kvs = obj (("ok", "true") :: kvs)
 let error msg = obj [ ("ok", "false"); ("error", jstr msg) ]
+
+let overloaded =
+  obj [ ("ok", "false"); ("error", jstr "overloaded"); ("overloaded", "true") ]
+
+let is_overloaded response = response = overloaded

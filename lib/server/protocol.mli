@@ -14,14 +14,28 @@
     BASELINE <label>[|<policy>]     Pick answer (lww, local, favoured, max, ...)
     CLOSE <label>                   drop the session and its state
     STATS                           store + command statistics
+    HEALTH                          durability/load status (WAL lag, recovery, ...)
+    READY                           {"ready":true} iff serving (not draining)
     SWEEP                           evict sessions idle past the TTL
     PING                            liveness probe
-    SHUTDOWN                        stop the server
+    SHUTDOWN [drain]                stop the server; [drain] finishes in-flight
+                                    requests and snapshots before exiting
     v}
+
+    The state-changing commands — [OPEN], [INGEST], [ORDER], [CLOSE] —
+    may carry a {b sequence-number prefix} [@<seq>] (e.g.
+    [@17 INGEST e1|a,b,c]): a per-entity monotone counter assigned by the
+    client. The daemon persists the highest applied [seq] per entity and
+    answers duplicates (retransmissions after a timeout or crash) with
+    [{"ok":true,"dup":true}] without re-applying them — the idempotence
+    that makes at-least-once delivery against the write-ahead log safe.
+    Unsequenced mutations remain exactly-once only as far as TCP-style
+    ordering on one connection guarantees.
 
     Every response is a single-line JSON object with an ["ok"] field;
     failures are [{"ok":false,"error":"..."}] and never kill the
-    connection. *)
+    connection. A daemon shedding load answers {!overloaded} — clients
+    should back off and retry. *)
 
 type command =
   | Ping
@@ -32,10 +46,20 @@ type command =
   | Baseline of { label : string; policy : string option }
   | Close of string
   | Stats
+  | Health
+  | Ready
   | Sweep
-  | Shutdown
+  | Shutdown of { drain : bool }
 
-val parse : string -> (command, string) result
+(** A parsed request line: the command plus its optional [@seq] prefix
+    (only state-changing commands accept one — [parse] rejects it
+    elsewhere). *)
+type request = { seq : int option; cmd : command }
+
+val parse : string -> (request, string) result
+
+(** Commands that change daemon state and therefore hit the WAL. *)
+val mutating : command -> bool
 
 (** {1 JSON building}
 
@@ -59,3 +83,11 @@ val arr : string list -> string
 val ok : (string * string) list -> string
 
 val error : string -> string
+
+(** The load-shedding reply:
+    [{"ok":false,"error":"overloaded","overloaded":true}]. Clients
+    detect the ["overloaded"] field and retry with backoff. *)
+val overloaded : string
+
+(** [true] iff [response] is the {!overloaded} reply. *)
+val is_overloaded : string -> bool
